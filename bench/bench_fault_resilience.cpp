@@ -1,0 +1,77 @@
+// Extension bench: SMART under link failures.
+//
+// Exercises the paper's non-minimal-routing future work as a resilience
+// mechanism: flows whose minimal routes die are detoured over surviving
+// links; because detours ride preset bypass chains, the latency cost is
+// millimetres (and the occasional extra stop when a segment outgrows
+// HPC_max), not router pipelines. The bench kills 0..6 links of the 4x4
+// mesh (deterministic order) and re-maps VOPD and H264 around them.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "noc/faults.hpp"
+
+int main() {
+  using namespace smartnoc;
+
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.measure_cycles = 100'000;
+
+  std::puts("=== Extension: SMART latency under link failures ===\n");
+  TextTable t({"App", "failed links", "routed", "detoured", "mean hops", "stops/flow",
+               "avg latency", "vs fault-free"});
+
+  for (mapping::SocApp app : {mapping::SocApp::VOPD, mapping::SocApp::H264}) {
+    double base_latency = 0.0;
+    for (int kills = 0; kills <= 6; kills += 2) {
+      const auto mapped = mapping::map_app(app, cfg);
+      const MeshDims dims = cfg.dims();
+      // Deterministic failure pattern: hash-picked East/North links.
+      noc::FaultSet faults;
+      Xoshiro256 rng(42);
+      int done = 0;
+      while (done < kills) {
+        const NodeId n = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(dims.nodes())));
+        const Dir d = rng.below(2) ? Dir::East : Dir::North;
+        if (!dims.has_neighbor(n, d) || faults.is_failed(n, d)) continue;
+        faults.fail_link(dims, n, d);
+        ++done;
+      }
+      // Re-route every flow around the failures.
+      noc::FlowSet flows;
+      int detoured = 0, unroutable = 0;
+      for (const auto& f : mapped.flows) {
+        const auto p = noc::route_around_faults(dims, f.src, f.dst, noc::TurnModel::XY, faults);
+        if (!p.has_value()) {
+          ++unroutable;
+          continue;
+        }
+        detoured += p->hops() > dims.hop_distance(f.src, f.dst) ? 1 : 0;
+        flows.add(f.src, f.dst, f.bandwidth_mbps, *p);
+      }
+      double hops = 0.0;
+      for (const auto& f : flows) hops += f.path.hops();
+      hops /= flows.size() ? flows.size() : 1;
+
+      auto smart = smart::make_smart_network(mapped.cfg, flows);
+      const auto r = bench::run_design(*smart.net, mapped.cfg);
+      const double mean_stops =
+          flows.size() ? static_cast<double>(smart.presets.total_stops) / flows.size() : 0.0;
+      if (kills == 0) base_latency = r.avg_network_latency;
+      t.add_row({mapping::app_name(app), strf("%d", kills),
+                 strf("%d/%d", flows.size(), mapped.flows.size()),
+                 strf("%d", detoured), strf("%.2f", hops), strf("%.2f", mean_stops),
+                 strf("%.2f", r.avg_network_latency),
+                 strf("%+.1f%%", 100.0 * (r.avg_network_latency / base_latency - 1.0))});
+      (void)unroutable;
+    }
+  }
+  t.print();
+  std::puts("\nreading: detours lengthen routes (mean hops rises) but, within HPC_max,");
+  std::puts("add no router-pipeline delay - latency degrades by link sharing on the");
+  std::puts("narrowed mesh, not by distance. This is the paper's \"non-minimal routes");
+  std::puts("... without any delay penalty\" made concrete.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 10a: average network latency of the 8 SoC applications on the
+// Mesh / SMART / Dedicated designs (4x4, Table II configuration).
+//
+// Paper's numbers to correlate against (text of Sec. VI):
+//   * SMART cuts latency by 60.1% on average vs the 3-cycle-router Mesh;
+//   * SMART averages 3.8 cycles, 1.5 cycles above Dedicated;
+//   * PIP / VOPD / WLAN: SMART ~= Dedicated;
+//   * H264 / MMS_MP3: Dedicated wins by 2-4 cycles (hub contention).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace smartnoc;
+
+  NocConfig cfg = NocConfig::paper_4x4();
+  std::puts("=== Figure 10a: average network latency (cycles) ===");
+  std::printf("4x4 mesh, %d-bit flits, %d-flit packets, %d VCs, %.1f GHz, HPC_max=%d\n\n",
+              cfg.flit_bits, cfg.flits_per_packet(), cfg.vcs_per_port, cfg.freq_ghz,
+              smart::effective_hpc_max(cfg));
+
+  const auto results = bench::run_all_apps(cfg);
+
+  TextTable t({"App", "Mesh", "SMART", "Dedicated", "SMART-vs-Mesh", "SMART-Dedicated",
+               "stops/flow", "hops/flow"});
+  double mesh_sum = 0, smart_sum = 0, ded_sum = 0;
+  for (const auto& r : results) {
+    if (!r.mesh.drained || !r.smart.drained || !r.dedicated.drained) {
+      std::printf("WARNING: %s failed to drain\n", mapping::app_name(r.app));
+    }
+    mesh_sum += r.mesh.avg_network_latency;
+    smart_sum += r.smart.avg_network_latency;
+    ded_sum += r.dedicated.avg_network_latency;
+    t.add_row({mapping::app_name(r.app), strf("%.2f", r.mesh.avg_network_latency),
+               strf("%.2f", r.smart.avg_network_latency),
+               strf("%.2f", r.dedicated.avg_network_latency),
+               strf("-%.1f%%", 100.0 * (1.0 - r.smart.avg_network_latency /
+                                                  r.mesh.avg_network_latency)),
+               strf("%+.2f", r.smart.avg_network_latency - r.dedicated.avg_network_latency),
+               strf("%.2f", r.mean_stops_per_flow), strf("%.2f", r.mapped.mean_hops())});
+  }
+  const double n = static_cast<double>(results.size());
+  t.add_row({"average", strf("%.2f", mesh_sum / n), strf("%.2f", smart_sum / n),
+             strf("%.2f", ded_sum / n),
+             strf("-%.1f%%", 100.0 * (1.0 - smart_sum / mesh_sum)),
+             strf("%+.2f", (smart_sum - ded_sum) / n), "", ""});
+  t.print();
+
+  std::puts("\npaper: SMART saves 60.1% vs Mesh; SMART avg 3.8 cycles, +1.5 vs Dedicated;");
+  std::puts("       PIP/VOPD/WLAN: SMART ~= Dedicated; H264/MMS_MP3: Dedicated 2-4 cycles lower.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 3: simulated waveforms at 6.8 Gb/s, (a) full-swing and (b)
+// low-swing. Prints the waveform metrics, an ASCII rendering of both
+// traces, and writes CSV files for external plotting.
+#include <cstdio>
+#include <fstream>
+
+#include "circuit/waveform.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace smartnoc;
+using namespace smartnoc::circuit;
+
+void ascii_plot(const std::vector<WaveSample>& wave, double v_min, double v_max,
+                int rows = 12, int cols = 96) {
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), ' '));
+  for (int c = 0; c < cols; ++c) {
+    const std::size_t k = static_cast<std::size_t>(c) * (wave.size() - 1) /
+                          static_cast<std::size_t>(cols - 1);
+    const double v = wave[k].v;
+    int r = static_cast<int>((v_max - v) / (v_max - v_min) * (rows - 1) + 0.5);
+    r = std::min(std::max(r, 0), rows - 1);
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '*';
+  }
+  for (int r = 0; r < rows; ++r) {
+    const double level = v_max - (v_max - v_min) * r / (rows - 1);
+    std::printf("%6.2fV |%s\n", level, grid[static_cast<std::size_t>(r)].c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double rate = 6.8;  // Gb/s, as in the paper's figure
+  const auto bits = WaveformSynth::default_pattern();
+
+  std::puts("=== Figure 3: simulated waveforms at 6.8 Gb/s ===\n");
+  std::printf("pattern: ");
+  for (int b : bits) std::printf("%d", b);
+  std::printf("  (bit period %.1f ps)\n\n", 1000.0 / rate);
+
+  TextTable t({"Circuit", "V_high", "V_low", "swing (mV)", "overshoot (mV)",
+               "10-90%% edge (ps)", "eye height (mV)"});
+  for (Swing sw : {Swing::Full, Swing::Low}) {
+    WaveformSynth synth(sw, SizingPreset::FabricatedChip, rate);
+    const auto m = synth.measure(bits);
+    t.add_row({swing_name(sw), strf("%.3f", m.v_high), strf("%.3f", m.v_low),
+               strf("%.0f", m.swing * 1e3), strf("%.0f", m.overshoot_v * 1e3),
+               strf("%.0f", m.edge_10_90_ps), strf("%.0f", m.eye_height_v * 1e3)});
+
+    const auto wave = synth.synthesize(bits);
+    std::printf("\n(%s) node voltage:\n", swing_name(sw));
+    ascii_plot(wave, -0.05, 0.95);
+
+    const std::string path =
+        std::string("fig3_") + (sw == Swing::Full ? "full" : "low") + "_swing.csv";
+    std::ofstream out(path);
+    out << WaveformSynth::to_csv(wave);
+    std::printf("CSV written to %s (%zu samples)\n", path.c_str(), wave.size());
+  }
+  std::puts("");
+  t.print();
+  std::puts("\npaper's qualitative picture: full swing slews rail-to-rail and barely");
+  std::puts("settles at 6.8 Gb/s; the VLR toggles in a narrow locked band around the");
+  std::puts("INV1x threshold with feedback overshoots at each transition.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Simulator performance (google-benchmark): cycle throughput of the three
+// network models, preset computation and the mapping front-end. Not a
+// paper figure - it documents that the reproduction runs at laptop scale.
+#include <benchmark/benchmark.h>
+
+#include "dedicated/dedicated_network.hpp"
+#include "mapping/nmap.hpp"
+#include "noc/traffic.hpp"
+#include "smart/smart_network.hpp"
+
+namespace {
+
+using namespace smartnoc;
+
+NocConfig bench_cfg() {
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.warmup_cycles = 0;
+  return cfg;
+}
+
+void BM_MeshTick(benchmark::State& state) {
+  const NocConfig cfg = bench_cfg();
+  const auto mapped = mapping::map_app(mapping::SocApp::VOPD, cfg);
+  auto net = noc::make_baseline_mesh(mapped.cfg, mapped.flows);
+  noc::TrafficEngine traffic(mapped.cfg, net->flows(), 1);
+  for (auto _ : state) {
+    net->tick();
+    traffic.generate(*net);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshTick);
+
+void BM_SmartTick(benchmark::State& state) {
+  const NocConfig cfg = bench_cfg();
+  const auto mapped = mapping::map_app(mapping::SocApp::VOPD, cfg);
+  auto smart = smart::make_smart_network(mapped.cfg, mapped.flows);
+  noc::TrafficEngine traffic(mapped.cfg, smart.net->flows(), 1);
+  for (auto _ : state) {
+    smart.net->tick();
+    traffic.generate(*smart.net);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmartTick);
+
+void BM_DedicatedTick(benchmark::State& state) {
+  const NocConfig cfg = bench_cfg();
+  const auto mapped = mapping::map_app(mapping::SocApp::VOPD, cfg);
+  dedicated::DedicatedNetwork net(mapped.cfg, mapped.flows);
+  noc::TrafficEngine traffic(mapped.cfg, net.flows(), 1);
+  for (auto _ : state) {
+    net.tick();
+    traffic.generate(net);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DedicatedTick);
+
+void BM_PresetComputation(benchmark::State& state) {
+  const NocConfig cfg = bench_cfg();
+  const auto mapped = mapping::map_app(mapping::SocApp::H264, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smart::compute_presets(mapped.cfg, mapped.flows, 8));
+  }
+}
+BENCHMARK(BM_PresetComputation);
+
+void BM_NmapMapping(benchmark::State& state) {
+  const NocConfig cfg = bench_cfg();
+  const auto graph = mapping::make_app(mapping::SocApp::H264);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::nmap_map(graph, cfg.dims()));
+  }
+}
+BENCHMARK(BM_NmapMapping);
+
+void BM_RegisterRoundTrip(benchmark::State& state) {
+  const NocConfig cfg = bench_cfg();
+  const auto mapped = mapping::map_app(mapping::SocApp::VOPD, cfg);
+  const auto presets = smart::compute_presets(mapped.cfg, mapped.flows, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smart::roundtrip_through_registers(presets.table, cfg.dims()));
+  }
+}
+BENCHMARK(BM_RegisterRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Table I: "Simulation results of max number of hops per cycle" - the
+// circuit-level result the whole architecture stands on - plus the Section
+// III chip-correlation numbers.
+#include <cstdio>
+
+#include "circuit/link_model.hpp"
+#include "circuit/noise.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace smartnoc;
+  using namespace smartnoc::circuit;
+
+  std::puts("=== Table I: max hops per cycle (and fJ/b/mm) ===\n");
+  TextTable t({"Sizing", "Swing", "Rate (Gb/s)", "hops (model)", "hops (paper)",
+               "fJ/b/mm (model)", "fJ/b/mm (paper)"});
+  for (const auto& c : make_table1()) {
+    t.add_row({c.sizing == SizingPreset::Relaxed2GHz ? "relaxed-2GHz (*)" : "fabricated (**)",
+               swing_name(c.swing), strf("%.1f", c.rate_gbps), strf("%d", c.model_hops),
+               strf("%d", c.paper_hops), strf("%.1f", c.model_energy_fj),
+               strf("%.1f", c.paper_energy_fj)});
+  }
+  t.print();
+  std::puts("\n(*) resized and optimized for 2 GHz with wider wire spacing;");
+  std::puts("(**) fabricated transistor sizes with wider wire spacing.");
+
+  RepeatedLink headline(Swing::Low, SizingPreset::Relaxed2GHz);
+  std::printf("\nHeadline: at 2 GHz the low-swing link crosses %d hops per cycle at "
+              "%.0f fJ/b/mm (paper: 8 hops at 104 fJ/b/mm)\n",
+              headline.max_hops_per_cycle(2.0), headline.energy_fj_per_bit_mm(2.0));
+
+  std::puts("\n=== Section III chip correlation (45nm SOI, 10 mm link) ===\n");
+  const auto m = model_chip_correlation();
+  const auto p = paper_chip_correlation();
+  TextTable c({"Quantity", "model", "measured (paper)"});
+  c.add_row({"VLR max data rate (Gb/s)", strf("%.1f", m.vlr_max_rate_gbps),
+             strf("%.1f", p.vlr_max_rate_gbps)});
+  c.add_row({"full-swing max data rate (Gb/s)", strf("%.1f", m.full_max_rate_gbps),
+             strf("%.1f", p.full_max_rate_gbps)});
+  c.add_row({"VLR power @ max rate (mW)", strf("%.2f", m.vlr_power_mw_at_max),
+             strf("%.2f", p.vlr_power_mw_at_max)});
+  c.add_row({"VLR energy @ max rate (fJ/b)", strf("%.0f", m.vlr_energy_fj_b_at_max),
+             strf("%.0f", p.vlr_energy_fj_b_at_max)});
+  c.add_row({"full-swing power @ 5.5 Gb/s (mW)", strf("%.2f", m.full_power_mw_at_55),
+             strf("%.2f", p.full_power_mw_at_55)});
+  c.add_row({"VLR power @ 5.5 Gb/s (mW)", strf("%.2f", m.vlr_power_mw_at_55),
+             strf("%.2f", p.vlr_power_mw_at_55)});
+  c.add_row({"VLR delay (ps/mm)", strf("%.1f", m.vlr_delay_ps_per_mm),
+             strf("%.0f", p.vlr_delay_ps_per_mm)});
+  c.add_row({"full-swing delay (ps/mm)", strf("%.1f", m.full_delay_ps_per_mm),
+             strf("%.0f", p.full_delay_ps_per_mm)});
+  c.print();
+
+  std::puts("\n=== Noise / BER sanity (paper bar: BER < 1e-9) ===\n");
+  TextTable nz({"Circuit", "noise margin (mV)", "estimated BER", "meets 1e-9"});
+  for (Swing sw : {Swing::Full, Swing::Low}) {
+    const auto a = analyze_noise(RepeaterModel::make(sw, SizingPreset::FabricatedChip));
+    nz.add_row({swing_name(sw), strf("%.0f", a.noise_margin_v * 1e3), strf("%.1e", a.ber),
+                a.meets_1e9 ? "yes" : "NO"});
+  }
+  nz.print();
+  return 0;
+}

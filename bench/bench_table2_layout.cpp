@@ -1,0 +1,59 @@
+// Table II + Fig. 8/9: the Section V tool flow run end to end on the
+// paper's 4x4 configuration - prints the configuration table, generates
+// the RTL + .lib/.lef + VLR block placements, and renders the floorplan
+// report. Artifacts are written to ./generated_noc/.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/table.hpp"
+#include "tools/noc_generator.hpp"
+
+int main() {
+  using namespace smartnoc;
+
+  const NocConfig cfg = NocConfig::paper_4x4();
+
+  std::puts("=== Table II: 4x4 NoC configuration ===\n");
+  TextTable t({"Parameter", "Value", "paper (Table II)"});
+  t.add_row({"Technology", "45nm (modelled)", "45nm"});
+  t.add_row({"Vdd, Freq", strf("0.9 V, %.0f GHz", cfg.freq_ghz), "0.9 V, 2 GHz"});
+  t.add_row({"Topology", strf("%dx%d mesh", cfg.width, cfg.height), "4x4 mesh"});
+  t.add_row({"Channel width", strf("%d bits", cfg.flit_bits), "32 bits"});
+  t.add_row({"Credit width", strf("%d bits", cfg.credit_bits), "2 bits"});
+  t.add_row({"Router ports", strf("%d", kNumDirs), "5"});
+  t.add_row({"VCs per port", strf("%d, %d-flit deep", cfg.vcs_per_port, cfg.vc_depth_flits),
+             "2, 10-flit deep"});
+  t.add_row({"Packet size", strf("%d bits", cfg.packet_bits), "256 bits"});
+  t.add_row({"Flit size", strf("%d bits", cfg.flit_bits), "32 bits"});
+  t.add_row({"Header width", strf("%d bits (Head)", cfg.header_bits), "20 bits (Head)"});
+  t.print();
+
+  std::puts("\n=== Section V tool flow ===\n");
+  const auto design = tools::generate_noc(cfg);
+  std::printf("RTL: %zu Verilog files, %d lines total (self-checked)\n",
+              design.rtl.files.size(), design.rtl.total_lines);
+  for (const auto& f : design.rtl.files) {
+    std::printf("  %-18s %4d lines\n", f.name.c_str(),
+                static_cast<int>(std::count(f.content.begin(), f.content.end(), '\n')));
+  }
+
+  std::printf("\n%d-bit Tx block (Fig. 8 analog): %d rows x %d cols, %.1f x %.1f um "
+              "(%.0f um^2)\n",
+              design.tx_block.bits, design.tx_block.rows, design.tx_block.cols,
+              design.tx_block.width_um, design.tx_block.height_um, design.tx_block.area_um2);
+
+  std::puts("\nReconfiguration register map (first 4 of 16):");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("  0x%llx -> router %d\n",
+                static_cast<unsigned long long>(design.register_map[i].first),
+                design.register_map[i].second);
+  }
+
+  std::puts("");
+  std::fputs(design.floorplan.c_str(), stdout);
+
+  std::filesystem::create_directories("generated_noc");
+  const auto written = design.write_to("generated_noc");
+  std::printf("\n%zu artifacts written under ./generated_noc/\n", written.size());
+  return 0;
+}

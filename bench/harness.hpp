@@ -1,0 +1,84 @@
+// Shared experiment harness for the bench binaries: runs one SoC
+// application through the full flow (task graph -> NMAP -> routes ->
+// presets -> simulation) on all three designs of Sec. VI and collects the
+// latency and power results that Figs. 10a/10b plot.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dedicated/dedicated_network.hpp"
+#include "mapping/nmap.hpp"
+#include "noc/traffic.hpp"
+#include "power/energy_model.hpp"
+#include "sim/runner.hpp"
+#include "smart/smart_network.hpp"
+
+namespace smartnoc::bench {
+
+struct DesignResult {
+  double avg_network_latency = 0.0;
+  double avg_total_latency = 0.0;
+  std::uint64_t packets = 0;
+  power::PowerBreakdown power;
+  bool drained = false;
+};
+
+struct AppResult {
+  mapping::SocApp app;
+  mapping::MappedApp mapped;
+  DesignResult mesh;
+  DesignResult smart;
+  DesignResult dedicated;
+  int smart_total_stops = 0;   ///< structural stops across all flows
+  double mean_stops_per_flow = 0.0;
+};
+
+inline DesignResult run_design(noc::Network& net, const NocConfig& cfg) {
+  noc::TrafficEngine traffic(cfg, net.flows(), cfg.seed);
+  const auto run = sim::run_simulation(net, traffic, cfg);
+  DesignResult r;
+  r.avg_network_latency = net.stats().avg_network_latency();
+  r.avg_total_latency = net.stats().avg_total_latency();
+  r.packets = net.stats().total_packets();
+  r.power = power::compute_power(cfg, run.activity, run.measure_cycles,
+                                 power::EnergyParams::for_config(cfg));
+  r.drained = run.drained;
+  return r;
+}
+
+/// Full three-way evaluation of one application.
+inline AppResult run_app(mapping::SocApp app, const NocConfig& base_cfg) {
+  AppResult out{app, mapping::map_app(app, base_cfg), {}, {}, {}, 0, 0.0};
+  const NocConfig& cfg = out.mapped.cfg;
+
+  {
+    auto mesh = noc::make_baseline_mesh(cfg, out.mapped.flows);
+    out.mesh = run_design(*mesh, cfg);
+  }
+  {
+    auto smart = smart::make_smart_network(cfg, out.mapped.flows);
+    out.smart = run_design(*smart.net, cfg);
+    out.smart_total_stops = smart.presets.total_stops;
+    out.mean_stops_per_flow =
+        out.mapped.flows.empty()
+            ? 0.0
+            : static_cast<double>(smart.presets.total_stops) / out.mapped.flows.size();
+  }
+  {
+    dedicated::DedicatedNetwork ded(cfg, out.mapped.flows);
+    out.dedicated = run_design(ded, cfg);
+  }
+  return out;
+}
+
+inline std::vector<AppResult> run_all_apps(const NocConfig& base_cfg) {
+  std::vector<AppResult> out;
+  out.reserve(mapping::kAllApps.size());
+  for (mapping::SocApp app : mapping::kAllApps) {
+    out.push_back(run_app(app, base_cfg));
+  }
+  return out;
+}
+
+}  // namespace smartnoc::bench

@@ -1,0 +1,57 @@
+// Circuit-model explorer: sweep data rate for both repeater families and
+// print the reach/energy trade-off that motivates the SMART link (Sec. III
+// and Table I). Optional argument selects the sizing preset:
+//   ./link_explorer [relaxed|fabricated|chip]
+#include <cstdio>
+#include <cstring>
+
+#include "circuit/link_model.hpp"
+#include "circuit/waveform.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartnoc;
+  using namespace smartnoc::circuit;
+
+  SizingPreset sizing = SizingPreset::Relaxed2GHz;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "fabricated") == 0) sizing = SizingPreset::FabricatedWide;
+    else if (std::strcmp(argv[1], "chip") == 0) sizing = SizingPreset::FabricatedChip;
+    else if (std::strcmp(argv[1], "relaxed") != 0) {
+      std::fprintf(stderr, "usage: %s [relaxed|fabricated|chip]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::printf("SMART link explorer - sizing: %s\n\n", sizing_name(sizing));
+
+  TextTable t({"rate (Gb/s)", "full: hops", "full: ps/mm", "full: fJ/b/mm", "low: hops",
+               "low: ps/mm", "low: fJ/b/mm", "low-swing advantage"});
+  RepeatedLink full(Swing::Full, sizing);
+  RepeatedLink low(Swing::Low, sizing);
+  for (double rate = 0.5; rate <= 6.0; rate += 0.5) {
+    const int hf = full.max_hops_per_cycle(rate);
+    const int hl = low.max_hops_per_cycle(rate);
+    t.add_row({strf("%.1f", rate), strf("%d", hf), strf("%.0f", full.delay_per_mm_ps(rate)),
+               strf("%.0f", full.energy_fj_per_bit_mm(rate)), strf("%d", hl),
+               strf("%.0f", low.delay_per_mm_ps(rate)),
+               strf("%.0f", low.energy_fj_per_bit_mm(rate)),
+               hf > 0 ? strf("%+d hops", hl - hf) : strf("n/a")});
+  }
+  t.print();
+
+  std::printf("\nAt the paper's 2 GHz operating point: HPC_max = %d (low swing), "
+              "%d (full swing).\n",
+              hpc_max_for(Swing::Low, 2.0), hpc_max_for(Swing::Full, 2.0));
+  std::printf("Static power of an enabled low-swing link: %.0f uW/mm "
+              "(gated off by EN when idle).\n",
+              low.static_power_uw_per_mm(true));
+
+  // A quick eye check at this sizing's maximum rate.
+  WaveformSynth synth(Swing::Low, sizing, low.max_rate_gbps());
+  const auto metrics = synth.measure(WaveformSynth::default_pattern());
+  std::printf("Low-swing eye at %.1f Gb/s: %.0f mV high, swing %.0f mV, eye %.0f mV.\n",
+              low.max_rate_gbps(), metrics.v_high * 1e3, metrics.swing * 1e3,
+              metrics.eye_height_v * 1e3);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 1 demo: one SMART NoC, three applications, runtime reconfiguration.
+//
+// WLAN runs, the network drains, sixteen memory stores rewrite the preset
+// registers, H264 runs on what is effectively a different topology - then
+// again for VOPD. Per application we print the reconfiguration cost and
+// the latency the tailored topology delivers.
+#include <cstdio>
+
+#include "mapping/nmap.hpp"
+#include "noc/traffic.hpp"
+#include "sim/runner.hpp"
+#include "smart/reconfig.hpp"
+
+int main() {
+  using namespace smartnoc;
+
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.measure_cycles = 100'000;
+
+  smart::ReconfigManager mgr(cfg, /*single_config_core=*/true);
+
+  std::puts("Fig. 1: one mesh, three applications, reconfigured at runtime\n");
+  for (mapping::SocApp app :
+       {mapping::SocApp::WLAN, mapping::SocApp::H264, mapping::SocApp::VOPD}) {
+    const auto mapped = mapping::map_app(app, cfg);
+    const auto cost = mgr.reconfigure(mapped.flows);
+
+    std::printf("[%s]\n", mapping::app_name(app));
+    std::printf("  reconfigure: drained in %llu cycles, %d register stores, %llu cycles on "
+                "the config ring => %llu cycles total\n",
+                static_cast<unsigned long long>(cost.drain_cycles), cost.stores,
+                static_cast<unsigned long long>(cost.store_cycles),
+                static_cast<unsigned long long>(cost.total()));
+
+    int bypassed = 0;
+    for (const auto& stops : mgr.presets().stops_per_flow) {
+      bypassed += stops.empty() ? 1 : 0;
+    }
+    std::printf("  presets: %d/%d flows single-cycle end-to-end\n", bypassed,
+                mgr.network().flows().size());
+
+    noc::TrafficEngine traffic(mapped.cfg, mgr.network().flows(), cfg.seed);
+    sim::run_simulation(mgr.network(), traffic, mapped.cfg);
+    std::printf("  result: %llu packets, avg network latency %.2f cycles\n\n",
+                static_cast<unsigned long long>(mgr.network().stats().total_packets()),
+                mgr.network().stats().avg_network_latency());
+  }
+
+  std::puts("The reconfiguration cost (~10^2 cycles) is the paper's \"just the amount");
+  std::puts("of time to execute these instructions\" - negligible against the millions");
+  std::puts("of cycles an application runs between switches.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "circuit/chain.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smartnoc::circuit {
+
+RepeaterChain::RepeaterChain(Swing swing, SizingPreset sizing, int stages)
+    : swing_(swing), sizing_(sizing), model_(RepeaterModel::make(swing, sizing)),
+      stages_(stages) {
+  SMARTNOC_CHECK(stages >= 1, "a chain needs at least one stage");
+}
+
+ChainResponse RepeaterChain::step_response(double rate_gbps, double dt_ps) const {
+  SMARTNOC_CHECK(rate_gbps > 0.0 && dt_ps > 0.0, "positive rate and step required");
+  ChainResponse r;
+  const double t_mm = model_.timing.delay_per_mm_ps(rate_gbps);
+  // Behavioural stage: output begins slewing toward the new level when the
+  // input crosses the receiver threshold; slew time constant from the
+  // waveform model's physics (band crossed with full drive current).
+  const double tau = swing_ == Swing::Full ? t_mm / 0.7 / std::log(9.0) * 2.2 : t_mm / 6.0;
+  const double v_lo = swing_ == Swing::Full ? 0.0 : 0.45 * model_.vdd_v - 0.5 * model_.swing_v;
+  const double v_hi = v_lo + (swing_ == Swing::Full ? model_.vdd_v : model_.swing_v);
+  const double v_th = 0.5 * (v_lo + v_hi);
+
+  const double horizon_ps =
+      model_.timing.t_overhead_ps + static_cast<double>(stages_ + 2) * t_mm + 10.0 * tau;
+  const auto samples = static_cast<std::size_t>(horizon_ps / dt_ps) + 1;
+
+  r.stage_waves.assign(static_cast<std::size_t>(stages_ + 1), {});
+  r.edge_arrival_ps.assign(static_cast<std::size_t>(stages_ + 1), -1.0);
+
+  // Stage 0: the driver launches after the Tx overhead share.
+  const double launch = model_.timing.t_overhead_ps / 2.0;
+  std::vector<double> prev(samples), cur(samples);
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double t = static_cast<double>(k) * dt_ps;
+    prev[k] = t < launch ? v_lo : v_hi + (v_lo - v_hi) * std::exp(-(t - launch) / tau);
+  }
+  auto record = [&](int stage, const std::vector<double>& wave) {
+    auto& dst = r.stage_waves[static_cast<std::size_t>(stage)];
+    dst.reserve(samples);
+    for (std::size_t k = 0; k < samples; ++k) {
+      dst.push_back(WaveSample{static_cast<double>(k) * dt_ps, wave[k]});
+    }
+    for (std::size_t k = 0; k < samples; ++k) {
+      if (wave[k] >= v_th) {
+        r.edge_arrival_ps[static_cast<std::size_t>(stage)] = static_cast<double>(k) * dt_ps;
+        break;
+      }
+    }
+  };
+  record(0, prev);
+
+  for (int stage = 1; stage <= stages_; ++stage) {
+    // The wire flight + receiver resolve delay shifts the threshold
+    // crossing by t_mm; regeneration re-slews the edge from v_lo.
+    const double t_in = r.edge_arrival_ps[static_cast<std::size_t>(stage - 1)];
+    SMARTNOC_CHECK(t_in >= 0.0, "edge lost mid-chain");
+    // Slew start placed so this stage's threshold crossing lands exactly
+    // t_mm after the previous stage's (exp crossing at tau*ln2).
+    const double t_start = t_in + t_mm - tau * std::log(2.0);
+    for (std::size_t k = 0; k < samples; ++k) {
+      const double t = static_cast<double>(k) * dt_ps;
+      cur[k] = t < t_start ? v_lo : v_hi + (v_lo - v_hi) * std::exp(-(t - t_start) / tau);
+    }
+    record(stage, cur);
+    std::swap(prev, cur);
+  }
+
+  const double first = r.edge_arrival_ps.front();
+  const double last = r.edge_arrival_ps.back();
+  r.total_delay_ps = last;
+  r.measured_delay_per_mm_ps = stages_ > 0 ? (last - first) / stages_ : 0.0;
+  return r;
+}
+
+bool RepeaterChain::fits_in_cycle(double rate_gbps) const {
+  const auto r = step_response(rate_gbps);
+  return r.total_delay_ps <= 1000.0 / rate_gbps;
+}
+
+}  // namespace smartnoc::circuit

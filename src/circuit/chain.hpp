@@ -1,0 +1,51 @@
+// Repeater-chain transient response: waveform propagation through the N
+// stages of a multi-hop link (the fabricated chip put "a VLR ... at every
+// mm along a 10mm interconnect").
+//
+// Each stage regenerates the edge: the stage output starts slewing once
+// its input crosses the receiver threshold, modelling the cumulative
+// per-stage latency. This provides an independent, waveform-level
+// measurement of delay/mm that the tests cross-check against the
+// analytical RepeaterTiming model - the simulated chain and the closed
+// form must agree, or one of them is lying.
+#pragma once
+
+#include <vector>
+
+#include "circuit/repeater.hpp"
+#include "circuit/waveform.hpp"
+
+namespace smartnoc::circuit {
+
+struct ChainResponse {
+  /// Waveform at the output of every stage (stage 0 = driver output).
+  std::vector<std::vector<WaveSample>> stage_waves;
+  /// Threshold-crossing time of the first rising edge at each stage, ps.
+  std::vector<double> edge_arrival_ps;
+  /// Mean per-stage (per-mm) delay measured from the waveforms.
+  double measured_delay_per_mm_ps = 0.0;
+  /// End-to-end delay of the n-stage chain, ps.
+  double total_delay_ps = 0.0;
+};
+
+class RepeaterChain {
+ public:
+  RepeaterChain(Swing swing, SizingPreset sizing, int stages);
+
+  /// Propagates a single 0->1 step through the chain, sampled at dt_ps.
+  ChainResponse step_response(double rate_gbps, double dt_ps = 0.5) const;
+
+  /// Does a bit at `rate_gbps` survive `stages` hops inside one bit
+  /// period? (The waveform-level version of Table I's question.)
+  bool fits_in_cycle(double rate_gbps) const;
+
+  int stages() const { return stages_; }
+
+ private:
+  Swing swing_;
+  SizingPreset sizing_;
+  RepeaterModel model_;
+  int stages_;
+};
+
+}  // namespace smartnoc::circuit

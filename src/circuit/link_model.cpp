@@ -1,0 +1,149 @@
+#include "circuit/link_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smartnoc::circuit {
+
+// ---------------------------------------------------------------------------
+// Calibration notes
+//
+// Timing: t_link(h, D) = t_ov + h * (t_mm_base - lock_boost * D), and
+// Table I's entry is max h with t_link <= 1000/D ps. Fitting the paper's
+// integer hop counts gives, per regime:
+//
+//   Relaxed2GHz  full: t_ov 50,  t_mm 70,  boost 0
+//                  -> floor(950/70)=13 @1G, floor(450/70)=6 @2G,
+//                     floor(283.3/70)=4 @3G                       (13/6/4 ok)
+//   Relaxed2GHz  low : t_ov 50,  t_mm 65,  boost 7
+//                  -> 950/58=16.3 @1G, 450/51=8.8 @2G, 283.3/44=6.4 @3G
+//                                                                 (16/8/6 ok)
+//   FabricatedWide full: t_ov 20, t_mm 50, boost 0
+//                  -> 230/50=4.6 @4G, 180/50=3.6 @5G, 161.8/50=3.2 @5.5G
+//                                                                 (4/3/3 ok)
+//   FabricatedWide low : t_ov 20, t_mm 33, boost 0.7
+//                  -> 230/30.2=7.6 @4G, 180/29.5=6.1 @5G,
+//                     161.8/29.15=5.5 @5.5G                       (7/6/5 ok)
+//   FabricatedChip     : measured 100 (full) and ~60 (low) ps/mm.
+//
+// Energy: E(D) = e_dyn + p_static/D - k_lock*D (fJ/b/mm).
+//   Relaxed full:  e 113.2, p 0,   k 9.5  -> 103.7/94.2/84.7 vs 103/95/84
+//   Relaxed low :  e 120.5, p 21,  k 13.5 -> exact 128/104/87
+//   FabWide full:  e 134.0, p 0,   k 9.0  -> exact 98/89, 84.5 vs 85
+//   FabWide low :  e 133.0, p 220, k 14.0 -> exact 132/107/96
+//   FabChip full:  e 126.0, p 0,   k 9.0  -> 76.5 fJ/b/mm @5.5 (765 fJ/b/10mm)
+//   FabChip low :  e 69.2,  p 100, k 3.4  -> 68.7 @5.5, 60.8 @6.8 (687/608)
+// ---------------------------------------------------------------------------
+
+RepeaterModel RepeaterModel::make(Swing swing, SizingPreset sizing) {
+  RepeaterModel m{};
+  m.vdd_v = 0.9;
+  switch (sizing) {
+    case SizingPreset::Relaxed2GHz:
+      if (swing == Swing::Full) {
+        m.timing = {50.0, 70.0, 0.0};
+        m.energy = {113.17, 0.0, 9.5};
+      } else {
+        m.timing = {50.0, 65.0, 7.0};
+        m.energy = {120.5, 21.0, 13.5};
+      }
+      m.max_rate_gbps = swing == Swing::Full ? 3.5 : 4.0;
+      m.swing_v = swing == Swing::Full ? 0.9 : 0.15;
+      m.area_um2_per_bit = swing == Swing::Full ? 9.0 : 14.0;
+      break;
+    case SizingPreset::FabricatedWide:
+      if (swing == Swing::Full) {
+        m.timing = {20.0, 50.0, 0.0};
+        m.energy = {134.0, 0.0, 9.0};
+      } else {
+        m.timing = {20.0, 33.0, 0.7};
+        m.energy = {133.0, 220.0, 14.0};
+      }
+      m.max_rate_gbps = swing == Swing::Full ? 5.5 : 6.8;
+      m.swing_v = swing == Swing::Full ? 0.9 : 0.18;
+      m.area_um2_per_bit = swing == Swing::Full ? 12.0 : 18.0;
+      break;
+    case SizingPreset::FabricatedChip:
+      if (swing == Swing::Full) {
+        m.timing = {20.0, 100.0, 0.0};
+        m.energy = {126.0, 0.0, 9.0};
+      } else {
+        m.timing = {20.0, 63.0, 0.5};
+        m.energy = {69.2, 100.0, 3.4};
+      }
+      m.max_rate_gbps = swing == Swing::Full ? 5.5 : 6.8;
+      m.swing_v = swing == Swing::Full ? 0.9 : 0.18;
+      m.area_um2_per_bit = swing == Swing::Full ? 12.0 : 18.0;
+      break;
+  }
+  return m;
+}
+
+int RepeatedLink::max_hops_per_cycle(double rate_gbps) const {
+  SMARTNOC_CHECK(rate_gbps > 0.0, "data rate must be positive");
+  const double period_ps = 1000.0 / rate_gbps;
+  const double budget = period_ps - model_.timing.t_overhead_ps;
+  if (budget <= 0.0) return 0;
+  const double per_mm = delay_per_mm_ps(rate_gbps);
+  return static_cast<int>(budget / per_mm);
+}
+
+std::vector<Table1Cell> make_table1() {
+  // Paper Table I, verbatim.
+  struct PaperRow {
+    SizingPreset sizing;
+    Swing swing;
+    double rate;
+    int hops;
+    double energy;
+  };
+  static const PaperRow kPaper[] = {
+      {SizingPreset::Relaxed2GHz, Swing::Full, 1.0, 13, 103.0},
+      {SizingPreset::Relaxed2GHz, Swing::Full, 2.0, 6, 95.0},
+      {SizingPreset::Relaxed2GHz, Swing::Full, 3.0, 4, 84.0},
+      {SizingPreset::Relaxed2GHz, Swing::Low, 1.0, 16, 128.0},
+      {SizingPreset::Relaxed2GHz, Swing::Low, 2.0, 8, 104.0},
+      {SizingPreset::Relaxed2GHz, Swing::Low, 3.0, 6, 87.0},
+      {SizingPreset::FabricatedWide, Swing::Full, 4.0, 4, 98.0},
+      {SizingPreset::FabricatedWide, Swing::Full, 5.0, 3, 89.0},
+      {SizingPreset::FabricatedWide, Swing::Full, 5.5, 3, 85.0},
+      {SizingPreset::FabricatedWide, Swing::Low, 4.0, 7, 132.0},
+      {SizingPreset::FabricatedWide, Swing::Low, 5.0, 6, 107.0},
+      {SizingPreset::FabricatedWide, Swing::Low, 5.5, 5, 96.0},
+  };
+  std::vector<Table1Cell> out;
+  out.reserve(std::size(kPaper));
+  for (const auto& p : kPaper) {
+    RepeatedLink link(p.swing, p.sizing);
+    out.push_back(Table1Cell{p.rate, p.swing, p.sizing, link.max_hops_per_cycle(p.rate), p.hops,
+                             link.energy_fj_per_bit_mm(p.rate), p.energy});
+  }
+  return out;
+}
+
+ChipCorrelation model_chip_correlation() {
+  RepeatedLink vlr(Swing::Low, SizingPreset::FabricatedChip);
+  RepeatedLink full(Swing::Full, SizingPreset::FabricatedChip);
+  ChipCorrelation c{};
+  c.vlr_max_rate_gbps = vlr.max_rate_gbps();
+  c.full_max_rate_gbps = full.max_rate_gbps();
+  c.vlr_power_mw_at_max = vlr.link_power_mw(10, c.vlr_max_rate_gbps);
+  c.vlr_energy_fj_b_at_max = vlr.energy_fj_per_bit_mm(c.vlr_max_rate_gbps) * 10.0;
+  c.full_power_mw_at_55 = full.link_power_mw(10, 5.5);
+  c.vlr_power_mw_at_55 = vlr.link_power_mw(10, 5.5);
+  c.vlr_delay_ps_per_mm = vlr.delay_per_mm_ps(c.vlr_max_rate_gbps);
+  c.full_delay_ps_per_mm = full.delay_per_mm_ps(5.5);
+  return c;
+}
+
+ChipCorrelation paper_chip_correlation() {
+  return ChipCorrelation{6.8, 5.5, 4.14, 608.0, 4.21, 3.78, 60.0, 100.0};
+}
+
+int hpc_max_for(Swing swing, double freq_ghz) {
+  RepeatedLink link(swing, SizingPreset::Relaxed2GHz);
+  return link.max_hops_per_cycle(freq_ghz);
+}
+
+}  // namespace smartnoc::circuit

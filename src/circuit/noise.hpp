@@ -1,0 +1,34 @@
+// First-order noise-margin / bit-error-rate estimate for the link circuits.
+//
+// The paper reports BER < 1e-9 at the operating points and notes that low
+// swing trades noise margin for energy/delay ("the low-swing technique can
+// lower energy consumption and propagation delay at the cost of a reduced
+// noise margin"). This model sanity-checks that trade-off: Gaussian noise of
+// sigma `noise_rms_v` against a slicer at mid-swing gives
+//   BER = 0.5 * erfc( (swing/2) / (sigma * sqrt(2)) ).
+#pragma once
+
+#include <cmath>
+
+#include "circuit/repeater.hpp"
+
+namespace smartnoc::circuit {
+
+struct NoiseAnalysis {
+  double noise_margin_v;  ///< swing/2 (ideal slicer at mid-band)
+  double snr_db;
+  double ber;             ///< estimated bit error rate
+  bool meets_1e9;         ///< BER < 1e-9, the paper's acceptance bar
+};
+
+inline NoiseAnalysis analyze_noise(const RepeaterModel& model, double noise_rms_v = 0.010) {
+  NoiseAnalysis a{};
+  a.noise_margin_v = 0.5 * model.swing_v;
+  const double q = a.noise_margin_v / noise_rms_v;
+  a.snr_db = 20.0 * std::log10(q);
+  a.ber = 0.5 * std::erfc(q / std::sqrt(2.0));
+  a.meets_1e9 = a.ber < 1e-9;
+  return a;
+}
+
+}  // namespace smartnoc::circuit

@@ -1,0 +1,68 @@
+// Waveform synthesis for the paper's Fig. 3: "Simulated waveforms at
+// 6.8 Gb/s: (a) full-swing and (b) low-swing".
+//
+// The synthesizer drives a bit pattern through the first-order behavioural
+// model of each repeater family and samples the wire node voltage:
+//   * full-swing: exponential rail-to-rail slewing with time constant tied
+//     to the per-mm delay (at 6.8 Gb/s the edges barely settle, which is
+//     exactly why the fabricated full-swing link tops out at 5.5 Gb/s);
+//   * low-swing VLR: the node is locked near the threshold of INV1x and
+//     toggles in a narrow band, with the delay-cell feedback adding a
+//     transient overshoot at each transition (paper Fig. 2 discussion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/repeater.hpp"
+#include "common/types.hpp"
+
+namespace smartnoc::circuit {
+
+struct WaveSample {
+  double t_ps;
+  double v;  // volts
+};
+
+struct WaveformMetrics {
+  double v_high;          ///< mean settled high level
+  double v_low;           ///< mean settled low level
+  double swing;           ///< v_high - v_low
+  double overshoot_v;     ///< peak excursion beyond the settled level
+  double edge_10_90_ps;   ///< 10-90% transition time
+  double eye_height_v;    ///< worst-case vertical eye opening at mid-bit
+};
+
+class WaveformSynth {
+ public:
+  WaveformSynth(Swing swing, SizingPreset sizing, double rate_gbps);
+
+  /// Simulates the node voltage for the given bit pattern, sampled at
+  /// `dt_ps` resolution. The first bit is preceded by one settling period.
+  std::vector<WaveSample> synthesize(const std::vector<int>& bits, double dt_ps = 1.0) const;
+
+  /// Convenience: a fixed 16-bit pseudo-random pattern (same one the tests
+  /// and the bench use, so plots are comparable run to run).
+  static std::vector<int> default_pattern();
+
+  WaveformMetrics measure(const std::vector<int>& bits, double dt_ps = 1.0) const;
+
+  /// CSV with header "t_ps,v" for external plotting.
+  static std::string to_csv(const std::vector<WaveSample>& wave);
+
+  double rate_gbps() const { return rate_gbps_; }
+  double bit_period_ps() const { return 1000.0 / rate_gbps_; }
+
+ private:
+  /// Target level the node slews toward for a given bit value.
+  double target_level(int bit) const;
+  /// Slewing time constant, ps.
+  double tau_ps() const;
+
+  Swing swing_;
+  RepeaterModel model_;
+  double rate_gbps_;
+};
+
+}  // namespace smartnoc::circuit

@@ -1,0 +1,38 @@
+// First-order RC model of the on-chip interconnect wire between repeaters.
+//
+// The paper's links place a repeater every 1 mm (Section III: "A VLR was
+// embedded at every mm along a 10mm interconnect"). Between repeaters the
+// wire is a distributed RC line; its Elmore delay and switched capacitance
+// feed the timing/energy decomposition documented in repeater.hpp.
+#pragma once
+
+namespace smartnoc::circuit {
+
+/// 45nm semi-global metal wire, per-mm electrical constants.
+struct WireParams {
+  double r_ohm_per_mm = 1000.0;  ///< series resistance
+  double c_ff_per_mm = 150.0;    ///< total capacitance (ground + coupling)
+  double pitch_um = 0.28;        ///< wire pitch (min DRC at 45nm ~ 0.14 um half-pitch)
+
+  /// Distributed-RC Elmore delay of an L-mm unrepeated segment, in ps.
+  /// 0.38 is the standard distributed-line coefficient (Rabaey et al. [17]).
+  double elmore_delay_ps(double length_mm) const {
+    const double r = r_ohm_per_mm * length_mm;            // ohm
+    const double c = c_ff_per_mm * length_mm * 1e-15;     // F
+    return 0.38 * r * c * 1e12;                           // ps
+  }
+
+  /// Energy to charge the wire through a voltage excursion `swing_v` with a
+  /// supply of `vdd`, per transition, in fJ/mm (E = C * Vswing * Vdd).
+  double switch_energy_fj_per_mm(double swing_v, double vdd) const {
+    return c_ff_per_mm * swing_v * vdd;  // fF * V * V = fJ
+  }
+
+  /// The paper's Table I footnote: rows (**) keep the fabricated transistor
+  /// sizes but assume "wider wire spacing", roughly halving coupling
+  /// capacitance. Rows (*) additionally resize for 2 GHz.
+  static WireParams min_pitch_45nm() { return WireParams{1000.0, 150.0, 0.28}; }
+  static WireParams wide_spacing_45nm() { return WireParams{1000.0, 82.0, 0.56}; }
+};
+
+}  // namespace smartnoc::circuit

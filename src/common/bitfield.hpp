@@ -1,0 +1,39 @@
+// Little-endian bit packing helpers used by the source-route codec and the
+// reconfiguration-register encoding (Section V "double-word configuration
+// register"). All operations are checked: field widths and offsets must fit
+// the word, and values must fit the field.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace smartnoc {
+
+/// Writes `value` into bits [offset, offset+width) of `word`.
+inline void set_bits(std::uint64_t& word, int offset, int width, std::uint64_t value) {
+  SMARTNOC_CHECK(width >= 1 && width <= 64, "bitfield width out of range");
+  SMARTNOC_CHECK(offset >= 0 && offset + width <= 64, "bitfield does not fit in 64-bit word");
+  const std::uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  SMARTNOC_CHECK(value <= mask, "value " + std::to_string(value) + " does not fit in " +
+                                    std::to_string(width) + " bits");
+  word = (word & ~(mask << offset)) | (value << offset);
+}
+
+/// Reads bits [offset, offset+width) of `word`.
+inline std::uint64_t get_bits(std::uint64_t word, int offset, int width) {
+  SMARTNOC_CHECK(width >= 1 && width <= 64, "bitfield width out of range");
+  SMARTNOC_CHECK(offset >= 0 && offset + width <= 64, "bitfield does not fit in 64-bit word");
+  const std::uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  return (word >> offset) & mask;
+}
+
+/// Number of bits needed to represent values 0..n-1 (>=1 so a field exists).
+constexpr int bits_for(int n) {
+  int b = 1;
+  while ((1 << b) < n) ++b;
+  return b;
+}
+
+}  // namespace smartnoc

@@ -1,0 +1,45 @@
+// Error types and the invariant-check macro used across the project.
+//
+// Policy (per C++ Core Guidelines E.*): exceptions for errors that a caller
+// can plausibly handle (bad configuration, malformed input); hard invariant
+// violations inside the simulator abort with a diagnostic, since continuing
+// from a broken cycle-accurate state would silently corrupt results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace smartnoc {
+
+/// Thrown when a NocConfig / task graph / register image is inconsistent.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulation-level precondition fails (e.g. injecting a flow
+/// that was never routed, reconfiguring a non-drained network).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file, int line,
+                                           const std::string& msg) {
+  std::fprintf(stderr, "SMARTNOC INVARIANT VIOLATED: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace smartnoc
+
+/// Hot-path invariant check. Always on: the simulator is the experiment
+/// apparatus, and a wrong answer is worse than a slow one.
+#define SMARTNOC_CHECK(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::smartnoc::invariant_failure(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (false)

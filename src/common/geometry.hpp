@@ -1,0 +1,114 @@
+// Mesh coordinate arithmetic. Tiles are laid out on a W x H grid with +x to
+// the East and +y to the North, matching the paper's Fig. 1 numbering
+// (node 0 bottom-left, node W-1 bottom-right, node W*H-1 top-right).
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace smartnoc {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Dimensions of a rectangular mesh plus the id<->coordinate mapping.
+class MeshDims {
+ public:
+  MeshDims() = default;
+  MeshDims(int width, int height) : width_(width), height_(height) {
+    if (width < 1 || height < 1) {
+      throw ConfigError("mesh dimensions must be >= 1x1, got " + std::to_string(width) + "x" +
+                        std::to_string(height));
+    }
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int nodes() const { return width_ * height_; }
+
+  bool contains(Coord c) const {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+  bool contains(NodeId n) const { return n >= 0 && n < nodes(); }
+
+  NodeId id(Coord c) const {
+    SMARTNOC_CHECK(contains(c), "coordinate out of mesh");
+    return c.y * width_ + c.x;
+  }
+  Coord coord(NodeId n) const {
+    SMARTNOC_CHECK(contains(n), "node id out of mesh");
+    return {static_cast<int>(n % width_), static_cast<int>(n / width_)};
+  }
+
+  /// Number of mesh links on a minimal route (also the paper's "hops";
+  /// 1 hop = 1 mm with 1 mm x 1 mm tiles).
+  int hop_distance(NodeId a, NodeId b) const {
+    const Coord ca = coord(a), cb = coord(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  }
+
+  /// Number of mesh neighbours of a node (2 at corners, 3 at edges, 4 inside).
+  int degree(NodeId n) const {
+    const Coord c = coord(n);
+    int d = 0;
+    if (c.x > 0) ++d;
+    if (c.x + 1 < width_) ++d;
+    if (c.y > 0) ++d;
+    if (c.y + 1 < height_) ++d;
+    return d;
+  }
+
+  /// Does node n have a neighbour in mesh direction d?
+  bool has_neighbor(NodeId n, Dir d) const {
+    const Coord c = coord(n);
+    switch (d) {
+      case Dir::East: return c.x + 1 < width_;
+      case Dir::West: return c.x > 0;
+      case Dir::North: return c.y + 1 < height_;
+      case Dir::South: return c.y > 0;
+      case Dir::Core: return false;
+    }
+    return false;
+  }
+
+  /// The neighbour of n in direction d. Checked.
+  NodeId neighbor(NodeId n, Dir d) const {
+    SMARTNOC_CHECK(has_neighbor(n, d), std::string("no neighbour to the ") + dir_name(d));
+    const Coord c = coord(n);
+    switch (d) {
+      case Dir::East: return id({c.x + 1, c.y});
+      case Dir::West: return id({c.x - 1, c.y});
+      case Dir::North: return id({c.x, c.y + 1});
+      case Dir::South: return id({c.x, c.y - 1});
+      case Dir::Core: break;
+    }
+    SMARTNOC_CHECK(false, "neighbor(Core) is meaningless");
+    return kInvalidNode;
+  }
+
+  /// The mesh direction that moves from a to an *adjacent* b. Checked.
+  Dir direction_to(NodeId a, NodeId b) const {
+    const Coord ca = coord(a), cb = coord(b);
+    SMARTNOC_CHECK(hop_distance(a, b) == 1, "direction_to requires adjacent nodes");
+    if (cb.x == ca.x + 1) return Dir::East;
+    if (cb.x == ca.x - 1) return Dir::West;
+    if (cb.y == ca.y + 1) return Dir::North;
+    return Dir::South;
+  }
+
+  friend bool operator==(const MeshDims&, const MeshDims&) = default;
+
+ private:
+  int width_ = 4;
+  int height_ = 4;
+};
+
+}  // namespace smartnoc

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Deliberately tiny: the simulator's primary outputs
+// are the stats/power reports; logging exists for debugging presets and
+// traffic, and is compiled in but off by default.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace smartnoc {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::Warn;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
+
+#if defined(__GNUC__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  static void write(LogLevel lvl, const char* fmt, ...) {
+    if (!enabled(lvl)) return;
+    static const char* names[] = {"ERROR", "WARN ", "INFO ", "DEBUG", "TRACE"};
+    std::fprintf(stderr, "[%s] ", names[static_cast<int>(lvl)]);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace smartnoc
+
+#define SMARTNOC_LOG_INFO(...) ::smartnoc::Log::write(::smartnoc::LogLevel::Info, __VA_ARGS__)
+#define SMARTNOC_LOG_WARN(...) ::smartnoc::Log::write(::smartnoc::LogLevel::Warn, __VA_ARGS__)
+#define SMARTNOC_LOG_DEBUG(...) ::smartnoc::Log::write(::smartnoc::LogLevel::Debug, __VA_ARGS__)

@@ -1,0 +1,116 @@
+// Core scalar types and the five-port direction vocabulary shared by every
+// subsystem. Keep this header dependency-free: it is included everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace smartnoc {
+
+/// Simulation time in clock cycles of the network clock (2 GHz by default).
+using Cycle = std::uint64_t;
+
+/// Identifies a tile (core + router + NIC) in the mesh: id = y * width + x.
+using NodeId = std::int32_t;
+
+/// Identifies a communication flow (one edge of a task graph after mapping).
+using FlowId = std::int32_t;
+
+/// Identifies a virtual channel within one router input port.
+using VcId = std::int8_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+inline constexpr VcId kInvalidVc = -1;
+
+/// The five router ports of a 2D-mesh router, in the paper's order
+/// (Fig. 5: E/S/W/N plus C for the core/NIC port).
+enum class Dir : std::uint8_t { East = 0, South = 1, West = 2, North = 3, Core = 4 };
+
+inline constexpr int kNumDirs = 5;      ///< E,S,W,N,C
+inline constexpr int kNumMeshDirs = 4;  ///< E,S,W,N (link-bearing ports)
+
+/// Iterable list of all five ports.
+inline constexpr std::array<Dir, 5> kAllDirs = {Dir::East, Dir::South, Dir::West,
+                                                Dir::North, Dir::Core};
+/// Iterable list of the four mesh (non-core) ports.
+inline constexpr std::array<Dir, 4> kMeshDirs = {Dir::East, Dir::South, Dir::West,
+                                                 Dir::North};
+
+constexpr int dir_index(Dir d) { return static_cast<int>(d); }
+
+constexpr Dir dir_from_index(int i) { return static_cast<Dir>(i); }
+
+constexpr bool is_mesh_dir(Dir d) { return d != Dir::Core; }
+
+/// The port on the neighbouring router that faces back at us.
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::Core: return Dir::Core;
+  }
+  return Dir::Core;
+}
+
+inline const char* dir_name(Dir d) {
+  switch (d) {
+    case Dir::East: return "E";
+    case Dir::South: return "S";
+    case Dir::West: return "W";
+    case Dir::North: return "N";
+    case Dir::Core: return "C";
+  }
+  return "?";
+}
+
+/// Relative turn encoding used by the paper's source routing: "at all other
+/// routers, the bits correspond to Left, Right, Straight and Core".
+enum class Turn : std::uint8_t { Left = 0, Right = 1, Straight = 2, Eject = 3 };
+
+inline const char* turn_name(Turn t) {
+  switch (t) {
+    case Turn::Left: return "L";
+    case Turn::Right: return "R";
+    case Turn::Straight: return "S";
+    case Turn::Eject: return "C";
+  }
+  return "?";
+}
+
+/// Resolve a relative turn against the current movement direction.
+/// Movement direction = the mesh direction the flit is travelling along
+/// (i.e. the output direction taken at the previous router).
+/// Left/Right follow the compass with +x East and +y North: moving East,
+/// Left is North; moving North, Left is West; etc.
+constexpr Dir apply_turn(Dir moving, Turn t) {
+  if (t == Turn::Straight) return moving;
+  if (t == Turn::Eject) return Dir::Core;
+  switch (moving) {
+    case Dir::East: return t == Turn::Left ? Dir::North : Dir::South;
+    case Dir::West: return t == Turn::Left ? Dir::South : Dir::North;
+    case Dir::North: return t == Turn::Left ? Dir::West : Dir::East;
+    case Dir::South: return t == Turn::Left ? Dir::East : Dir::West;
+    case Dir::Core: return Dir::Core;  // unreachable for valid routes
+  }
+  return Dir::Core;
+}
+
+/// Inverse of apply_turn: what relative turn takes `moving` to `next`?
+/// Returns Turn::Eject when next == Core. Straight-line reversal (U-turn)
+/// is not representable and must be rejected by the route builder.
+constexpr Turn turn_between(Dir moving, Dir next) {
+  if (next == Dir::Core) return Turn::Eject;
+  if (next == moving) return Turn::Straight;
+  return apply_turn(moving, Turn::Left) == next ? Turn::Left : Turn::Right;
+}
+
+/// Signal swing of a repeated link (Section III of the paper).
+enum class Swing : std::uint8_t { Full = 0, Low = 1 };
+
+inline const char* swing_name(Swing s) { return s == Swing::Full ? "full-swing" : "low-swing"; }
+
+}  // namespace smartnoc

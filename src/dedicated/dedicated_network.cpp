@@ -1,0 +1,245 @@
+#include "dedicated/dedicated_network.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace smartnoc::dedicated {
+
+using noc::Flit;
+using noc::FlitType;
+using noc::Packet;
+
+DedicatedNetwork::DedicatedNetwork(const NocConfig& cfg, noc::FlowSet flows)
+    : cfg_(cfg), flows_(std::move(flows)) {
+  cfg_.validate();
+  const MeshDims dims = cfg_.dims();
+  nic_rx_.resize(static_cast<std::size_t>(dims.nodes()));
+  sources_.resize(static_cast<std::size_t>(flows_.size()));
+
+  // Count in-flows per destination to decide where sink routers exist.
+  std::vector<int> inflows(static_cast<std::size_t>(dims.nodes()), 0);
+  for (const auto& f : flows_) inflows[static_cast<std::size_t>(f.dst)] += 1;
+
+  for (const auto& f : flows_) {
+    Source& s = sources_[static_cast<std::size_t>(f.id)];
+    s.mm = dims.hop_distance(f.src, f.dst);
+    s.dst = f.dst;
+    s.contended = inflows[static_cast<std::size_t>(f.dst)] > 1;
+    for (VcId v = 0; v < cfg_.vcs_per_port; ++v) s.free_vcs.push_back(v);
+    if (s.contended) {
+      Sink& sink = sinks_[f.dst];
+      if (sink.inputs.empty()) {
+        sink.node = f.dst;
+        for (VcId v = 0; v < cfg_.vcs_per_port; ++v) sink.nic_free_vcs.push_back(v);
+      }
+      SinkInput in;
+      in.flow = f.id;
+      for (int v = 0; v < cfg_.vcs_per_port; ++v) in.vcs.emplace_back(cfg_.vc_depth_flits);
+      s.sink_input = static_cast<int>(sink.inputs.size());
+      sink.inputs.push_back(std::move(in));
+    }
+    // Uncontended flows deliver straight into the NIC: the source's own
+    // free-VC pool *is* the destination NIC's receive pool.
+  }
+  for (auto& [node, sink] : sinks_) {
+    sink.arb = noc::RoundRobinArbiter(static_cast<int>(sink.inputs.size()) * cfg_.vcs_per_port);
+  }
+}
+
+bool DedicatedNetwork::has_sink_router(NodeId dst) const { return sinks_.count(dst) > 0; }
+
+int DedicatedNetwork::link_mm(FlowId flow) const {
+  return sources_.at(static_cast<std::size_t>(flow)).mm;
+}
+
+void DedicatedNetwork::offer_packet(FlowId flow, Cycle created) {
+  const auto& f = flows_.at(flow);
+  Packet pkt;
+  pkt.id = next_packet_id_++;
+  pkt.flow = flow;
+  pkt.src = f.src;
+  pkt.dst = f.dst;
+  pkt.flits = cfg_.flits_per_packet();
+  pkt.created = created;
+  sources_[static_cast<std::size_t>(flow)].queue.push_back(pkt);
+}
+
+void DedicatedNetwork::nic_deliver(NodeId dst, const Flit& f, Cycle arrival, bool via_sink) {
+  auto& rx = nic_rx_[static_cast<std::size_t>(dst)];
+  auto& a = rx.assembling[f.packet_id];
+  if (is_head(f.type)) a.second = arrival;
+  a.first += 1;
+  if (is_tail(f.type)) {
+    stats_.record_packet(f.flow, a.first, f.created, f.injected, a.second, arrival);
+    rx.assembling.erase(f.packet_id);
+    // Return the receive credit: to the sink router's NIC pool when the
+    // packet came through a sink, else to the flow's private source.
+    PendingCredit c;
+    c.due = arrival + 1;
+    c.vc = f.vc;
+    c.flow = f.flow;
+    c.to_sink_nic = via_sink;
+    c.sink_node = dst;
+    credits_.push_back(c);
+  }
+}
+
+void DedicatedNetwork::sink_bw(Sink& s) {
+  for (auto& in : s.inputs) {
+    for (std::size_t k = 0; k < in.staging.size();) {
+      if (in.staging[k].second >= now_) {
+        ++k;
+        continue;
+      }
+      Flit f = in.staging[k].first;
+      in.staging.erase(in.staging.begin() + static_cast<std::ptrdiff_t>(k));
+      auto& vc = in.vcs[static_cast<std::size_t>(f.vc)];
+      f.buffered_at = now_;
+      vc.push(f);
+      if (is_head(f.type)) vc.set_request(Dir::Core);
+      stats_.activity().buffer_writes += 1;
+    }
+  }
+}
+
+void DedicatedNetwork::sink_st(Sink& s) {
+  if (!s.hold.has_value()) return;
+  auto& in = s.inputs[static_cast<std::size_t>(s.hold->first)];
+  auto& vc = in.vcs[static_cast<std::size_t>(s.hold->second)];
+  if (vc.empty() || vc.front().buffered_at >= now_) return;
+  Flit f = vc.pop();
+  stats_.activity().buffer_reads += 1;
+  stats_.activity().xbar_flit_traversals += 1;
+  stats_.activity().pipeline_latches += 1;
+  const VcId freed = s.hold->second;
+  f.vc = s.hold_out_vc;
+  nic_deliver(s.node, f, now_, /*via_sink=*/true);
+  if (is_tail(f.type)) {
+    vc.clear_request();
+    in.locked = false;
+    // Input VC freed: credit back to the feeding source.
+    PendingCredit c;
+    c.due = now_ + 1;
+    c.flow = in.flow;
+    c.vc = freed;
+    c.to_sink_nic = false;
+    credits_.push_back(c);
+    s.hold.reset();
+  }
+}
+
+void DedicatedNetwork::sink_sa(Sink& s) {
+  if (s.hold.has_value() || s.nic_free_vcs.empty()) return;
+  const int n_in = static_cast<int>(s.inputs.size());
+  std::vector<bool> req(static_cast<std::size_t>(n_in * cfg_.vcs_per_port), false);
+  bool any = false;
+  for (int i = 0; i < n_in; ++i) {
+    const auto& in = s.inputs[static_cast<std::size_t>(i)];
+    if (in.locked) continue;
+    for (int v = 0; v < cfg_.vcs_per_port; ++v) {
+      const auto& vc = in.vcs[static_cast<std::size_t>(v)];
+      if (vc.empty() || !vc.has_request()) continue;
+      if (!is_head(vc.front().type)) continue;
+      if (vc.front().buffered_at >= now_) continue;
+      req[static_cast<std::size_t>(i * cfg_.vcs_per_port + v)] = true;
+      any = true;
+    }
+  }
+  if (!any) return;
+  const auto winner = s.arb.arbitrate(req);
+  SMARTNOC_CHECK(winner.has_value(), "sink arbiter must grant");
+  const int in_idx = *winner / cfg_.vcs_per_port;
+  const VcId in_vc = static_cast<VcId>(*winner % cfg_.vcs_per_port);
+  s.hold = std::pair<int, VcId>{in_idx, in_vc};
+  s.hold_out_vc = s.nic_free_vcs.front();
+  s.nic_free_vcs.pop_front();
+  s.inputs[static_cast<std::size_t>(in_idx)].locked = true;
+  stats_.activity().alloc_grants += 1;
+}
+
+void DedicatedNetwork::tick() {
+  now_ += 1;
+
+  // Phase 1: credits.
+  for (std::size_t k = 0; k < credits_.size();) {
+    if (credits_[k].due <= now_) {
+      const PendingCredit c = credits_[k];
+      credits_[k] = credits_.back();
+      credits_.pop_back();
+      if (c.to_sink_nic) {
+        sinks_.at(c.sink_node).nic_free_vcs.push_back(c.vc);
+      } else {
+        sources_[static_cast<std::size_t>(c.flow)].free_vcs.push_back(c.vc);
+      }
+    } else {
+      ++k;
+    }
+  }
+
+  // Phases 2-4 at the sink routers (BW, ST, SA - same order as the mesh).
+  for (auto& [node, sink] : sinks_) sink_bw(sink);
+  for (auto& [node, sink] : sinks_) sink_st(sink);
+  for (auto& [node, sink] : sinks_) sink_sa(sink);
+
+  // Phase 5: per-flow private injection, one flit per flow per cycle.
+  for (auto& s : sources_) {
+    if (!s.active.has_value()) {
+      if (s.queue.empty() || s.free_vcs.empty()) continue;
+      if (s.queue.front().created >= now_) continue;  // created this cycle
+      s.active = s.queue.front();
+      s.queue.pop_front();
+      s.next_seq = 0;
+      s.active_vc = s.free_vcs.front();
+      s.free_vcs.pop_front();
+      s.inject_cycle = now_;
+    }
+    const Packet& pkt = *s.active;
+    Flit f;
+    const int last = pkt.flits - 1;
+    f.type = pkt.flits == 1 ? FlitType::HeadTail
+             : s.next_seq == 0 ? FlitType::Head
+             : s.next_seq == last ? FlitType::Tail
+                                  : FlitType::Body;
+    f.seq = static_cast<std::uint8_t>(s.next_seq);
+    f.vc = s.active_vc;
+    f.flow = pkt.flow;
+    f.packet_id = pkt.id;
+    f.src = pkt.src;
+    f.dst = pkt.dst;
+    f.created = pkt.created;
+    f.injected = s.inject_cycle;
+    stats_.activity().link_flit_mm += static_cast<std::uint64_t>(s.mm);
+    if (s.contended) {
+      auto& sink = sinks_.at(s.dst);
+      sink.inputs[static_cast<std::size_t>(s.sink_input)].staging.emplace_back(f, now_);
+      stats_.activity().pipeline_latches += 1;
+    } else {
+      nic_deliver(s.dst, f, now_, /*via_sink=*/false);
+    }
+    s.next_seq += 1;
+    if (s.next_seq == pkt.flits) s.active.reset();
+  }
+}
+
+bool DedicatedNetwork::drained() const {
+  if (!credits_.empty()) return false;
+  for (const auto& s : sources_) {
+    if (s.active.has_value() || !s.queue.empty()) return false;
+  }
+  for (const auto& [node, sink] : sinks_) {
+    if (sink.hold.has_value()) return false;
+    for (const auto& in : sink.inputs) {
+      if (!in.staging.empty()) return false;
+      for (const auto& vc : in.vcs) {
+        if (!vc.empty()) return false;
+      }
+    }
+  }
+  for (const auto& rx : nic_rx_) {
+    if (!rx.assembling.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace smartnoc::dedicated

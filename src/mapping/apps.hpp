@@ -1,0 +1,44 @@
+// The paper's eight SoC applications (Sec. VI, Fig. 10).
+//
+// Provenance, per graph:
+//   VOPD, MWD, PIP  - published task graphs from the NoC mapping literature
+//                     (van der Tol & Jaspers; Bertozzi et al.; Murali &
+//                     De Micheli), bandwidths in MB/s.
+//   MMS_DEC/ENC/MP3 - derived from Hu & Marculescu's MultiMedia System
+//                     (MP3 + H.263 codecs); bandwidths are in the original
+//                     kB/s scale, so the paper multiplies them by 100
+//                     ("scaled up 100x to allow reasonable on-chip traffic
+//                     in our 2 GHz design", footnote 9) - exposed here via
+//                     recommended_scale().
+//   H264            - the paper credits Michel Kinsy's (unpublished) graph;
+//                     synthesized here to match the paper's own structural
+//                     characterization: one core sources most flows and one
+//                     core sinks most flows, creating the hub contention
+//                     that separates SMART from Dedicated in Fig. 10a.
+//   WLAN            - synthesized 802.11a baseband: two nearly-linear
+//                     pipelines (RX/TX) around a MAC, the structure that
+//                     makes SMART match Dedicated.
+#pragma once
+
+#include <array>
+
+#include "mapping/task_graph.hpp"
+
+namespace smartnoc::mapping {
+
+enum class SocApp : std::uint8_t { H264, MMS_DEC, MMS_ENC, MMS_MP3, MWD, VOPD, WLAN, PIP };
+
+inline constexpr std::array<SocApp, 8> kAllApps = {
+    SocApp::H264, SocApp::MMS_DEC, SocApp::MMS_ENC, SocApp::MMS_MP3,
+    SocApp::MWD,  SocApp::VOPD,    SocApp::WLAN,    SocApp::PIP};
+
+const char* app_name(SocApp app);
+
+/// Builds the task graph for an application.
+TaskGraph make_app(SocApp app);
+
+/// Bandwidth multiplier the paper applies (100x for the MMS graphs whose
+/// published bandwidths are in kB/s; 1x for everything else).
+double recommended_scale(SocApp app);
+
+}  // namespace smartnoc::mapping

@@ -1,0 +1,168 @@
+#include "mapping/nmap.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace smartnoc::mapping {
+
+namespace {
+
+/// Link identifier for usage maps: (node, direction) of the sending side.
+using LinkKey = std::pair<NodeId, int>;
+
+void note_path(std::map<LinkKey, int>& usage, const noc::RoutePath& path,
+               const MeshDims& dims) {
+  NodeId cur = path.src;
+  for (Dir d : path.links) {
+    usage[{cur, dir_index(d)}] += 1;
+    cur = dims.neighbor(cur, d);
+  }
+}
+
+int shared_links(const std::map<LinkKey, int>& usage, const noc::RoutePath& path,
+                 const MeshDims& dims) {
+  int shared = 0;
+  NodeId cur = path.src;
+  for (Dir d : path.links) {
+    const auto it = usage.find({cur, dir_index(d)});
+    if (it != usage.end() && it->second > 0) shared += 1;
+    cur = dims.neighbor(cur, d);
+  }
+  return shared;
+}
+
+}  // namespace
+
+Mapping nmap_map(const TaskGraph& graph, const MeshDims& dims) {
+  const int t_n = graph.num_tasks();
+  if (t_n > dims.nodes()) {
+    throw ConfigError(graph.name() + ": " + std::to_string(t_n) + " tasks exceed " +
+                      std::to_string(dims.nodes()) + " cores");
+  }
+  Mapping m;
+  m.task_to_core.assign(static_cast<std::size_t>(t_n), kInvalidNode);
+  std::vector<bool> task_mapped(static_cast<std::size_t>(t_n), false);
+  std::vector<bool> core_used(static_cast<std::size_t>(dims.nodes()), false);
+  std::map<LinkKey, int> link_usage;  // XY-route links of placed edges
+
+  // Seed: highest-demand task onto the most-connected core.
+  int seed_task = 0;
+  for (int t = 1; t < t_n; ++t) {
+    if (graph.comm_demand(t) > graph.comm_demand(seed_task)) seed_task = t;
+  }
+  NodeId seed_core = 0;
+  for (NodeId c = 1; c < dims.nodes(); ++c) {
+    if (dims.degree(c) > dims.degree(seed_core)) seed_core = c;
+  }
+  m.task_to_core[static_cast<std::size_t>(seed_task)] = seed_core;
+  task_mapped[static_cast<std::size_t>(seed_task)] = true;
+  core_used[static_cast<std::size_t>(seed_core)] = true;
+
+  for (int placed = 1; placed < t_n; ++placed) {
+    // Next task: max communication with the mapped set; ties by total
+    // demand, then by index.
+    int best_t = -1;
+    double best_comm = -1.0, best_demand = -1.0;
+    for (int t = 0; t < t_n; ++t) {
+      if (task_mapped[static_cast<std::size_t>(t)]) continue;
+      const double comm = graph.comm_with(t, task_mapped);
+      const double demand = graph.comm_demand(t);
+      if (comm > best_comm || (comm == best_comm && demand > best_demand)) {
+        best_t = t;
+        best_comm = comm;
+        best_demand = demand;
+      }
+    }
+    SMARTNOC_CHECK(best_t >= 0, "no task left to place");
+
+    // The edges this placement activates.
+    std::vector<CommEdge> active;
+    for (const auto& e : graph.edges()) {
+      if (e.src == best_t && task_mapped[static_cast<std::size_t>(e.dst)]) active.push_back(e);
+      if (e.dst == best_t && task_mapped[static_cast<std::size_t>(e.src)]) active.push_back(e);
+    }
+
+    // Candidate core: lexicographic (bandwidth*hops, buffering chance, id).
+    NodeId best_c = kInvalidNode;
+    double best_cost = 0.0;
+    int best_conflicts = 0;
+    for (NodeId c = 0; c < dims.nodes(); ++c) {
+      if (core_used[static_cast<std::size_t>(c)]) continue;
+      double cost = 0.0;
+      int conflicts = 0;
+      for (const auto& e : active) {
+        const int other = e.src == best_t ? e.dst : e.src;
+        const NodeId oc = m.task_to_core[static_cast<std::size_t>(other)];
+        cost += e.mbps * dims.hop_distance(c, oc);
+        const NodeId s = e.src == best_t ? c : oc;
+        const NodeId d = e.src == best_t ? oc : c;
+        if (s != d) {
+          conflicts += shared_links(link_usage, noc::xy_path(dims, s, d), dims);
+        }
+      }
+      if (best_c == kInvalidNode || cost < best_cost ||
+          (cost == best_cost && conflicts < best_conflicts)) {
+        best_c = c;
+        best_cost = cost;
+        best_conflicts = conflicts;
+      }
+    }
+    SMARTNOC_CHECK(best_c != kInvalidNode, "no core left");
+    m.task_to_core[static_cast<std::size_t>(best_t)] = best_c;
+    task_mapped[static_cast<std::size_t>(best_t)] = true;
+    core_used[static_cast<std::size_t>(best_c)] = true;
+    for (const auto& e : active) {
+      const NodeId s = m.task_to_core[static_cast<std::size_t>(e.src)];
+      const NodeId d = m.task_to_core[static_cast<std::size_t>(e.dst)];
+      if (s != d) note_path(link_usage, noc::xy_path(dims, s, d), dims);
+    }
+  }
+  return m;
+}
+
+noc::FlowSet route_flows(const TaskGraph& graph, const Mapping& mapping, const MeshDims& dims,
+                         noc::TurnModel model) {
+  // High-bandwidth flows route first and claim the least-shared paths.
+  std::vector<CommEdge> edges = graph.edges();
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const CommEdge& a, const CommEdge& b) { return a.mbps > b.mbps; });
+
+  std::map<LinkKey, int> usage;
+  noc::FlowSet flows;
+  for (const auto& e : edges) {
+    const NodeId s = mapping.core_of(e.src);
+    const NodeId d = mapping.core_of(e.dst);
+    SMARTNOC_CHECK(s != d, "distinct tasks must sit on distinct cores");
+    const auto candidates = noc::minimal_paths(dims, s, d, model);
+    const noc::RoutePath* best = &candidates.front();
+    int best_shared = shared_links(usage, candidates.front(), dims);
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const int sh = shared_links(usage, candidates[i], dims);
+      if (sh < best_shared) {
+        best = &candidates[i];
+        best_shared = sh;
+      }
+    }
+    note_path(usage, *best, dims);
+    flows.add(s, d, e.mbps, *best);
+  }
+  return flows;
+}
+
+MappedApp map_app(SocApp app, const NocConfig& base_cfg) {
+  MappedApp out{app, make_app(app), Mapping{}, noc::FlowSet{}, base_cfg};
+  out.graph.validate();
+  out.cfg.bandwidth_scale = base_cfg.bandwidth_scale * recommended_scale(app);
+  const MeshDims dims = out.cfg.dims();
+  out.mapping = nmap_map(out.graph, dims);
+  const noc::TurnModel model = out.cfg.routing == RoutingPolicy::XY
+                                   ? noc::TurnModel::XY
+                                   : noc::TurnModel::WestFirst;
+  out.flows = route_flows(out.graph, out.mapping, dims, model);
+  return out;
+}
+
+}  // namespace smartnoc::mapping

@@ -1,0 +1,98 @@
+// Application task graphs: tasks (IP cores' work units) and directed
+// communication edges with bandwidth requirements in MB/s - the input to
+// the NMAP mapping flow (paper Sec. VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace smartnoc::mapping {
+
+struct CommEdge {
+  int src = -1;
+  int dst = -1;
+  double mbps = 0.0;  ///< required bandwidth, MB/s
+};
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  int add_task(std::string task_name) {
+    tasks_.push_back(std::move(task_name));
+    return static_cast<int>(tasks_.size()) - 1;
+  }
+
+  void add_comm(int src, int dst, double mbps) {
+    if (src < 0 || src >= num_tasks() || dst < 0 || dst >= num_tasks()) {
+      throw ConfigError(name_ + ": edge references unknown task");
+    }
+    if (src == dst) throw ConfigError(name_ + ": self communication is meaningless");
+    if (mbps <= 0.0) throw ConfigError(name_ + ": bandwidth must be positive");
+    edges_.push_back(CommEdge{src, dst, mbps});
+  }
+
+  const std::string& name() const { return name_; }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  const std::string& task_name(int t) const { return tasks_.at(static_cast<std::size_t>(t)); }
+  const std::vector<CommEdge>& edges() const { return edges_; }
+
+  /// Total traffic demand of one task (sum of in + out edge bandwidths) -
+  /// NMAP's seed criterion ("the task with highest communication demand").
+  double comm_demand(int task) const {
+    double d = 0.0;
+    for (const auto& e : edges_) {
+      if (e.src == task || e.dst == task) d += e.mbps;
+    }
+    return d;
+  }
+
+  /// Communication between `task` and any task in `mapped` (by flag array).
+  double comm_with(int task, const std::vector<bool>& mapped) const {
+    double d = 0.0;
+    for (const auto& e : edges_) {
+      if (e.src == task && mapped[static_cast<std::size_t>(e.dst)]) d += e.mbps;
+      if (e.dst == task && mapped[static_cast<std::size_t>(e.src)]) d += e.mbps;
+    }
+    return d;
+  }
+
+  double total_bandwidth() const {
+    double d = 0.0;
+    for (const auto& e : edges_) d += e.mbps;
+    return d;
+  }
+
+  int in_degree(int task) const {
+    int n = 0;
+    for (const auto& e : edges_) n += e.dst == task ? 1 : 0;
+    return n;
+  }
+  int out_degree(int task) const {
+    int n = 0;
+    for (const auto& e : edges_) n += e.src == task ? 1 : 0;
+    return n;
+  }
+
+  /// Sanity checks used by tests: connected, no duplicate edges.
+  void validate() const {
+    if (num_tasks() < 2) throw ConfigError(name_ + ": needs at least two tasks");
+    if (edges_.empty()) throw ConfigError(name_ + ": needs at least one edge");
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges_.size(); ++j) {
+        if (edges_[i].src == edges_[j].src && edges_[i].dst == edges_[j].dst) {
+          throw ConfigError(name_ + ": duplicate edge");
+        }
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> tasks_;
+  std::vector<CommEdge> edges_;
+};
+
+}  // namespace smartnoc::mapping

@@ -1,0 +1,39 @@
+// Round-robin arbiter used for switch allocation. The grant pointer
+// advances past the winner, giving the classic strong-fairness guarantee
+// that tests pin down (no requester starves under continuous contention).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace smartnoc::noc {
+
+class RoundRobinArbiter {
+ public:
+  RoundRobinArbiter() = default;
+  explicit RoundRobinArbiter(int inputs) : n_(inputs) {}
+
+  int inputs() const { return n_; }
+
+  /// Picks the first requesting index at or after the pointer; advances the
+  /// pointer past the winner. Returns nullopt when nothing requests.
+  std::optional<int> arbitrate(const std::vector<bool>& requests) {
+    SMARTNOC_CHECK(static_cast<int>(requests.size()) == n_, "request vector size mismatch");
+    for (int k = 0; k < n_; ++k) {
+      const int i = (ptr_ + k) % n_;
+      if (requests[static_cast<std::size_t>(i)]) {
+        ptr_ = (i + 1) % n_;
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int n_ = 0;
+  int ptr_ = 0;
+};
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,64 @@
+// Virtual-channel input buffer. Table II: 2 VCs per port, 10 flits deep.
+// Virtual cut-through: one packet owns a VC from head arrival until its
+// tail departs, and the depth is validated (NocConfig) to hold a whole
+// packet, so a granted packet can always stream without backpressure.
+#pragma once
+
+#include <deque>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace smartnoc::noc {
+
+class VcBuffer {
+ public:
+  VcBuffer() = default;
+  explicit VcBuffer(int depth) : depth_(depth) {}
+
+  bool empty() const { return q_.empty(); }
+  int occupancy() const { return static_cast<int>(q_.size()); }
+  int depth() const { return depth_; }
+
+  void push(Flit f) {
+    SMARTNOC_CHECK(occupancy() < depth_, "VC overflow: flow control must prevent this");
+    q_.push_back(f);
+  }
+
+  const Flit& front() const {
+    SMARTNOC_CHECK(!q_.empty(), "reading from empty VC");
+    return q_.front();
+  }
+
+  Flit pop() {
+    SMARTNOC_CHECK(!q_.empty(), "popping empty VC");
+    Flit f = q_.front();
+    q_.pop_front();
+    return f;
+  }
+
+  // --- Per-packet VC state (virtual cut-through) ---------------------------
+
+  /// Head flit decoded: the output port this packet requests.
+  void set_request(Dir out) {
+    requested_out_ = out;
+    has_request_ = true;
+  }
+  bool has_request() const { return has_request_; }
+  Dir requested_out() const {
+    SMARTNOC_CHECK(has_request_, "no decoded request on this VC");
+    return requested_out_;
+  }
+  /// Called when the packet's tail leaves: the VC is free for the next
+  /// packet (whose head will set a new request at Buffer Write).
+  void clear_request() { has_request_ = false; }
+
+ private:
+  std::deque<Flit> q_;
+  int depth_ = 10;
+  Dir requested_out_ = Dir::Core;
+  bool has_request_ = false;
+};
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,31 @@
+// Callback interface the routers and NICs use to move flits and credits
+// through the network fabric. The concrete network owns the segment table
+// and the link-delay policy (SMART: same-cycle multi-hop delivery; baseline
+// mesh: one extra cycle per link), so components stay topology-agnostic.
+#pragma once
+
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace smartnoc::noc {
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Carry a flit out of router `router` through output `out`, along the
+  /// preset segment, into the next stop's buffer or the destination NIC.
+  virtual void deliver_from_router(NodeId router, Dir out, Flit flit, Cycle now) = 0;
+
+  /// Carry a flit injected by NIC `nic` along its injection segment.
+  virtual void deliver_from_nic(NodeId nic, Flit flit, Cycle now) = 0;
+
+  /// A VC at router `router`'s input `in` was freed (tail departed):
+  /// return the credit to the feeder's free-VC queue via the credit mesh.
+  virtual void credit_from_router_input(NodeId router, Dir in, VcId vc, Cycle now) = 0;
+
+  /// A packet was consumed by NIC `nic`: return the receive-VC credit.
+  virtual void credit_from_nic(NodeId nic, VcId vc, Cycle now) = 0;
+};
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,67 @@
+#include "noc/faults.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace smartnoc::noc {
+
+void FaultSet::fail_link(const MeshDims& dims, NodeId node, Dir out, bool both_directions) {
+  SMARTNOC_CHECK(is_mesh_dir(out), "only mesh links can fail");
+  SMARTNOC_CHECK(dims.has_neighbor(node, out), "no such link");
+  failed_.insert({node, dir_index(out)});
+  if (both_directions) {
+    failed_.insert({dims.neighbor(node, out), dir_index(opposite(out))});
+  }
+}
+
+bool FaultSet::path_alive(const MeshDims& dims, const RoutePath& path) const {
+  NodeId cur = path.src;
+  for (Dir d : path.links) {
+    if (is_failed(cur, d)) return false;
+    cur = dims.neighbor(cur, d);
+  }
+  return true;
+}
+
+std::optional<RoutePath> route_around_faults(const MeshDims& dims, NodeId src, NodeId dst,
+                                             TurnModel model, const FaultSet& faults) {
+  SMARTNOC_CHECK(src != dst, "no route between a node and itself");
+  // Fast path: a surviving minimal turn-model route.
+  for (const RoutePath& p : minimal_paths(dims, src, dst, model)) {
+    if (faults.path_alive(dims, p)) return p;
+  }
+  // Detour: BFS over live links. U-turns are excluded by construction
+  // (BFS trees have no immediate backtracking on a shortest route), and
+  // the resulting route set is cycle-free per destination.
+  std::vector<NodeId> prev(static_cast<std::size_t>(dims.nodes()), kInvalidNode);
+  std::vector<Dir> via(static_cast<std::size_t>(dims.nodes()), Dir::Core);
+  std::deque<NodeId> queue{src};
+  prev[static_cast<std::size_t>(src)] = src;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    if (cur == dst) break;
+    for (Dir d : kMeshDirs) {
+      if (!dims.has_neighbor(cur, d) || faults.is_failed(cur, d)) continue;
+      const NodeId nb = dims.neighbor(cur, d);
+      if (prev[static_cast<std::size_t>(nb)] != kInvalidNode) continue;
+      prev[static_cast<std::size_t>(nb)] = cur;
+      via[static_cast<std::size_t>(nb)] = d;
+      queue.push_back(nb);
+    }
+  }
+  if (prev[static_cast<std::size_t>(dst)] == kInvalidNode) return std::nullopt;
+  // Reconstruct.
+  std::vector<Dir> rev;
+  for (NodeId cur = dst; cur != src; cur = prev[static_cast<std::size_t>(cur)]) {
+    rev.push_back(via[static_cast<std::size_t>(cur)]);
+  }
+  RoutePath path;
+  path.src = src;
+  path.dst = dst;
+  path.links.assign(rev.rbegin(), rev.rend());
+  return path;
+}
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,54 @@
+// Link-fault modelling and fault-aware routing.
+//
+// An extension beyond the paper's evaluation, built on the paper's own
+// future-work lever: "SMART can also enable non-minimal routes for higher
+// path diversity without any delay penalty" (Sec. VI). With a preset
+// bypass chain, a detour costs extra millimetres, not extra router
+// pipelines, so routing around a broken link is (latency-wise) free as
+// long as the segment stays within HPC_max.
+//
+// FaultSet marks directed mesh links as failed; the fault-aware router
+// first tries the turn-model-legal minimal paths and, when all of them
+// die, falls back to shortest *non-minimal* paths over the surviving
+// links (BFS, deadlock kept at bay by the acyclic segment dependencies of
+// the resulting tree routes - validated structurally by tests).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/routing.hpp"
+
+namespace smartnoc::noc {
+
+class FaultSet {
+ public:
+  FaultSet() = default;
+
+  /// Marks the directed link from `node` toward `out` as failed.
+  /// `both_directions` also fails the reverse wire (a cut trace usually
+  /// kills the credit path too).
+  void fail_link(const MeshDims& dims, NodeId node, Dir out, bool both_directions = true);
+
+  bool is_failed(NodeId node, Dir out) const {
+    return failed_.count({node, dir_index(out)}) > 0;
+  }
+  int count() const { return static_cast<int>(failed_.size()); }
+  bool empty() const { return failed_.empty(); }
+
+  /// True if every link of the path is alive.
+  bool path_alive(const MeshDims& dims, const RoutePath& path) const;
+
+ private:
+  std::set<std::pair<NodeId, int>> failed_;
+};
+
+/// Fault-aware route selection: the minimal turn-model path with the
+/// fewest failures avoided; BFS detour over surviving links otherwise.
+/// Returns nullopt when the destination is unreachable.
+std::optional<RoutePath> route_around_faults(const MeshDims& dims, NodeId src, NodeId dst,
+                                             TurnModel model, const FaultSet& faults);
+
+}  // namespace smartnoc::noc

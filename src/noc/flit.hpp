@@ -1,0 +1,56 @@
+// Flits, packets and credits - the units moved by the network.
+//
+// Table II: 256-bit packets on a 32-bit channel, i.e. 8 flits per packet;
+// the head flit carries a 20-bit header (source route + VC + type) and
+// body/tail flits a 4-bit one. In the simulator every flit carries the full
+// route plus bookkeeping timestamps; the header-width *budget* is enforced
+// by NocConfig::validate() against the encoded route size.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "noc/route.hpp"
+
+namespace smartnoc::noc {
+
+enum class FlitType : std::uint8_t { Head, Body, Tail, HeadTail };
+
+constexpr bool is_head(FlitType t) { return t == FlitType::Head || t == FlitType::HeadTail; }
+constexpr bool is_tail(FlitType t) { return t == FlitType::Tail || t == FlitType::HeadTail; }
+
+/// A packet descriptor, created by the traffic engine and queued at the
+/// source NIC until injection.
+struct Packet {
+  std::uint32_t id = 0;
+  FlowId flow = kInvalidFlow;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int flits = 0;
+  Cycle created = 0;
+};
+
+struct Flit {
+  FlitType type = FlitType::Head;
+  std::uint8_t seq = 0;       ///< index within the packet (0 = head)
+  VcId vc = kInvalidVc;       ///< VC at the *next stop*, stamped by the sender
+  FlowId flow = kInvalidFlow;
+  std::uint32_t packet_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  SourceRoute route;          ///< 2-bit-per-router source route (paper Sec. IV)
+  std::uint8_t hop_index = 0; ///< route entries consumed so far
+
+  Cycle created = 0;          ///< packet creation (traffic engine)
+  Cycle injected = 0;         ///< head flit placed on the injection link
+  Cycle buffered_at = 0;      ///< last Buffer Write cycle (pipeline ordering)
+};
+
+/// A credit returning a freed VC to the upstream stop's free-VC queue.
+/// Travels the reverse credit mesh (paper Sec. IV "Flow Control"); width is
+/// log2(#VCs) + 1 valid bit (NocConfig::credit_bits).
+struct Credit {
+  VcId vc = kInvalidVc;
+};
+
+}  // namespace smartnoc::noc

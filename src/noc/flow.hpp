@@ -1,0 +1,68 @@
+// Communication flows: task-graph edges after mapping onto the mesh.
+// A FlowSet is the contract between the mapping front-end (which places
+// tasks and picks routes), the preset computation, and the traffic engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "noc/route.hpp"
+
+namespace smartnoc::noc {
+
+struct Flow {
+  FlowId id = kInvalidFlow;
+  NodeId src = kInvalidNode;       ///< source core/NIC
+  NodeId dst = kInvalidNode;       ///< destination core/NIC
+  double bandwidth_mbps = 0.0;     ///< required bandwidth, MB/s (task graph)
+  RoutePath path;                  ///< the preset route (src -> dst)
+  SourceRoute route;               ///< encoded header form of `path`
+
+  /// Injection probability per cycle in packets, for a given configuration:
+  /// MB/s -> packets/s -> packets/cycle.
+  double packets_per_cycle(const NocConfig& cfg) const {
+    const double bytes_per_packet = cfg.packet_bits / 8.0;
+    const double packets_per_s = bandwidth_mbps * 1e6 * cfg.bandwidth_scale / bytes_per_packet;
+    return packets_per_s / (cfg.freq_ghz * 1e9);
+  }
+};
+
+class FlowSet {
+ public:
+  FlowSet() = default;
+
+  /// Adds a flow, assigning its id and encoding its route. Throws on
+  /// self-flows or malformed paths.
+  FlowId add(NodeId src, NodeId dst, double bandwidth_mbps, RoutePath path) {
+    if (src == dst) {
+      throw ConfigError("flow " + std::to_string(src) + "->" + std::to_string(dst) +
+                        ": local flows never enter the network");
+    }
+    Flow f;
+    f.id = static_cast<FlowId>(flows_.size());
+    f.src = src;
+    f.dst = dst;
+    f.bandwidth_mbps = bandwidth_mbps;
+    f.route = SourceRoute::encode(path);
+    f.path = std::move(path);
+    SMARTNOC_CHECK(f.path.src == src && f.path.dst == dst, "path endpoints disagree with flow");
+    flows_.push_back(std::move(f));
+    return flows_.back().id;
+  }
+
+  int size() const { return static_cast<int>(flows_.size()); }
+  bool empty() const { return flows_.empty(); }
+  const Flow& at(FlowId id) const { return flows_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Flow>& all() const { return flows_; }
+
+  auto begin() const { return flows_.begin(); }
+  auto end() const { return flows_.end(); }
+
+ private:
+  std::vector<Flow> flows_;
+};
+
+}  // namespace smartnoc::noc

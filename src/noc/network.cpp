@@ -1,0 +1,206 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace smartnoc::noc {
+
+MeshNetwork::MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable presets, Options opt)
+    : cfg_(cfg),
+      opt_(opt),
+      flows_(std::move(flows)),
+      presets_(std::move(presets)),
+      segments_(cfg.dims(), cfg, presets_, opt.hpc_max) {
+  cfg_.validate();
+  const MeshDims dims = cfg_.dims();
+
+  routers_.reserve(static_cast<std::size_t>(dims.nodes()));
+  nics_.reserve(static_cast<std::size_t>(dims.nodes()));
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    routers_.push_back(std::make_unique<Router>(n, cfg_, static_cast<Fabric*>(this)));
+    nics_.push_back(std::make_unique<Nic>(n, cfg_, static_cast<Fabric*>(this), &stats_));
+  }
+
+  // Arm switch-allocatable outputs: exactly the FromRouter crosspoints, each
+  // with one downstream VC pool (its segment endpoint's input buffers).
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    for (Dir o : kAllDirs) {
+      const XbarSel& sel = presets_.at(n).xbar[static_cast<std::size_t>(dir_index(o))];
+      if (sel.kind == XbarSel::Kind::FromRouter) {
+        SMARTNOC_CHECK(segments_.output(n, o).has_value(), "FromRouter output without segment");
+        routers_[static_cast<std::size_t>(n)]->enable_output(o, cfg_.vcs_per_port);
+      }
+    }
+    nics_[static_cast<std::size_t>(n)]->init_source_credits(cfg_.vcs_per_port);
+    const RouterPreset& p = presets_.at(n);
+    for (Dir d : kAllDirs) {
+      clocked_in_total_ += p.in_clocked[static_cast<std::size_t>(dir_index(d))] ? 1 : 0;
+      clocked_out_total_ += p.out_clocked[static_cast<std::size_t>(dir_index(d))] ? 1 : 0;
+    }
+  }
+
+  flow_info_.resize(static_cast<std::size_t>(flows_.size()));
+  for (const Flow& f : flows_) {
+    nics_[static_cast<std::size_t>(f.src)]->register_flow(f);
+    validate_and_index_flow(f);
+  }
+}
+
+void MeshNetwork::validate_and_index_flow(const Flow& flow) {
+  // Statically walk the flow along the installed segments: every stop's
+  // route entry must resolve to an enabled output whose segment continues
+  // the walk, and the final hop must land on the destination NIC with the
+  // route fully consumed. This catches preset/route mismatches at
+  // construction instead of mid-simulation.
+  FlowPathInfo info;
+  const Segment* seg = &segments_.injection(flow.src);
+  int hop = seg->bypassed;
+  for (int guard = 0; guard <= cfg_.dims().nodes() + 1; ++guard) {
+    if (seg->ep.is_nic) {
+      if (seg->ep.node != flow.dst || hop != flow.route.entries()) {
+        throw ConfigError("flow " + flow.path.str() +
+                          " does not reach its destination under the installed presets");
+      }
+      flow_info_[static_cast<std::size_t>(flow.id)] = std::move(info);
+      return;
+    }
+    const NodeId stop = seg->ep.node;
+    info.stops.push_back(stop);
+    const Dir out = flow.route.output_at(hop, seg->ep.in);
+    const auto& next = segments_.output(stop, out);
+    if (!next.has_value()) {
+      throw ConfigError("flow " + flow.path.str() + " needs output " + dir_name(out) +
+                        " at router " + std::to_string(stop) +
+                        " but the presets do not arm it");
+    }
+    hop += 1 + next->bypassed;
+    seg = &*next;
+  }
+  throw ConfigError("flow " + flow.path.str() + " loops under the installed presets");
+}
+
+void MeshNetwork::tick() {
+  now_ += 1;
+
+  // Phase 1: deliver due credits into free-VC queues (usable by SA below).
+  for (std::size_t k = 0; k < credits_.size();) {
+    if (credits_[k].due <= now_) {
+      const InFlightCredit c = credits_[k];
+      credits_[k] = credits_.back();
+      credits_.pop_back();
+      if (c.target.is_nic) {
+        nics_[static_cast<std::size_t>(c.target.node)]->credit_arrived(c.vc);
+      } else {
+        routers_[static_cast<std::size_t>(c.target.node)]->credit_arrived(c.target.out, c.vc);
+      }
+    } else {
+      ++k;
+    }
+  }
+
+  ActivityCounters& act = stats_.activity();
+  // Phase 2: Buffer Write (drains staging filled in earlier cycles).
+  for (auto& r : routers_) r->buffer_write(now_, act);
+  // Phase 3: Switch Traversal on grants from previous cycles.
+  for (auto& r : routers_) r->switch_traversal(now_, act);
+  // Phase 4: Switch Allocation (grants fire ST next cycle).
+  for (auto& r : routers_) r->switch_allocation(now_, act);
+  // Phase 5: NIC injection (one flit per NIC per cycle).
+  for (auto& n : nics_) n->inject(now_, act);
+
+  // Idle-clock accounting for the power model.
+  act.clocked_inport_cycles += static_cast<std::uint64_t>(clocked_in_total_);
+  act.clocked_outport_cycles += static_cast<std::uint64_t>(clocked_out_total_);
+}
+
+void MeshNetwork::offer_packet(FlowId flow, Cycle created) {
+  const Flow& f = flows_.at(flow);
+  Packet pkt;
+  pkt.id = next_packet_id_++;
+  pkt.flow = flow;
+  pkt.src = f.src;
+  pkt.dst = f.dst;
+  pkt.flits = cfg_.flits_per_packet();
+  pkt.created = created;
+  nics_[static_cast<std::size_t>(f.src)]->offer_packet(pkt);
+}
+
+bool MeshNetwork::drained() const {
+  if (!credits_.empty()) return false;
+  for (const auto& r : routers_) {
+    if (r->has_traffic()) return false;
+  }
+  for (const auto& n : nics_) {
+    if (!n->idle()) return false;
+  }
+  return true;
+}
+
+void MeshNetwork::deliver(const Segment& seg, Flit flit, Cycle now, bool from_router) {
+  ActivityCounters& act = stats_.activity();
+  act.xbar_flit_traversals += static_cast<std::uint64_t>(seg.bypassed + (from_router ? 1 : 0));
+  act.link_flit_mm += static_cast<std::uint64_t>(seg.mm);
+  act.pipeline_latches += 1;
+  flit.hop_index = static_cast<std::uint8_t>(flit.hop_index + seg.bypassed + (from_router ? 1 : 0));
+  // Baseline mesh: a flit leaving a router spends one extra cycle on the
+  // link (the paper's "+1 cycle in link"); SMART absorbs the entire segment
+  // into the ST cycle. NIC injection stubs are 1-cycle in both designs.
+  const Cycle arrival = now + ((from_router && opt_.extra_link_cycle) ? 1 : 0);
+  if (observer_ != nullptr) {
+    for (const auto& [from, out_dir] : seg.links) {
+      observer_->flit_on_link(from, out_dir, flit, now);
+    }
+    observer_->flit_latched(seg.ep.is_nic, seg.ep.node, flit, arrival);
+  }
+  if (seg.ep.is_nic) {
+    nics_[static_cast<std::size_t>(seg.ep.node)]->accept_flit(flit, arrival);
+  } else {
+    routers_[static_cast<std::size_t>(seg.ep.node)]->accept_flit(seg.ep.in, flit, arrival);
+  }
+}
+
+void MeshNetwork::deliver_from_router(NodeId router, Dir out_dir, Flit flit, Cycle now) {
+  const auto& seg = segments_.output(router, out_dir);
+  SMARTNOC_CHECK(seg.has_value(), "switch traversal on an output without a segment");
+  deliver(*seg, flit, now, /*from_router=*/true);
+}
+
+void MeshNetwork::deliver_from_nic(NodeId nic_node, Flit flit, Cycle now) {
+  deliver(segments_.injection(nic_node), flit, now, /*from_router=*/false);
+}
+
+void MeshNetwork::schedule_credit(const SegOrigin& target, VcId vc, Cycle due, int mm,
+                                  int xbar_hops) {
+  ActivityCounters& act = stats_.activity();
+  act.link_credit_mm += static_cast<std::uint64_t>(mm);
+  act.xbar_credit_traversals += static_cast<std::uint64_t>(xbar_hops);
+  credits_.push_back(InFlightCredit{due, target, vc});
+}
+
+void MeshNetwork::credit_from_router_input(NodeId router, Dir in_dir, VcId vc, Cycle now) {
+  const auto& target = segments_.credit_target_router_input(router, in_dir);
+  SMARTNOC_CHECK(target.has_value(), "freed VC on an input with no feeder");
+  const Cycle due = now + 1 + (opt_.extra_link_cycle ? 1 : 0);
+  schedule_credit(*target, vc, due, segments_.credit_mm_router_input(router, in_dir),
+                  segments_.credit_xbar_hops_router_input(router, in_dir));
+}
+
+void MeshNetwork::credit_from_nic(NodeId nic_node, VcId vc, Cycle now) {
+  const auto& target = segments_.credit_target_nic(nic_node);
+  SMARTNOC_CHECK(target.has_value(), "NIC freed a VC but has no feeder");
+  const Cycle due = now + 1 + (opt_.extra_link_cycle ? 1 : 0);
+  schedule_credit(*target, vc, due, segments_.credit_mm_nic(nic_node),
+                  segments_.credit_xbar_hops_nic(nic_node));
+}
+
+std::unique_ptr<MeshNetwork> make_baseline_mesh(const NocConfig& cfg, FlowSet flows) {
+  MeshNetwork::Options opt;
+  opt.extra_link_cycle = true;
+  opt.hpc_max = 1;  // every hop stops; segments are single links
+  return std::make_unique<MeshNetwork>(cfg, std::move(flows), PresetTable::all_buffer(cfg.dims()),
+                                       opt);
+}
+
+}  // namespace smartnoc::noc

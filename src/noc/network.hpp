@@ -1,0 +1,121 @@
+// The mesh network: routers + NICs + segments + the credit mesh, driven by
+// a phase-ordered cycle loop. One implementation covers both designs under
+// study:
+//
+//   * SMART:   presets from smart::PresetComputer, same-cycle multi-hop
+//              segment delivery (Options::extra_link_cycle = false);
+//   * Mesh:    PresetTable::all_buffer + one extra cycle per link, i.e. the
+//              paper's baseline "3 cycles in router and 1 cycle in link".
+//
+// Per-cycle phase order (documented in DESIGN.md and pinned by timing
+// tests): credit delivery -> Buffer Write -> Switch Traversal -> Switch
+// Allocation -> NIC injection. A grant made in SA fires ST the *next*
+// cycle, giving the 3-stage pipeline its +3-per-stop cost.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/fabric.hpp"
+#include "noc/flow.hpp"
+#include "noc/network_iface.hpp"
+#include "noc/nic.hpp"
+#include "noc/preset.hpp"
+#include "noc/router.hpp"
+#include "noc/segment.hpp"
+#include "noc/stats.hpp"
+#include "noc/trace.hpp"
+
+namespace smartnoc::noc {
+
+class MeshNetwork final : public Network, private Fabric {
+ public:
+  struct Options {
+    bool extra_link_cycle = false;  ///< baseline mesh: +1 cycle per link
+    int hpc_max = 8;                ///< single-cycle reach (from the circuit model)
+  };
+
+  MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable presets, Options opt);
+
+  // Routers and NICs hold Fabric/stats back-pointers into this object:
+  // it must stay pinned in memory (hand out unique_ptrs, never move it).
+  MeshNetwork(const MeshNetwork&) = delete;
+  MeshNetwork& operator=(const MeshNetwork&) = delete;
+  MeshNetwork(MeshNetwork&&) = delete;
+  MeshNetwork& operator=(MeshNetwork&&) = delete;
+
+  // --- Network interface ------------------------------------------------------
+  void tick() override;
+  Cycle now() const override { return now_; }
+  void offer_packet(FlowId flow, Cycle created) override;
+  bool drained() const override;
+  NetworkStats& stats() override { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+  const NocConfig& config() const override { return cfg_; }
+  const FlowSet& flows() const override { return flows_; }
+
+  // --- Introspection (tests, benches, power) ----------------------------------
+  Router& router(NodeId n) { return *routers_.at(static_cast<std::size_t>(n)); }
+  Nic& nic(NodeId n) { return *nics_.at(static_cast<std::size_t>(n)); }
+  const SegmentTable& segments() const { return segments_; }
+  const PresetTable& presets() const { return presets_; }
+
+  /// Static analysis of a flow under the installed presets: the routers
+  /// where its flits stop. Zero-load SMART network latency = 1 + 3 * stops
+  /// (pinned by tests against simulation).
+  struct FlowPathInfo {
+    std::vector<NodeId> stops;
+  };
+  const FlowPathInfo& flow_info(FlowId id) const {
+    return flow_info_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Ports left clocked by the presets (feeds the power model's idle-clock
+  /// term; SMART gates what the presets do not use, the baseline cannot).
+  int clocked_input_ports() const { return clocked_in_total_; }
+  int clocked_output_ports() const { return clocked_out_total_; }
+
+  /// Installs a trace observer (e.g. sim::VcdTracer). Pass nullptr to
+  /// detach. The observer must outlive the network or be detached first.
+  void set_observer(TraceObserver* obs) { observer_ = obs; }
+
+ private:
+  // --- Fabric interface -------------------------------------------------------
+  void deliver_from_router(NodeId router, Dir out, Flit flit, Cycle now) override;
+  void deliver_from_nic(NodeId nic, Flit flit, Cycle now) override;
+  void credit_from_router_input(NodeId router, Dir in, VcId vc, Cycle now) override;
+  void credit_from_nic(NodeId nic, VcId vc, Cycle now) override;
+
+  void deliver(const Segment& seg, Flit flit, Cycle now, bool from_router);
+  void schedule_credit(const SegOrigin& target, VcId vc, Cycle due, int mm, int xbar_hops);
+  void validate_and_index_flow(const Flow& flow);
+
+  struct InFlightCredit {
+    Cycle due;
+    SegOrigin target;
+    VcId vc;
+  };
+
+  NocConfig cfg_;
+  Options opt_;
+  FlowSet flows_;
+  PresetTable presets_;
+  SegmentTable segments_;
+  NetworkStats stats_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<InFlightCredit> credits_;
+  std::vector<FlowPathInfo> flow_info_;
+  std::uint32_t next_packet_id_ = 1;
+  int clocked_in_total_ = 0;
+  int clocked_out_total_ = 0;
+  TraceObserver* observer_ = nullptr;
+  Cycle now_ = 0;
+};
+
+/// The paper's baseline: a state-of-the-art mesh NoC with no reconfiguration
+/// [11], where each hop takes 3 cycles in the router and 1 cycle in the link.
+std::unique_ptr<MeshNetwork> make_baseline_mesh(const NocConfig& cfg, FlowSet flows);
+
+}  // namespace smartnoc::noc

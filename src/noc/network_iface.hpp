@@ -1,0 +1,32 @@
+// The design-agnostic network interface: Mesh, SMART and Dedicated all
+// implement this, so the traffic engine, simulation runner, benches and
+// power reports treat the three designs of the paper's Sec. VI uniformly.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "noc/flow.hpp"
+#include "noc/stats.hpp"
+
+namespace smartnoc::noc {
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Advance one clock cycle.
+  virtual void tick() = 0;
+  virtual Cycle now() const = 0;
+
+  /// Queue one packet of `flow` (created at `created`) at its source.
+  virtual void offer_packet(FlowId flow, Cycle created) = 0;
+
+  /// True when no flit, packet or credit is in flight anywhere.
+  virtual bool drained() const = 0;
+
+  virtual NetworkStats& stats() = 0;
+  virtual const NocConfig& config() const = 0;
+  virtual const FlowSet& flows() const = 0;
+};
+
+}  // namespace smartnoc::noc

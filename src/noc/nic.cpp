@@ -1,0 +1,115 @@
+#include "noc/nic.hpp"
+
+namespace smartnoc::noc {
+
+Nic::Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats)
+    : node_(node), cfg_(&cfg), fabric_(fabric), stats_(stats) {
+  SMARTNOC_CHECK(fabric_ != nullptr && stats_ != nullptr, "NIC needs fabric and stats");
+}
+
+void Nic::register_flow(const Flow& flow) {
+  SMARTNOC_CHECK(flow.src == node_, "flow registered at the wrong NIC");
+  local_flows_.push_back(flow.id);
+  routes_[flow.id] = flow.route;
+  queues_[flow.id];  // create the queue
+}
+
+void Nic::init_source_credits(int vcs) {
+  SMARTNOC_CHECK(free_vcs_.empty(), "source credits initialized twice");
+  for (VcId v = 0; v < vcs; ++v) free_vcs_.push_back(v);
+}
+
+void Nic::offer_packet(const Packet& pkt) {
+  auto it = queues_.find(pkt.flow);
+  SMARTNOC_CHECK(it != queues_.end(), "packet offered for an unregistered flow");
+  it->second.push_back(pkt);
+}
+
+void Nic::inject(Cycle now, ActivityCounters& act) {
+  if (!active_.has_value()) {
+    if (local_flows_.empty()) return;
+    // Round-robin over flows with queued packets; needs a free endpoint VC.
+    if (free_vcs_.empty()) return;
+    for (std::size_t k = 0; k < local_flows_.size(); ++k) {
+      const std::size_t i = (rr_next_ + k) % local_flows_.size();
+      const FlowId fid = local_flows_[i];
+      auto& q = queues_[fid];
+      if (q.empty()) continue;
+      ActiveTx tx;
+      tx.pkt = q.front();
+      q.pop_front();
+      tx.route = routes_[fid];
+      tx.vc = free_vcs_.front();
+      free_vcs_.pop_front();
+      tx.inject_cycle = now;
+      active_ = tx;
+      rr_next_ = (i + 1) % local_flows_.size();
+      break;
+    }
+    if (!active_.has_value()) return;
+  }
+
+  // Stream one flit of the active packet.
+  ActiveTx& tx = *active_;
+  Flit f;
+  const int last = tx.pkt.flits - 1;
+  f.type = tx.pkt.flits == 1 ? FlitType::HeadTail
+           : tx.next_seq == 0 ? FlitType::Head
+           : tx.next_seq == last ? FlitType::Tail
+                                 : FlitType::Body;
+  f.seq = static_cast<std::uint8_t>(tx.next_seq);
+  f.vc = tx.vc;
+  f.flow = tx.pkt.flow;
+  f.packet_id = tx.pkt.id;
+  f.src = tx.pkt.src;
+  f.dst = tx.pkt.dst;
+  f.route = tx.route;
+  f.hop_index = 0;
+  f.created = tx.pkt.created;
+  f.injected = tx.inject_cycle;
+  fabric_->deliver_from_nic(node_, f, now);
+  tx.next_seq += 1;
+  if (tx.next_seq == tx.pkt.flits) {
+    active_.reset();
+  }
+  (void)act;  // injection energy is counted by the fabric's segment delivery
+}
+
+void Nic::accept_flit(const Flit& flit, Cycle now) {
+  SMARTNOC_CHECK(flit.dst == node_, "flit delivered to the wrong NIC");
+  SMARTNOC_CHECK(flit.hop_index == flit.route.entries(),
+                 "flit reached the NIC with route entries left");
+  Assembly& a = assembling_[flit.packet_id];
+  if (is_head(flit.type)) a.head_arrival = now;
+  a.flits += 1;
+  SMARTNOC_CHECK(static_cast<int>(assembling_.size()) <= cfg_->vcs_per_port,
+                 "more packets in reassembly than receive VCs");
+  if (is_tail(flit.type)) {
+    stats_->record_packet(flit.flow, a.flits, flit.created, flit.injected, a.head_arrival, now);
+    assembling_.erase(flit.packet_id);
+    // The receive VC is free again: return its credit to the feeder.
+    fabric_->credit_from_nic(node_, flit.vc, now);
+  }
+}
+
+void Nic::credit_arrived(VcId vc) {
+  SMARTNOC_CHECK(static_cast<int>(free_vcs_.size()) < cfg_->vcs_per_port,
+                 "NIC credit overflow");
+  free_vcs_.push_back(vc);
+}
+
+bool Nic::idle() const {
+  if (active_.has_value() || !assembling_.empty()) return false;
+  for (const auto& [fid, q] : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+int Nic::queued_packets() const {
+  int n = 0;
+  for (const auto& [fid, q] : queues_) n += static_cast<int>(q.size());
+  return n;
+}
+
+}  // namespace smartnoc::noc

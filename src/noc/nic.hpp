@@ -1,0 +1,86 @@
+// Network interface controller: packetization, injection and reassembly.
+//
+// Source side: per-flow packet queues; one flit per cycle onto the
+// injection link; a packet needs a free VC at the injection segment's
+// endpoint (which, under full bypass, is the *destination NIC* - the
+// paper's "free VC queue might actually be tracking the VCs at an input
+// port of a router multiple hops away").
+//
+// Sink side: per-VC reassembly; a packet is consumed on tail arrival and
+// its receive-VC credit returns over the credit mesh.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "noc/fabric.hpp"
+#include "noc/flit.hpp"
+#include "noc/flow.hpp"
+#include "noc/stats.hpp"
+
+namespace smartnoc::noc {
+
+class Nic {
+ public:
+  Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats);
+
+  NodeId node() const { return node_; }
+
+  /// Registers a flow that originates here (provides its encoded route).
+  void register_flow(const Flow& flow);
+
+  /// Gives the source side `vcs` credits for its injection-segment endpoint.
+  void init_source_credits(int vcs);
+
+  /// Queue a packet for injection (infinite source queue; queueing time is
+  /// measured separately from network latency).
+  void offer_packet(const Packet& pkt);
+
+  /// Per-cycle injection phase: stream the active packet or start the next
+  /// one (round-robin across this NIC's flows, one flit per cycle).
+  void inject(Cycle now, ActivityCounters& act);
+
+  /// Sink side: a flit delivered by the fabric (end of cycle `now`).
+  void accept_flit(const Flit& flit, Cycle now);
+
+  /// Source-side credit return (a packet left the endpoint buffers).
+  void credit_arrived(VcId vc);
+
+  bool idle() const;
+  int queued_packets() const;
+  int source_free_vcs() const { return static_cast<int>(free_vcs_.size()); }
+
+ private:
+  struct ActiveTx {
+    Packet pkt;
+    SourceRoute route;
+    VcId vc;
+    int next_seq = 0;
+    Cycle inject_cycle = 0;
+  };
+  struct Assembly {
+    int flits = 0;
+    Cycle head_arrival = 0;
+  };
+
+  NodeId node_;
+  const NocConfig* cfg_;
+  Fabric* fabric_;
+  NetworkStats* stats_;
+
+  std::vector<FlowId> local_flows_;            ///< flows sourced at this NIC
+  std::map<FlowId, SourceRoute> routes_;
+  std::map<FlowId, std::deque<Packet>> queues_;
+  std::size_t rr_next_ = 0;                    ///< round-robin over local_flows_
+  std::deque<VcId> free_vcs_;
+  std::optional<ActiveTx> active_;
+
+  std::map<std::uint32_t, Assembly> assembling_;  ///< packet id -> progress
+};
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,102 @@
+// Per-router preset state - the paper's reconfiguration payload.
+//
+// Before an application runs, every router is preset (Sec. IV):
+//   * each input port's bypass multiplexer selects either the incoming link
+//     (bypass) or the input buffer;
+//   * each crossbar output either always receives from one incoming link
+//     (preset bypass crosspoint) or from the router's arbitrated buffers;
+//   * the credit crossbar mirrors the forward presets (transposed), so
+//     credits retrace the forward route backwards without entering routers;
+//   * unused ports are clock-gated.
+//
+// PresetTable is the decoded, validated form; the smart/ module provides
+// both the computation from a flow set and the 64-bit register encoding
+// (Section V). The noc/ simulator consumes only this decoded form.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace smartnoc::noc {
+
+/// Input-port bypass multiplexer position.
+enum class InputMux : std::uint8_t {
+  Buffer = 0,  ///< incoming flits are latched into the input buffer (a stop)
+  Bypass = 1,  ///< incoming flits go straight to the preset crossbar
+};
+
+/// Crossbar output-port select.
+struct XbarSel {
+  enum class Kind : std::uint8_t {
+    Off = 0,         ///< output unused by the application
+    FromRouter = 1,  ///< driven by the arbitrated (buffered) crossbar
+    FromLink = 2,    ///< preset bypass crosspoint from one input link
+  };
+  Kind kind = Kind::Off;
+  Dir link = Dir::Core;  ///< valid when kind == FromLink
+
+  friend bool operator==(const XbarSel&, const XbarSel&) = default;
+};
+
+struct RouterPreset {
+  std::array<InputMux, kNumDirs> input_mux{};  ///< indexed by Dir
+  std::array<XbarSel, kNumDirs> xbar{};        ///< indexed by output Dir
+  /// Credit crossbar: for credit *exit* direction d, the credit *entry*
+  /// direction it forwards from (or Off/FromRouter analog). The transpose
+  /// of the forward bypass crosspoints.
+  std::array<XbarSel, kNumDirs> credit_xbar{};
+
+  /// Port activity for clock gating (power model): true if the preset uses
+  /// the port in buffered mode (clocked logic active).
+  std::array<bool, kNumDirs> in_clocked{};
+  std::array<bool, kNumDirs> out_clocked{};
+
+  friend bool operator==(const RouterPreset&, const RouterPreset&) = default;
+};
+
+/// One preset per router. The baseline Mesh is simply all_buffer():
+/// everything stops everywhere, which degenerates to a classic 3-cycle
+/// router + 1-cycle link mesh [11].
+class PresetTable {
+ public:
+  PresetTable() = default;
+  explicit PresetTable(int n) : presets_(static_cast<std::size_t>(n)) {}
+
+  int size() const { return static_cast<int>(presets_.size()); }
+  RouterPreset& at(NodeId n) { return presets_.at(static_cast<std::size_t>(n)); }
+  const RouterPreset& at(NodeId n) const { return presets_.at(static_cast<std::size_t>(n)); }
+
+  /// Baseline presets: every input buffered, every output arbitrated, all
+  /// ports clocked (the [11] mesh router has no preset-driven gating).
+  static PresetTable all_buffer(const MeshDims& dims);
+
+  friend bool operator==(const PresetTable&, const PresetTable&) = default;
+
+ private:
+  std::vector<RouterPreset> presets_;
+};
+
+inline PresetTable PresetTable::all_buffer(const MeshDims& dims) {
+  PresetTable t(dims.nodes());
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    RouterPreset& p = t.at(n);
+    for (Dir d : kAllDirs) {
+      const auto i = static_cast<std::size_t>(dir_index(d));
+      const bool exists = d == Dir::Core || dims.has_neighbor(n, d);
+      p.input_mux[i] = InputMux::Buffer;
+      p.xbar[i] = exists ? XbarSel{XbarSel::Kind::FromRouter, Dir::Core}
+                         : XbarSel{XbarSel::Kind::Off, Dir::Core};
+      p.credit_xbar[i] = XbarSel{XbarSel::Kind::Off, Dir::Core};
+      p.in_clocked[i] = exists;
+      p.out_clocked[i] = exists;
+    }
+  }
+  return t;
+}
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,75 @@
+// Source routing with the paper's 2-bit-per-router encoding:
+//
+//   "Since the routes are static, we adopt source routing and encode the
+//    route in 2 bits for each router. At the source router, the 2-bit
+//    corresponds to East, South, West and North output ports, while at all
+//    other routers, the bits correspond to Left, Right, Straight and Core."
+//
+// A RoutePath is the geometric object (absolute link directions); a
+// SourceRoute is its bit-packed header encoding. Encode/decode round-trips
+// are pinned by tests over every (src,dst) pair of several mesh shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace smartnoc::noc {
+
+/// A concrete path through the mesh: the sequence of link directions from
+/// the source router to the destination router (ejection is implicit).
+struct RoutePath {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<Dir> links;  ///< absolute mesh directions, one per hop
+
+  int hops() const { return static_cast<int>(links.size()); }
+
+  /// The routers visited, in order: src, ..., dst. Size = hops()+1.
+  std::vector<NodeId> routers(const MeshDims& dims) const;
+
+  /// Human-readable form, e.g. "8:E,E,E,S,S:3".
+  std::string str() const;
+};
+
+/// Bit-packed source route: entry i is consumed by the i-th router on the
+/// path. Entry 0 holds an absolute direction; entries 1..L hold relative
+/// turns, the last one being Turn::Eject.
+class SourceRoute {
+ public:
+  SourceRoute() = default;
+
+  /// Encodes a path. Throws ConfigError if the path is malformed (U-turn,
+  /// empty, or longer than 31 entries / 64 bits).
+  static SourceRoute encode(const RoutePath& path);
+
+  /// Rebuilds the geometric path (requires dims only for validation of the
+  /// resulting node sequence by callers; decode itself is geometry-free).
+  RoutePath decode(NodeId src, const MeshDims& dims) const;
+
+  int entries() const { return entries_; }
+  /// Total bits occupied in the head-flit header.
+  int bits() const { return 2 * entries_; }
+
+  /// Entry 0: the absolute output direction at the source router.
+  Dir first_dir() const;
+
+  /// Entry i>=1: the relative turn at the i-th router.
+  Turn turn_at(int i) const;
+
+  /// Resolves the output port at router position `hop_index`, given the
+  /// input port the flit arrived on (ignored for hop_index 0).
+  /// Returns Dir::Core on the ejection entry.
+  Dir output_at(int hop_index, Dir arrival_port) const;
+
+  friend bool operator==(const SourceRoute&, const SourceRoute&) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+  std::uint8_t entries_ = 0;
+};
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,151 @@
+#include "noc/router.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace smartnoc::noc {
+
+Router::Router(NodeId id, const NocConfig& cfg, Fabric* fabric)
+    : id_(id), vcs_per_port_(cfg.vcs_per_port), fabric_(fabric) {
+  SMARTNOC_CHECK(fabric_ != nullptr, "router needs a fabric");
+  for (auto& ip : inputs_) {
+    ip.vcs.reserve(static_cast<std::size_t>(vcs_per_port_));
+    for (int v = 0; v < vcs_per_port_; ++v) ip.vcs.emplace_back(cfg.vc_depth_flits);
+  }
+  for (auto& op : outputs_) {
+    op.arb = RoundRobinArbiter(kNumDirs * vcs_per_port_);
+  }
+}
+
+void Router::enable_output(Dir o, int vcs) {
+  OutputPort& op = out(o);
+  SMARTNOC_CHECK(!op.enabled, "output enabled twice");
+  op.enabled = true;
+  for (VcId v = 0; v < vcs; ++v) op.free_vcs.push_back(v);
+}
+
+void Router::accept_flit(Dir in_dir, Flit flit, Cycle arrival) {
+  InputPort& ip = in(in_dir);
+  SMARTNOC_CHECK(ip.staging.size() < 2, "more than one flit in flight per input port");
+  ip.staging.push_back(StagedFlit{flit, arrival});
+}
+
+void Router::credit_arrived(Dir out_dir, VcId vc) {
+  OutputPort& op = out(out_dir);
+  SMARTNOC_CHECK(op.enabled, "credit for a disabled output");
+  SMARTNOC_CHECK(static_cast<int>(op.free_vcs.size()) < vcs_per_port_,
+                 "credit overflow: more credits than VCs");
+  op.free_vcs.push_back(vc);
+}
+
+void Router::buffer_write(Cycle now, ActivityCounters& act) {
+  for (Dir d : kAllDirs) {
+    InputPort& ip = in(d);
+    for (std::size_t k = 0; k < ip.staging.size();) {
+      if (ip.staging[k].arrival >= now) {
+        ++k;  // still on the wire (baseline-mesh link cycle)
+        continue;
+      }
+      Flit f = ip.staging[k].flit;
+      ip.staging.erase(ip.staging.begin() + static_cast<std::ptrdiff_t>(k));
+      SMARTNOC_CHECK(f.vc >= 0 && f.vc < vcs_per_port_, "flit carries an invalid VC");
+      VcBuffer& vc = ip.vcs[static_cast<std::size_t>(f.vc)];
+      f.buffered_at = now;
+      if (is_head(f.type)) {
+        SMARTNOC_CHECK(vc.empty() && !vc.has_request(),
+                       "head flit arriving into a busy VC: upstream flow control broke");
+        // Decode this router's 2-bit route entry relative to the arrival port.
+        vc.set_request(f.route.output_at(f.hop_index, d));
+      } else {
+        SMARTNOC_CHECK(vc.has_request(), "body flit with no open packet on its VC");
+      }
+      vc.push(f);
+      act.buffer_writes += 1;
+    }
+  }
+}
+
+void Router::switch_traversal(Cycle now, ActivityCounters& act) {
+  for (Dir o : kAllDirs) {
+    OutputPort& op = out(o);
+    if (!op.hold.has_value()) continue;
+    InputPort& ip = in(op.hold->in);
+    VcBuffer& vc = ip.vcs[static_cast<std::size_t>(op.hold->in_vc)];
+    if (vc.empty()) continue;                    // cut-through gap: wait
+    if (vc.front().buffered_at >= now) continue; // written this very cycle
+    Flit f = vc.pop();
+    const bool tail = is_tail(f.type);
+    f.vc = op.hold->out_vc;  // VC at the segment endpoint, allocated at SA
+    act.buffer_reads += 1;
+    fabric_->deliver_from_router(id_, o, f, now);
+    if (tail) {
+      // Virtual cut-through: buffer and switch are released by the tail,
+      // and the freed VC's credit returns to our feeder.
+      fabric_->credit_from_router_input(id_, op.hold->in, op.hold->in_vc, now);
+      vc.clear_request();
+      ip.locked = false;
+      op.hold.reset();
+    }
+  }
+}
+
+void Router::switch_allocation(Cycle now, ActivityCounters& act) {
+  // Fixed output order keeps allocation deterministic; per-output round-
+  // robin over (input, vc) provides fairness (pinned by tests).
+  for (Dir o : kAllDirs) {
+    OutputPort& op = out(o);
+    if (!op.enabled || op.hold.has_value() || op.free_vcs.empty()) continue;
+    std::vector<bool> req(static_cast<std::size_t>(kNumDirs * vcs_per_port_), false);
+    bool any = false;
+    for (Dir i : kAllDirs) {
+      const InputPort& ip = in(i);
+      if (ip.locked) continue;
+      for (int v = 0; v < vcs_per_port_; ++v) {
+        const VcBuffer& vc = ip.vcs[static_cast<std::size_t>(v)];
+        if (vc.empty() || !vc.has_request()) continue;
+        const Flit& f = vc.front();
+        if (!is_head(f.type)) continue;     // packet already in flight elsewhere
+        if (f.buffered_at >= now) continue; // BW this cycle: allocate next cycle
+        if (vc.requested_out() != o) continue;
+        req[static_cast<std::size_t>(dir_index(i) * vcs_per_port_ + v)] = true;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const auto winner = op.arb.arbitrate(req);
+    SMARTNOC_CHECK(winner.has_value(), "arbiter must pick among requests");
+    const Dir win_in = dir_from_index(*winner / vcs_per_port_);
+    const VcId win_vc = static_cast<VcId>(*winner % vcs_per_port_);
+    const VcId out_vc = op.free_vcs.front();
+    op.free_vcs.pop_front();
+    op.hold = Hold{win_in, win_vc, out_vc};
+    in(win_in).locked = true;
+    act.alloc_grants += 1;
+  }
+}
+
+bool Router::has_traffic() const {
+  for (const auto& ip : inputs_) {
+    if (!ip.staging.empty()) return true;
+    for (const auto& vc : ip.vcs) {
+      if (!vc.empty()) return true;
+    }
+  }
+  for (const auto& op : outputs_) {
+    if (op.hold.has_value()) return true;
+  }
+  return false;
+}
+
+int Router::free_vcs(Dir o) const { return static_cast<int>(out(o).free_vcs.size()); }
+
+int Router::buffered_flits() const {
+  int n = 0;
+  for (const auto& ip : inputs_) {
+    for (const auto& vc : ip.vcs) n += vc.occupancy();
+  }
+  return n;
+}
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,95 @@
+// The SMART router (paper Fig. 6): a 3-stage virtual-cut-through router
+//
+//      stage 1: Buffer Write        (BW)  - latch staged flits, decode route
+//      stage 2: Switch Allocation   (SA)  - per-packet, round-robin outputs
+//      stage 3: SMART Crossbar+Link (ST)  - traverse crossbar and the whole
+//                                           bypass segment in one cycle
+//
+// A flit latched at the end of cycle t is buffer-written in t+1, allocated
+// in t+2 and traverses in t+3: each stop costs exactly +3 cycles, matching
+// the paper's Fig. 7 annotations. The baseline mesh [11] is the same router
+// with every input preset to Buffer and one extra cycle per link
+// (configured at the network level), i.e. 3 cycles router + 1 cycle link.
+//
+// Bypass traffic never enters this class: the network's segment table
+// carries bypassed flits across this router's crossbar combinationally.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/buffer.hpp"
+#include "noc/fabric.hpp"
+#include "noc/preset.hpp"
+#include "noc/stats.hpp"
+
+namespace smartnoc::noc {
+
+class Router {
+ public:
+  Router(NodeId id, const NocConfig& cfg, Fabric* fabric);
+
+  NodeId id() const { return id_; }
+
+  // --- Per-cycle pipeline phases, called by the network in this order ------
+  void buffer_write(Cycle now, ActivityCounters& act);
+  void switch_traversal(Cycle now, ActivityCounters& act);
+  void switch_allocation(Cycle now, ActivityCounters& act);
+
+  // --- Fabric-facing ---------------------------------------------------------
+  /// Latch an arriving flit (end of `arrival` cycle) into the staging
+  /// register of input port `in`; BW picks it up the following cycle.
+  void accept_flit(Dir in, Flit flit, Cycle arrival);
+
+  /// A credit returned to output port `out`'s free-VC queue.
+  void credit_arrived(Dir out, VcId vc);
+
+  /// Marks output `out` as switch-allocatable with `vcs` downstream VCs
+  /// (called once at network construction, per FromRouter output).
+  void enable_output(Dir out, int vcs);
+
+  // --- Introspection ---------------------------------------------------------
+  bool has_traffic() const;
+  int free_vcs(Dir out) const;
+  int buffered_flits() const;
+
+ private:
+  struct StagedFlit {
+    Flit flit;
+    Cycle arrival;
+  };
+  struct InputPort {
+    std::vector<StagedFlit> staging;
+    std::vector<VcBuffer> vcs;
+    bool locked = false;  ///< a granted packet is streaming from this port
+  };
+  struct Hold {  ///< per-packet switch hold (grant until tail)
+    Dir in = Dir::Core;
+    VcId in_vc = kInvalidVc;
+    VcId out_vc = kInvalidVc;
+  };
+  struct OutputPort {
+    bool enabled = false;
+    std::deque<VcId> free_vcs;
+    std::optional<Hold> hold;
+    RoundRobinArbiter arb;
+  };
+
+  InputPort& in(Dir d) { return inputs_[static_cast<std::size_t>(dir_index(d))]; }
+  OutputPort& out(Dir d) { return outputs_[static_cast<std::size_t>(dir_index(d))]; }
+  const InputPort& in(Dir d) const { return inputs_[static_cast<std::size_t>(dir_index(d))]; }
+  const OutputPort& out(Dir d) const { return outputs_[static_cast<std::size_t>(dir_index(d))]; }
+
+  NodeId id_;
+  int vcs_per_port_;
+  Fabric* fabric_;
+  std::array<InputPort, kNumDirs> inputs_;
+  std::array<OutputPort, kNumDirs> outputs_;
+};
+
+}  // namespace smartnoc::noc

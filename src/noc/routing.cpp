@@ -1,0 +1,92 @@
+#include "noc/routing.hpp"
+
+#include "common/error.hpp"
+
+namespace smartnoc::noc {
+
+bool turn_allowed(TurnModel model, Dir from, Dir to) {
+  SMARTNOC_CHECK(is_mesh_dir(from) && is_mesh_dir(to), "turns defined on mesh directions");
+  if (to == opposite(from)) return false;  // U-turn
+  if (to == from) return true;             // straight
+  switch (model) {
+    case TurnModel::XY:
+      // X must complete before Y: once moving vertically, never turn back
+      // into a horizontal direction.
+      return !((from == Dir::North || from == Dir::South) &&
+               (to == Dir::East || to == Dir::West));
+    case TurnModel::WestFirst:
+      // All westward movement first: nothing may turn *into* West.
+      return to != Dir::West;
+  }
+  return false;
+}
+
+bool path_is_legal(TurnModel model, const RoutePath& path) {
+  for (std::size_t i = 1; i < path.links.size(); ++i) {
+    if (!turn_allowed(model, path.links[i - 1], path.links[i])) return false;
+  }
+  return true;
+}
+
+RoutePath xy_path(const MeshDims& dims, NodeId src, NodeId dst) {
+  SMARTNOC_CHECK(dims.contains(src) && dims.contains(dst), "node out of mesh");
+  SMARTNOC_CHECK(src != dst, "no path between a node and itself");
+  RoutePath p;
+  p.src = src;
+  p.dst = dst;
+  const Coord a = dims.coord(src), b = dims.coord(dst);
+  for (int x = a.x; x < b.x; ++x) p.links.push_back(Dir::East);
+  for (int x = a.x; x > b.x; --x) p.links.push_back(Dir::West);
+  for (int y = a.y; y < b.y; ++y) p.links.push_back(Dir::North);
+  for (int y = a.y; y > b.y; --y) p.links.push_back(Dir::South);
+  return p;
+}
+
+namespace {
+
+void enumerate(const MeshDims& dims, Coord cur, Coord dst, TurnModel model,
+               RoutePath& partial, std::vector<RoutePath>& out) {
+  if (cur == dst) {
+    RoutePath done = partial;
+    done.dst = dims.id(dst);
+    out.push_back(std::move(done));
+    return;
+  }
+  // Candidate moves that reduce the remaining Manhattan distance, in the
+  // fixed E/S/W/N order for determinism.
+  for (Dir d : kMeshDirs) {
+    Coord next = cur;
+    switch (d) {
+      case Dir::East: next.x += 1; break;
+      case Dir::South: next.y -= 1; break;
+      case Dir::West: next.x -= 1; break;
+      case Dir::North: next.y += 1; break;
+      case Dir::Core: continue;
+    }
+    const int before = std::abs(cur.x - dst.x) + std::abs(cur.y - dst.y);
+    const int after = std::abs(next.x - dst.x) + std::abs(next.y - dst.y);
+    if (after >= before) continue;  // not minimal
+    if (!dims.contains(next)) continue;
+    if (!partial.links.empty() && !turn_allowed(model, partial.links.back(), d)) continue;
+    partial.links.push_back(d);
+    enumerate(dims, next, dst, model, partial, out);
+    partial.links.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<RoutePath> minimal_paths(const MeshDims& dims, NodeId src, NodeId dst,
+                                     TurnModel model) {
+  SMARTNOC_CHECK(dims.contains(src) && dims.contains(dst), "node out of mesh");
+  SMARTNOC_CHECK(src != dst, "no path between a node and itself");
+  std::vector<RoutePath> out;
+  RoutePath partial;
+  partial.src = src;
+  partial.dst = dst;
+  enumerate(dims, dims.coord(src), dims.coord(dst), model, partial, out);
+  SMARTNOC_CHECK(!out.empty(), "turn model must admit at least the XY path");
+  return out;
+}
+
+}  // namespace smartnoc::noc

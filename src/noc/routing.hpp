@@ -1,0 +1,44 @@
+// Minimal-path computation under deadlock-free turn models.
+//
+// The paper maps flows "to routes with minimum number of hops between
+// cores" and avoids deadlock "by enforcing a deadlock-free turn model
+// across the routes for all flows" (Sec. IV). Two models are provided:
+//
+//   * XY: dimension-ordered; a unique minimal path per pair. Forbids all
+//     turns from a vertical move into a horizontal one.
+//   * West-first: all westward movement must come first; forbids only the
+//     two turns into West. Eastbound pairs gain path diversity, which the
+//     route selector exploits to minimize link sharing (fewer SMART stops).
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/route.hpp"
+
+namespace smartnoc::noc {
+
+enum class TurnModel : std::uint8_t { XY, WestFirst };
+
+inline const char* turn_model_name(TurnModel t) {
+  return t == TurnModel::XY ? "XY" : "west-first";
+}
+
+/// Is the turn from movement `from` into movement `to` permitted?
+/// U-turns are never permitted; straight continuation always is.
+bool turn_allowed(TurnModel model, Dir from, Dir to);
+
+/// Checks every consecutive link pair of the path against the model.
+bool path_is_legal(TurnModel model, const RoutePath& path);
+
+/// The unique dimension-ordered (X then Y) minimal path. Legal under both
+/// models (XY routes never turn into West after moving vertically, because
+/// they never move vertically before finishing horizontal movement).
+RoutePath xy_path(const MeshDims& dims, NodeId src, NodeId dst);
+
+/// All minimal paths from src to dst that the turn model permits.
+/// Deterministic order (E/S/W/N branch order at each step).
+std::vector<RoutePath> minimal_paths(const MeshDims& dims, NodeId src, NodeId dst,
+                                     TurnModel model);
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,256 @@
+#include "noc/segment.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace smartnoc::noc {
+
+const std::optional<SegOrigin> SegmentTable::kNone{};
+
+namespace {
+
+/// The unique bypass exit for a credit/flit entering `at` through `entry`,
+/// or nullopt when the port is not a bypass crosspoint. Throws if the preset
+/// is ambiguous (two outputs selecting the same input link).
+std::optional<Dir> bypass_exit(const std::array<XbarSel, kNumDirs>& xbar, Dir entry,
+                               NodeId node) {
+  std::optional<Dir> exit;
+  for (Dir o : kAllDirs) {
+    const XbarSel& sel = xbar[static_cast<std::size_t>(dir_index(o))];
+    if (sel.kind == XbarSel::Kind::FromLink && sel.link == entry) {
+      if (exit.has_value()) {
+        throw ConfigError("router " + std::to_string(node) + ": two crossbar outputs preset to "
+                          "the same input link " + dir_name(entry) +
+                          " (a bypassed flit would be duplicated)");
+      }
+      exit = o;
+    }
+  }
+  return exit;
+}
+
+}  // namespace
+
+Segment SegmentTable::walk_forward(SegOrigin origin, NodeId first_router, Dir entry_port,
+                                   const PresetTable& presets) const {
+  Segment seg;
+  seg.origin = origin;
+  NodeId cur = first_router;
+  Dir in = entry_port;
+  for (int steps = 0; steps <= dims_.nodes() + 1; ++steps) {
+    const RouterPreset& p = presets.at(cur);
+    if (p.input_mux[static_cast<std::size_t>(dir_index(in))] == InputMux::Buffer) {
+      seg.ep = Endpoint{false, cur, in};
+      if (seg.mm > hpc_max_) {
+        throw ConfigError("segment from node " + std::to_string(origin.node) + " spans " +
+                          std::to_string(seg.mm) + " mm > HPC_max " + std::to_string(hpc_max_));
+      }
+      return seg;
+    }
+    // Bypass: the crossbar must have exactly one crosspoint preset to this
+    // input link, otherwise the presets are inconsistent.
+    const auto exit = bypass_exit(p.xbar, in, cur);
+    if (!exit.has_value()) {
+      throw ConfigError("router " + std::to_string(cur) + ": input " + dir_name(in) +
+                        " is preset to bypass but no crossbar output selects it");
+    }
+    seg.bypassed += 1;
+    seg.bypass_routers.push_back(cur);
+    if (*exit == Dir::Core) {
+      // Delivered straight into this tile's NIC.
+      seg.ep = Endpoint{true, cur, Dir::Core};
+      if (seg.mm > hpc_max_) {
+        throw ConfigError("segment into NIC " + std::to_string(cur) + " spans " +
+                          std::to_string(seg.mm) + " mm > HPC_max " + std::to_string(hpc_max_));
+      }
+      return seg;
+    }
+    if (!dims_.has_neighbor(cur, *exit)) {
+      throw ConfigError("router " + std::to_string(cur) + ": bypass preset exits " +
+                        dir_name(*exit) + " off the edge of the mesh");
+    }
+    seg.mm += 1;
+    seg.links.emplace_back(cur, *exit);
+    cur = dims_.neighbor(cur, *exit);
+    in = opposite(*exit);
+  }
+  throw ConfigError("bypass presets form a loop through router " + std::to_string(first_router));
+}
+
+SegmentTable::SegmentTable(const MeshDims& dims, const NocConfig& cfg,
+                           const PresetTable& presets, int hpc_max)
+    : dims_(dims), hpc_max_(hpc_max) {
+  (void)cfg;
+  SMARTNOC_CHECK(presets.size() == dims.nodes(), "preset table size mismatch");
+  SMARTNOC_CHECK(hpc_max >= 1, "HPC_max must be at least one hop");
+
+  injection_.reserve(static_cast<std::size_t>(dims.nodes()));
+  output_.resize(static_cast<std::size_t>(dims.nodes()));
+  credit_router_in_.resize(static_cast<std::size_t>(dims.nodes()));
+  credit_nic_.resize(static_cast<std::size_t>(dims.nodes()));
+
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    // Injection: flits from NIC n enter router n through the Core port.
+    injection_.push_back(walk_forward(SegOrigin{true, n, Dir::Core}, n, Dir::Core, presets));
+
+    // Output segments: one per usable output port of router n.
+    for (Dir o : kAllDirs) {
+      const XbarSel& sel = presets.at(n).xbar[static_cast<std::size_t>(dir_index(o))];
+      auto& slot = output_[static_cast<std::size_t>(n)][static_cast<std::size_t>(dir_index(o))];
+      if (sel.kind != XbarSel::Kind::FromRouter) {
+        continue;  // Off, or a bypass crosspoint (covered inside other segments)
+      }
+      const SegOrigin origin{false, n, o};
+      if (o == Dir::Core) {
+        // Ejection stub into this tile's NIC: zero wire, no bypass.
+        Segment seg;
+        seg.origin = origin;
+        seg.ep = Endpoint{true, n, Dir::Core};
+        slot = seg;
+        continue;
+      }
+      if (!dims.has_neighbor(n, o)) {
+        throw ConfigError("router " + std::to_string(n) + ": output " + dir_name(o) +
+                          " is preset FromRouter but has no link");
+      }
+      Segment seg = walk_forward(origin, dims.neighbor(n, o), opposite(o), presets);
+      seg.mm += 1;  // the first link, router n -> neighbour
+      seg.links.insert(seg.links.begin(), {n, o});
+      if (seg.mm > hpc_max_) {
+        throw ConfigError("segment from router " + std::to_string(n) + " output " + dir_name(o) +
+                          " spans " + std::to_string(seg.mm) + " mm > HPC_max " +
+                          std::to_string(hpc_max_));
+      }
+      slot = seg;
+    }
+  }
+
+  build_credit_side(presets);
+
+  // Cross-validate: every forward segment's endpoint must have a credit
+  // path that leads exactly back to the segment's origin over the same
+  // distance. This is the paper's "if a forward route is preset, the
+  // reverse credit route is preset as well".
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    auto check = [&](const Segment& seg) {
+      const CreditInfo& ci =
+          seg.ep.is_nic
+              ? credit_nic_[static_cast<std::size_t>(seg.ep.node)]
+              : credit_router_in_[static_cast<std::size_t>(seg.ep.node)]
+                                 [static_cast<std::size_t>(dir_index(seg.ep.in))];
+      if (!ci.origin.has_value() || !(*ci.origin == seg.origin) || ci.mm != seg.mm) {
+        throw ConfigError("credit crossbar presets do not mirror the forward presets at node " +
+                          std::to_string(seg.ep.node));
+      }
+    };
+    check(injection_[static_cast<std::size_t>(n)]);
+    for (Dir o : kAllDirs) {
+      const auto& slot =
+          output_[static_cast<std::size_t>(n)][static_cast<std::size_t>(dir_index(o))];
+      if (slot.has_value()) check(*slot);
+    }
+  }
+}
+
+void SegmentTable::build_credit_side(const PresetTable& presets) {
+  // Trace the reverse credit path from every latch point back to its feeder.
+  // A credit leaving a router through port d arrives at neighbour(n, d) on
+  // port opposite(d) - which is that router's *forward output* toward us.
+  auto trace = [&](NodeId start_router, Dir exit0, int mm0, int xbar0) -> CreditInfo {
+    CreditInfo ci;
+    ci.mm = mm0;
+    ci.xbar_hops = xbar0;
+    NodeId cur = start_router;
+    Dir exit = exit0;
+    for (int steps = 0; steps <= dims_.nodes() + 1; ++steps) {
+      if (exit == Dir::Core) {
+        // Forward origin was this tile's NIC.
+        ci.origin = SegOrigin{true, cur, Dir::Core};
+        return ci;
+      }
+      if (!dims_.has_neighbor(cur, exit)) {
+        throw ConfigError("credit preset at router " + std::to_string(cur) +
+                          " exits off-mesh via " + dir_name(exit));
+      }
+      const NodeId next = dims_.neighbor(cur, exit);
+      const Dir arrive = opposite(exit);  // next's forward output port toward cur
+      ci.mm += 1;
+      const auto cont = bypass_exit(presets.at(next).credit_xbar, arrive, next);
+      if (!cont.has_value()) {
+        // Credit consumed: `next` is the forward origin router, output port
+        // `arrive` is where its free-VC queue lives.
+        ci.origin = SegOrigin{false, next, arrive};
+        return ci;
+      }
+      ci.xbar_hops += 1;
+      cur = next;
+      exit = *cont;
+    }
+    throw ConfigError("credit presets form a loop near router " + std::to_string(start_router));
+  };
+
+  for (NodeId n = 0; n < dims_.nodes(); ++n) {
+    // Router input ports that latch flits (Buffer mux): their credit exits
+    // through the same port the flits arrived on.
+    for (Dir in : kAllDirs) {
+      const auto i = static_cast<std::size_t>(dir_index(in));
+      if (presets.at(n).input_mux[i] != InputMux::Buffer) continue;
+      auto& slot = credit_router_in_[static_cast<std::size_t>(n)][i];
+      if (in == Dir::Core) {
+        // Feeder is this tile's NIC injection stub.
+        slot.origin = SegOrigin{true, n, Dir::Core};
+        slot.mm = 0;
+        continue;
+      }
+      if (!dims_.has_neighbor(n, in)) continue;  // edge port, never fed
+      slot = trace(n, in, 0, 0);
+    }
+    // NIC receive buffers: the credit first crosses this tile's router via
+    // its credit crossbar (entry port Core).
+    auto& nic_slot = credit_nic_[static_cast<std::size_t>(n)];
+    const auto exit0 = bypass_exit(presets.at(n).credit_xbar, Dir::Core, n);
+    if (exit0.has_value()) {
+      nic_slot = trace(n, *exit0, 0, 1);
+    } else {
+      // No credit crosspoint for Core: the feeder is this router's own
+      // ejection stub (flits stopped here and were ejected FromRouter).
+      nic_slot.origin = SegOrigin{false, n, Dir::Core};
+      nic_slot.mm = 0;
+    }
+  }
+}
+
+const Segment& SegmentTable::injection(NodeId n) const {
+  return injection_.at(static_cast<std::size_t>(n));
+}
+
+const std::optional<Segment>& SegmentTable::output(NodeId n, Dir d) const {
+  return output_.at(static_cast<std::size_t>(n))[static_cast<std::size_t>(dir_index(d))];
+}
+
+const std::optional<SegOrigin>& SegmentTable::credit_target_router_input(NodeId n, Dir d) const {
+  return credit_router_in_.at(static_cast<std::size_t>(n))[static_cast<std::size_t>(dir_index(d))]
+      .origin;
+}
+
+const std::optional<SegOrigin>& SegmentTable::credit_target_nic(NodeId n) const {
+  return credit_nic_.at(static_cast<std::size_t>(n)).origin;
+}
+
+int SegmentTable::credit_mm_router_input(NodeId n, Dir d) const {
+  return credit_router_in_.at(static_cast<std::size_t>(n))[static_cast<std::size_t>(dir_index(d))]
+      .mm;
+}
+int SegmentTable::credit_mm_nic(NodeId n) const {
+  return credit_nic_.at(static_cast<std::size_t>(n)).mm;
+}
+int SegmentTable::credit_xbar_hops_router_input(NodeId n, Dir d) const {
+  return credit_router_in_.at(static_cast<std::size_t>(n))[static_cast<std::size_t>(dir_index(d))]
+      .xbar_hops;
+}
+int SegmentTable::credit_xbar_hops_nic(NodeId n) const {
+  return credit_nic_.at(static_cast<std::size_t>(n)).xbar_hops;
+}
+
+}  // namespace smartnoc::noc

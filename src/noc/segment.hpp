@@ -1,0 +1,110 @@
+// Bypass segments: the single-cycle multi-hop paths implied by the presets.
+//
+// A segment starts at a flit source (a NIC's injection port or a stop
+// router's output port) and ends at the next point where flits are latched
+// (a stop router's input buffer or the destination NIC). Everything in
+// between is preset bypass: the flit crosses those routers' crossbars and
+// links combinationally within one cycle, which is exactly the paper's
+// "Single-cycle Multi-hop Asynchronous Repeated Traversal".
+//
+// Segments are *derived* from a PresetTable by walking the preset
+// crosspoints; the walk also validates the presets (no dangling bypass, no
+// loops, HPC_max respected) and builds the reverse credit segments from the
+// credit crossbar, asserting they mirror the forward ones.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "noc/preset.hpp"
+
+namespace smartnoc::noc {
+
+/// Where a forward segment delivers flits.
+struct Endpoint {
+  bool is_nic = false;
+  NodeId node = kInvalidNode;
+  Dir in = Dir::Core;  ///< input port at the stop router (unused for NICs)
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Where a segment originates (used to wire the reverse credit path).
+struct SegOrigin {
+  bool is_nic = false;       ///< true: a NIC's injection port
+  NodeId node = kInvalidNode;
+  Dir out = Dir::Core;       ///< output port at the origin router
+
+  friend bool operator==(const SegOrigin&, const SegOrigin&) = default;
+};
+
+struct Segment {
+  SegOrigin origin;
+  Endpoint ep;
+  int mm = 0;               ///< router-to-router links traversed (1 hop = 1 mm)
+  int bypassed = 0;         ///< routers crossed without stopping
+  /// The bypassed routers in order, for per-router crossbar energy.
+  std::vector<NodeId> bypass_routers;
+  /// The directed mesh links traversed, in order, as (sender node, out
+  /// direction) - one entry per mm. Feeds the VCD tracer and per-link
+  /// utilization reports.
+  std::vector<std::pair<NodeId, Dir>> links;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// All segments of a configured network.
+class SegmentTable {
+ public:
+  SegmentTable(const MeshDims& dims, const NocConfig& cfg, const PresetTable& presets,
+               int hpc_max);
+
+  const MeshDims& dims() const { return dims_; }
+  int hpc_max() const { return hpc_max_; }
+
+  /// Segment carrying flits injected by NIC n. Always present.
+  const Segment& injection(NodeId n) const;
+
+  /// Segment leaving router n through output port d, if that port is used.
+  const std::optional<Segment>& output(NodeId n, Dir d) const;
+
+  /// Reverse credit segment for the feeder of router n's input port d:
+  /// the origin whose free-VC queue tracks this input's VCs.
+  const std::optional<SegOrigin>& credit_target_router_input(NodeId n, Dir d) const;
+
+  /// Reverse credit segment for NIC n's receive buffers (set when some
+  /// segment terminates at that NIC).
+  const std::optional<SegOrigin>& credit_target_nic(NodeId n) const;
+
+  /// mm length of the reverse credit path that serves router input (n,d) /
+  /// NIC n - used for credit-network energy accounting.
+  int credit_mm_router_input(NodeId n, Dir d) const;
+  int credit_mm_nic(NodeId n) const;
+  /// Bypassed credit-crossbar crossings on that reverse path.
+  int credit_xbar_hops_router_input(NodeId n, Dir d) const;
+  int credit_xbar_hops_nic(NodeId n) const;
+
+ private:
+  struct CreditInfo {
+    std::optional<SegOrigin> origin;
+    int mm = 0;
+    int xbar_hops = 0;
+  };
+
+  Segment walk_forward(SegOrigin origin, NodeId first_router, Dir entry_port,
+                       const PresetTable& presets) const;
+  void build_credit_side(const PresetTable& presets);
+
+  MeshDims dims_;
+  int hpc_max_;
+  std::vector<Segment> injection_;                      // [node]
+  std::vector<std::array<std::optional<Segment>, kNumDirs>> output_;  // [node][dir]
+  std::vector<std::array<CreditInfo, kNumDirs>> credit_router_in_;    // [node][dir]
+  std::vector<CreditInfo> credit_nic_;                  // [node]
+  static const std::optional<SegOrigin> kNone;
+};
+
+}  // namespace smartnoc::noc

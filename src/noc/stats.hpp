@@ -1,0 +1,146 @@
+// Measurement: per-packet latency accounting and the activity counters the
+// power model consumes.
+//
+// Latency definitions (all in cycles, matching the paper's conventions):
+//   network latency = head-flit arrival cycle - injection cycle + 1
+//     (a full-bypass SMART packet injected and delivered in the same cycle
+//      scores 1, the paper's "single-cycle" traversal; a baseline-mesh
+//      1-hop packet scores 9 = 1 inject link + 3+1 per hop + 3 + 1 eject);
+//   total latency   = tail arrival - creation + 1 (includes source queueing
+//     and serialization; reported separately).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace smartnoc::noc {
+
+struct FlowStats {
+  std::uint64_t packets = 0;
+  std::uint64_t flits = 0;
+  std::uint64_t sum_network_latency = 0;
+  std::uint64_t sum_total_latency = 0;
+  std::uint64_t sum_queue_latency = 0;
+  Cycle max_network_latency = 0;
+
+  double avg_network_latency() const {
+    return packets ? static_cast<double>(sum_network_latency) / static_cast<double>(packets) : 0.0;
+  }
+  double avg_total_latency() const {
+    return packets ? static_cast<double>(sum_total_latency) / static_cast<double>(packets) : 0.0;
+  }
+  double avg_queue_latency() const {
+    return packets ? static_cast<double>(sum_queue_latency) / static_cast<double>(packets) : 0.0;
+  }
+};
+
+/// Activity counters feeding the Fig. 10b power categories. Counted over
+/// the measurement window only.
+struct ActivityCounters {
+  // Buffer category.
+  std::uint64_t buffer_writes = 0;   ///< flits latched into input VCs
+  std::uint64_t buffer_reads = 0;    ///< flits read for switch traversal
+  // Allocator category.
+  std::uint64_t alloc_grants = 0;    ///< switch/VC allocations (per packet)
+  // Xbar (flit + credit) + pipeline register category.
+  std::uint64_t xbar_flit_traversals = 0;    ///< per flit per crossbar crossed
+  std::uint64_t xbar_credit_traversals = 0;  ///< per credit per credit-crossbar
+  std::uint64_t pipeline_latches = 0;        ///< flits latched at segment ends
+  // Link category.
+  std::uint64_t link_flit_mm = 0;     ///< flit * mm of data wire traversed
+  std::uint64_t link_credit_mm = 0;   ///< credit * mm of credit wire traversed
+  // Clocking (split across categories by the power model).
+  std::uint64_t clocked_inport_cycles = 0;   ///< ungated input-port * cycles
+  std::uint64_t clocked_outport_cycles = 0;  ///< ungated output-port * cycles
+
+  void reset() { *this = ActivityCounters{}; }
+};
+
+class NetworkStats {
+ public:
+  /// Histogram bucket cap: latencies above this are clamped into the last
+  /// bucket (keeps percentile queries O(1)-memory; 4096 cycles is far past
+  /// anything a drained 4x4 run produces).
+  static constexpr std::size_t kMaxLatencyBucket = 4096;
+
+  void record_packet(FlowId flow, int flits, Cycle created, Cycle injected, Cycle head_arrival,
+                     Cycle tail_arrival) {
+    FlowStats& fs = flows_[flow];
+    fs.packets += 1;
+    fs.flits += static_cast<std::uint64_t>(flits);
+    const Cycle net = head_arrival - injected + 1;
+    const Cycle tot = tail_arrival - created + 1;
+    fs.sum_network_latency += net;
+    fs.sum_total_latency += tot;
+    fs.sum_queue_latency += injected - created;
+    if (net > fs.max_network_latency) fs.max_network_latency = net;
+    if (histogram_.empty()) histogram_.resize(kMaxLatencyBucket + 1, 0);
+    histogram_[std::min<std::size_t>(static_cast<std::size_t>(net), kMaxLatencyBucket)] += 1;
+  }
+
+  /// Network-latency percentile in cycles (p in (0,100]); 0 if no packets.
+  Cycle latency_percentile(double p) const {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : histogram_) total += c;
+    if (total == 0) return 0;
+    const auto want = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t lat = 0; lat < histogram_.size(); ++lat) {
+      seen += histogram_[lat];
+      if (seen >= want && histogram_[lat] > 0) return static_cast<Cycle>(lat);
+    }
+    return static_cast<Cycle>(histogram_.size() - 1);
+  }
+
+  const std::map<FlowId, FlowStats>& per_flow() const { return flows_; }
+
+  std::uint64_t total_packets() const {
+    std::uint64_t n = 0;
+    for (const auto& [id, fs] : flows_) n += fs.packets;
+    return n;
+  }
+
+  /// Packet-weighted average network latency across all flows - the
+  /// quantity plotted in Fig. 10a.
+  double avg_network_latency() const {
+    std::uint64_t n = 0, sum = 0;
+    for (const auto& [id, fs] : flows_) {
+      n += fs.packets;
+      sum += fs.sum_network_latency;
+    }
+    return n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+  }
+
+  double avg_total_latency() const {
+    std::uint64_t n = 0, sum = 0;
+    for (const auto& [id, fs] : flows_) {
+      n += fs.packets;
+      sum += fs.sum_total_latency;
+    }
+    return n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+  }
+
+  ActivityCounters& activity() { return activity_; }
+  const ActivityCounters& activity() const { return activity_; }
+
+  Cycle measured_cycles = 0;  ///< length of the measurement window
+
+  /// Clears everything (called at the end of warmup).
+  void reset() {
+    flows_.clear();
+    histogram_.clear();
+    activity_.reset();
+    measured_cycles = 0;
+  }
+
+ private:
+  std::map<FlowId, FlowStats> flows_;
+  std::vector<std::uint64_t> histogram_;
+  ActivityCounters activity_;
+};
+
+}  // namespace smartnoc::noc

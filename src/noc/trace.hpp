@@ -1,0 +1,27 @@
+// Trace observation: a hook the network calls as flits move, feeding the
+// VCD dumper (the paper's power methodology runs PrimePower on VCD
+// activity from post-layout simulation; sim/vcd.hpp reproduces the VCD
+// side of that flow) and any custom instrumentation.
+#pragma once
+
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace smartnoc::noc {
+
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+
+  /// A flit crossed the directed mesh link (from, out) during `cycle`.
+  /// Called once per link of a multi-hop bypass segment - a SMART flit
+  /// produces several calls with the same cycle, which is exactly the
+  /// single-cycle multi-hop signature in the resulting waveform.
+  virtual void flit_on_link(NodeId from, Dir out, const Flit& flit, Cycle cycle) = 0;
+
+  /// A flit was latched at a stop router (is_nic=false) or consumed by the
+  /// destination NIC (is_nic=true).
+  virtual void flit_latched(bool is_nic, NodeId node, const Flit& flit, Cycle cycle) = 0;
+};
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,196 @@
+#include "noc/traffic.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace smartnoc::noc {
+
+TrafficEngine::TrafficEngine(const NocConfig& cfg, const FlowSet& flows, std::uint64_t seed) {
+  gens_.reserve(static_cast<std::size_t>(flows.size()));
+  // Per-NIC serialization limit: a NIC injects one flit per cycle, so the
+  // offered load of its flows must not exceed 1/flits_per_packet packets
+  // per cycle. Exceeding it saturates the source queue; warn loudly.
+  std::vector<double> per_src(static_cast<std::size_t>(cfg.width * cfg.height), 0.0);
+  for (const Flow& f : flows) {
+    Gen g{f.id, f.packets_per_cycle(cfg), make_stream(seed, static_cast<std::uint64_t>(f.id))};
+    if (g.p > 1.0) {
+      throw ConfigError("flow " + f.path.str() + " requires more than one packet per cycle");
+    }
+    per_src[static_cast<std::size_t>(f.src)] += g.p;
+    gens_.push_back(std::move(g));
+  }
+  const double limit = 1.0 / cfg.flits_per_packet();
+  for (std::size_t n = 0; n < per_src.size(); ++n) {
+    if (per_src[n] > limit) {
+      SMARTNOC_LOG_WARN("NIC %zu offered %.4f pkt/cycle > serialization limit %.4f; "
+                        "its source queue will grow",
+                        n, per_src[n], limit);
+    }
+  }
+}
+
+void TrafficEngine::generate(Network& net) {
+  if (!enabled_) return;
+  for (Gen& g : gens_) {
+    if (g.rng.bernoulli(g.p)) {
+      net.offer_packet(g.id, net.now());
+      generated_ += 1;
+    }
+  }
+}
+
+const char* synthetic_name(SyntheticPattern p) {
+  switch (p) {
+    case SyntheticPattern::UniformRandom: return "uniform-random";
+    case SyntheticPattern::Transpose: return "transpose";
+    case SyntheticPattern::BitComplement: return "bit-complement";
+    case SyntheticPattern::Neighbor: return "neighbor";
+    case SyntheticPattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+double mbps_for_packets_per_cycle(const NocConfig& cfg, double packets_per_cycle) {
+  const double bytes_per_packet = cfg.packet_bits / 8.0;
+  const double packets_per_s = packets_per_cycle * cfg.freq_ghz * 1e9;
+  return packets_per_s * bytes_per_packet / 1e6 / cfg.bandwidth_scale;
+}
+
+std::vector<TraceEntry> record_bernoulli_trace(const NocConfig& cfg, const FlowSet& flows,
+                                               std::uint64_t seed, Cycle cycles) {
+  // Mirrors TrafficEngine exactly: one RNG stream per flow, flows drawn in
+  // FlowSet order each cycle.
+  struct Gen {
+    FlowId id;
+    double p;
+    Xoshiro256 rng;
+  };
+  std::vector<Gen> gens;
+  gens.reserve(static_cast<std::size_t>(flows.size()));
+  for (const Flow& f : flows) {
+    gens.push_back(
+        Gen{f.id, f.packets_per_cycle(cfg), make_stream(seed, static_cast<std::uint64_t>(f.id))});
+  }
+  std::vector<TraceEntry> trace;
+  for (Cycle t = 1; t <= cycles; ++t) {
+    for (Gen& g : gens) {
+      if (g.rng.bernoulli(g.p)) trace.push_back(TraceEntry{t, g.id});
+    }
+  }
+  return trace;
+}
+
+std::string serialize_trace(const std::vector<TraceEntry>& trace) {
+  std::string out;
+  char buf[64];
+  for (const auto& e : trace) {
+    std::snprintf(buf, sizeof buf, "%llu %d\n", static_cast<unsigned long long>(e.cycle),
+                  e.flow);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<TraceEntry> parse_trace(const std::string& text) {
+  std::vector<TraceEntry> out;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    auto eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    unsigned long long cycle = 0;
+    int flow = 0;
+    if (std::sscanf(line.c_str(), "%llu %d", &cycle, &flow) != 2) {
+      throw ConfigError("trace line " + std::to_string(line_no) + ": expected '<cycle> <flow>'");
+    }
+    out.push_back(TraceEntry{static_cast<Cycle>(cycle), static_cast<FlowId>(flow)});
+  }
+  return out;
+}
+
+TraceReplayer::TraceReplayer(std::vector<TraceEntry> trace) : trace_(std::move(trace)) {
+  for (std::size_t i = 1; i < trace_.size(); ++i) {
+    if (trace_[i - 1].cycle > trace_[i].cycle) {
+      throw ConfigError("trace entries must be sorted by cycle");
+    }
+  }
+}
+
+void TraceReplayer::generate(Network& net) {
+  if (!enabled_) return;
+  while (next_ < trace_.size() && trace_[next_].cycle <= net.now()) {
+    net.offer_packet(trace_[next_].flow, net.now());
+    ++next_;
+    ++generated_;
+  }
+}
+
+FlowSet make_synthetic_flows(const NocConfig& cfg, SyntheticPattern pattern,
+                             double flits_per_node_cycle, TurnModel model) {
+  const MeshDims dims = cfg.dims();
+  const double pkts_per_node_cycle = flits_per_node_cycle / cfg.flits_per_packet();
+
+  // Destination list per source.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  const int n = dims.nodes();
+  switch (pattern) {
+    case SyntheticPattern::UniformRandom:
+      for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+          if (s != d) pairs.emplace_back(s, d);
+        }
+      }
+      break;
+    case SyntheticPattern::Transpose:
+      for (NodeId s = 0; s < n; ++s) {
+        const Coord c = dims.coord(s);
+        if (c.x < dims.height() && c.y < dims.width()) {
+          const NodeId d = dims.id({c.y, c.x});
+          if (d != s) pairs.emplace_back(s, d);
+        }
+      }
+      break;
+    case SyntheticPattern::BitComplement:
+      for (NodeId s = 0; s < n; ++s) {
+        const NodeId d = n - 1 - s;
+        if (d != s) pairs.emplace_back(s, d);
+      }
+      break;
+    case SyntheticPattern::Neighbor:
+      for (NodeId s = 0; s < n; ++s) {
+        if (dims.has_neighbor(s, Dir::East)) {
+          pairs.emplace_back(s, dims.neighbor(s, Dir::East));
+        }
+      }
+      break;
+    case SyntheticPattern::Hotspot: {
+      const NodeId hot = dims.id({dims.width() / 2, dims.height() / 2});
+      for (NodeId s = 0; s < n; ++s) {
+        if (s != hot) pairs.emplace_back(s, hot);
+      }
+      break;
+    }
+  }
+  SMARTNOC_CHECK(!pairs.empty(), "synthetic pattern produced no flows");
+
+  // Split each source's budget across its flows.
+  std::vector<int> flows_per_src(static_cast<std::size_t>(n), 0);
+  for (const auto& [s, d] : pairs) flows_per_src[static_cast<std::size_t>(s)] += 1;
+
+  FlowSet out;
+  for (const auto& [s, d] : pairs) {
+    const double share = pkts_per_node_cycle / flows_per_src[static_cast<std::size_t>(s)];
+    // Deterministic route choice: first minimal path under the model.
+    RoutePath path = minimal_paths(dims, s, d, model).front();
+    out.add(s, d, mbps_for_packets_per_cycle(cfg, share), std::move(path));
+  }
+  return out;
+}
+
+}  // namespace smartnoc::noc

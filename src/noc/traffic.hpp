@@ -1,0 +1,114 @@
+// Traffic generation.
+//
+// Task-graph traffic (the paper's evaluation): each flow injects packets as
+// a Bernoulli process whose per-cycle probability meets the flow's
+// bandwidth requirement ("modeling a uniform random injection rate to meet
+// the specified bandwidth for each flow", Sec. VI).
+//
+// Synthetic patterns (supporting benches/tests): classic NoC workloads
+// expressed as flow sets so that SMART presets apply to them unchanged.
+// Patterns with one destination per source (transpose, bit-complement,
+// neighbor) let SMART bypass aggressively; uniform-random (all-pairs flows)
+// is SMART's worst case - every port is shared, everything stops, and the
+// paper's observation "in the worst case, if all flows contend, SMART and
+// Mesh will have the same network latency" becomes measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "noc/flow.hpp"
+#include "noc/network_iface.hpp"
+#include "noc/routing.hpp"
+
+namespace smartnoc::noc {
+
+class TrafficEngine {
+ public:
+  TrafficEngine(const NocConfig& cfg, const FlowSet& flows, std::uint64_t seed);
+
+  /// One cycle of generation: Bernoulli draw per flow, offering packets to
+  /// the network at `net.now()`. Call once per tick (after it).
+  void generate(Network& net);
+
+  /// Disables generation (drain phase).
+  void set_enabled(bool e) { enabled_ = e; }
+
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  struct Gen {
+    FlowId id;
+    double p;  // packets per cycle
+    Xoshiro256 rng;
+  };
+  std::vector<Gen> gens_;
+  bool enabled_ = true;
+  std::uint64_t generated_ = 0;
+};
+
+/// Which synthetic pattern to build.
+enum class SyntheticPattern : std::uint8_t {
+  UniformRandom,  ///< all-pairs flows, equal rates (SMART worst case)
+  Transpose,      ///< (x,y) -> (y,x)
+  BitComplement,  ///< node i -> ~i
+  Neighbor,       ///< (x,y) -> (x+1, y) with wraparound suppressed at edges
+  Hotspot,        ///< everyone -> one hot node (plus background neighbor)
+};
+
+const char* synthetic_name(SyntheticPattern p);
+
+/// Builds a flow set for a synthetic pattern at the given aggregate
+/// injection rate (flits per node per cycle), with routes under `model`.
+/// The bandwidth of each flow is derived so the per-node flit rate is met.
+FlowSet make_synthetic_flows(const NocConfig& cfg, SyntheticPattern pattern,
+                             double flits_per_node_cycle, TurnModel model);
+
+/// MB/s that correspond to `packets_per_cycle` packets per cycle under cfg
+/// (inverse of Flow::packets_per_cycle, incl. bandwidth_scale).
+double mbps_for_packets_per_cycle(const NocConfig& cfg, double packets_per_cycle);
+
+// --- Trace record / replay ---------------------------------------------------
+//
+// A packet trace decouples workload generation from simulation: record the
+// Bernoulli process once, then replay it bit-identically against any design
+// (the Fig. 10 methodology sends "the same traffic through the network" for
+// all three designs). Traces serialize to a line-oriented text form
+// ("<cycle> <flow>\n") for archival.
+
+struct TraceEntry {
+  Cycle cycle = 0;
+  FlowId flow = kInvalidFlow;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+/// Pre-computes exactly the packets TrafficEngine(cfg, flows, seed) would
+/// offer during cycles [1, cycles] (same streams, same draw order).
+std::vector<TraceEntry> record_bernoulli_trace(const NocConfig& cfg, const FlowSet& flows,
+                                               std::uint64_t seed, Cycle cycles);
+
+std::string serialize_trace(const std::vector<TraceEntry>& trace);
+std::vector<TraceEntry> parse_trace(const std::string& text);
+
+/// Drop-in replacement for TrafficEngine that replays a trace. Entries
+/// must be sorted by cycle (record_bernoulli_trace output is).
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(std::vector<TraceEntry> trace);
+
+  void generate(Network& net);
+  void set_enabled(bool e) { enabled_ = e; }
+  std::uint64_t generated() const { return generated_; }
+  bool exhausted() const { return next_ >= trace_.size(); }
+
+ private:
+  std::vector<TraceEntry> trace_;
+  std::size_t next_ = 0;
+  bool enabled_ = true;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace smartnoc::noc

@@ -1,0 +1,93 @@
+// Per-event energy model (45nm, 0.9 V, 32-bit flits) feeding the Fig. 10b
+// power breakdown.
+//
+// The paper measures post-layout dynamic power with Synopsys PrimePower
+// from VCD activity; we substitute per-event energies multiplied by
+// simulator activity counters. Constants are representative of 45nm NoC
+// components at Table II's sizes (ORION/DSENT-class values, documented
+// below); the *ratios* - Mesh/SMART ~ 2.2x, Dedicated ~ link-only, link
+// power similar across designs - are what the reproduction checks, since
+// absolute mW depend on the cell library.
+//
+//   buffer_write / read : 32-bit flit into a 10-deep FF-based VC buffer
+//   alloc_grant         : separable switch allocation, per granted packet
+//   xbar_flit           : one 32-bit 5x5 crossbar traversal
+//   xbar_credit         : one 2-bit credit-crossbar traversal
+//   pipe_latch          : latching a 32-bit flit at a segment endpoint
+//   link energies       : from the circuit model (fJ/bit/mm x width)
+//   clock_in/out        : idle clock per *ungated* port per cycle - the
+//                         term SMART's preset-driven clock gating removes
+//                         ("due to clock gating at routers where there is
+//                         no traffic").
+#pragma once
+
+#include "circuit/link_model.hpp"
+#include "common/config.hpp"
+#include "noc/stats.hpp"
+
+namespace smartnoc::power {
+
+struct EnergyParams {
+  double buffer_write_pj = 1.55;
+  double buffer_read_pj = 1.10;
+  double alloc_grant_pj = 0.55;
+  double xbar_flit_pj = 1.05;
+  double xbar_credit_pj = 0.07;
+  double pipe_latch_pj = 0.42;
+  double link_flit_pj_per_mm = 3.33;    // filled from the circuit model
+  double link_credit_pj_per_mm = 0.21;  // credit wires (credit_bits wide)
+  double clock_in_port_pj_per_cycle = 0.042;
+  double clock_out_port_pj_per_cycle = 0.021;
+
+  /// Derives the link energies from the configured swing/frequency via the
+  /// Table I circuit model (e.g. 104 fJ/b/mm x 32 b = 3.33 pJ/flit/mm at
+  /// 2 GHz low swing).
+  static EnergyParams for_config(const NocConfig& cfg) {
+    EnergyParams p;
+    circuit::RepeatedLink link(cfg.link_swing, circuit::SizingPreset::Relaxed2GHz);
+    const double fj_per_bit_mm = link.energy_fj_per_bit_mm(cfg.freq_ghz);
+    p.link_flit_pj_per_mm = fj_per_bit_mm * cfg.flit_bits * 1e-3;
+    p.link_credit_pj_per_mm = fj_per_bit_mm * cfg.credit_bits * 1e-3;
+    return p;
+  }
+};
+
+/// Power by Fig. 10b legend category, in watts.
+struct PowerBreakdown {
+  double buffer_w = 0.0;     ///< "Buffer"
+  double allocator_w = 0.0;  ///< "Allocator"
+  double xbar_pipe_w = 0.0;  ///< "Xbar (flit + credit) + Pipeline register"
+  double link_w = 0.0;       ///< "Link"
+
+  double total() const { return buffer_w + allocator_w + xbar_pipe_w + link_w; }
+};
+
+/// Converts a measurement window's activity into average dynamic power.
+/// Category mapping: buffer r/w + input-port clock -> Buffer; grants ->
+/// Allocator; crossbar flit/credit + latches + output-port clock -> Xbar +
+/// pipeline; wire energy -> Link.
+inline PowerBreakdown compute_power(const NocConfig& cfg, const noc::ActivityCounters& act,
+                                    Cycle cycles, const EnergyParams& p) {
+  PowerBreakdown out;
+  if (cycles == 0) return out;
+  const double window_s = static_cast<double>(cycles) / (cfg.freq_ghz * 1e9);
+  const double pj = 1e-12;
+  out.buffer_w = (static_cast<double>(act.buffer_writes) * p.buffer_write_pj +
+                  static_cast<double>(act.buffer_reads) * p.buffer_read_pj +
+                  static_cast<double>(act.clocked_inport_cycles) * p.clock_in_port_pj_per_cycle) *
+                 pj / window_s;
+  out.allocator_w =
+      static_cast<double>(act.alloc_grants) * p.alloc_grant_pj * pj / window_s;
+  out.xbar_pipe_w =
+      (static_cast<double>(act.xbar_flit_traversals) * p.xbar_flit_pj +
+       static_cast<double>(act.xbar_credit_traversals) * p.xbar_credit_pj +
+       static_cast<double>(act.pipeline_latches) * p.pipe_latch_pj +
+       static_cast<double>(act.clocked_outport_cycles) * p.clock_out_port_pj_per_cycle) *
+      pj / window_s;
+  out.link_w = (static_cast<double>(act.link_flit_mm) * p.link_flit_pj_per_mm +
+                static_cast<double>(act.link_credit_mm) * p.link_credit_pj_per_mm) *
+               pj / window_s;
+  return out;
+}
+
+}  // namespace smartnoc::power

@@ -1,0 +1,63 @@
+// Warmup / measure / drain simulation driver, shared by benches, tests and
+// examples. The measurement protocol:
+//
+//   1. warmup_cycles with traffic on (reaches steady state);
+//   2. stats reset, measure_cycles with traffic on;
+//   3. activity snapshot (the power model's energy window);
+//   4. traffic off, run until the network drains (packets injected during
+//      the window finish and are included in the latency statistics).
+#pragma once
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "noc/network_iface.hpp"
+#include "noc/stats.hpp"
+#include "noc/traffic.hpp"
+
+namespace smartnoc::sim {
+
+struct RunResult {
+  Cycle warmup_cycles = 0;
+  Cycle measure_cycles = 0;
+  Cycle drain_cycles = 0;
+  bool drained = false;
+  std::uint64_t packets_generated = 0;
+  /// Activity during the measurement window only (power model input).
+  noc::ActivityCounters activity;
+};
+
+/// Drives any traffic source with the TrafficEngine duck type (generate /
+/// set_enabled / generated) - noc::TrafficEngine and noc::TraceReplayer.
+template <typename Traffic = noc::TrafficEngine>
+RunResult run_simulation(noc::Network& net, Traffic& traffic, const NocConfig& cfg) {
+  RunResult res;
+  res.warmup_cycles = cfg.warmup_cycles;
+  res.measure_cycles = cfg.measure_cycles;
+
+  for (Cycle c = 0; c < cfg.warmup_cycles; ++c) {
+    net.tick();
+    traffic.generate(net);
+  }
+  net.stats().reset();
+  const std::uint64_t gen_before = traffic.generated();
+
+  for (Cycle c = 0; c < cfg.measure_cycles; ++c) {
+    net.tick();
+    traffic.generate(net);
+  }
+  net.stats().measured_cycles = cfg.measure_cycles;
+  res.activity = net.stats().activity();
+  res.packets_generated = traffic.generated() - gen_before;
+
+  traffic.set_enabled(false);
+  Cycle drained_after = 0;
+  while (!net.drained() && drained_after < cfg.drain_timeout) {
+    net.tick();
+    drained_after += 1;
+  }
+  res.drain_cycles = drained_after;
+  res.drained = net.drained();
+  return res;
+}
+
+}  // namespace smartnoc::sim

@@ -1,0 +1,68 @@
+// VCD (IEEE 1364 value change dump) generation from network traces.
+//
+// The paper's power flow is "post-layout simulation ... We also use the
+// VCD files from these simulations to estimate power using Synopsys Prime
+// Power". This module reproduces the VCD side: a VcdTracer observes the
+// network and dumps one `valid` wire per directed mesh link plus one per
+// NIC ejection port. A SMART multi-hop traversal shows up as several link
+// wires pulsing in the *same* cycle - the waveform signature of
+// single-cycle multi-hop traversal - while the baseline mesh pulses one
+// link per packet per cycle.
+//
+// The dump doubles as a power cross-check: every pulse is one flit-mm, so
+// the total toggle count must equal ActivityCounters::link_flit_mm
+// (pinned by tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "noc/trace.hpp"
+
+namespace smartnoc::sim {
+
+class VcdTracer final : public noc::TraceObserver {
+ public:
+  /// Declares wires for every directed link of the mesh and every NIC
+  /// ejection port. `timescale_ps` is the cycle period (e.g. 500 at 2 GHz).
+  VcdTracer(const MeshDims& dims, double timescale_ps);
+
+  // TraceObserver:
+  void flit_on_link(NodeId from, Dir out, const noc::Flit& flit, Cycle cycle) override;
+  void flit_latched(bool is_nic, NodeId node, const noc::Flit& flit, Cycle cycle) override;
+
+  /// Total link pulses recorded (== flit-mm traversed while attached).
+  std::uint64_t link_toggles() const { return link_toggles_; }
+  std::uint64_t nic_deliveries() const { return nic_deliveries_; }
+
+  /// Renders the complete VCD text (header + time-ordered value changes).
+  std::string str() const;
+
+  /// Writes the dump to a file. Throws SimError on I/O failure.
+  void write(const std::string& path) const;
+
+  /// VCD identifier code for a directed link / NIC port (for tests).
+  std::string link_code(NodeId from, Dir out) const;
+  std::string nic_code(NodeId nic) const;
+
+ private:
+  struct Pulse {
+    int wire;  ///< index into names_/codes_
+  };
+
+  static std::string code_for(int index);
+  int link_index(NodeId from, Dir out) const;
+
+  MeshDims dims_;
+  double timescale_ps_;
+  std::vector<std::string> names_;            ///< wire names, by index
+  std::map<Cycle, std::vector<int>> pulses_;  ///< cycle -> wires high
+  std::uint64_t link_toggles_ = 0;
+  std::uint64_t nic_deliveries_ = 0;
+};
+
+}  // namespace smartnoc::sim

@@ -1,0 +1,137 @@
+#include "smart/config_reg.hpp"
+
+#include <string>
+
+#include "common/bitfield.hpp"
+#include "common/error.hpp"
+
+namespace smartnoc::smart {
+
+using noc::InputMux;
+using noc::PresetTable;
+using noc::RouterPreset;
+using noc::XbarSel;
+
+namespace {
+
+constexpr int kMuxOffset = 0;
+constexpr int kXbarOffset = 5;
+constexpr int kCreditOffset = 20;
+constexpr int kInClockOffset = 35;
+constexpr int kOutClockOffset = 40;
+constexpr int kReservedOffset = 45;
+
+constexpr std::uint64_t kSelFromRouter = 5;
+constexpr std::uint64_t kSelOff = 6;
+
+std::uint64_t encode_sel(const XbarSel& sel) {
+  switch (sel.kind) {
+    case XbarSel::Kind::FromLink: return static_cast<std::uint64_t>(dir_index(sel.link));
+    case XbarSel::Kind::FromRouter: return kSelFromRouter;
+    case XbarSel::Kind::Off: return kSelOff;
+  }
+  return kSelOff;
+}
+
+XbarSel decode_sel(std::uint64_t code) {
+  if (code < 5) return XbarSel{XbarSel::Kind::FromLink, dir_from_index(static_cast<int>(code))};
+  if (code == kSelFromRouter) return XbarSel{XbarSel::Kind::FromRouter, Dir::Core};
+  if (code == kSelOff) return XbarSel{XbarSel::Kind::Off, Dir::Core};
+  throw ConfigError("register image holds unknown crossbar select code " + std::to_string(code));
+}
+
+}  // namespace
+
+std::uint64_t encode_preset(const RouterPreset& p) {
+  std::uint64_t w = 0;
+  for (int i = 0; i < kNumDirs; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    set_bits(w, kMuxOffset + i, 1, p.input_mux[u] == InputMux::Bypass ? 1 : 0);
+    set_bits(w, kXbarOffset + 3 * i, 3, encode_sel(p.xbar[u]));
+    set_bits(w, kCreditOffset + 3 * i, 3, encode_sel(p.credit_xbar[u]));
+    set_bits(w, kInClockOffset + i, 1, p.in_clocked[u] ? 1 : 0);
+    set_bits(w, kOutClockOffset + i, 1, p.out_clocked[u] ? 1 : 0);
+  }
+  return w;
+}
+
+RouterPreset decode_preset(std::uint64_t w) {
+  if (get_bits(w, kReservedOffset, 64 - kReservedOffset) != 0) {
+    throw ConfigError("register image has nonzero reserved bits");
+  }
+  RouterPreset p;
+  for (int i = 0; i < kNumDirs; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    p.input_mux[u] = get_bits(w, kMuxOffset + i, 1) ? InputMux::Bypass : InputMux::Buffer;
+    p.xbar[u] = decode_sel(get_bits(w, kXbarOffset + 3 * i, 3));
+    p.credit_xbar[u] = decode_sel(get_bits(w, kCreditOffset + 3 * i, 3));
+    p.in_clocked[u] = get_bits(w, kInClockOffset + i, 1) != 0;
+    p.out_clocked[u] = get_bits(w, kOutClockOffset + i, 1) != 0;
+  }
+  return p;
+}
+
+RegisterFile::RegisterFile(int routers) {
+  if (routers < 1) throw ConfigError("register file needs at least one router");
+  regs_.resize(static_cast<std::size_t>(routers), encode_preset(RouterPreset{}));
+}
+
+void RegisterFile::store(std::uint64_t addr, std::uint64_t value) {
+  if (addr < kBase || addr % kStride != 0) {
+    throw ConfigError("misaligned or out-of-window register store");
+  }
+  const std::uint64_t idx = (addr - kBase) / kStride;
+  if (idx >= regs_.size()) {
+    throw ConfigError("register store beyond the last router");
+  }
+  (void)decode_preset(value);  // reject malformed images at store time
+  regs_[idx] = value;
+}
+
+std::uint64_t RegisterFile::load(std::uint64_t addr) const {
+  if (addr < kBase || addr % kStride != 0) {
+    throw ConfigError("misaligned or out-of-window register load");
+  }
+  const std::uint64_t idx = (addr - kBase) / kStride;
+  if (idx >= regs_.size()) {
+    throw ConfigError("register load beyond the last router");
+  }
+  return regs_[idx];
+}
+
+PresetTable RegisterFile::decode_all(const MeshDims& dims) const {
+  SMARTNOC_CHECK(dims.nodes() == routers(), "register bank size mismatch");
+  PresetTable t(dims.nodes());
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    t.at(n) = decode_preset(regs_[static_cast<std::size_t>(n)]);
+  }
+  return t;
+}
+
+std::vector<Store> compile_program(const PresetTable& presets) {
+  std::vector<Store> prog;
+  prog.reserve(static_cast<std::size_t>(presets.size()));
+  for (NodeId n = 0; n < presets.size(); ++n) {
+    prog.push_back(Store{RegisterFile::address_of(n), encode_preset(presets.at(n))});
+  }
+  return prog;
+}
+
+std::vector<Store> compile_program_diff(const PresetTable& presets, const RegisterFile& current) {
+  std::vector<Store> prog;
+  for (NodeId n = 0; n < presets.size(); ++n) {
+    const std::uint64_t want = encode_preset(presets.at(n));
+    if (current.load(RegisterFile::address_of(n)) != want) {
+      prog.push_back(Store{RegisterFile::address_of(n), want});
+    }
+  }
+  return prog;
+}
+
+PresetTable roundtrip_through_registers(const PresetTable& presets, const MeshDims& dims) {
+  RegisterFile rf(presets.size());
+  for (const Store& s : compile_program(presets)) rf.store(s.addr, s.value);
+  return rf.decode_all(dims);
+}
+
+}  // namespace smartnoc::smart

@@ -1,0 +1,209 @@
+#include "smart/preset_computer.hpp"
+
+#include <array>
+#include <set>
+#include <string>
+
+#include "circuit/link_model.hpp"
+#include "common/error.hpp"
+
+namespace smartnoc::smart {
+
+using noc::Flow;
+using noc::FlowSet;
+using noc::InputMux;
+using noc::PresetTable;
+using noc::RouterPreset;
+using noc::XbarSel;
+
+namespace {
+
+/// Per-router usage sets extracted from the routed flows.
+struct RouterUse {
+  // outs_of_in[in]: output ports used by flows entering through `in`.
+  std::array<std::set<Dir>, kNumDirs> outs_of_in;
+  // ins_of_out[out]: input ports of flows leaving through `out`.
+  std::array<std::set<Dir>, kNumDirs> ins_of_out;
+};
+
+/// The (router, input, output) pattern of one flow, in path order.
+struct FlowCrossing {
+  NodeId router;
+  Dir in;   // Core at the source router
+  Dir out;  // Core at the destination router
+};
+
+std::vector<FlowCrossing> crossings(const MeshDims& dims, const Flow& f) {
+  std::vector<FlowCrossing> out;
+  const auto routers = f.path.routers(dims);
+  out.reserve(routers.size());
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    FlowCrossing c;
+    c.router = routers[i];
+    c.in = i == 0 ? Dir::Core : opposite(f.path.links[i - 1]);
+    c.out = i + 1 < routers.size() ? f.path.links[i] : Dir::Core;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int effective_hpc_max(const NocConfig& cfg) {
+  if (cfg.hpc_max_override > 0) return cfg.hpc_max_override;
+  const int hpc = circuit::hpc_max_for(cfg.link_swing, cfg.freq_ghz);
+  if (hpc < 1) {
+    throw ConfigError("the link circuit cannot cross even one hop per cycle at " +
+                      std::to_string(cfg.freq_ghz) + " GHz");
+  }
+  return hpc;
+}
+
+PresetBuild compute_presets(const NocConfig& cfg, const FlowSet& flows, int hpc_max,
+                            bool enable_bypass) {
+  const MeshDims dims = cfg.dims();
+  PresetBuild build;
+  build.stops_per_flow.resize(static_cast<std::size_t>(flows.size()));
+
+  if (!enable_bypass) {
+    build.table = PresetTable::all_buffer(dims);
+    for (const Flow& f : flows) {
+      auto& stops = build.stops_per_flow[static_cast<std::size_t>(f.id)];
+      for (const auto& c : crossings(dims, f)) stops.push_back(c.router);
+      build.total_stops += static_cast<int>(stops.size());
+    }
+    return build;
+  }
+
+  // --- Pass 1: usage sets ---------------------------------------------------
+  std::vector<RouterUse> use(static_cast<std::size_t>(dims.nodes()));
+  for (const Flow& f : flows) {
+    for (const auto& c : crossings(dims, f)) {
+      auto& u = use[static_cast<std::size_t>(c.router)];
+      u.outs_of_in[static_cast<std::size_t>(dir_index(c.in))].insert(c.out);
+      u.ins_of_out[static_cast<std::size_t>(dir_index(c.out))].insert(c.in);
+    }
+  }
+
+  // --- Pass 2: structural stops (rules (a) and (b)) --------------------------
+  // buffered[r][in]: flits entering router r through `in` must be latched.
+  std::vector<std::array<bool, kNumDirs>> buffered(static_cast<std::size_t>(dims.nodes()));
+  for (auto& b : buffered) b.fill(false);
+  for (NodeId r = 0; r < dims.nodes(); ++r) {
+    const auto& u = use[static_cast<std::size_t>(r)];
+    for (Dir in : kAllDirs) {
+      const auto& outs = u.outs_of_in[static_cast<std::size_t>(dir_index(in))];
+      if (outs.empty()) continue;
+      bool stop = outs.size() > 1;  // (b) divergence
+      for (Dir o : outs) {
+        if (u.ins_of_out[static_cast<std::size_t>(dir_index(o))].size() > 1) {
+          stop = true;  // (a) output sharing
+        }
+      }
+      buffered[static_cast<std::size_t>(r)][static_cast<std::size_t>(dir_index(in))] = stop;
+    }
+  }
+
+  // --- Pass 3: reach stops (rule (c)), iterated to a fixed point -------------
+  // All flows on a link share the same distance-from-last-stop, so marking
+  // is consistent; marks only add stops, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Flow& f : flows) {
+      int mm = 0;  // links traversed since the last latch point
+      for (const auto& c : crossings(dims, f)) {
+        auto& stop_here =
+            buffered[static_cast<std::size_t>(c.router)][static_cast<std::size_t>(dir_index(c.in))];
+        if (stop_here) {
+          mm = 0;
+        } else if (c.out != Dir::Core && mm + 1 > hpc_max) {
+          // Continuing through this router would overrun the single-cycle
+          // reach: latch here.
+          stop_here = true;
+          changed = true;
+          mm = 0;
+        }
+        if (c.out != Dir::Core) mm += 1;
+      }
+    }
+  }
+
+  // --- Pass 4: build the preset table ----------------------------------------
+  build.table = PresetTable(dims.nodes());
+  for (NodeId r = 0; r < dims.nodes(); ++r) {
+    const auto& u = use[static_cast<std::size_t>(r)];
+    RouterPreset& p = build.table.at(r);
+    for (Dir d : kAllDirs) {
+      const auto i = static_cast<std::size_t>(dir_index(d));
+      p.input_mux[i] = InputMux::Buffer;
+      p.xbar[i] = XbarSel{XbarSel::Kind::Off, Dir::Core};
+      p.credit_xbar[i] = XbarSel{XbarSel::Kind::Off, Dir::Core};
+      p.in_clocked[i] = false;
+      p.out_clocked[i] = false;
+    }
+    for (Dir in : kAllDirs) {
+      const auto i = static_cast<std::size_t>(dir_index(in));
+      const auto& outs = u.outs_of_in[i];
+      if (outs.empty()) continue;
+      if (buffered[static_cast<std::size_t>(r)][i]) {
+        p.input_mux[i] = InputMux::Buffer;
+        p.in_clocked[i] = true;
+      } else {
+        // Unambiguous: exactly one output, exclusively ours.
+        SMARTNOC_CHECK(outs.size() == 1, "bypass input with divergent flows");
+        const Dir o = *outs.begin();
+        const auto oi = static_cast<std::size_t>(dir_index(o));
+        SMARTNOC_CHECK(u.ins_of_out[oi].size() == 1, "bypass crosspoint on a shared output");
+        SMARTNOC_CHECK(p.xbar[oi].kind == XbarSel::Kind::Off, "output preset twice");
+        p.input_mux[i] = InputMux::Bypass;
+        p.xbar[oi] = XbarSel{XbarSel::Kind::FromLink, in};
+        // Credit crossbar: the transpose crosspoint.
+        p.credit_xbar[i] = XbarSel{XbarSel::Kind::FromLink, o};
+      }
+    }
+    // Outputs fed from buffered inputs are arbitrated.
+    for (Dir o : kAllDirs) {
+      const auto oi = static_cast<std::size_t>(dir_index(o));
+      if (u.ins_of_out[oi].empty()) continue;
+      if (p.xbar[oi].kind == XbarSel::Kind::Off) {
+        p.xbar[oi] = XbarSel{XbarSel::Kind::FromRouter, Dir::Core};
+        p.out_clocked[oi] = true;
+      }
+    }
+    // Clock-gating granularity: the preset signals gate at the router
+    // clock-region level ("clock gating at routers where there is no
+    // traffic", Sec. VI). A router with any buffered input or arbitrated
+    // output keeps its clock region - all physically present ports - on;
+    // a router whose traffic is bypass-only is fully gated (the bypass
+    // path is clockless repeaters + preset crossbar).
+    bool region_active = false;
+    for (Dir d : kAllDirs) {
+      const auto i = static_cast<std::size_t>(dir_index(d));
+      region_active = region_active || p.in_clocked[i] || p.out_clocked[i];
+    }
+    if (region_active || !cfg.clock_gate_unused_ports) {
+      for (Dir d : kAllDirs) {
+        const auto i = static_cast<std::size_t>(dir_index(d));
+        const bool exists = d == Dir::Core || dims.has_neighbor(r, d);
+        p.in_clocked[i] = exists;
+        p.out_clocked[i] = exists;
+      }
+    }
+  }
+
+  // --- Pass 5: per-flow stop lists --------------------------------------------
+  for (const Flow& f : flows) {
+    auto& stops = build.stops_per_flow[static_cast<std::size_t>(f.id)];
+    for (const auto& c : crossings(dims, f)) {
+      if (buffered[static_cast<std::size_t>(c.router)]
+                  [static_cast<std::size_t>(dir_index(c.in))]) {
+        stops.push_back(c.router);
+      }
+    }
+    build.total_stops += static_cast<int>(stops.size());
+  }
+  return build;
+}
+
+}  // namespace smartnoc::smart

@@ -1,0 +1,65 @@
+#include "smart/reconfig.hpp"
+
+#include "common/error.hpp"
+
+namespace smartnoc::smart {
+
+ReconfigManager::ReconfigManager(const NocConfig& cfg, bool single_config_core,
+                                 Cycle store_issue_cycles)
+    : cfg_(cfg),
+      single_config_core_(single_config_core),
+      store_issue_cycles_(store_issue_cycles),
+      hpc_max_(effective_hpc_max(cfg)),
+      regs_(cfg.dims().nodes()) {
+  cfg_.validate();
+}
+
+Cycle ReconfigManager::drain_current() {
+  if (!net_) return 0;
+  Cycle drained_after = 0;
+  while (!net_->drained()) {
+    if (drained_after >= cfg_.drain_timeout) {
+      throw SimError("network failed to drain before reconfiguration");
+    }
+    net_->tick();
+    drained_after += 1;
+  }
+  return drained_after;
+}
+
+ReconfigCost ReconfigManager::reconfigure(noc::FlowSet flows) {
+  ReconfigCost cost;
+  cost.drain_cycles = drain_current();
+
+  presets_ = compute_presets(cfg_, flows, hpc_max_, /*enable_bypass=*/true);
+  const auto program = compile_program_diff(presets_.table, regs_);
+  cost.stores = static_cast<int>(program.size());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    regs_.store(program[i].addr, program[i].value);
+    // Cost model: issue cycles per store, plus the ring hop count to reach
+    // router i when one core performs all stores over a side ring.
+    cost.store_cycles += store_issue_cycles_;
+    if (single_config_core_) {
+      const auto ring_pos =
+          static_cast<Cycle>((program[i].addr - RegisterFile::kBase) / RegisterFile::kStride);
+      cost.store_cycles += ring_pos;  // hops along the configuration ring
+    }
+  }
+
+  // Build the new network from the *registers*, not from the computed
+  // table: the encoding path is part of the system under test.
+  noc::PresetTable decoded = regs_.decode_all(cfg_.dims());
+  SMARTNOC_CHECK(decoded == presets_.table, "register round-trip altered the presets");
+  noc::MeshNetwork::Options opt;
+  opt.extra_link_cycle = false;
+  opt.hpc_max = hpc_max_;
+  net_ = std::make_unique<noc::MeshNetwork>(cfg_, std::move(flows), std::move(decoded), opt);
+  return cost;
+}
+
+noc::MeshNetwork& ReconfigManager::network() {
+  if (!net_) throw SimError("no application configured yet");
+  return *net_;
+}
+
+}  // namespace smartnoc::smart

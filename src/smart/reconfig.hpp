@@ -1,0 +1,64 @@
+// Runtime reconfiguration manager: the Fig. 1 flow.
+//
+// Switching applications on a SMART NoC means: drain the network ("the
+// network needs to be emptied while setting the registers"), execute the
+// store program, resume with the new presets. The cost model follows the
+// paper: "the reconfiguration cost at runtime is just the amount of time to
+// execute these instructions. For example, for a 16-node SMART NoC, there
+// are 16 registers to be set which correspond to 16 instructions. If there
+// is only 1 core that can perform the reconfiguration, a separate network
+// (e.g. ring) is required to set these registers."
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/flow.hpp"
+#include "noc/network.hpp"
+#include "smart/config_reg.hpp"
+#include "smart/preset_computer.hpp"
+
+namespace smartnoc::smart {
+
+struct ReconfigCost {
+  Cycle drain_cycles = 0;   ///< emptying the network before the stores
+  int stores = 0;           ///< program length
+  Cycle store_cycles = 0;   ///< issue + ring delivery of every store
+  Cycle total() const { return drain_cycles + store_cycles; }
+};
+
+class ReconfigManager {
+ public:
+  /// `single_config_core`: the paper's single-core variant, where stores
+  /// ride a side ring and pay one hop per ring position; otherwise each
+  /// core writes its own router's register (fully parallel, cost = issue).
+  ReconfigManager(const NocConfig& cfg, bool single_config_core = true,
+                  Cycle store_issue_cycles = 1);
+
+  /// Installs `flows` as the running application: drains the current
+  /// network (if any), compiles + executes the register program (diffed
+  /// against the current bank), and builds the new network from the
+  /// *decoded registers*. Returns the cost of the switch.
+  ReconfigCost reconfigure(noc::FlowSet flows);
+
+  /// The running network (throws if reconfigure was never called).
+  noc::MeshNetwork& network();
+  const PresetBuild& presets() const { return presets_; }
+  const RegisterFile& registers() const { return regs_; }
+  int hpc_max() const { return hpc_max_; }
+
+ private:
+  Cycle drain_current();
+
+  NocConfig cfg_;
+  bool single_config_core_;
+  Cycle store_issue_cycles_;
+  int hpc_max_;
+  RegisterFile regs_;
+  PresetBuild presets_;
+  std::unique_ptr<noc::MeshNetwork> net_;
+};
+
+}  // namespace smartnoc::smart

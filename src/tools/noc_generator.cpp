@@ -1,0 +1,48 @@
+#include "tools/noc_generator.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "smart/config_reg.hpp"
+
+namespace smartnoc::tools {
+
+GeneratedDesign generate_noc(const NocConfig& cfg) {
+  cfg.validate();
+  GeneratedDesign d;
+  d.cfg = cfg;
+  d.rtl = generate_rtl(cfg);
+  const CellOutline cell;
+  d.tx_block = place_vlr_block(cell, cfg.flit_bits);
+  d.rx_block = place_vlr_block(cell, cfg.flit_bits);
+  d.liberty = generate_liberty(cfg, circuit::SizingPreset::Relaxed2GHz);
+  d.lef_tx = generate_lef(d.tx_block, "vlr_tx_" + std::to_string(cfg.flit_bits) + "b");
+  d.lef_rx = generate_lef(d.rx_block, "vlr_rx_" + std::to_string(cfg.flit_bits) + "b");
+  d.floorplan = floorplan_report(cfg);
+  d.router_area = estimate_router_area(cfg);
+  for (NodeId n = 0; n < cfg.dims().nodes(); ++n) {
+    d.register_map.emplace_back(smart::RegisterFile::address_of(n), n);
+  }
+  return d;
+}
+
+std::vector<std::string> GeneratedDesign::write_to(const std::string& dir) const {
+  std::vector<std::string> written;
+  auto write = [&](const std::string& name, const std::string& content) {
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path);
+    if (!out) throw SimError("cannot write " + path);
+    out << content;
+    written.push_back(path);
+  };
+  for (const auto& f : rtl.files) write(f.name, f.content);
+  write("smart_vlr.lib", liberty);
+  write("vlr_tx.lef", lef_tx);
+  write("vlr_rx.lef", lef_rx);
+  write("vlr_tx.def", tx_block.def_text("vlr_tx"));
+  write("vlr_rx.def", rx_block.def_text("vlr_rx"));
+  write("floorplan.txt", floorplan);
+  return written;
+}
+
+}  // namespace smartnoc::tools

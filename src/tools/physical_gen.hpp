@@ -1,0 +1,53 @@
+// Physical-format emitters for the generated VLR blocks and the tiled
+// NoC - the paper's Section V:
+//
+//   "the script also generates the timing liberty format (.lib) and the
+//    library exchange format (.lef) files to allow the generated layout to
+//    be place-and-routed with the router."
+//
+// The .lib timing arcs and power tables are driven by the circuit model
+// (Section III), so changing the sizing preset changes the emitted
+// library; the .lef abstracts the placed Tx/Rx block outline and pins.
+// The floorplanner tiles routers on a hop_mm pitch and prints the Fig. 9
+// style layout report plus the area accounting for Table II's design.
+#pragma once
+
+#include <string>
+
+#include "circuit/link_model.hpp"
+#include "common/config.hpp"
+#include "tools/vlr_placer.hpp"
+
+namespace smartnoc::tools {
+
+/// Liberty (.lib) text for the multi-bit vlr_tx/vlr_rx macros at the given
+/// sizing: pin capacitances, delay arcs (from the repeater timing model)
+/// and internal/leakage power (from the energy model).
+std::string generate_liberty(const NocConfig& cfg, circuit::SizingPreset sizing);
+
+/// LEF macro text for a placed VLR block.
+std::string generate_lef(const VlrBlock& block, const std::string& macro_name);
+
+/// Router area model (45nm, Table II parameters), in um^2.
+struct RouterArea {
+  double buffers_um2 = 0.0;
+  double crossbar_um2 = 0.0;
+  double credit_xbar_um2 = 0.0;
+  double allocator_um2 = 0.0;
+  double vlr_um2 = 0.0;       ///< Tx+Rx blocks on all mesh ports
+  double config_reg_um2 = 0.0;
+  double total() const {
+    return buffers_um2 + crossbar_um2 + credit_xbar_um2 + allocator_um2 + vlr_um2 +
+           config_reg_um2;
+  }
+};
+
+RouterArea estimate_router_area(const NocConfig& cfg);
+
+/// Fig. 9 analog: the tiled floorplan report (ASCII) with per-tile router
+/// placement, link lengths, and the NoC area fraction ("the routers are
+/// assumed to be 1mm spaced and the black regions ... are reserved for
+/// the cores").
+std::string floorplan_report(const NocConfig& cfg);
+
+}  // namespace smartnoc::tools

@@ -1,0 +1,51 @@
+#include "tools/vlr_placer.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace smartnoc::tools {
+
+VlrBlock place_vlr_block(const CellOutline& cell, int bits, int bits_per_row) {
+  if (bits < 1 || bits_per_row < 1) {
+    throw ConfigError("VLR placement needs positive bits and bits_per_row");
+  }
+  VlrBlock b;
+  b.bits = bits;
+  b.cols = bits_per_row;
+  b.rows = (bits + bits_per_row - 1) / bits_per_row;
+  b.width_um = cell.width_um * bits_per_row;
+  b.height_um = cell.height_um * b.rows;
+  b.area_um2 = b.width_um * b.height_um;
+  b.placement.reserve(static_cast<std::size_t>(bits));
+  for (int bit = 0; bit < bits; ++bit) {
+    const int row = bit / bits_per_row;
+    const int col = bit % bits_per_row;
+    PlacedBit p;
+    p.bit = bit;
+    p.x_um = col * cell.width_um;
+    p.y_um = row * cell.height_um;
+    // Alternate row orientation so adjacent rows share supply rails - the
+    // regularity a general-purpose placer would not exploit.
+    p.flipped = (row % 2) == 1;
+    b.placement.push_back(p);
+  }
+  return b;
+}
+
+std::string VlrBlock::def_text(const std::string& block_name) const {
+  std::string s;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "DESIGN %s ;\nDIEAREA ( 0 0 ) ( %.2f %.2f ) ;\nCOMPONENTS %d ;\n",
+                block_name.c_str(), width_um, height_um, bits);
+  s += buf;
+  for (const auto& p : placement) {
+    std::snprintf(buf, sizeof buf, "  - %s_bit%d vlr_cell + PLACED ( %.2f %.2f ) %s ;\n",
+                  block_name.c_str(), p.bit, p.x_um, p.y_um, p.flipped ? "FS" : "N");
+    s += buf;
+  }
+  s += "END COMPONENTS\nEND DESIGN\n";
+  return s;
+}
+
+}  // namespace smartnoc::tools

@@ -1,0 +1,50 @@
+// Multi-bit VLR Tx/Rx block placement - the paper's SKILL-script analog:
+//
+//   "we implement a SKILL script to take 1-bit Tx/Rx layout and data width
+//    as input and place-and-route them regularly to multi-bit Tx/Rx blocks
+//    ... we do not use existing commercial place-and-route tools because
+//    these tools are often designed for general circuit blocks and cannot
+//    leverage the regularity property."
+//
+// The placer tiles the 1-bit cell in `bits_per_row` columns, abutting
+// rows with shared supply rails, and reports the block outline plus the
+// per-bit pin coordinates (a DEF-like placement listing, Fig. 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/repeater.hpp"
+
+namespace smartnoc::tools {
+
+struct CellOutline {
+  double width_um = 2.8;   ///< 1-bit Tx or Rx cell width
+  double height_um = 3.6;  ///< 1-bit cell height (two standard rows)
+};
+
+struct PlacedBit {
+  int bit = 0;
+  double x_um = 0.0;
+  double y_um = 0.0;
+  bool flipped = false;  ///< row-flipped for rail sharing
+};
+
+struct VlrBlock {
+  int bits = 0;
+  int rows = 0;
+  int cols = 0;
+  double width_um = 0.0;
+  double height_um = 0.0;
+  double area_um2 = 0.0;
+  std::vector<PlacedBit> placement;
+
+  /// DEF-style textual placement (Fig. 8 analog).
+  std::string def_text(const std::string& block_name) const;
+};
+
+/// Places a `bits`-wide Tx or Rx block from the 1-bit cell, `bits_per_row`
+/// columns per row (the paper's 32-bit block uses regular rows).
+VlrBlock place_vlr_block(const CellOutline& cell, int bits, int bits_per_row = 8);
+
+}  // namespace smartnoc::tools

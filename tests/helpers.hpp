@@ -1,0 +1,53 @@
+// Shared helpers for network-level tests: single-packet latency probes and
+// small flow-set builders.
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "noc/network_iface.hpp"
+#include "noc/routing.hpp"
+
+namespace smartnoc::testing {
+
+/// A 4x4 Table II configuration with short simulation windows for tests.
+inline NocConfig test_config() {
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.warmup_cycles = 2000;
+  cfg.measure_cycles = 20000;
+  cfg.drain_timeout = 20000;
+  return cfg;
+}
+
+/// Injects one packet on `flow` at cycle `at` and runs until it is
+/// delivered (or max_cycles). Returns the measured network latency.
+inline double single_packet_latency(noc::Network& net, FlowId flow, Cycle max_cycles = 1000) {
+  net.offer_packet(flow, net.now());
+  const auto before = net.stats().total_packets();
+  for (Cycle c = 0; c < max_cycles; ++c) {
+    net.tick();
+    if (net.stats().total_packets() > before) {
+      return net.stats().per_flow().at(flow).avg_network_latency();
+    }
+  }
+  return -1.0;
+}
+
+/// Runs the network until it drains (bounded).
+inline bool run_to_drain(noc::Network& net, Cycle max_cycles = 5000) {
+  for (Cycle c = 0; c < max_cycles; ++c) {
+    if (net.drained()) return true;
+    net.tick();
+  }
+  return net.drained();
+}
+
+/// One-flow flow set along the XY path.
+inline noc::FlowSet one_flow(const NocConfig& cfg, NodeId src, NodeId dst,
+                             double mbps = 100.0) {
+  noc::FlowSet fs;
+  fs.add(src, dst, mbps, noc::xy_path(cfg.dims(), src, dst));
+  return fs;
+}
+
+}  // namespace smartnoc::testing

@@ -1,0 +1,77 @@
+// Repeater-chain transient response: the waveform-level simulation must
+// agree with the closed-form timing model - two independent paths to the
+// same physics.
+#include <gtest/gtest.h>
+
+#include "circuit/chain.hpp"
+#include "circuit/link_model.hpp"
+
+namespace smartnoc::circuit {
+namespace {
+
+TEST(Chain, MeasuredDelayMatchesAnalyticModel) {
+  for (Swing sw : {Swing::Full, Swing::Low}) {
+    for (double rate : {1.0, 2.0, 3.0}) {
+      RepeaterChain chain(sw, SizingPreset::Relaxed2GHz, 8);
+      const auto r = chain.step_response(rate);
+      const double analytic = RepeaterModel::make(sw, SizingPreset::Relaxed2GHz)
+                                  .timing.delay_per_mm_ps(rate);
+      EXPECT_NEAR(r.measured_delay_per_mm_ps, analytic, 1.5)
+          << swing_name(sw) << " @ " << rate << " Gb/s";
+    }
+  }
+}
+
+TEST(Chain, EdgeArrivalsStrictlyOrdered) {
+  RepeaterChain chain(Swing::Low, SizingPreset::Relaxed2GHz, 10);
+  const auto r = chain.step_response(2.0);
+  ASSERT_EQ(r.edge_arrival_ps.size(), 11u);
+  for (std::size_t s = 1; s < r.edge_arrival_ps.size(); ++s) {
+    EXPECT_GT(r.edge_arrival_ps[s], r.edge_arrival_ps[s - 1]) << "stage " << s;
+  }
+}
+
+TEST(Chain, EveryStageSettlesToTheHighLevel) {
+  RepeaterChain chain(Swing::Low, SizingPreset::Relaxed2GHz, 6);
+  const auto r = chain.step_response(2.0);
+  for (const auto& wave : r.stage_waves) {
+    ASSERT_FALSE(wave.empty());
+    const double v_final = wave.back().v;
+    EXPECT_NEAR(v_final, 0.45 * 0.9 + 0.5 * 0.15, 0.02);
+  }
+}
+
+TEST(Chain, EightHopsFitAtTwoGigahertzLowSwing) {
+  // The waveform-level restatement of the paper's headline: 8 mm in one
+  // 500 ps cycle on the low-swing link; 9 must not fit... the analytic
+  // model's floor() sits exactly at 8, so check 8 fits and 10 does not.
+  EXPECT_TRUE(RepeaterChain(Swing::Low, SizingPreset::Relaxed2GHz, 8).fits_in_cycle(2.0));
+  EXPECT_FALSE(RepeaterChain(Swing::Low, SizingPreset::Relaxed2GHz, 10).fits_in_cycle(2.0));
+}
+
+TEST(Chain, FullSwingFitsFewerHopsThanLowSwing) {
+  for (int stages = 1; stages <= 12; ++stages) {
+    RepeaterChain low(Swing::Low, SizingPreset::Relaxed2GHz, stages);
+    RepeaterChain full(Swing::Full, SizingPreset::Relaxed2GHz, stages);
+    if (full.fits_in_cycle(2.0)) {
+      EXPECT_TRUE(low.fits_in_cycle(2.0)) << stages << " stages";
+    }
+  }
+}
+
+TEST(Chain, TotalDelayGrowsLinearly) {
+  const auto d4 = RepeaterChain(Swing::Low, SizingPreset::Relaxed2GHz, 4)
+                      .step_response(2.0).total_delay_ps;
+  const auto d8 = RepeaterChain(Swing::Low, SizingPreset::Relaxed2GHz, 8)
+                      .step_response(2.0).total_delay_ps;
+  const double analytic_mm = RepeaterModel::make(Swing::Low, SizingPreset::Relaxed2GHz)
+                                 .timing.delay_per_mm_ps(2.0);
+  EXPECT_NEAR(d8 - d4, 4.0 * analytic_mm, 3.0);
+}
+
+TEST(Chain, RejectsBadArguments) {
+  EXPECT_DEATH(RepeaterChain(Swing::Low, SizingPreset::Relaxed2GHz, 0), "at least one stage");
+}
+
+}  // namespace
+}  // namespace smartnoc::circuit

@@ -1,0 +1,171 @@
+// Circuit-model regression: Table I, the chip-correlation numbers, and the
+// physical properties the architecture depends on (HPC_max = 8 at 2 GHz).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/link_model.hpp"
+#include "circuit/noise.hpp"
+#include "circuit/wire.hpp"
+
+namespace smartnoc::circuit {
+namespace {
+
+// --- Table I ---------------------------------------------------------------
+
+class Table1 : public ::testing::TestWithParam<Table1Cell> {};
+
+TEST_P(Table1, HopCountMatchesPaper) {
+  const auto& cell = GetParam();
+  EXPECT_EQ(cell.model_hops, cell.paper_hops)
+      << swing_name(cell.swing) << " @ " << cell.rate_gbps << " Gb/s, "
+      << sizing_name(cell.sizing);
+}
+
+TEST_P(Table1, EnergyWithinTwoPercentOrTwoFemtojoule) {
+  const auto& cell = GetParam();
+  const double err = std::abs(cell.model_energy_fj - cell.paper_energy_fj);
+  EXPECT_LE(err, std::max(2.0, 0.02 * cell.paper_energy_fj))
+      << "model " << cell.model_energy_fj << " vs paper " << cell.paper_energy_fj;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, Table1, ::testing::ValuesIn(make_table1()),
+                         [](const auto& pinfo) {
+                           const auto& c = pinfo.param;
+                           return std::string(c.swing == Swing::Full ? "full" : "low") + "_" +
+                                  (c.sizing == SizingPreset::Relaxed2GHz ? "relaxed" : "fab") +
+                                  "_" + std::to_string(static_cast<int>(c.rate_gbps * 10));
+                         });
+
+// --- Headline architectural constants ---------------------------------------
+
+TEST(LinkModel, EightHopsPerCycleAt2GHzLowSwing) {
+  // Paper: "At 2 GHz, 8-hop (8 mm) link can be traversed in a cycle at
+  // 104 fJ/b/mm." This single number sets HPC_max for the whole NoC.
+  EXPECT_EQ(hpc_max_for(Swing::Low, 2.0), 8);
+  RepeatedLink link(Swing::Low, SizingPreset::Relaxed2GHz);
+  EXPECT_NEAR(link.energy_fj_per_bit_mm(2.0), 104.0, 1.0);
+}
+
+TEST(LinkModel, FullSwingReachesSixAt2GHz) {
+  EXPECT_EQ(hpc_max_for(Swing::Full, 2.0), 6);
+}
+
+TEST(LinkModel, LowSwingAlwaysReachesFartherThanFullSwing) {
+  // The reason SMART uses the VLR at all. Property over the usable band.
+  for (SizingPreset s : {SizingPreset::Relaxed2GHz, SizingPreset::FabricatedWide}) {
+    RepeatedLink low(Swing::Low, s), full(Swing::Full, s);
+    for (double rate = 1.0; rate <= 5.5; rate += 0.5) {
+      EXPECT_GE(low.max_hops_per_cycle(rate), full.max_hops_per_cycle(rate))
+          << sizing_name(s) << " @ " << rate;
+    }
+  }
+}
+
+TEST(LinkModel, HopsMonotonicallyDecreaseWithRate) {
+  for (Swing sw : {Swing::Full, Swing::Low}) {
+    RepeatedLink link(sw, SizingPreset::Relaxed2GHz);
+    int prev = 1 << 20;
+    for (double rate = 0.5; rate <= 6.0; rate += 0.25) {
+      const int hops = link.max_hops_per_cycle(rate);
+      EXPECT_LE(hops, prev) << swing_name(sw) << " @ " << rate;
+      prev = hops;
+    }
+  }
+}
+
+TEST(LinkModel, DelayPerMmPositiveAndBounded) {
+  for (Swing sw : {Swing::Full, Swing::Low}) {
+    for (SizingPreset s : {SizingPreset::Relaxed2GHz, SizingPreset::FabricatedWide,
+                           SizingPreset::FabricatedChip}) {
+      RepeatedLink link(sw, s);
+      for (double rate = 0.5; rate <= 8.0; rate += 0.5) {
+        const double d = link.delay_per_mm_ps(rate);
+        EXPECT_GT(d, 5.0);
+        EXPECT_LT(d, 200.0);
+      }
+    }
+  }
+}
+
+TEST(LinkModel, EnergyNonNegativeEverywhere) {
+  for (Swing sw : {Swing::Full, Swing::Low}) {
+    for (SizingPreset s : {SizingPreset::Relaxed2GHz, SizingPreset::FabricatedWide,
+                           SizingPreset::FabricatedChip}) {
+      RepeatedLink link(sw, s);
+      for (double rate = 0.25; rate <= 8.0; rate += 0.25) {
+        EXPECT_GE(link.energy_fj_per_bit_mm(rate), 0.0);
+      }
+    }
+  }
+}
+
+TEST(LinkModel, StaticPowerOnlyWhenEnabledAndOnlyLowSwing) {
+  RepeatedLink low(Swing::Low, SizingPreset::Relaxed2GHz);
+  RepeatedLink full(Swing::Full, SizingPreset::Relaxed2GHz);
+  EXPECT_GT(low.static_power_uw_per_mm(true), 0.0);
+  EXPECT_EQ(low.static_power_uw_per_mm(false), 0.0) << "EN off must kill static power";
+  EXPECT_EQ(full.static_power_uw_per_mm(true), 0.0) << "full swing has no static path";
+}
+
+// --- Chip correlation (Section III measurements) ----------------------------
+
+TEST(ChipCorrelationTest, MaxDataRates) {
+  const auto m = model_chip_correlation();
+  const auto p = paper_chip_correlation();
+  EXPECT_DOUBLE_EQ(m.vlr_max_rate_gbps, p.vlr_max_rate_gbps);    // 6.8
+  EXPECT_DOUBLE_EQ(m.full_max_rate_gbps, p.full_max_rate_gbps);  // 5.5
+}
+
+TEST(ChipCorrelationTest, PowerAtMaxRateWithinFivePercent) {
+  const auto m = model_chip_correlation();
+  const auto p = paper_chip_correlation();
+  EXPECT_NEAR(m.vlr_power_mw_at_max, p.vlr_power_mw_at_max, 0.05 * p.vlr_power_mw_at_max);
+  EXPECT_NEAR(m.full_power_mw_at_55, p.full_power_mw_at_55, 0.05 * p.full_power_mw_at_55);
+  EXPECT_NEAR(m.vlr_power_mw_at_55, p.vlr_power_mw_at_55, 0.05 * p.vlr_power_mw_at_55);
+}
+
+TEST(ChipCorrelationTest, DelayPerMm) {
+  const auto m = model_chip_correlation();
+  EXPECT_NEAR(m.vlr_delay_ps_per_mm, 60.0, 2.0);
+  EXPECT_NEAR(m.full_delay_ps_per_mm, 100.0, 2.0);
+}
+
+TEST(ChipCorrelationTest, VlrBeatsFullSwingAtSameRate) {
+  // At 5.5 Gb/s the paper measures VLR 3.78 mW vs full-swing 4.21 mW.
+  const auto m = model_chip_correlation();
+  EXPECT_LT(m.vlr_power_mw_at_55, m.full_power_mw_at_55);
+}
+
+// --- Noise / wire sanity -----------------------------------------------------
+
+TEST(Noise, OperatingPointsMeetBer) {
+  // All fabricated operating points must clear the paper's BER < 1e-9 bar.
+  for (Swing sw : {Swing::Full, Swing::Low}) {
+    const auto model = RepeaterModel::make(sw, SizingPreset::FabricatedChip);
+    const auto a = analyze_noise(model);
+    EXPECT_TRUE(a.meets_1e9) << swing_name(sw) << " BER " << a.ber;
+  }
+}
+
+TEST(Noise, LowSwingHasSmallerMargin) {
+  const auto low = analyze_noise(RepeaterModel::make(Swing::Low, SizingPreset::FabricatedChip));
+  const auto full = analyze_noise(RepeaterModel::make(Swing::Full, SizingPreset::FabricatedChip));
+  EXPECT_LT(low.noise_margin_v, full.noise_margin_v);
+  EXPECT_GT(low.ber, full.ber);
+}
+
+TEST(Wire, ElmoreDelayQuadraticInLength) {
+  WireParams w = WireParams::min_pitch_45nm();
+  const double d1 = w.elmore_delay_ps(1.0);
+  const double d2 = w.elmore_delay_ps(2.0);
+  EXPECT_NEAR(d2 / d1, 4.0, 1e-9) << "unrepeated wire delay must scale with L^2";
+}
+
+TEST(Wire, WideSpacingCutsCapacitance) {
+  EXPECT_LT(WireParams::wide_spacing_45nm().c_ff_per_mm,
+            WireParams::min_pitch_45nm().c_ff_per_mm);
+}
+
+}  // namespace
+}  // namespace smartnoc::circuit

@@ -1,0 +1,80 @@
+// Fig. 3 waveform synthesis: the low-swing trace must show the locked narrow
+// band with overshoots; the full-swing trace must show (nearly) rail-to-rail
+// excursions that barely settle at 6.8 Gb/s.
+#include <gtest/gtest.h>
+
+#include "circuit/waveform.hpp"
+
+namespace smartnoc::circuit {
+namespace {
+
+constexpr double kRate = 6.8;  // Gb/s, as in Fig. 3
+
+TEST(Waveform, FullSwingApproachesRails) {
+  WaveformSynth synth(Swing::Full, SizingPreset::FabricatedChip, 1.0);  // slow: settles
+  const auto m = synth.measure(WaveformSynth::default_pattern());
+  EXPECT_NEAR(m.v_high, 0.9, 0.05);
+  EXPECT_NEAR(m.v_low, 0.0, 0.05);
+  EXPECT_GT(m.swing, 0.8);
+}
+
+TEST(Waveform, FullSwingBarelySettlesAt68) {
+  // At 6.8 Gb/s the full-swing circuit is past its 5.5 Gb/s limit: the eye
+  // must be visibly degraded relative to the settled swing.
+  WaveformSynth synth(Swing::Full, SizingPreset::FabricatedChip, kRate);
+  const auto m = synth.measure(WaveformSynth::default_pattern());
+  EXPECT_LT(m.eye_height_v, 0.75 * m.swing);
+}
+
+TEST(Waveform, LowSwingStaysInLockedBand) {
+  WaveformSynth synth(Swing::Low, SizingPreset::FabricatedChip, kRate);
+  const auto m = synth.measure(WaveformSynth::default_pattern());
+  // Locked near 0.45 * 0.9 V = 0.405 V with a ~180 mV band.
+  EXPECT_GT(m.v_low, 0.2);
+  EXPECT_LT(m.v_high, 0.7);
+  EXPECT_LT(m.swing, 0.30);
+  EXPECT_GT(m.swing, 0.05);
+}
+
+TEST(Waveform, LowSwingHasFeedbackOvershoot) {
+  WaveformSynth low(Swing::Low, SizingPreset::FabricatedChip, kRate);
+  WaveformSynth full(Swing::Full, SizingPreset::FabricatedChip, 1.0);
+  const auto ml = low.measure(WaveformSynth::default_pattern());
+  const auto mf = full.measure(WaveformSynth::default_pattern());
+  EXPECT_GT(ml.overshoot_v, 0.02) << "delay-cell feedback must produce overshoot";
+  EXPECT_LT(mf.overshoot_v, 0.02) << "first-order full-swing response must not overshoot";
+}
+
+TEST(Waveform, LowSwingEyeOpenAtOperatingPoint) {
+  WaveformSynth synth(Swing::Low, SizingPreset::FabricatedChip, kRate);
+  const auto m = synth.measure(WaveformSynth::default_pattern());
+  EXPECT_GT(m.eye_height_v, 0.05) << "VLR is in spec at 6.8 Gb/s; eye must be open";
+}
+
+TEST(Waveform, SampleCountMatchesDuration) {
+  WaveformSynth synth(Swing::Low, SizingPreset::FabricatedChip, kRate);
+  const auto bits = WaveformSynth::default_pattern();
+  const auto wave = synth.synthesize(bits, 1.0);
+  const double expected_ps = (static_cast<double>(bits.size()) + 1.0) * synth.bit_period_ps();
+  EXPECT_NEAR(static_cast<double>(wave.size()), expected_ps, 2.0);
+}
+
+TEST(Waveform, CsvWellFormed) {
+  WaveformSynth synth(Swing::Full, SizingPreset::FabricatedChip, kRate);
+  const auto wave = synth.synthesize({1, 0}, 10.0);
+  const auto csv = WaveformSynth::to_csv(wave);
+  EXPECT_EQ(csv.rfind("t_ps,v\n", 0), 0u) << "header row";
+  // One line per sample plus header.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), wave.size() + 1);
+}
+
+TEST(Waveform, DeterministicPattern) {
+  const auto a = WaveformSynth::default_pattern();
+  const auto b = WaveformSynth::default_pattern();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);
+}
+
+}  // namespace
+}  // namespace smartnoc::circuit

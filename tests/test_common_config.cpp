@@ -1,0 +1,115 @@
+// NocConfig validation: every inconsistent field combination must be caught
+// at construction, with the paper's Table II defaults passing untouched.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace smartnoc {
+namespace {
+
+TEST(NocConfig, PaperDefaultsValidate) {
+  NocConfig c = NocConfig::paper_4x4();
+  EXPECT_NO_THROW(c.validate());
+  // Table II values.
+  EXPECT_EQ(c.width, 4);
+  EXPECT_EQ(c.height, 4);
+  EXPECT_EQ(c.flit_bits, 32);
+  EXPECT_EQ(c.packet_bits, 256);
+  EXPECT_EQ(c.vcs_per_port, 2);
+  EXPECT_EQ(c.vc_depth_flits, 10);
+  EXPECT_EQ(c.header_bits, 20);
+  EXPECT_EQ(c.credit_bits, 2);
+  EXPECT_DOUBLE_EQ(c.freq_ghz, 2.0);
+  EXPECT_EQ(c.flits_per_packet(), 8);
+}
+
+TEST(NocConfig, PacketMustBeMultipleOfFlit) {
+  NocConfig c;
+  c.packet_bits = 250;
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+TEST(NocConfig, CutThroughNeedsPacketSizedVc) {
+  NocConfig c;
+  c.vc_depth_flits = 7;  // packet is 8 flits
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.vc_depth_flits = 8;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(NocConfig, CreditWidthMatchesPaperFormula) {
+  // credit_bits >= log2(VCs) + 1 valid bit; Table II: 2 VCs -> 2 bits.
+  NocConfig c;
+  c.vcs_per_port = 2;
+  c.credit_bits = 1;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.credit_bits = 2;
+  EXPECT_NO_THROW(c.validate());
+  c.vcs_per_port = 4;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.credit_bits = 3;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(NocConfig, HeaderMustHoldRoute) {
+  // An 8x8 mesh needs 2*(7+7+1)=30 route bits; 20-bit header must fail and
+  // a widened header must pass.
+  NocConfig c;
+  c.width = 8;
+  c.height = 8;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c.header_bits = 40;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(NocConfig, MaxRouteEntries) {
+  NocConfig c;
+  EXPECT_EQ(c.max_route_entries(), 7);  // 3+3 links + ejection on 4x4
+  c.width = 8;
+  c.height = 8;
+  EXPECT_EQ(c.max_route_entries(), 15);
+}
+
+TEST(NocConfig, RejectsBadScalars) {
+  {
+    NocConfig c;
+    c.freq_ghz = 0.0;
+    EXPECT_THROW(c.validate(), ConfigError);
+  }
+  {
+    NocConfig c;
+    c.flit_bits = 0;
+    EXPECT_THROW(c.validate(), ConfigError);
+  }
+  {
+    NocConfig c;
+    c.vcs_per_port = 0;
+    EXPECT_THROW(c.validate(), ConfigError);
+  }
+  {
+    NocConfig c;
+    c.bandwidth_scale = 0.0;
+    EXPECT_THROW(c.validate(), ConfigError);
+  }
+  {
+    NocConfig c;
+    c.width = 0;
+    EXPECT_THROW(c.validate(), ConfigError);
+  }
+}
+
+TEST(NocConfig, CyclePeriod) {
+  NocConfig c;
+  EXPECT_DOUBLE_EQ(c.cycle_ps(), 500.0);  // 2 GHz
+  c.freq_ghz = 4.0;
+  EXPECT_DOUBLE_EQ(c.cycle_ps(), 250.0);
+}
+
+TEST(DesignNames, Stable) {
+  EXPECT_STREQ(design_name(Design::Mesh), "Mesh");
+  EXPECT_STREQ(design_name(Design::Smart), "SMART");
+  EXPECT_STREQ(design_name(Design::Dedicated), "Dedicated");
+}
+
+}  // namespace
+}  // namespace smartnoc

@@ -1,0 +1,99 @@
+// Mesh coordinate arithmetic, parameterized across mesh shapes.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+
+namespace smartnoc {
+namespace {
+
+class MeshShape : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshShape, IdCoordRoundTrip) {
+  const auto [w, h] = GetParam();
+  MeshDims m(w, h);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    EXPECT_EQ(m.id(m.coord(n)), n);
+  }
+}
+
+TEST_P(MeshShape, NeighborSymmetry) {
+  const auto [w, h] = GetParam();
+  MeshDims m(w, h);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    for (Dir d : kMeshDirs) {
+      if (!m.has_neighbor(n, d)) continue;
+      const NodeId nb = m.neighbor(n, d);
+      ASSERT_TRUE(m.has_neighbor(nb, opposite(d)));
+      EXPECT_EQ(m.neighbor(nb, opposite(d)), n);
+      EXPECT_EQ(m.direction_to(n, nb), d);
+      EXPECT_EQ(m.direction_to(nb, n), opposite(d));
+      EXPECT_EQ(m.hop_distance(n, nb), 1);
+    }
+  }
+}
+
+TEST_P(MeshShape, DegreeCountsNeighbors) {
+  const auto [w, h] = GetParam();
+  MeshDims m(w, h);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    int count = 0;
+    for (Dir d : kMeshDirs) count += m.has_neighbor(n, d) ? 1 : 0;
+    EXPECT_EQ(m.degree(n), count);
+  }
+}
+
+TEST_P(MeshShape, HopDistanceIsAMetric) {
+  const auto [w, h] = GetParam();
+  MeshDims m(w, h);
+  const int n = m.nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    EXPECT_EQ(m.hop_distance(a, a), 0);
+    for (NodeId b = 0; b < n; ++b) {
+      EXPECT_EQ(m.hop_distance(a, b), m.hop_distance(b, a));
+      EXPECT_GE(m.hop_distance(a, b), a == b ? 0 : 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshShape,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{4, 4},
+                                           std::pair{8, 8}, std::pair{3, 5}, std::pair{7, 2}),
+                         [](const ::testing::TestParamInfo<MeshShape::ParamType>& pinfo) {
+                           return std::to_string(pinfo.param.first) + "x" +
+                                  std::to_string(pinfo.param.second);
+                         });
+
+TEST(MeshDims, PaperNumbering) {
+  // Fig. 1: node 0 bottom-left, 3 bottom-right, 12 top-left, 15 top-right.
+  MeshDims m(4, 4);
+  EXPECT_EQ(m.id({0, 0}), 0);
+  EXPECT_EQ(m.id({3, 0}), 3);
+  EXPECT_EQ(m.id({0, 3}), 12);
+  EXPECT_EQ(m.id({3, 3}), 15);
+  // Fig. 7 flows: router 9 and 10 are adjacent, East of 9 is 10.
+  EXPECT_EQ(m.neighbor(9, Dir::East), 10);
+  EXPECT_EQ(m.neighbor(3, Dir::North), 7);
+}
+
+TEST(MeshDims, MaxHopDistanceIsDiameter) {
+  MeshDims m(4, 4);
+  EXPECT_EQ(m.hop_distance(0, 15), 6);  // the 4x4 diameter the paper relies on
+}
+
+TEST(MeshDims, CenterHasMostNeighbors) {
+  // NMAP's first placement step targets "the core with the most number of
+  // neighbours (i.e. middle of the mesh)".
+  MeshDims m(4, 4);
+  EXPECT_EQ(m.degree(5), 4);
+  EXPECT_EQ(m.degree(0), 2);
+  EXPECT_EQ(m.degree(1), 3);
+}
+
+TEST(MeshDims, InvalidDimensionsThrow) {
+  EXPECT_THROW(MeshDims(0, 4), ConfigError);
+  EXPECT_THROW(MeshDims(4, -1), ConfigError);
+}
+
+}  // namespace
+}  // namespace smartnoc

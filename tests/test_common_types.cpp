@@ -1,0 +1,105 @@
+// Direction algebra: the turn/direction vocabulary underpins the source-route
+// codec and every preset computation, so its properties are pinned here.
+#include <gtest/gtest.h>
+
+#include "common/bitfield.hpp"
+#include "common/types.hpp"
+
+namespace smartnoc {
+namespace {
+
+TEST(Dir, OppositeIsInvolution) {
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(opposite(opposite(d)), d) << dir_name(d);
+  }
+}
+
+TEST(Dir, OppositePairs) {
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::Core), Dir::Core);
+}
+
+TEST(Dir, IndexRoundTrip) {
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(dir_from_index(dir_index(d)), d);
+  }
+}
+
+TEST(Turn, StraightKeepsDirection) {
+  for (Dir d : kMeshDirs) {
+    EXPECT_EQ(apply_turn(d, Turn::Straight), d);
+  }
+}
+
+TEST(Turn, EjectAlwaysCore) {
+  for (Dir d : kMeshDirs) {
+    EXPECT_EQ(apply_turn(d, Turn::Eject), Dir::Core);
+  }
+}
+
+TEST(Turn, LeftThenRightIdentity) {
+  // Turning left then resolving the turn back must recover Turn::Left.
+  for (Dir moving : kMeshDirs) {
+    const Dir left = apply_turn(moving, Turn::Left);
+    const Dir right = apply_turn(moving, Turn::Right);
+    EXPECT_EQ(turn_between(moving, left), Turn::Left) << dir_name(moving);
+    EXPECT_EQ(turn_between(moving, right), Turn::Right) << dir_name(moving);
+    EXPECT_EQ(turn_between(moving, moving), Turn::Straight);
+    EXPECT_NE(left, right);
+    EXPECT_NE(left, moving);
+    EXPECT_NE(right, moving);
+  }
+}
+
+TEST(Turn, FourLeftsIsFullCircle) {
+  for (Dir start : kMeshDirs) {
+    Dir d = start;
+    for (int i = 0; i < 4; ++i) d = apply_turn(d, Turn::Left);
+    EXPECT_EQ(d, start);
+  }
+}
+
+TEST(Turn, LeftMatchesCompass) {
+  // +x East, +y North: moving East, left is North.
+  EXPECT_EQ(apply_turn(Dir::East, Turn::Left), Dir::North);
+  EXPECT_EQ(apply_turn(Dir::North, Turn::Left), Dir::West);
+  EXPECT_EQ(apply_turn(Dir::West, Turn::Left), Dir::South);
+  EXPECT_EQ(apply_turn(Dir::South, Turn::Left), Dir::East);
+}
+
+TEST(Bitfield, SetGetRoundTrip) {
+  std::uint64_t w = 0;
+  set_bits(w, 3, 5, 0b10110);
+  EXPECT_EQ(get_bits(w, 3, 5), 0b10110u);
+  set_bits(w, 20, 10, 777);
+  EXPECT_EQ(get_bits(w, 20, 10), 777u);
+  EXPECT_EQ(get_bits(w, 3, 5), 0b10110u) << "fields must not clobber each other";
+}
+
+TEST(Bitfield, OverwriteClearsOldValue) {
+  std::uint64_t w = ~0ULL;
+  set_bits(w, 8, 4, 0);
+  EXPECT_EQ(get_bits(w, 8, 4), 0u);
+  EXPECT_EQ(get_bits(w, 12, 4), 0xFu);
+  EXPECT_EQ(get_bits(w, 4, 4), 0xFu);
+}
+
+TEST(Bitfield, FullWordField) {
+  std::uint64_t w = 0;
+  set_bits(w, 0, 64, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(get_bits(w, 0, 64), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(Bitfield, BitsFor) {
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(5), 3);
+  EXPECT_EQ(bits_for(16), 4);
+  EXPECT_EQ(bits_for(17), 5);
+}
+
+}  // namespace
+}  // namespace smartnoc

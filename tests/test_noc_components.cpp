@@ -1,0 +1,154 @@
+// Component-level behaviour: VC buffers, round-robin fairness, traffic
+// engine rates, flow construction.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "noc/arbiter.hpp"
+#include "noc/buffer.hpp"
+#include "noc/flow.hpp"
+#include "noc/routing.hpp"
+#include "noc/traffic.hpp"
+
+namespace smartnoc::noc {
+namespace {
+
+TEST(VcBufferTest, FifoOrder) {
+  VcBuffer b(4);
+  for (int i = 0; i < 4; ++i) {
+    Flit f;
+    f.seq = static_cast<std::uint8_t>(i);
+    b.push(f);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(b.pop().seq, i);
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(VcBufferTest, RequestLifecycle) {
+  VcBuffer b(4);
+  EXPECT_FALSE(b.has_request());
+  b.set_request(Dir::East);
+  EXPECT_TRUE(b.has_request());
+  EXPECT_EQ(b.requested_out(), Dir::East);
+  b.clear_request();
+  EXPECT_FALSE(b.has_request());
+}
+
+TEST(ArbiterTest, GrantsOnlyRequesters) {
+  RoundRobinArbiter arb(4);
+  std::vector<bool> req = {false, true, false, true};
+  for (int i = 0; i < 8; ++i) {
+    const auto g = arb.arbitrate(req);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_TRUE(req[static_cast<std::size_t>(*g)]);
+  }
+}
+
+TEST(ArbiterTest, NoRequestsNoGrant) {
+  RoundRobinArbiter arb(3);
+  EXPECT_FALSE(arb.arbitrate({false, false, false}).has_value());
+}
+
+TEST(ArbiterTest, RoundRobinIsFairUnderSaturation) {
+  RoundRobinArbiter arb(5);
+  std::vector<bool> req(5, true);
+  std::vector<int> grants(5, 0);
+  for (int i = 0; i < 1000; ++i) {
+    grants[static_cast<std::size_t>(*arb.arbitrate(req))] += 1;
+  }
+  for (int g : grants) EXPECT_EQ(g, 200);
+}
+
+TEST(ArbiterTest, NoStarvationWithAsymmetricLoad) {
+  // Requester 0 always requests; requester 3 requests every cycle too;
+  // the pointer guarantees alternation.
+  RoundRobinArbiter arb(4);
+  std::vector<bool> req = {true, false, false, true};
+  int zero = 0, three = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int g = *arb.arbitrate(req);
+    (g == 0 ? zero : three) += 1;
+  }
+  EXPECT_EQ(zero, 50);
+  EXPECT_EQ(three, 50);
+}
+
+TEST(FlowTest, PacketsPerCycleConversion) {
+  NocConfig cfg;  // 2 GHz, 256-bit packets = 32 B
+  FlowSet fs;
+  fs.add(0, 1, 640.0, xy_path(cfg.dims(), 0, 1));  // 640 MB/s
+  // 640e6 B/s / 32 B = 2e7 pkt/s; / 2e9 cycles/s = 0.01 pkt/cycle.
+  EXPECT_NEAR(fs.at(0).packets_per_cycle(cfg), 0.01, 1e-12);
+}
+
+TEST(FlowTest, BandwidthScaleMultiplies) {
+  NocConfig cfg;
+  cfg.bandwidth_scale = 100.0;  // the paper's MMS x100 scaling
+  FlowSet fs;
+  fs.add(0, 1, 6.4, xy_path(cfg.dims(), 0, 1));
+  EXPECT_NEAR(fs.at(0).packets_per_cycle(cfg), 0.01, 1e-12);
+}
+
+TEST(FlowTest, RejectsSelfFlow) {
+  FlowSet fs;
+  RoutePath p;
+  p.src = 3;
+  p.dst = 3;
+  EXPECT_THROW(fs.add(3, 3, 10.0, p), ConfigError);
+}
+
+TEST(FlowTest, MbpsInversion) {
+  NocConfig cfg;
+  const double mbps = mbps_for_packets_per_cycle(cfg, 0.02);
+  FlowSet fs;
+  fs.add(0, 1, mbps, xy_path(cfg.dims(), 0, 1));
+  EXPECT_NEAR(fs.at(0).packets_per_cycle(cfg), 0.02, 1e-12);
+}
+
+TEST(SyntheticTest, UniformRandomIsAllPairs) {
+  NocConfig cfg;
+  const auto fs = make_synthetic_flows(cfg, SyntheticPattern::UniformRandom, 0.1,
+                                       TurnModel::XY);
+  EXPECT_EQ(fs.size(), 16 * 15);
+}
+
+TEST(SyntheticTest, TransposeExcludesDiagonal) {
+  NocConfig cfg;
+  const auto fs = make_synthetic_flows(cfg, SyntheticPattern::Transpose, 0.1, TurnModel::XY);
+  EXPECT_EQ(fs.size(), 12);  // 16 nodes minus 4 on the diagonal
+  for (const auto& f : fs) {
+    const Coord c = cfg.dims().coord(f.src);
+    EXPECT_EQ(f.dst, cfg.dims().id({c.y, c.x}));
+  }
+}
+
+TEST(SyntheticTest, PerSourceRateSplitsAcrossFlows) {
+  NocConfig cfg;
+  const double rate = 0.08;  // flits/node/cycle -> 0.01 pkt/node/cycle
+  const auto fs = make_synthetic_flows(cfg, SyntheticPattern::UniformRandom, rate,
+                                       TurnModel::XY);
+  double per_src0 = 0.0;
+  for (const auto& f : fs) {
+    if (f.src == 0) per_src0 += f.packets_per_cycle(cfg);
+  }
+  EXPECT_NEAR(per_src0, rate / cfg.flits_per_packet(), 1e-9);
+}
+
+TEST(SyntheticTest, HotspotTargetsCenter) {
+  NocConfig cfg;
+  const auto fs = make_synthetic_flows(cfg, SyntheticPattern::Hotspot, 0.1, TurnModel::XY);
+  const NodeId hot = cfg.dims().id({2, 2});
+  EXPECT_EQ(fs.size(), 15);
+  for (const auto& f : fs) EXPECT_EQ(f.dst, hot);
+}
+
+TEST(SyntheticTest, RatesAboveOnePacketPerCycleRejected) {
+  NocConfig cfg;
+  FlowSet fs;
+  fs.add(0, 1, mbps_for_packets_per_cycle(cfg, 1.5), xy_path(cfg.dims(), 0, 1));
+  EXPECT_THROW(noc::TrafficEngine(cfg, fs, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace smartnoc::noc

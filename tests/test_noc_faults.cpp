@@ -1,0 +1,138 @@
+// Fault-aware routing (the non-minimal-routes extension): minimal paths
+// preferred, BFS detours when a link dies, unreachability reported, and
+// end-to-end operation of a SMART network built on detoured routes.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "noc/faults.hpp"
+#include "smart/smart_network.hpp"
+
+namespace smartnoc::noc {
+namespace {
+
+using smartnoc::testing::test_config;
+
+TEST(Faults, EmptySetKeepsMinimalRoute) {
+  MeshDims dims(4, 4);
+  FaultSet faults;
+  const auto p = route_around_faults(dims, 0, 3, TurnModel::XY, faults);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 3);
+}
+
+TEST(Faults, PicksSurvivingMinimalPathFirst) {
+  // Kill the bottom-row link 1->2; west-first offers minimal alternatives
+  // for the eastbound pair 0->10, so the route stays minimal.
+  MeshDims dims(4, 4);
+  FaultSet faults;
+  faults.fail_link(dims, 1, Dir::East);
+  const auto p = route_around_faults(dims, 0, 10, TurnModel::WestFirst, faults);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), dims.hop_distance(0, 10));
+  EXPECT_TRUE(faults.path_alive(dims, *p));
+}
+
+TEST(Faults, DetoursWhenAllMinimalPathsDie) {
+  // 0 -> 3 along the bottom row has a single XY path; cutting 1->2 forces
+  // a 2-hop detour (5 links instead of 3).
+  MeshDims dims(4, 4);
+  FaultSet faults;
+  faults.fail_link(dims, 1, Dir::East);
+  const auto p = route_around_faults(dims, 0, 3, TurnModel::XY, faults);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hops(), 5);
+  EXPECT_TRUE(faults.path_alive(dims, *p));
+  EXPECT_EQ(p->routers(dims).back(), 3);
+}
+
+TEST(Faults, ReportsUnreachable) {
+  // Sever node 0 completely (both its links, both directions).
+  MeshDims dims(4, 4);
+  FaultSet faults;
+  faults.fail_link(dims, 0, Dir::East);
+  faults.fail_link(dims, 0, Dir::North);
+  EXPECT_FALSE(route_around_faults(dims, 0, 15, TurnModel::XY, faults).has_value());
+  EXPECT_FALSE(route_around_faults(dims, 15, 0, TurnModel::XY, faults).has_value());
+}
+
+TEST(Faults, BothDirectionsFailTogetherByDefault) {
+  MeshDims dims(4, 4);
+  FaultSet faults;
+  faults.fail_link(dims, 5, Dir::East);
+  EXPECT_TRUE(faults.is_failed(5, Dir::East));
+  EXPECT_TRUE(faults.is_failed(6, Dir::West));
+  EXPECT_EQ(faults.count(), 2);
+}
+
+TEST(Faults, DetouredRouteRunsOnSmart) {
+  // The detoured (non-minimal) route must encode, preset and simulate:
+  // the paper's claim is that the detour costs no extra router delay when
+  // it stays within HPC_max - latency remains a single cycle.
+  const NocConfig cfg = test_config();
+  const MeshDims dims = cfg.dims();
+  FaultSet faults;
+  faults.fail_link(dims, 1, Dir::East);
+  const auto detour = route_around_faults(dims, 0, 3, TurnModel::XY, faults);
+  ASSERT_TRUE(detour.has_value());
+  FlowSet fs;
+  fs.add(0, 3, 100.0, *detour);
+  auto smart = smart::make_smart_network(cfg, std::move(fs));
+  EXPECT_TRUE(smart.presets.stops_per_flow.at(0).empty()) << "5 mm detour < HPC_max 8";
+  EXPECT_DOUBLE_EQ(smartnoc::testing::single_packet_latency(*smart.net, 0), 1.0);
+}
+
+TEST(Faults, DetourBeyondHpcGainsOneStop) {
+  // Same scenario with HPC_max 4: the 5 mm detour must split into two
+  // segments - one stop, 4 cycles, instead of failing.
+  NocConfig cfg = test_config();
+  cfg.hpc_max_override = 4;
+  const MeshDims dims = cfg.dims();
+  FaultSet faults;
+  faults.fail_link(dims, 1, Dir::East);
+  const auto detour = route_around_faults(dims, 0, 3, TurnModel::XY, faults);
+  FlowSet fs;
+  fs.add(0, 3, 100.0, *detour);
+  auto smart = smart::make_smart_network(cfg, std::move(fs));
+  EXPECT_EQ(smart.presets.stops_per_flow.at(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(smartnoc::testing::single_packet_latency(*smart.net, 0), 4.0);
+}
+
+class RandomFaults : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFaults, AllPairsStayRoutedOrReportedUnreachable) {
+  // Property: for every (src,dst) pair and every single-link failure, the
+  // router either produces a live route or proves unreachability (never a
+  // route through the dead link, never an exception).
+  MeshDims dims(4, 4);
+  const int link_idx = GetParam();
+  // Enumerate the link_idx-th directed East/North link.
+  int count = 0;
+  FaultSet faults;
+  for (NodeId n = 0; n < dims.nodes() && faults.empty(); ++n) {
+    for (Dir d : {Dir::East, Dir::North}) {
+      if (!dims.has_neighbor(n, d)) continue;
+      if (count == link_idx) {
+        faults.fail_link(dims, n, d);
+        break;
+      }
+      ++count;
+    }
+  }
+  ASSERT_FALSE(faults.empty());
+  for (NodeId s = 0; s < dims.nodes(); ++s) {
+    for (NodeId d = 0; d < dims.nodes(); ++d) {
+      if (s == d) continue;
+      const auto p = route_around_faults(dims, s, d, TurnModel::XY, faults);
+      ASSERT_TRUE(p.has_value()) << "single link failure cannot partition a 4x4 mesh";
+      EXPECT_TRUE(faults.path_alive(dims, *p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryLink, RandomFaults, ::testing::Range(0, 24),
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "link" + std::to_string(pinfo.param);
+                         });
+
+}  // namespace
+}  // namespace smartnoc::noc

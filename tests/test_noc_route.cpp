@@ -1,0 +1,113 @@
+// Source-route codec: the paper's 2-bit-per-router encoding must round-trip
+// every minimal path of every (src,dst) pair on several mesh shapes.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "noc/route.hpp"
+#include "noc/routing.hpp"
+
+namespace smartnoc::noc {
+namespace {
+
+class RouteRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RouteRoundTrip, XyPathsEncodeDecode) {
+  const auto [w, h] = GetParam();
+  MeshDims dims(w, h);
+  for (NodeId s = 0; s < dims.nodes(); ++s) {
+    for (NodeId d = 0; d < dims.nodes(); ++d) {
+      if (s == d) continue;
+      const RoutePath path = xy_path(dims, s, d);
+      const SourceRoute enc = SourceRoute::encode(path);
+      ASSERT_EQ(enc.entries(), path.hops() + 1) << path.str();
+      const RoutePath back = enc.decode(s, dims);
+      ASSERT_EQ(back.dst, d) << path.str();
+      ASSERT_EQ(back.links, path.links) << path.str();
+    }
+  }
+}
+
+TEST_P(RouteRoundTrip, AllWestFirstPathsEncodeDecode) {
+  const auto [w, h] = GetParam();
+  MeshDims dims(w, h);
+  for (NodeId s = 0; s < dims.nodes(); ++s) {
+    for (NodeId d = 0; d < dims.nodes(); ++d) {
+      if (s == d) continue;
+      for (const RoutePath& path : minimal_paths(dims, s, d, TurnModel::WestFirst)) {
+        const SourceRoute enc = SourceRoute::encode(path);
+        const RoutePath back = enc.decode(s, dims);
+        ASSERT_EQ(back.links, path.links) << path.str();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RouteRoundTrip,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4}, std::pair{3, 5},
+                                           std::pair{5, 3}),
+                         [](const ::testing::TestParamInfo<std::pair<int, int>>& pinfo) {
+                           return std::to_string(pinfo.param.first) + "x" +
+                                  std::to_string(pinfo.param.second);
+                         });
+
+TEST(SourceRouteTest, HeaderBudgetOn4x4) {
+  // Table II: 20-bit head header. The longest 4x4 route (6 links + eject)
+  // must fit with room for the VC id and flit type.
+  MeshDims dims(4, 4);
+  const SourceRoute r = SourceRoute::encode(xy_path(dims, 0, 15));
+  EXPECT_EQ(r.entries(), 7);
+  EXPECT_EQ(r.bits(), 14);
+  EXPECT_LE(r.bits() + 1 /*vc*/ + 2 /*type*/, 20);
+}
+
+TEST(SourceRouteTest, OutputAtSourceIsAbsolute) {
+  MeshDims dims(4, 4);
+  const SourceRoute r = SourceRoute::encode(xy_path(dims, 5, 7));  // E,E
+  EXPECT_EQ(r.output_at(0, Dir::Core), Dir::East);
+}
+
+TEST(SourceRouteTest, OutputAtIntermediateIsRelative) {
+  MeshDims dims(4, 4);
+  // Path 0 -> 2 -> 10: E,E then N,N would be 0->1->2->6->10: links E,E,N,N.
+  const SourceRoute r = SourceRoute::encode(xy_path(dims, 0, 10));
+  // Router 1: arrived from West (moving East), going straight East.
+  EXPECT_EQ(r.output_at(1, Dir::West), Dir::East);
+  // Router 2: arrived from West (moving East), turning Left to North.
+  EXPECT_EQ(r.output_at(2, Dir::West), Dir::North);
+  // Router 6: arrived from South (moving North), straight.
+  EXPECT_EQ(r.output_at(3, Dir::South), Dir::North);
+  // Router 10: eject.
+  EXPECT_EQ(r.output_at(4, Dir::South), Dir::Core);
+}
+
+TEST(SourceRouteTest, RejectsEmptyAndUturns) {
+  RoutePath empty;
+  empty.src = 0;
+  empty.dst = 0;
+  EXPECT_THROW(SourceRoute::encode(empty), ConfigError);
+
+  RoutePath uturn;
+  uturn.src = 0;
+  uturn.dst = 0;
+  uturn.links = {Dir::East, Dir::West};
+  EXPECT_THROW(SourceRoute::encode(uturn), ConfigError);
+}
+
+TEST(SourceRouteTest, RejectsOverlongRoute) {
+  // 32 entries x 2 bits = 64 is the cap; 33 must throw.
+  RoutePath long_path;
+  long_path.src = 0;
+  long_path.dst = 0;
+  for (int i = 0; i < 32; ++i) long_path.links.push_back(Dir::East);
+  EXPECT_THROW(SourceRoute::encode(long_path), ConfigError);
+}
+
+TEST(RoutePathTest, RoutersListsEveryVisitedNode) {
+  MeshDims dims(4, 4);
+  const RoutePath p = xy_path(dims, 8, 3);  // 8 -> 9 -> 10 -> 11 -> 7 -> 3
+  const auto routers = p.routers(dims);
+  EXPECT_EQ(routers, (std::vector<NodeId>{8, 9, 10, 11, 7, 3}));
+}
+
+}  // namespace
+}  // namespace smartnoc::noc

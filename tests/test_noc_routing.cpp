@@ -1,0 +1,114 @@
+// Turn-model routing: minimality, legality, determinism, and the deadlock
+// argument's structural premise (no forbidden turn ever appears).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/routing.hpp"
+
+namespace smartnoc::noc {
+namespace {
+
+TEST(TurnRules, XyForbidsVerticalToHorizontal) {
+  EXPECT_FALSE(turn_allowed(TurnModel::XY, Dir::North, Dir::East));
+  EXPECT_FALSE(turn_allowed(TurnModel::XY, Dir::South, Dir::West));
+  EXPECT_TRUE(turn_allowed(TurnModel::XY, Dir::East, Dir::North));
+  EXPECT_TRUE(turn_allowed(TurnModel::XY, Dir::West, Dir::South));
+}
+
+TEST(TurnRules, WestFirstForbidsOnlyTurnsIntoWest) {
+  for (Dir from : kMeshDirs) {
+    for (Dir to : kMeshDirs) {
+      if (to == opposite(from)) {
+        EXPECT_FALSE(turn_allowed(TurnModel::WestFirst, from, to));
+      } else if (to == Dir::West && from != Dir::West) {
+        EXPECT_FALSE(turn_allowed(TurnModel::WestFirst, from, to));
+      } else {
+        EXPECT_TRUE(turn_allowed(TurnModel::WestFirst, from, to))
+            << dir_name(from) << "->" << dir_name(to);
+      }
+    }
+  }
+}
+
+TEST(TurnRules, UturnsNeverAllowed) {
+  for (TurnModel m : {TurnModel::XY, TurnModel::WestFirst}) {
+    for (Dir d : kMeshDirs) {
+      EXPECT_FALSE(turn_allowed(m, d, opposite(d)));
+    }
+  }
+}
+
+class RoutingOnMesh : public ::testing::TestWithParam<TurnModel> {};
+
+TEST_P(RoutingOnMesh, AllPathsMinimalAndLegal) {
+  MeshDims dims(4, 4);
+  for (NodeId s = 0; s < dims.nodes(); ++s) {
+    for (NodeId d = 0; d < dims.nodes(); ++d) {
+      if (s == d) continue;
+      const auto paths = minimal_paths(dims, s, d, GetParam());
+      ASSERT_FALSE(paths.empty());
+      for (const auto& p : paths) {
+        ASSERT_EQ(p.hops(), dims.hop_distance(s, d)) << p.str();
+        ASSERT_TRUE(path_is_legal(GetParam(), p)) << p.str();
+        ASSERT_EQ(p.routers(dims).back(), d);
+      }
+    }
+  }
+}
+
+TEST_P(RoutingOnMesh, PathsAreDistinct) {
+  MeshDims dims(4, 4);
+  const auto paths = minimal_paths(dims, 0, 15, GetParam());
+  std::set<std::string> uniq;
+  for (const auto& p : paths) uniq.insert(p.str());
+  EXPECT_EQ(uniq.size(), paths.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RoutingOnMesh,
+                         ::testing::Values(TurnModel::XY, TurnModel::WestFirst),
+                         [](const ::testing::TestParamInfo<TurnModel>& pinfo) {
+                           return pinfo.param == TurnModel::XY ? "XY" : "WestFirst";
+                         });
+
+TEST(Routing, XyIsUnique) {
+  MeshDims dims(4, 4);
+  for (NodeId s = 0; s < dims.nodes(); ++s) {
+    for (NodeId d = 0; d < dims.nodes(); ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(minimal_paths(dims, s, d, TurnModel::XY).size(), 1u);
+    }
+  }
+}
+
+TEST(Routing, WestFirstGivesEastboundDiversity) {
+  MeshDims dims(4, 4);
+  // 0 -> 15 is 3 East + 3 North: C(6,3) = 20 minimal paths, all legal
+  // under west-first (no West moves at all).
+  EXPECT_EQ(minimal_paths(dims, 0, 15, TurnModel::WestFirst).size(), 20u);
+  // Westbound pairs must still have exactly one path (west leg first).
+  EXPECT_EQ(minimal_paths(dims, 15, 0, TurnModel::WestFirst).size(), 1u);
+}
+
+TEST(Routing, WestboundPathStartsWithAllWestMoves) {
+  MeshDims dims(4, 4);
+  const auto paths = minimal_paths(dims, 7, 8, TurnModel::WestFirst);  // (3,1)->(0,2)
+  ASSERT_EQ(paths.size(), 1u);
+  const auto& links = paths.front().links;
+  // 3 West then 1 North.
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0], Dir::West);
+  EXPECT_EQ(links[1], Dir::West);
+  EXPECT_EQ(links[2], Dir::West);
+  EXPECT_EQ(links[3], Dir::North);
+}
+
+TEST(Routing, XyMatchesManualExpectation) {
+  MeshDims dims(4, 4);
+  const RoutePath p = xy_path(dims, 12, 3);  // (0,3) -> (3,0)
+  EXPECT_EQ(p.links, (std::vector<Dir>{Dir::East, Dir::East, Dir::East, Dir::South, Dir::South,
+                                       Dir::South}));
+}
+
+}  // namespace
+}  // namespace smartnoc::noc
