@@ -104,6 +104,23 @@ struct NocConfig {
     require(bandwidth_scale > 0.0, "bandwidth_scale must be positive");
   }
 
+  /// Grows the dependent fields to fit the primary ones: vc_depth_flits to
+  /// hold a whole packet (virtual cut-through), credit_bits to
+  /// log2(VCs)+1, header_bits to the source-route budget of the mesh.
+  /// Sweep expansion calls this after setting width/height/flit_bits so
+  /// every grid point is self-consistent without per-point hand tuning;
+  /// fields already large enough are left untouched.
+  void fit_derived() {
+    if (flit_bits > 0 && packet_bits > 0 && packet_bits % flit_bits == 0) {
+      if (vc_depth_flits < flits_per_packet()) vc_depth_flits = flits_per_packet();
+    }
+    int vc_bits = 1;
+    while ((1 << vc_bits) < vcs_per_port) ++vc_bits;
+    if (credit_bits < vc_bits + 1) credit_bits = vc_bits + 1;
+    const int need_header = 2 * max_route_entries() + vc_bits + 2;
+    if (header_bits < need_header) header_bits = need_header;
+  }
+
   /// The paper's Table II configuration (the defaults), provided as a named
   /// constructor for use in benches and docs.
   static NocConfig paper_4x4() { return NocConfig{}; }

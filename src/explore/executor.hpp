@@ -1,0 +1,39 @@
+// Work-stealing parallel executor for exploration jobs.
+//
+// Each job is one whole simulation (milliseconds to seconds), so the
+// scheduling goal is load balance across wildly uneven job costs (an 8x8
+// uniform-random run costs ~50x a 2x2 neighbor run), not microsecond
+// dispatch. Jobs are distributed round-robin into per-worker deques;
+// a worker pops from the front of its own deque and, when empty, steals
+// from the back of the most loaded victim. Stealing from the opposite end
+// keeps the owner and thieves off the same cache lines of work.
+//
+// Determinism contract: the executor never influences results. Jobs get
+// their identity (matrix index) and derive everything - config, RNG
+// streams, output slot - from it, so any thread interleaving produces the
+// same result table.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace smartnoc::explore {
+
+class Executor {
+ public:
+  /// threads <= 0 selects std::thread::hardware_concurrency().
+  explicit Executor(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// Runs job(i) for every i in [0, n) across the workers and returns when
+  /// all are done. Worker threads are spawned per call (their cost is noise
+  /// next to one simulation). If any job throws, the first exception is
+  /// rethrown here after all workers finish.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& job) const;
+
+ private:
+  int threads_;
+};
+
+}  // namespace smartnoc::explore

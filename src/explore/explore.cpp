@@ -1,0 +1,23 @@
+#include "explore/explore.hpp"
+
+#include <atomic>
+
+namespace smartnoc::explore {
+
+ResultTable run_sweep(const SweepSpec& spec, int threads, const ProgressFn& progress) {
+  const std::vector<RunPoint> points = spec.expand();
+  ResultTable table(points.size());
+  std::atomic<std::size_t> completed{0};
+
+  Executor exec(threads);
+  exec.for_each(points.size(), [&](std::size_t i) {
+    // Each slot is written by exactly one job; the join in for_each
+    // publishes all writes before the table is read.
+    table.set(i, run_point(spec, points[i]));
+    const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress) progress(done, points.size());
+  });
+  return table;
+}
+
+}  // namespace smartnoc::explore

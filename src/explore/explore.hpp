@@ -1,0 +1,28 @@
+// Public entry point of the exploration subsystem: declare a SweepSpec,
+// call run_sweep, read the ResultTable.
+//
+//   explore::SweepSpec spec;
+//   spec.meshes = {MeshDims(4,4), MeshDims(8,8)};
+//   spec.injections = {0.02, 0.05, 0.1};
+//   spec.designs = {Design::Mesh, Design::Smart};
+//   explore::ResultTable table = explore::run_sweep(spec, /*threads=*/0);
+//   std::fputs(table.summary().c_str(), stdout);
+//
+// The table is identical for any thread count (see executor.hpp for the
+// determinism contract).
+#pragma once
+
+#include "explore/executor.hpp"
+#include "explore/job.hpp"
+#include "explore/result_sink.hpp"
+#include "explore/sweep.hpp"
+
+namespace smartnoc::explore {
+
+/// Expands the sweep and runs every point; threads <= 0 uses all cores.
+/// Optional progress callback fires after each completed run (from worker
+/// threads; must be thread-safe) with (completed_so_far, total).
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+ResultTable run_sweep(const SweepSpec& spec, int threads = 0, const ProgressFn& progress = {});
+
+}  // namespace smartnoc::explore

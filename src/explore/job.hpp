@@ -1,0 +1,19 @@
+// One exploration job: RunPoint -> RunRecord.
+//
+// Each job owns its entire world - config, flow set, network, traffic
+// engine, fault set - constructed from the point's derived seed. Nothing
+// is shared with other jobs, which is what lets the executor run them on
+// any thread in any order with bit-identical results.
+#pragma once
+
+#include "explore/result_sink.hpp"
+#include "explore/sweep.hpp"
+
+namespace smartnoc::explore {
+
+/// Runs one point of the matrix to completion. Never throws: configuration
+/// errors, simulation errors and drain timeouts all come back as a record
+/// with ok=false and the cause in `error`.
+RunRecord run_point(const SweepSpec& spec, const RunPoint& pt);
+
+}  // namespace smartnoc::explore

@@ -1,0 +1,401 @@
+#include "explore/result_sink.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace smartnoc::explore {
+
+namespace {
+
+// %.17g: shortest printf format that round-trips every finite double.
+std::string fmt_double(double v) { return strf("%.17g", v); }
+
+std::string fmt_u64(std::uint64_t v) {
+  return strf("%llu", static_cast<unsigned long long>(v));
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV line honoring double-quoted fields with "" escapes.
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+constexpr const char* kCsvHeader =
+    "index,width,height,flit_bits,hpc_max,injection,workload,fault_rate,design,seed,"
+    "ok,error,flows,dropped_flows,packets,avg_net_latency,avg_total_latency,"
+    "p50_latency,p99_latency,max_latency,throughput_ppc,power_mw,area_mm2";
+constexpr int kCsvColumns = 23;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- Minimal JSON reader (exactly the subset ResultTable emits) --------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      throw ConfigError(strf("JSON parse error at byte %zu: expected '%c'", pos_, c));
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (!peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw ConfigError("JSON: truncated \\u escape");
+            c = static_cast<char>(std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc; break;  // \" \\ \/
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string read_scalar_token() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '}' && s_[pos_] != ']' &&
+           !std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t ResultTable::ok_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.ok ? 1 : 0;
+  return n;
+}
+
+std::string ResultTable::to_csv() const {
+  std::string out = kCsvHeader;
+  out += '\n';
+  for (const auto& r : rows_) {
+    out += fmt_u64(r.index) + ',' + strf("%d,%d,%d,%d,", r.width, r.height, r.flit_bits,
+                                         r.hpc_max);
+    out += fmt_double(r.injection) + ',' + csv_quote(r.workload) + ',' +
+           fmt_double(r.fault_rate) + ',' + csv_quote(r.design) + ',' + fmt_u64(r.seed) + ',';
+    out += (r.ok ? "1," : "0,");
+    out += csv_quote(r.error) + ',';
+    out += strf("%d,%d,", r.flows, r.dropped_flows) + fmt_u64(r.packets) + ',';
+    out += fmt_double(r.avg_net_latency) + ',' + fmt_double(r.avg_total_latency) + ',' +
+           fmt_double(r.p50_latency) + ',' + fmt_double(r.p99_latency) + ',' +
+           fmt_double(r.max_latency) + ',' + fmt_double(r.throughput_ppc) + ',' +
+           fmt_double(r.power_mw) + ',' + fmt_double(r.area_mm2);
+    out += '\n';
+  }
+  return out;
+}
+
+ResultTable ResultTable::from_csv(const std::string& text) {
+  ResultTable out;
+  std::size_t pos = 0;
+  bool header = true;
+  while (pos < text.size()) {
+    // Find the end of the logical row: newlines inside quoted fields (e.g.
+    // a multi-line error message) do not terminate it.
+    std::size_t nl = pos;
+    bool quoted = false;
+    while (nl < text.size() && (quoted || text[nl] != '\n')) {
+      if (text[nl] == '"') quoted = !quoted;
+      ++nl;
+    }
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (header) {
+      if (line != kCsvHeader) throw ConfigError("CSV header does not match ResultTable format");
+      header = false;
+      continue;
+    }
+    const auto f = csv_split(line);
+    if (static_cast<int>(f.size()) != kCsvColumns) {
+      throw ConfigError(strf("CSV row has %zu columns, expected %d", f.size(), kCsvColumns));
+    }
+    RunRecord r;
+    int i = 0;
+    r.index = parse_u64(f[i++]);
+    r.width = std::atoi(f[i++].c_str());
+    r.height = std::atoi(f[i++].c_str());
+    r.flit_bits = std::atoi(f[i++].c_str());
+    r.hpc_max = std::atoi(f[i++].c_str());
+    r.injection = std::strtod(f[i++].c_str(), nullptr);
+    r.workload = f[i++];
+    r.fault_rate = std::strtod(f[i++].c_str(), nullptr);
+    r.design = f[i++];
+    r.seed = parse_u64(f[i++]);
+    r.ok = f[i++] == "1";
+    r.error = f[i++];
+    r.flows = std::atoi(f[i++].c_str());
+    r.dropped_flows = std::atoi(f[i++].c_str());
+    r.packets = parse_u64(f[i++]);
+    r.avg_net_latency = std::strtod(f[i++].c_str(), nullptr);
+    r.avg_total_latency = std::strtod(f[i++].c_str(), nullptr);
+    r.p50_latency = std::strtod(f[i++].c_str(), nullptr);
+    r.p99_latency = std::strtod(f[i++].c_str(), nullptr);
+    r.max_latency = std::strtod(f[i++].c_str(), nullptr);
+    r.throughput_ppc = std::strtod(f[i++].c_str(), nullptr);
+    r.power_mw = std::strtod(f[i++].c_str(), nullptr);
+    r.area_mm2 = std::strtod(f[i++].c_str(), nullptr);
+    out.add(std::move(r));
+  }
+  return out;
+}
+
+std::string ResultTable::to_json() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const RunRecord& r = rows_[i];
+    out += "  {";
+    out += "\"index\": " + fmt_u64(r.index);
+    out += strf(", \"width\": %d, \"height\": %d, \"flit_bits\": %d, \"hpc_max\": %d", r.width,
+                r.height, r.flit_bits, r.hpc_max);
+    out += ", \"injection\": " + fmt_double(r.injection);
+    out += ", \"workload\": \"" + json_escape(r.workload) + '"';
+    out += ", \"fault_rate\": " + fmt_double(r.fault_rate);
+    out += ", \"design\": \"" + json_escape(r.design) + '"';
+    out += ", \"seed\": " + fmt_u64(r.seed);
+    out += std::string(", \"ok\": ") + (r.ok ? "true" : "false");
+    out += ", \"error\": \"" + json_escape(r.error) + '"';
+    out += strf(", \"flows\": %d, \"dropped_flows\": %d", r.flows, r.dropped_flows);
+    out += ", \"packets\": " + fmt_u64(r.packets);
+    out += ", \"avg_net_latency\": " + fmt_double(r.avg_net_latency);
+    out += ", \"avg_total_latency\": " + fmt_double(r.avg_total_latency);
+    out += ", \"p50_latency\": " + fmt_double(r.p50_latency);
+    out += ", \"p99_latency\": " + fmt_double(r.p99_latency);
+    out += ", \"max_latency\": " + fmt_double(r.max_latency);
+    out += ", \"throughput_ppc\": " + fmt_double(r.throughput_ppc);
+    out += ", \"power_mw\": " + fmt_double(r.power_mw);
+    out += ", \"area_mm2\": " + fmt_double(r.area_mm2);
+    out += '}';
+    if (i + 1 < rows_.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+ResultTable ResultTable::from_json(const std::string& text) {
+  ResultTable out;
+  JsonReader rd(text);
+  rd.expect('[');
+  if (rd.consume(']')) return out;
+  do {
+    rd.expect('{');
+    RunRecord r;
+    if (!rd.consume('}')) {
+      do {
+        const std::string key = rd.read_string();
+        rd.expect(':');
+        if (key == "workload") {
+          r.workload = rd.read_string();
+        } else if (key == "design") {
+          r.design = rd.read_string();
+        } else if (key == "error") {
+          r.error = rd.read_string();
+        } else {
+          const std::string tok = rd.read_scalar_token();
+          if (key == "index") r.index = parse_u64(tok);
+          else if (key == "width") r.width = std::atoi(tok.c_str());
+          else if (key == "height") r.height = std::atoi(tok.c_str());
+          else if (key == "flit_bits") r.flit_bits = std::atoi(tok.c_str());
+          else if (key == "hpc_max") r.hpc_max = std::atoi(tok.c_str());
+          else if (key == "injection") r.injection = std::strtod(tok.c_str(), nullptr);
+          else if (key == "fault_rate") r.fault_rate = std::strtod(tok.c_str(), nullptr);
+          else if (key == "seed") r.seed = parse_u64(tok);
+          else if (key == "ok") r.ok = tok == "true";
+          else if (key == "flows") r.flows = std::atoi(tok.c_str());
+          else if (key == "dropped_flows") r.dropped_flows = std::atoi(tok.c_str());
+          else if (key == "packets") r.packets = parse_u64(tok);
+          else if (key == "avg_net_latency") r.avg_net_latency = std::strtod(tok.c_str(), nullptr);
+          else if (key == "avg_total_latency")
+            r.avg_total_latency = std::strtod(tok.c_str(), nullptr);
+          else if (key == "p50_latency") r.p50_latency = std::strtod(tok.c_str(), nullptr);
+          else if (key == "p99_latency") r.p99_latency = std::strtod(tok.c_str(), nullptr);
+          else if (key == "max_latency") r.max_latency = std::strtod(tok.c_str(), nullptr);
+          else if (key == "throughput_ppc") r.throughput_ppc = std::strtod(tok.c_str(), nullptr);
+          else if (key == "power_mw") r.power_mw = std::strtod(tok.c_str(), nullptr);
+          else if (key == "area_mm2") r.area_mm2 = std::strtod(tok.c_str(), nullptr);
+          else throw ConfigError("JSON: unknown ResultTable key '" + key + "'");
+        }
+      } while (rd.consume(','));
+      rd.expect('}');
+    }
+    out.add(std::move(r));
+  } while (rd.consume(','));
+  rd.expect(']');
+  return out;
+}
+
+std::vector<std::size_t> ResultTable::pareto_frontier() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const RunRecord& a = rows_[i];
+    if (!a.ok) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < rows_.size() && !dominated; ++j) {
+      if (j == i) continue;
+      const RunRecord& b = rows_[j];
+      if (!b.ok) continue;
+      const bool no_worse = b.avg_net_latency <= a.avg_net_latency &&
+                            b.power_mw <= a.power_mw && b.area_mm2 <= a.area_mm2;
+      const bool better = b.avg_net_latency < a.avg_net_latency || b.power_mw < a.power_mw ||
+                          b.area_mm2 < a.area_mm2;
+      dominated = no_worse && better;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::string ResultTable::summary() const {
+  const std::vector<std::size_t> frontier = pareto_frontier();
+  auto on_frontier = [&](std::size_t i) {
+    for (std::size_t f : frontier) {
+      if (f == i) return true;
+    }
+    return false;
+  };
+  TextTable t({"#", "mesh", "flits", "hpc", "inj", "workload", "faults", "design", "flows",
+               "packets", "avg lat", "p99", "power mW", "area mm2", ""});
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const RunRecord& r = rows_[i];
+    std::vector<std::string> row = {
+        fmt_u64(r.index),
+        strf("%dx%d", r.width, r.height),
+        strf("%d", r.flit_bits),
+        strf("%d", r.hpc_max),
+        strf("%.3g", r.injection),
+        r.workload,
+        strf("%.3g", r.fault_rate),
+        r.design,
+    };
+    if (r.ok) {
+      row.push_back(strf("%d", r.flows));
+      row.push_back(fmt_u64(r.packets));
+      row.push_back(strf("%.2f", r.avg_net_latency));
+      row.push_back(strf("%.0f", r.p99_latency));
+      row.push_back(strf("%.2f", r.power_mw));
+      row.push_back(strf("%.3f", r.area_mm2));
+      row.push_back(on_frontier(i) ? "*" : "");
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("-");
+      row.push_back("FAILED: " + r.error);
+    }
+    t.add_row(std::move(row));
+  }
+  std::string out = t.str();
+  out += strf("\n%zu/%zu runs ok, %zu failed, %zu on the latency/power/area Pareto frontier "
+              "(*)\n",
+              ok_count(), size(), failed_count(), frontier.size());
+  return out;
+}
+
+}  // namespace smartnoc::explore

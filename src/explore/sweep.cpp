@@ -1,0 +1,265 @@
+#include "explore/sweep.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace smartnoc::explore {
+
+std::string Workload::name() const {
+  if (kind == Kind::Synthetic) return noc::synthetic_name(pattern);
+  return mapping::app_name(app);
+}
+
+std::size_t SweepSpec::size() const {
+  return meshes.size() * flit_bits.size() * hpc_max.size() * injections.size() *
+         workloads.size() * fault_rates.size() * designs.size();
+}
+
+void SweepSpec::validate() const {
+  auto nonempty = [](bool ok, const char* axis) {
+    if (!ok) throw ConfigError(std::string("sweep axis '") + axis + "' is empty");
+  };
+  nonempty(!meshes.empty(), "mesh");
+  nonempty(!flit_bits.empty(), "flit_bits");
+  nonempty(!hpc_max.empty(), "hpc_max");
+  nonempty(!injections.empty(), "injection");
+  nonempty(!workloads.empty(), "workload");
+  nonempty(!fault_rates.empty(), "fault_rate");
+  nonempty(!designs.empty(), "design");
+  for (int f : flit_bits) {
+    if (f <= 0) throw ConfigError("flit_bits axis value must be positive");
+  }
+  for (int h : hpc_max) {
+    if (h < 0) throw ConfigError("hpc_max axis value must be >= 0 (0 = derive)");
+  }
+  for (double i : injections) {
+    if (i <= 0.0) throw ConfigError("injection axis value must be positive");
+  }
+  for (double r : fault_rates) {
+    if (r < 0.0 || r >= 1.0) throw ConfigError("fault_rate axis value must be in [0,1)");
+  }
+  if (measure_cycles == 0) throw ConfigError("measure_cycles must be positive");
+}
+
+std::vector<RunPoint> SweepSpec::expand() const {
+  validate();
+  std::vector<RunPoint> out;
+  out.reserve(size());
+  for (const MeshDims& mesh : meshes)
+    for (int flits : flit_bits)
+      for (int hpc : hpc_max)
+        for (double inj : injections)
+          for (const Workload& wl : workloads)
+            for (double faults : fault_rates)
+              for (Design design : designs) {
+                RunPoint pt;
+                pt.index = out.size();
+                pt.mesh = mesh;
+                pt.flit_bits = flits;
+                pt.hpc_max = hpc;
+                pt.injection = inj;
+                pt.workload = wl;
+                pt.fault_rate = faults;
+                pt.design = design;
+                // Position-derived seed: identical for point i no matter
+                // what thread runs it or what other axes exist.
+                pt.seed = SplitMix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (pt.index + 1))).next();
+                out.push_back(pt);
+              }
+  return out;
+}
+
+NocConfig SweepSpec::config_for(const RunPoint& pt) const {
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.width = pt.mesh.width();
+  cfg.height = pt.mesh.height();
+  cfg.flit_bits = pt.flit_bits;
+  cfg.hpc_max_override = pt.hpc_max;
+  cfg.seed = pt.seed;
+  cfg.warmup_cycles = warmup_cycles;
+  cfg.measure_cycles = measure_cycles;
+  cfg.drain_timeout = drain_timeout;
+  cfg.fit_derived();
+  cfg.validate();
+  return cfg;
+}
+
+// --- Parsing -----------------------------------------------------------------
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int parse_axis_int(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("malformed ") + what + ": '" + s + "'");
+  }
+}
+
+double parse_axis_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("malformed ") + what + ": '" + s + "'");
+  }
+}
+
+std::uint64_t parse_axis_u64(const std::string& s, const char* what) {
+  // A leading '-' would wrap through strtoull to a huge cycle count (a
+  // "warmup = -1" sweep would spin for ~1.8e19 cycles); reject it up front.
+  try {
+    if (s.empty() || s[0] == '-') throw std::invalid_argument(s);
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("malformed ") + what + ": '" + s +
+                      "' (expected a non-negative integer)");
+  }
+}
+
+MeshDims parse_mesh(const std::string& token) {
+  const auto x = token.find_first_of("xX");
+  if (x == std::string::npos || x == 0 || x + 1 >= token.size()) {
+    throw ConfigError("malformed mesh '" + token + "' (expected WxH, e.g. 4x4)");
+  }
+  return MeshDims(parse_axis_int(token.substr(0, x), "mesh width"),
+                  parse_axis_int(token.substr(x + 1), "mesh height"));
+}
+
+Workload parse_workload(const std::string& token) {
+  const std::string t = lower(token);
+  using SP = noc::SyntheticPattern;
+  if (t == "uniform" || t == "uniform-random") return Workload::synthetic(SP::UniformRandom);
+  if (t == "transpose") return Workload::synthetic(SP::Transpose);
+  if (t == "bit-complement" || t == "bitcomp") return Workload::synthetic(SP::BitComplement);
+  if (t == "neighbor") return Workload::synthetic(SP::Neighbor);
+  if (t == "hotspot") return Workload::synthetic(SP::Hotspot);
+  using SA = mapping::SocApp;
+  if (t == "h264") return Workload::soc_app(SA::H264);
+  if (t == "mms_dec" || t == "mms-dec") return Workload::soc_app(SA::MMS_DEC);
+  if (t == "mms_enc" || t == "mms-enc") return Workload::soc_app(SA::MMS_ENC);
+  if (t == "mms_mp3" || t == "mms-mp3") return Workload::soc_app(SA::MMS_MP3);
+  if (t == "mwd") return Workload::soc_app(SA::MWD);
+  if (t == "vopd") return Workload::soc_app(SA::VOPD);
+  if (t == "wlan") return Workload::soc_app(SA::WLAN);
+  if (t == "pip") return Workload::soc_app(SA::PIP);
+  throw ConfigError("unknown workload '" + token +
+                    "' (patterns: uniform, transpose, bit-complement, neighbor, hotspot; "
+                    "apps: h264, mms_dec, mms_enc, mms_mp3, mwd, vopd, wlan, pip)");
+}
+
+Design parse_design(const std::string& token) {
+  const std::string t = lower(token);
+  if (t == "mesh" || t == "baseline") return Design::Mesh;
+  if (t == "smart") return Design::Smart;
+  if (t == "dedicated") return Design::Dedicated;
+  throw ConfigError("unknown design '" + token + "' (mesh, smart, dedicated)");
+}
+
+SweepSpec parse_sweep(const std::string& text) {
+  SweepSpec spec;
+  // Axes named in the file replace the defaults; `pattern` and `app` both
+  // append to the workload axis so a sweep can mix the two kinds.
+  bool saw_workload = false;
+  std::vector<Workload> workloads;
+
+  std::stringstream ss(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("sweep line " + std::to_string(lineno) + ": expected 'key = values'");
+    }
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string val = trim(line.substr(eq + 1));
+    const std::vector<std::string> items = split_list(val);
+    if (items.empty()) {
+      throw ConfigError("sweep line " + std::to_string(lineno) + ": no values for '" + key + "'");
+    }
+    try {
+      if (key == "mesh") {
+        spec.meshes.clear();
+        for (const auto& s : items) spec.meshes.push_back(parse_mesh(s));
+      } else if (key == "flit_bits" || key == "flits") {
+        spec.flit_bits.clear();
+        for (const auto& s : items) spec.flit_bits.push_back(parse_axis_int(s, "flit_bits"));
+      } else if (key == "hpc_max" || key == "hpc") {
+        spec.hpc_max.clear();
+        for (const auto& s : items) spec.hpc_max.push_back(parse_axis_int(s, "hpc_max"));
+      } else if (key == "injection" || key == "inj") {
+        spec.injections.clear();
+        for (const auto& s : items) spec.injections.push_back(parse_axis_double(s, "injection"));
+      } else if (key == "pattern" || key == "app" || key == "workload") {
+        saw_workload = true;
+        for (const auto& s : items) workloads.push_back(parse_workload(s));
+      } else if (key == "fault_rate" || key == "faults") {
+        spec.fault_rates.clear();
+        for (const auto& s : items) spec.fault_rates.push_back(parse_axis_double(s, "fault_rate"));
+      } else if (key == "design") {
+        spec.designs.clear();
+        for (const auto& s : items) spec.designs.push_back(parse_design(s));
+      } else if (key == "seed") {
+        spec.base_seed = parse_axis_u64(items.at(0), "seed");
+      } else if (key == "warmup") {
+        spec.warmup_cycles = parse_axis_u64(items.at(0), "warmup");
+      } else if (key == "measure") {
+        spec.measure_cycles = parse_axis_u64(items.at(0), "measure");
+      } else if (key == "drain_timeout" || key == "drain") {
+        spec.drain_timeout = parse_axis_u64(items.at(0), "drain_timeout");
+      } else {
+        throw ConfigError("unknown key '" + key + "'");
+      }
+    } catch (const ConfigError& e) {
+      throw ConfigError("sweep line " + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  if (saw_workload) spec.workloads = std::move(workloads);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace smartnoc::explore

@@ -1,0 +1,126 @@
+// Design-space sweep declaration: the parameter axes of an exploration run
+// and their expansion into a flat run matrix.
+//
+// A SweepSpec is the cross product of its axes (mesh dims x channel width x
+// HPC_max x injection scale x workload x fault rate x design). Expansion is
+// purely positional: point `i` of the matrix is always the same
+// configuration with the same derived seed, no matter how many threads later
+// execute it - this is what makes N-thread sweep results bit-identical to
+// the 1-thread run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/geometry.hpp"
+#include "mapping/apps.hpp"
+#include "noc/traffic.hpp"
+
+namespace smartnoc::explore {
+
+/// What traffic drives one run: a synthetic pattern or a mapped SoC app.
+struct Workload {
+  enum class Kind : std::uint8_t { Synthetic, App };
+
+  Kind kind = Kind::Synthetic;
+  noc::SyntheticPattern pattern = noc::SyntheticPattern::UniformRandom;
+  mapping::SocApp app = mapping::SocApp::VOPD;
+
+  static Workload synthetic(noc::SyntheticPattern p) {
+    Workload w;
+    w.kind = Kind::Synthetic;
+    w.pattern = p;
+    return w;
+  }
+  static Workload soc_app(mapping::SocApp a) {
+    Workload w;
+    w.kind = Kind::App;
+    w.app = a;
+    return w;
+  }
+
+  std::string name() const;
+
+  friend bool operator==(const Workload&, const Workload&) = default;
+};
+
+/// One point of the expanded run matrix: a fully-determined configuration.
+struct RunPoint {
+  std::size_t index = 0;  ///< position in the matrix (stable across threads)
+  MeshDims mesh;
+  int flit_bits = 32;
+  int hpc_max = 0;           ///< 0 = derive from the circuit model
+  double injection = 0.05;   ///< flits/node/cycle (synthetic) or bandwidth
+                             ///< multiplier (app workloads)
+  Workload workload;
+  double fault_rate = 0.0;   ///< probability a mesh link (pair) has failed
+  Design design = Design::Smart;
+  std::uint64_t seed = 0;    ///< derived per-point; feeds traffic and faults
+};
+
+/// The declared axes of a sweep plus the shared simulation window. Empty
+/// axes are invalid; the defaults give a single Table II SMART point.
+struct SweepSpec {
+  std::vector<MeshDims> meshes = {MeshDims(4, 4)};
+  std::vector<int> flit_bits = {32};
+  std::vector<int> hpc_max = {0};
+  std::vector<double> injections = {0.05};
+  std::vector<Workload> workloads = {Workload::synthetic(noc::SyntheticPattern::UniformRandom)};
+  std::vector<double> fault_rates = {0.0};
+  std::vector<Design> designs = {Design::Smart};
+
+  std::uint64_t base_seed = 1;
+  // Sweep-scale windows (shorter than the paper's single-run defaults;
+  // a sweep trades per-point precision for coverage).
+  Cycle warmup_cycles = 2'000;
+  Cycle measure_cycles = 20'000;
+  Cycle drain_timeout = 50'000;
+
+  /// Number of points the matrix expands to (product of axis sizes).
+  std::size_t size() const;
+
+  /// Throws ConfigError if any axis is empty or a value is out of range.
+  void validate() const;
+
+  /// The full run matrix, in axis-major order (meshes outermost, designs
+  /// innermost), each point carrying its derived seed.
+  std::vector<RunPoint> expand() const;
+
+  /// The NocConfig for one point: primary fields from the point, dependent
+  /// fields auto-fitted, sim window from the spec. Throws ConfigError when
+  /// the combination is inconsistent (e.g. packet not a multiple of flit).
+  NocConfig config_for(const RunPoint& pt) const;
+};
+
+/// Parses the line-oriented sweep-file format:
+///
+///   # comment
+///   mesh      = 4x4, 8x8
+///   flit_bits = 32
+///   injection = 0.02, 0.05
+///   pattern   = uniform, transpose       # synthetic workloads
+///   app       = vopd                     # SoC-app workloads (appended)
+///   design    = mesh, smart
+///   fault_rate = 0.0
+///   seed      = 1
+///   warmup = 2000
+///   measure = 20000
+///   drain_timeout = 50000
+///
+/// One `key = values` assignment per line. Unknown keys and malformed
+/// values throw ConfigError with the line number.
+SweepSpec parse_sweep(const std::string& text);
+
+// Single-value parsers shared by the sweep file and the explorer CLI flags.
+// All throw ConfigError on malformed input (including trailing garbage, so
+// a typo'd list separator cannot silently truncate an axis).
+MeshDims parse_mesh(const std::string& token);          ///< "4x4"
+Workload parse_workload(const std::string& token);      ///< pattern or app name
+Design parse_design(const std::string& token);          ///< "mesh"/"smart"/"dedicated"
+int parse_axis_int(const std::string& token, const char* what);
+double parse_axis_double(const std::string& token, const char* what);
+std::uint64_t parse_axis_u64(const std::string& token, const char* what);  ///< rejects negatives
+
+}  // namespace smartnoc::explore

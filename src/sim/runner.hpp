@@ -24,6 +24,19 @@ struct RunResult {
   std::uint64_t packets_generated = 0;
   /// Activity during the measurement window only (power model input).
   noc::ActivityCounters activity;
+
+  // Stats snapshot taken after the drain phase, so packets injected inside
+  // the window but delivered during drain are included. When !drained the
+  // snapshot is partial: consumers that aggregate runs (the explorer) must
+  // report the timeout instead of these numbers.
+  std::uint64_t packets_delivered = 0;
+  double avg_network_latency = 0.0;
+  double avg_total_latency = 0.0;
+  Cycle p50_network_latency = 0;
+  Cycle p99_network_latency = 0;
+  Cycle max_network_latency = 0;
+  /// Delivered packets per cycle of the measurement window (whole mesh).
+  double delivered_packets_per_cycle = 0.0;
 };
 
 /// Drives any traffic source with the TrafficEngine duck type (generate /
@@ -57,6 +70,22 @@ RunResult run_simulation(noc::Network& net, Traffic& traffic, const NocConfig& c
   }
   res.drain_cycles = drained_after;
   res.drained = net.drained();
+
+  const noc::NetworkStats& stats = net.stats();
+  res.packets_delivered = stats.total_packets();
+  res.avg_network_latency = stats.avg_network_latency();
+  res.avg_total_latency = stats.avg_total_latency();
+  res.p50_network_latency = stats.latency_percentile(50.0);
+  res.p99_network_latency = stats.latency_percentile(99.0);
+  for (const auto& [flow, fs] : stats.per_flow()) {
+    if (fs.max_network_latency > res.max_network_latency) {
+      res.max_network_latency = fs.max_network_latency;
+    }
+  }
+  res.delivered_packets_per_cycle =
+      cfg.measure_cycles
+          ? static_cast<double>(res.packets_delivered) / static_cast<double>(cfg.measure_cycles)
+          : 0.0;
   return res;
 }
 

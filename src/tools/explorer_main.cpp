@@ -1,0 +1,213 @@
+// explorer - batch design-space exploration over the SMART NoC simulator.
+//
+// Runs the cross product of the declared axes concurrently (one
+// independent network per run, work-stealing across threads) and prints a
+// summary table with the latency/power/area Pareto frontier starred.
+// Results are bit-identical for any --threads value.
+//
+// Usage:
+//   explorer sweep.txt                      # axes from a sweep file
+//   explorer --mesh 4x4,8x8 --inj 0.02,0.05 --design mesh,smart
+//   explorer sweep.txt --threads 8 --csv out.csv --json out.json
+//
+// Sweep file format: `key = v1, v2, ...` lines; keys mesh, flit_bits,
+// hpc_max, injection, pattern, app, fault_rate, design, seed, warmup,
+// measure, drain_timeout. `#` starts a comment.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "explore/explore.hpp"
+
+namespace {
+
+using namespace smartnoc;
+
+int usage(const char* argv0, int code) {
+  std::fprintf(code ? stderr : stdout,
+               "usage: %s [sweep-file] [options]\n"
+               "\n"
+               "axes (comma-separated lists; override the sweep file):\n"
+               "  --mesh WxH,...        mesh sizes            (default 4x4)\n"
+               "  --flits N,...         channel width in bits  (default 32)\n"
+               "  --hpc N,...           HPC_max override, 0 = circuit model\n"
+               "  --inj X,...           injection: flits/node/cycle (synthetic)\n"
+               "                        or bandwidth multiplier (apps)\n"
+               "  --pattern P,...       uniform transpose bit-complement neighbor hotspot\n"
+               "  --app A,...           h264 mms_dec mms_enc mms_mp3 mwd vopd wlan pip\n"
+               "  --faults X,...        link fault probability (default 0)\n"
+               "  --design D,...        mesh smart dedicated   (default smart)\n"
+               "\n"
+               "simulation window:\n"
+               "  --seed N --warmup N --measure N --drain N\n"
+               "\n"
+               "execution and output:\n"
+               "  --threads N           worker threads (default: all cores)\n"
+               "  --csv FILE            write the result table as CSV\n"
+               "  --json FILE           write the result table as JSON\n"
+               "  --quiet               suppress the summary table\n"
+               "  --help\n",
+               argv0);
+  return code;
+}
+
+std::vector<std::string> split_csv_arg(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  explore::SweepSpec spec;
+  int threads = 0;
+  std::string csv_path, json_path;
+  bool quiet = false;
+  bool workloads_cleared = false;
+
+  // Workload flags accumulate (--pattern and --app can mix); the first one
+  // seen replaces the default/file-provided axis.
+  auto add_workloads = [&](const std::string& arg) {
+    if (!workloads_cleared) {
+      spec.workloads.clear();
+      workloads_cleared = true;
+    }
+    for (const auto& s : split_csv_arg(arg)) {
+      spec.workloads.push_back(explore::parse_workload(s));
+    }
+  };
+
+  try {
+    auto takes_value = [](const std::string& a) {
+      return a == "--threads" || a == "--csv" || a == "--json" || a == "--mesh" ||
+             a == "--flits" || a == "--hpc" || a == "--inj" || a == "--pattern" ||
+             a == "--app" || a == "--faults" || a == "--design" || a == "--seed" ||
+             a == "--warmup" || a == "--measure" || a == "--drain";
+    };
+
+    // Pass 1: load the sweep file (the positional argument) first, so axis
+    // flags override it no matter where they appear on the command line.
+    std::string sweep_file;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (takes_value(a)) {
+        ++i;
+        continue;
+      }
+      if (!a.empty() && a[0] == '-') continue;
+      if (!sweep_file.empty()) {
+        std::fprintf(stderr, "more than one sweep file ('%s' and '%s')\n", sweep_file.c_str(),
+                     a.c_str());
+        return 2;
+      }
+      sweep_file = a;
+    }
+    if (!sweep_file.empty()) {
+      std::ifstream f(sweep_file);
+      if (!f) {
+        std::fprintf(stderr, "cannot open sweep file '%s'\n", sweep_file.c_str());
+        return 2;
+      }
+      std::stringstream buf;
+      buf << f.rdbuf();
+      spec = explore::parse_sweep(buf.str());
+    }
+
+    // Pass 2: flags. Values go through the same strict parsers as the
+    // sweep file, so trailing garbage ("--flits 32x64") errors out instead
+    // of silently truncating the axis.
+    int i = 1;
+    auto next_arg = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) throw ConfigError(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    for (; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--help" || a == "-h") return usage(argv[0], 0);
+      if (a == "--threads") threads = explore::parse_axis_int(next_arg("--threads"), "threads");
+      else if (a == "--csv") csv_path = next_arg("--csv");
+      else if (a == "--json") json_path = next_arg("--json");
+      else if (a == "--quiet") quiet = true;
+      else if (a == "--mesh") {
+        spec.meshes.clear();
+        for (const auto& s : split_csv_arg(next_arg("--mesh")))
+          spec.meshes.push_back(explore::parse_mesh(s));
+      } else if (a == "--flits") {
+        spec.flit_bits.clear();
+        for (const auto& s : split_csv_arg(next_arg("--flits")))
+          spec.flit_bits.push_back(explore::parse_axis_int(s, "flits"));
+      } else if (a == "--hpc") {
+        spec.hpc_max.clear();
+        for (const auto& s : split_csv_arg(next_arg("--hpc")))
+          spec.hpc_max.push_back(explore::parse_axis_int(s, "hpc"));
+      } else if (a == "--inj") {
+        spec.injections.clear();
+        for (const auto& s : split_csv_arg(next_arg("--inj")))
+          spec.injections.push_back(explore::parse_axis_double(s, "inj"));
+      } else if (a == "--pattern" || a == "--app") {
+        add_workloads(next_arg(a.c_str()));
+      } else if (a == "--faults") {
+        spec.fault_rates.clear();
+        for (const auto& s : split_csv_arg(next_arg("--faults")))
+          spec.fault_rates.push_back(explore::parse_axis_double(s, "faults"));
+      } else if (a == "--design") {
+        spec.designs.clear();
+        for (const auto& s : split_csv_arg(next_arg("--design")))
+          spec.designs.push_back(explore::parse_design(s));
+      } else if (a == "--seed") {
+        spec.base_seed = explore::parse_axis_u64(next_arg("--seed"), "seed");
+      } else if (a == "--warmup") {
+        spec.warmup_cycles = explore::parse_axis_u64(next_arg("--warmup"), "warmup");
+      } else if (a == "--measure") {
+        spec.measure_cycles = explore::parse_axis_u64(next_arg("--measure"), "measure");
+      } else if (a == "--drain") {
+        spec.drain_timeout = explore::parse_axis_u64(next_arg("--drain"), "drain");
+      } else if (!a.empty() && a[0] == '-') {
+        std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+        return usage(argv[0], 2);
+      }
+      // Bare arguments are the sweep file, consumed in pass 1.
+    }
+    spec.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const std::size_t total = spec.size();
+  explore::Executor exec(threads);
+  if (!quiet) {
+    std::fprintf(stderr, "exploring %zu configurations on %d threads...\n", total,
+                 exec.threads());
+  }
+
+  const explore::ResultTable table = explore::run_sweep(spec, threads);
+
+  if (!quiet) std::fputs(table.summary().c_str(), stdout);
+
+  if (!csv_path.empty() && !write_file(csv_path, table.to_csv())) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
+    return 1;
+  }
+  if (!json_path.empty() && !write_file(json_path, table.to_json())) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
