@@ -1,6 +1,12 @@
 // Simulator performance (google-benchmark): cycle throughput of the three
 // network models, preset computation and the mapping front-end. Not a
 // paper figure - it documents that the reproduction runs at laptop scale.
+//
+// The Mesh8x8 pair is the PR 2 acceptance benchmark for the active-set
+// scheduler: an 8x8 baseline mesh at 0.02 flits/node/cycle (the paper's
+// low-injection regime, where most of the mesh idles most cycles), once
+// with the event-driven active-set kernel and once with the seed's
+// full-scan reference kernel. items_per_second = simulated cycles/sec.
 #include <benchmark/benchmark.h>
 
 #include "dedicated/dedicated_network.hpp"
@@ -17,6 +23,78 @@ NocConfig bench_cfg() {
   cfg.warmup_cycles = 0;
   return cfg;
 }
+
+NocConfig bench_cfg_8x8() {
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.width = 8;
+  cfg.height = 8;
+  cfg.fit_derived();
+  cfg.warmup_cycles = 0;
+  return cfg;
+}
+
+void run_mesh_8x8(benchmark::State& state, bool reference_kernel) {
+  const NocConfig cfg = bench_cfg_8x8();
+  auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::Transpose, 0.02,
+                                         noc::TurnModel::XY);
+  auto net = noc::make_baseline_mesh(cfg, std::move(flows));
+  net->use_reference_kernel(reference_kernel);
+  noc::TrafficEngine traffic(cfg, net->flows(), 1);
+  for (auto _ : state) {
+    net->tick();
+    traffic.generate(*net);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Mesh8x8Tick_ActiveSet(benchmark::State& state) { run_mesh_8x8(state, false); }
+BENCHMARK(BM_Mesh8x8Tick_ActiveSet);
+
+void BM_Mesh8x8Tick_ReferenceKernel(benchmark::State& state) { run_mesh_8x8(state, true); }
+BENCHMARK(BM_Mesh8x8Tick_ReferenceKernel);
+
+void run_smart_8x8(benchmark::State& state, bool reference_kernel) {
+  const NocConfig cfg = bench_cfg_8x8();
+  auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::Transpose, 0.02,
+                                         noc::TurnModel::XY);
+  auto smart = smart::make_smart_network(cfg, std::move(flows));
+  smart.net->use_reference_kernel(reference_kernel);
+  noc::TrafficEngine traffic(cfg, smart.net->flows(), 1);
+  for (auto _ : state) {
+    smart.net->tick();
+    traffic.generate(*smart.net);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Smart8x8Tick_ActiveSet(benchmark::State& state) { run_smart_8x8(state, false); }
+BENCHMARK(BM_Smart8x8Tick_ActiveSet);
+
+void BM_Smart8x8Tick_ReferenceKernel(benchmark::State& state) { run_smart_8x8(state, true); }
+BENCHMARK(BM_Smart8x8Tick_ReferenceKernel);
+
+// The pure scheduler floor: ticking a drained 8x8 mesh (the state every
+// simulation spends its drain phase in, and most low-injection cycles
+// approach). O(active) vs O(nodes) shows up undiluted here.
+void run_mesh_8x8_idle(benchmark::State& state, bool reference_kernel) {
+  const NocConfig cfg = bench_cfg_8x8();
+  auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::Transpose, 0.02,
+                                         noc::TurnModel::XY);
+  auto net = noc::make_baseline_mesh(cfg, std::move(flows));
+  net->use_reference_kernel(reference_kernel);
+  for (auto _ : state) {
+    net->tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Mesh8x8TickIdle_ActiveSet(benchmark::State& state) { run_mesh_8x8_idle(state, false); }
+BENCHMARK(BM_Mesh8x8TickIdle_ActiveSet);
+
+void BM_Mesh8x8TickIdle_ReferenceKernel(benchmark::State& state) {
+  run_mesh_8x8_idle(state, true);
+}
+BENCHMARK(BM_Mesh8x8TickIdle_ReferenceKernel);
 
 void BM_MeshTick(benchmark::State& state) {
   const NocConfig cfg = bench_cfg();

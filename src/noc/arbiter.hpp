@@ -1,29 +1,44 @@
 // Round-robin arbiter used for switch allocation. The grant pointer
 // advances past the winner, giving the classic strong-fairness guarantee
 // that tests pin down (no requester starves under continuous contention).
+//
+// The hot path (Router::switch_allocation) hands in a fixed-width ArbMask
+// so building the request set costs no heap allocation; the vector<bool>
+// overload remains for callers that size the request set dynamically.
 #pragma once
 
+#include <array>
+#include <bitset>
 #include <optional>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/types.hpp"
 
 namespace smartnoc::noc {
+
+/// Upper bound on arbiter width: 5 ports x the 16-VC cap that
+/// NocConfig::validate() enforces on vcs_per_port.
+inline constexpr int kMaxArbInputs = kNumDirs * 16;
+
+/// Fixed-width request set: bit i set = input i requests the output.
+using ArbMask = std::bitset<kMaxArbInputs>;
 
 class RoundRobinArbiter {
  public:
   RoundRobinArbiter() = default;
-  explicit RoundRobinArbiter(int inputs) : n_(inputs) {}
+  explicit RoundRobinArbiter(int inputs) : n_(inputs) {
+    SMARTNOC_CHECK(inputs <= kMaxArbInputs, "arbiter wider than kMaxArbInputs");
+  }
 
   int inputs() const { return n_; }
 
   /// Picks the first requesting index at or after the pointer; advances the
   /// pointer past the winner. Returns nullopt when nothing requests.
-  std::optional<int> arbitrate(const std::vector<bool>& requests) {
-    SMARTNOC_CHECK(static_cast<int>(requests.size()) == n_, "request vector size mismatch");
+  std::optional<int> arbitrate(const ArbMask& requests) {
     for (int k = 0; k < n_; ++k) {
       const int i = (ptr_ + k) % n_;
-      if (requests[static_cast<std::size_t>(i)]) {
+      if (requests.test(static_cast<std::size_t>(i))) {
         ptr_ = (i + 1) % n_;
         return i;
       }
@@ -31,9 +46,52 @@ class RoundRobinArbiter {
     return std::nullopt;
   }
 
+  std::optional<int> arbitrate(const std::vector<bool>& requests) {
+    SMARTNOC_CHECK(static_cast<int>(requests.size()) == n_, "request vector size mismatch");
+    ArbMask mask;
+    for (int i = 0; i < n_; ++i) {
+      if (requests[static_cast<std::size_t>(i)]) mask.set(static_cast<std::size_t>(i));
+    }
+    return arbitrate(mask);
+  }
+
  private:
   int n_ = 0;
   int ptr_ = 0;
+};
+
+/// A fixed-capacity FIFO of VC ids (free-VC queues at router outputs and
+/// NIC sources). Capacity covers the vcs_per_port <= 16 config cap, so
+/// push/pop never touch the heap.
+class VcQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  int size() const { return count_; }
+
+  void push_back(VcId vc) {
+    SMARTNOC_CHECK(count_ < kCapacity, "VcQueue overflow");
+    slots_[static_cast<std::size_t>((head_ + count_) % kCapacity)] = vc;
+    ++count_;
+  }
+
+  VcId front() const {
+    SMARTNOC_CHECK(count_ > 0, "front of empty VcQueue");
+    return slots_[static_cast<std::size_t>(head_)];
+  }
+
+  VcId pop_front() {
+    SMARTNOC_CHECK(count_ > 0, "pop of empty VcQueue");
+    const VcId vc = slots_[static_cast<std::size_t>(head_)];
+    head_ = (head_ + 1) % kCapacity;
+    --count_;
+    return vc;
+  }
+
+ private:
+  static constexpr int kCapacity = 16;  // NocConfig caps vcs_per_port at 16
+  std::array<VcId, kCapacity> slots_{};
+  int head_ = 0;
+  int count_ = 0;
 };
 
 }  // namespace smartnoc::noc

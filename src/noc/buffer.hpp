@@ -2,9 +2,13 @@
 // Virtual cut-through: one packet owns a VC from head arrival until its
 // tail departs, and the depth is validated (NocConfig) to hold a whole
 // packet, so a granted packet can always stream without backpressure.
+//
+// Storage is a ring over a vector preallocated to the configured depth:
+// after construction the per-flit push/pop path never touches the heap
+// (a deque here costs a chunk allocation every few flits under load).
 #pragma once
 
-#include <deque>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
@@ -14,27 +18,29 @@ namespace smartnoc::noc {
 
 class VcBuffer {
  public:
-  VcBuffer() = default;
-  explicit VcBuffer(int depth) : depth_(depth) {}
+  VcBuffer() : VcBuffer(10) {}
+  explicit VcBuffer(int depth) : slots_(static_cast<std::size_t>(depth)), depth_(depth) {}
 
-  bool empty() const { return q_.empty(); }
-  int occupancy() const { return static_cast<int>(q_.size()); }
+  bool empty() const { return count_ == 0; }
+  int occupancy() const { return count_; }
   int depth() const { return depth_; }
 
   void push(Flit f) {
-    SMARTNOC_CHECK(occupancy() < depth_, "VC overflow: flow control must prevent this");
-    q_.push_back(f);
+    SMARTNOC_CHECK(count_ < depth_, "VC overflow: flow control must prevent this");
+    slots_[static_cast<std::size_t>((head_ + count_) % depth_)] = f;
+    ++count_;
   }
 
   const Flit& front() const {
-    SMARTNOC_CHECK(!q_.empty(), "reading from empty VC");
-    return q_.front();
+    SMARTNOC_CHECK(count_ > 0, "reading from empty VC");
+    return slots_[static_cast<std::size_t>(head_)];
   }
 
   Flit pop() {
-    SMARTNOC_CHECK(!q_.empty(), "popping empty VC");
-    Flit f = q_.front();
-    q_.pop_front();
+    SMARTNOC_CHECK(count_ > 0, "popping empty VC");
+    Flit f = slots_[static_cast<std::size_t>(head_)];
+    head_ = (head_ + 1) % depth_;
+    --count_;
     return f;
   }
 
@@ -55,8 +61,10 @@ class VcBuffer {
   void clear_request() { has_request_ = false; }
 
  private:
-  std::deque<Flit> q_;
+  std::vector<Flit> slots_;
   int depth_ = 10;
+  int head_ = 0;
+  int count_ = 0;
   Dir requested_out_ = Dir::Core;
   bool has_request_ = false;
 };

@@ -22,6 +22,10 @@ MeshNetwork::MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable preset
     routers_.push_back(std::make_unique<Router>(n, cfg_, static_cast<Fabric*>(this)));
     nics_.push_back(std::make_unique<Nic>(n, cfg_, static_cast<Fabric*>(this), &stats_));
   }
+  router_in_set_.assign(static_cast<std::size_t>(dims.nodes()), 0);
+  nic_in_set_.assign(static_cast<std::size_t>(dims.nodes()), 0);
+  active_routers_.reserve(static_cast<std::size_t>(dims.nodes()));
+  active_nics_.reserve(static_cast<std::size_t>(dims.nodes()));
 
   // Arm switch-allocatable outputs: exactly the FromRouter crosspoints, each
   // with one downstream VC pool (its segment endpoint's input buffers).
@@ -46,6 +50,12 @@ MeshNetwork::MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable preset
     nics_[static_cast<std::size_t>(f.src)]->register_flow(f);
     validate_and_index_flow(f);
   }
+}
+
+void MeshNetwork::use_reference_kernel(bool ref) {
+  SMARTNOC_CHECK(now_ == 0 && drained(),
+                 "kernel switch requires a pristine network (no ticks, no traffic)");
+  reference_kernel_ = ref;
 }
 
 void MeshNetwork::validate_and_index_flow(const Flow& flow) {
@@ -82,35 +92,103 @@ void MeshNetwork::validate_and_index_flow(const Flow& flow) {
 }
 
 void MeshNetwork::tick() {
+  if (reference_kernel_) {
+    tick_reference();
+  } else {
+    tick_active_set();
+  }
+}
+
+void MeshNetwork::tick_active_set() {
   now_ += 1;
 
   // Phase 1: deliver due credits into free-VC queues (usable by SA below).
-  for (std::size_t k = 0; k < credits_.size();) {
-    if (credits_[k].due <= now_) {
-      const InFlightCredit c = credits_[k];
-      credits_[k] = credits_.back();
-      credits_.pop_back();
-      if (c.target.is_nic) {
-        nics_[static_cast<std::size_t>(c.target.node)]->credit_arrived(c.vc);
+  // One wheel bucket holds exactly the credits due this cycle; credits due
+  // the same cycle always target distinct free-VC queues (at most one tail
+  // departs per input port / NIC per cycle), so bucket order is immaterial.
+  {
+    auto& bucket = credit_wheel_[now_ % kWheelSize];
+    for (const InFlightCredit& c : bucket) {
+      deliver_credit(c.target, c.vc);
+    }
+    credits_in_flight_ -= bucket.size();
+    bucket.clear();  // keeps its capacity: no steady-state allocation
+  }
+
+  ActivityCounters& act = stats_.activity();
+  // Phases 2-5 walk only the active components. Index loops on purpose:
+  // deliveries within a phase can activate (append) new components, which
+  // then see the remaining phases this cycle - a no-op for them, since a
+  // flit latched at cycle t is only buffer-written at t+1.
+  // Phase 2: Buffer Write (drains staging filled in earlier cycles).
+  for (std::size_t i = 0; i < active_routers_.size(); ++i) {
+    routers_[static_cast<std::size_t>(active_routers_[i])]->buffer_write(now_, act);
+  }
+  // Phase 3: Switch Traversal on grants from previous cycles.
+  for (std::size_t i = 0; i < active_routers_.size(); ++i) {
+    routers_[static_cast<std::size_t>(active_routers_[i])]->switch_traversal(now_, act);
+  }
+  // Phase 4: Switch Allocation (grants fire ST next cycle).
+  for (std::size_t i = 0; i < active_routers_.size(); ++i) {
+    routers_[static_cast<std::size_t>(active_routers_[i])]->switch_allocation(now_, act);
+  }
+  // Phase 5: NIC injection (one flit per NIC per cycle).
+  for (std::size_t i = 0; i < active_nics_.size(); ++i) {
+    nics_[static_cast<std::size_t>(active_nics_[i])]->inject(now_, act);
+  }
+
+  // Compaction: drop components that went quiescent, preserving insertion
+  // order of the survivors. Between ticks the lists are exact.
+  {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < active_routers_.size(); ++r) {
+      const NodeId n = active_routers_[r];
+      if (routers_[static_cast<std::size_t>(n)]->has_traffic()) {
+        active_routers_[w++] = n;
       } else {
-        routers_[static_cast<std::size_t>(c.target.node)]->credit_arrived(c.target.out, c.vc);
+        router_in_set_[static_cast<std::size_t>(n)] = 0;
       }
+    }
+    active_routers_.resize(w);
+    w = 0;
+    for (std::size_t r = 0; r < active_nics_.size(); ++r) {
+      const NodeId n = active_nics_[r];
+      if (!nics_[static_cast<std::size_t>(n)]->idle()) {
+        active_nics_[w++] = n;
+      } else {
+        nic_in_set_[static_cast<std::size_t>(n)] = 0;
+      }
+    }
+    active_nics_.resize(w);
+  }
+
+  // Idle-clock accounting for the power model.
+  act.clocked_inport_cycles += static_cast<std::uint64_t>(clocked_in_total_);
+  act.clocked_outport_cycles += static_cast<std::uint64_t>(clocked_out_total_);
+}
+
+void MeshNetwork::tick_reference() {
+  // The seed's cycle loop, kept verbatim as the golden reference: linear
+  // credit scan, every router and NIC ticked every cycle.
+  now_ += 1;
+
+  for (std::size_t k = 0; k < ref_credits_.size();) {
+    if (ref_credits_[k].due <= now_) {
+      const InFlightCredit c = ref_credits_[k];
+      ref_credits_[k] = ref_credits_.back();
+      ref_credits_.pop_back();
+      deliver_credit(c.target, c.vc);
     } else {
       ++k;
     }
   }
 
   ActivityCounters& act = stats_.activity();
-  // Phase 2: Buffer Write (drains staging filled in earlier cycles).
   for (auto& r : routers_) r->buffer_write(now_, act);
-  // Phase 3: Switch Traversal on grants from previous cycles.
   for (auto& r : routers_) r->switch_traversal(now_, act);
-  // Phase 4: Switch Allocation (grants fire ST next cycle).
   for (auto& r : routers_) r->switch_allocation(now_, act);
-  // Phase 5: NIC injection (one flit per NIC per cycle).
   for (auto& n : nics_) n->inject(now_, act);
 
-  // Idle-clock accounting for the power model.
   act.clocked_inport_cycles += static_cast<std::uint64_t>(clocked_in_total_);
   act.clocked_outport_cycles += static_cast<std::uint64_t>(clocked_out_total_);
 }
@@ -125,17 +203,24 @@ void MeshNetwork::offer_packet(FlowId flow, Cycle created) {
   pkt.flits = cfg_.flits_per_packet();
   pkt.created = created;
   nics_[static_cast<std::size_t>(f.src)]->offer_packet(pkt);
+  activate_nic(f.src);
 }
 
 bool MeshNetwork::drained() const {
-  if (!credits_.empty()) return false;
-  for (const auto& r : routers_) {
-    if (r->has_traffic()) return false;
+  if (reference_kernel_) {
+    // Seed behavior: a full scan of every component.
+    if (!ref_credits_.empty()) return false;
+    for (const auto& r : routers_) {
+      if (r->has_traffic()) return false;
+    }
+    for (const auto& n : nics_) {
+      if (!n->idle()) return false;
+    }
+    return true;
   }
-  for (const auto& n : nics_) {
-    if (!n->idle()) return false;
-  }
-  return true;
+  // Active-set invariant (post-compaction): the lists hold exactly the
+  // routers with traffic and the non-idle NICs.
+  return credits_in_flight_ == 0 && active_routers_.empty() && active_nics_.empty();
 }
 
 void MeshNetwork::deliver(const Segment& seg, Flit flit, Cycle now, bool from_router) {
@@ -156,8 +241,10 @@ void MeshNetwork::deliver(const Segment& seg, Flit flit, Cycle now, bool from_ro
   }
   if (seg.ep.is_nic) {
     nics_[static_cast<std::size_t>(seg.ep.node)]->accept_flit(flit, arrival);
+    activate_nic(seg.ep.node);
   } else {
     routers_[static_cast<std::size_t>(seg.ep.node)]->accept_flit(seg.ep.in, flit, arrival);
+    activate_router(seg.ep.node);
   }
 }
 
@@ -176,7 +263,21 @@ void MeshNetwork::schedule_credit(const SegOrigin& target, VcId vc, Cycle due, i
   ActivityCounters& act = stats_.activity();
   act.link_credit_mm += static_cast<std::uint64_t>(mm);
   act.xbar_credit_traversals += static_cast<std::uint64_t>(xbar_hops);
-  credits_.push_back(InFlightCredit{due, target, vc});
+  if (reference_kernel_) {
+    ref_credits_.push_back(InFlightCredit{due, target, vc});
+    return;
+  }
+  SMARTNOC_CHECK(due > now_ && due - now_ < kWheelSize, "credit due beyond the wheel horizon");
+  credit_wheel_[due % kWheelSize].push_back(InFlightCredit{due, target, vc});
+  credits_in_flight_ += 1;
+}
+
+void MeshNetwork::deliver_credit(const SegOrigin& target, VcId vc) {
+  if (target.is_nic) {
+    nics_[static_cast<std::size_t>(target.node)]->credit_arrived(vc);
+  } else {
+    routers_[static_cast<std::size_t>(target.node)]->credit_arrived(target.out, vc);
+  }
 }
 
 void MeshNetwork::credit_from_router_input(NodeId router, Dir in_dir, VcId vc, Cycle now) {

@@ -11,8 +11,20 @@
 // tests): credit delivery -> Buffer Write -> Switch Traversal -> Switch
 // Allocation -> NIC injection. A grant made in SA fires ST the *next*
 // cycle, giving the 3-stage pipeline its +3-per-stop cost.
+//
+// Scheduling: tick() is event-driven over *active sets*. Routers and NICs
+// join a membership-flagged dirty list when a flit or packet reaches them
+// and leave once quiescent, so a cycle costs O(active components), not
+// O(nodes) - the decisive case for the explorer's low-injection sweep
+// points and the drain phase. In-flight credits sit in a bucketed time
+// wheel indexed by due cycle (delivery pops one bucket per tick), and
+// drained() reduces to three counter reads. Per-cycle results are
+// bit-identical to the seed's full-scan loop, which survives as the
+// reference kernel (use_reference_kernel) pinned against the active-set
+// core by the golden determinism test.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -61,6 +73,15 @@ class MeshNetwork final : public Network, private Fabric {
   const SegmentTable& segments() const { return segments_; }
   const PresetTable& presets() const { return presets_; }
 
+  /// Switches this network to the seed's full-scan cycle kernel: every
+  /// router/NIC ticked every cycle, in-flight credits in a linearly scanned
+  /// vector, drained() as a whole-mesh walk. Results are bit-identical to
+  /// the active-set kernel (pinned by test_golden_determinism); it exists
+  /// as the reference for that cross-check and for before/after benches.
+  /// Must be called before any traffic enters the network.
+  void use_reference_kernel(bool ref);
+  bool reference_kernel() const { return reference_kernel_; }
+
   /// Static analysis of a flow under the installed presets: the routers
   /// where its flits stop. Zero-load SMART network latency = 1 + 3 * stops
   /// (pinned by tests against simulation).
@@ -89,13 +110,42 @@ class MeshNetwork final : public Network, private Fabric {
 
   void deliver(const Segment& seg, Flit flit, Cycle now, bool from_router);
   void schedule_credit(const SegOrigin& target, VcId vc, Cycle due, int mm, int xbar_hops);
+  void deliver_credit(const SegOrigin& target, VcId vc);
   void validate_and_index_flow(const Flow& flow);
+
+  void tick_active_set();
+  void tick_reference();
+
+  // Active-set membership. Flags are the O(1) membership test; the lists
+  // give deterministic (insertion-ordered) iteration. Components are added
+  // when traffic reaches them and compacted away at end of tick once
+  // quiescent, so between ticks the lists hold exactly the non-quiescent
+  // components - which is what makes drained() a counter check.
+  void activate_router(NodeId n) {
+    auto& flag = router_in_set_[static_cast<std::size_t>(n)];
+    if (!flag) {
+      flag = 1;
+      active_routers_.push_back(n);
+    }
+  }
+  void activate_nic(NodeId n) {
+    auto& flag = nic_in_set_[static_cast<std::size_t>(n)];
+    if (!flag) {
+      flag = 1;
+      active_nics_.push_back(n);
+    }
+  }
 
   struct InFlightCredit {
     Cycle due;
     SegOrigin target;
     VcId vc;
   };
+
+  /// Credit time wheel: bucket b holds credits due at cycles == b mod
+  /// kWheelSize. Credit latency is 1 or 2 cycles (now + 1 + link cycle),
+  /// comfortably under the wheel horizon; schedule_credit asserts it.
+  static constexpr std::size_t kWheelSize = 8;
 
   NocConfig cfg_;
   Options opt_;
@@ -105,11 +155,18 @@ class MeshNetwork final : public Network, private Fabric {
   NetworkStats stats_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Nic>> nics_;
-  std::vector<InFlightCredit> credits_;
+  std::array<std::vector<InFlightCredit>, kWheelSize> credit_wheel_;
+  std::size_t credits_in_flight_ = 0;
+  std::vector<InFlightCredit> ref_credits_;  ///< reference kernel's linear store
+  std::vector<NodeId> active_routers_;
+  std::vector<NodeId> active_nics_;
+  std::vector<std::uint8_t> router_in_set_;
+  std::vector<std::uint8_t> nic_in_set_;
   std::vector<FlowPathInfo> flow_info_;
   std::uint32_t next_packet_id_ = 1;
   int clocked_in_total_ = 0;
   int clocked_out_total_ = 0;
+  bool reference_kernel_ = false;
   TraceObserver* observer_ = nullptr;
   Cycle now_ = 0;
 };

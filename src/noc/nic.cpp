@@ -9,9 +9,14 @@ Nic::Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats)
 
 void Nic::register_flow(const Flow& flow) {
   SMARTNOC_CHECK(flow.src == node_, "flow registered at the wrong NIC");
-  local_flows_.push_back(flow.id);
-  routes_[flow.id] = flow.route;
-  queues_[flow.id];  // create the queue
+  const auto idx = static_cast<std::size_t>(flow.id);
+  if (idx >= slot_of_flow_.size()) slot_of_flow_.resize(idx + 1, -1);
+  SMARTNOC_CHECK(slot_of_flow_[idx] < 0, "flow registered twice");
+  slot_of_flow_[idx] = static_cast<int>(local_flows_.size());
+  LocalFlow lf;
+  lf.id = flow.id;
+  lf.route = flow.route;
+  local_flows_.push_back(std::move(lf));
 }
 
 void Nic::init_source_credits(int vcs) {
@@ -20,27 +25,28 @@ void Nic::init_source_credits(int vcs) {
 }
 
 void Nic::offer_packet(const Packet& pkt) {
-  auto it = queues_.find(pkt.flow);
-  SMARTNOC_CHECK(it != queues_.end(), "packet offered for an unregistered flow");
-  it->second.push_back(pkt);
+  const auto idx = static_cast<std::size_t>(pkt.flow);
+  SMARTNOC_CHECK(idx < slot_of_flow_.size() && slot_of_flow_[idx] >= 0,
+                 "packet offered for an unregistered flow");
+  local_flows_[static_cast<std::size_t>(slot_of_flow_[idx])].queue.push_back(pkt);
+  queued_total_ += 1;
 }
 
 void Nic::inject(Cycle now, ActivityCounters& act) {
   if (!active_.has_value()) {
-    if (local_flows_.empty()) return;
+    if (queued_total_ == 0) return;
     // Round-robin over flows with queued packets; needs a free endpoint VC.
     if (free_vcs_.empty()) return;
     for (std::size_t k = 0; k < local_flows_.size(); ++k) {
       const std::size_t i = (rr_next_ + k) % local_flows_.size();
-      const FlowId fid = local_flows_[i];
-      auto& q = queues_[fid];
-      if (q.empty()) continue;
+      LocalFlow& lf = local_flows_[i];
+      if (lf.queue.empty()) continue;
       ActiveTx tx;
-      tx.pkt = q.front();
-      q.pop_front();
-      tx.route = routes_[fid];
-      tx.vc = free_vcs_.front();
-      free_vcs_.pop_front();
+      tx.pkt = lf.queue.front();
+      lf.queue.pop_front();
+      queued_total_ -= 1;
+      tx.route = lf.route;
+      tx.vc = free_vcs_.pop_front();
       tx.inject_cycle = now;
       active_ = tx;
       rr_next_ = (i + 1) % local_flows_.size();
@@ -79,37 +85,33 @@ void Nic::accept_flit(const Flit& flit, Cycle now) {
   SMARTNOC_CHECK(flit.dst == node_, "flit delivered to the wrong NIC");
   SMARTNOC_CHECK(flit.hop_index == flit.route.entries(),
                  "flit reached the NIC with route entries left");
-  Assembly& a = assembling_[flit.packet_id];
-  if (is_head(flit.type)) a.head_arrival = now;
-  a.flits += 1;
+  Assembly* a = nullptr;
+  for (Assembly& cand : assembling_) {
+    if (cand.packet_id == flit.packet_id) {
+      a = &cand;
+      break;
+    }
+  }
+  if (a == nullptr) {
+    assembling_.push_back(Assembly{flit.packet_id, 0, 0});
+    a = &assembling_.back();
+  }
+  if (is_head(flit.type)) a->head_arrival = now;
+  a->flits += 1;
   SMARTNOC_CHECK(static_cast<int>(assembling_.size()) <= cfg_->vcs_per_port,
                  "more packets in reassembly than receive VCs");
   if (is_tail(flit.type)) {
-    stats_->record_packet(flit.flow, a.flits, flit.created, flit.injected, a.head_arrival, now);
-    assembling_.erase(flit.packet_id);
+    stats_->record_packet(flit.flow, a->flits, flit.created, flit.injected, a->head_arrival, now);
+    *a = assembling_.back();
+    assembling_.pop_back();
     // The receive VC is free again: return its credit to the feeder.
     fabric_->credit_from_nic(node_, flit.vc, now);
   }
 }
 
 void Nic::credit_arrived(VcId vc) {
-  SMARTNOC_CHECK(static_cast<int>(free_vcs_.size()) < cfg_->vcs_per_port,
-                 "NIC credit overflow");
+  SMARTNOC_CHECK(free_vcs_.size() < cfg_->vcs_per_port, "NIC credit overflow");
   free_vcs_.push_back(vc);
-}
-
-bool Nic::idle() const {
-  if (active_.has_value() || !assembling_.empty()) return false;
-  for (const auto& [fid, q] : queues_) {
-    if (!q.empty()) return false;
-  }
-  return true;
-}
-
-int Nic::queued_packets() const {
-  int n = 0;
-  for (const auto& [fid, q] : queues_) n += static_cast<int>(q.size());
-  return n;
 }
 
 }  // namespace smartnoc::noc

@@ -8,16 +8,23 @@
 //
 // Sink side: per-VC reassembly; a packet is consumed on tail arrival and
 // its receive-VC credit returns over the credit mesh.
+//
+// Hot-path layout: local flows live in a flat vector walked by the
+// round-robin injector (the former FlowId-keyed maps cost a tree walk per
+// cycle), packet-id lookup goes through a dense FlowId -> slot index, and
+// reassembly is a small linear-scanned vector bounded by the VC count.
+// A running queued-packet counter makes idle() O(1) for the network's
+// active-set scheduler and drain check.
 #pragma once
 
 #include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "noc/arbiter.hpp"
 #include "noc/fabric.hpp"
 #include "noc/flit.hpp"
 #include "noc/flow.hpp"
@@ -51,11 +58,19 @@ class Nic {
   /// Source-side credit return (a packet left the endpoint buffers).
   void credit_arrived(VcId vc);
 
-  bool idle() const;
-  int queued_packets() const;
-  int source_free_vcs() const { return static_cast<int>(free_vcs_.size()); }
+  /// O(1): no active transmission, no queued packet, nothing reassembling.
+  bool idle() const {
+    return !active_.has_value() && assembling_.empty() && queued_total_ == 0;
+  }
+  int queued_packets() const { return queued_total_; }
+  int source_free_vcs() const { return free_vcs_.size(); }
 
  private:
+  struct LocalFlow {
+    FlowId id = kInvalidFlow;
+    SourceRoute route;
+    std::deque<Packet> queue;
+  };
   struct ActiveTx {
     Packet pkt;
     SourceRoute route;
@@ -64,6 +79,7 @@ class Nic {
     Cycle inject_cycle = 0;
   };
   struct Assembly {
+    std::uint32_t packet_id = 0;
     int flits = 0;
     Cycle head_arrival = 0;
   };
@@ -73,14 +89,14 @@ class Nic {
   Fabric* fabric_;
   NetworkStats* stats_;
 
-  std::vector<FlowId> local_flows_;            ///< flows sourced at this NIC
-  std::map<FlowId, SourceRoute> routes_;
-  std::map<FlowId, std::deque<Packet>> queues_;
-  std::size_t rr_next_ = 0;                    ///< round-robin over local_flows_
-  std::deque<VcId> free_vcs_;
+  std::vector<LocalFlow> local_flows_;  ///< flows sourced at this NIC
+  std::vector<int> slot_of_flow_;      ///< FlowId -> local_flows_ index (-1 = not ours)
+  std::size_t rr_next_ = 0;            ///< round-robin over local_flows_
+  int queued_total_ = 0;               ///< packets across all local queues
+  VcQueue free_vcs_;
   std::optional<ActiveTx> active_;
 
-  std::map<std::uint32_t, Assembly> assembling_;  ///< packet id -> progress
+  std::vector<Assembly> assembling_;   ///< in-progress packets (<= #VCs entries)
 };
 
 }  // namespace smartnoc::noc

@@ -9,6 +9,8 @@ namespace smartnoc::noc {
 Router::Router(NodeId id, const NocConfig& cfg, Fabric* fabric)
     : id_(id), vcs_per_port_(cfg.vcs_per_port), fabric_(fabric) {
   SMARTNOC_CHECK(fabric_ != nullptr, "router needs a fabric");
+  SMARTNOC_CHECK(kNumDirs * vcs_per_port_ <= kMaxArbInputs,
+                 "vcs_per_port exceeds the switch-allocation mask width");
   for (auto& ip : inputs_) {
     ip.vcs.reserve(static_cast<std::size_t>(vcs_per_port_));
     for (int v = 0; v < vcs_per_port_; ++v) ip.vcs.emplace_back(cfg.vc_depth_flits);
@@ -27,28 +29,34 @@ void Router::enable_output(Dir o, int vcs) {
 
 void Router::accept_flit(Dir in_dir, Flit flit, Cycle arrival) {
   InputPort& ip = in(in_dir);
-  SMARTNOC_CHECK(ip.staging.size() < 2, "more than one flit in flight per input port");
-  ip.staging.push_back(StagedFlit{flit, arrival});
+  SMARTNOC_CHECK(ip.staging_count < 2, "more than one flit in flight per input port");
+  ip.staging[static_cast<std::size_t>((ip.staging_head + ip.staging_count) % 2)] =
+      StagedFlit{flit, arrival};
+  ip.staging_count += 1;
+  staged_total_ += 1;
 }
 
 void Router::credit_arrived(Dir out_dir, VcId vc) {
   OutputPort& op = out(out_dir);
   SMARTNOC_CHECK(op.enabled, "credit for a disabled output");
-  SMARTNOC_CHECK(static_cast<int>(op.free_vcs.size()) < vcs_per_port_,
+  SMARTNOC_CHECK(op.free_vcs.size() < vcs_per_port_,
                  "credit overflow: more credits than VCs");
   op.free_vcs.push_back(vc);
 }
 
 void Router::buffer_write(Cycle now, ActivityCounters& act) {
+  if (staged_total_ == 0) return;
   for (Dir d : kAllDirs) {
     InputPort& ip = in(d);
-    for (std::size_t k = 0; k < ip.staging.size();) {
-      if (ip.staging[k].arrival >= now) {
-        ++k;  // still on the wire (baseline-mesh link cycle)
-        continue;
-      }
-      Flit f = ip.staging[k].flit;
-      ip.staging.erase(ip.staging.begin() + static_cast<std::ptrdiff_t>(k));
+    // FIFO drain: per-port wire delay is constant, so arrivals are ordered
+    // and a blocked front flit implies the one behind it is blocked too.
+    while (ip.staging_count > 0) {
+      StagedFlit& sf = ip.staging[static_cast<std::size_t>(ip.staging_head)];
+      if (sf.arrival >= now) break;  // still on the wire (baseline-mesh link cycle)
+      Flit f = sf.flit;
+      ip.staging_head = (ip.staging_head + 1) % 2;
+      ip.staging_count -= 1;
+      staged_total_ -= 1;
       SMARTNOC_CHECK(f.vc >= 0 && f.vc < vcs_per_port_, "flit carries an invalid VC");
       VcBuffer& vc = ip.vcs[static_cast<std::size_t>(f.vc)];
       f.buffered_at = now;
@@ -61,12 +69,14 @@ void Router::buffer_write(Cycle now, ActivityCounters& act) {
         SMARTNOC_CHECK(vc.has_request(), "body flit with no open packet on its VC");
       }
       vc.push(f);
+      buffered_total_ += 1;
       act.buffer_writes += 1;
     }
   }
 }
 
 void Router::switch_traversal(Cycle now, ActivityCounters& act) {
+  if (holds_total_ == 0) return;
   for (Dir o : kAllDirs) {
     OutputPort& op = out(o);
     if (!op.hold.has_value()) continue;
@@ -75,6 +85,7 @@ void Router::switch_traversal(Cycle now, ActivityCounters& act) {
     if (vc.empty()) continue;                    // cut-through gap: wait
     if (vc.front().buffered_at >= now) continue; // written this very cycle
     Flit f = vc.pop();
+    buffered_total_ -= 1;
     const bool tail = is_tail(f.type);
     f.vc = op.hold->out_vc;  // VC at the segment endpoint, allocated at SA
     act.buffer_reads += 1;
@@ -86,66 +97,58 @@ void Router::switch_traversal(Cycle now, ActivityCounters& act) {
       vc.clear_request();
       ip.locked = false;
       op.hold.reset();
+      holds_total_ -= 1;
     }
   }
 }
 
 void Router::switch_allocation(Cycle now, ActivityCounters& act) {
+  if (buffered_total_ == 0) return;
+  // One gather pass builds every output's request mask (the VC state the
+  // conditions read cannot change during SA); the per-output loop then only
+  // arbitrates. `locked` is the one mutating input: a grant at an earlier
+  // output must hide that whole input port from later outputs within the
+  // same cycle, which masked_inputs reproduces exactly.
+  std::array<ArbMask, kNumDirs> req{};
+  ArbMask masked_inputs;  // all (input,vc) bits of locked input ports
+  bool any = false;
+  for (Dir i : kAllDirs) {
+    const InputPort& ip = in(i);
+    if (ip.locked) continue;  // contributes no request bits
+    const int base = dir_index(i) * vcs_per_port_;
+    for (int v = 0; v < vcs_per_port_; ++v) {
+      const VcBuffer& vc = ip.vcs[static_cast<std::size_t>(v)];
+      if (vc.empty() || !vc.has_request()) continue;
+      const Flit& f = vc.front();
+      if (!is_head(f.type)) continue;     // packet already in flight elsewhere
+      if (f.buffered_at >= now) continue; // BW this cycle: allocate next cycle
+      req[static_cast<std::size_t>(dir_index(vc.requested_out()))].set(
+          static_cast<std::size_t>(base + v));
+      any = true;
+    }
+  }
+  if (!any) return;
   // Fixed output order keeps allocation deterministic; per-output round-
   // robin over (input, vc) provides fairness (pinned by tests).
   for (Dir o : kAllDirs) {
     OutputPort& op = out(o);
     if (!op.enabled || op.hold.has_value() || op.free_vcs.empty()) continue;
-    std::vector<bool> req(static_cast<std::size_t>(kNumDirs * vcs_per_port_), false);
-    bool any = false;
-    for (Dir i : kAllDirs) {
-      const InputPort& ip = in(i);
-      if (ip.locked) continue;
-      for (int v = 0; v < vcs_per_port_; ++v) {
-        const VcBuffer& vc = ip.vcs[static_cast<std::size_t>(v)];
-        if (vc.empty() || !vc.has_request()) continue;
-        const Flit& f = vc.front();
-        if (!is_head(f.type)) continue;     // packet already in flight elsewhere
-        if (f.buffered_at >= now) continue; // BW this cycle: allocate next cycle
-        if (vc.requested_out() != o) continue;
-        req[static_cast<std::size_t>(dir_index(i) * vcs_per_port_ + v)] = true;
-        any = true;
-      }
-    }
-    if (!any) continue;
-    const auto winner = op.arb.arbitrate(req);
+    const ArbMask m = req[static_cast<std::size_t>(dir_index(o))] & ~masked_inputs;
+    if (m.none()) continue;
+    const auto winner = op.arb.arbitrate(m);
     SMARTNOC_CHECK(winner.has_value(), "arbiter must pick among requests");
     const Dir win_in = dir_from_index(*winner / vcs_per_port_);
     const VcId win_vc = static_cast<VcId>(*winner % vcs_per_port_);
-    const VcId out_vc = op.free_vcs.front();
-    op.free_vcs.pop_front();
+    const VcId out_vc = op.free_vcs.pop_front();
     op.hold = Hold{win_in, win_vc, out_vc};
+    holds_total_ += 1;
     in(win_in).locked = true;
     act.alloc_grants += 1;
-  }
-}
-
-bool Router::has_traffic() const {
-  for (const auto& ip : inputs_) {
-    if (!ip.staging.empty()) return true;
-    for (const auto& vc : ip.vcs) {
-      if (!vc.empty()) return true;
+    const int base = dir_index(win_in) * vcs_per_port_;
+    for (int v = 0; v < vcs_per_port_; ++v) {
+      masked_inputs.set(static_cast<std::size_t>(base + v));
     }
   }
-  for (const auto& op : outputs_) {
-    if (op.hold.has_value()) return true;
-  }
-  return false;
-}
-
-int Router::free_vcs(Dir o) const { return static_cast<int>(out(o).free_vcs.size()); }
-
-int Router::buffered_flits() const {
-  int n = 0;
-  for (const auto& ip : inputs_) {
-    for (const auto& vc : ip.vcs) n += vc.occupancy();
-  }
-  return n;
 }
 
 }  // namespace smartnoc::noc

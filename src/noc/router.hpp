@@ -13,12 +13,16 @@
 //
 // Bypass traffic never enters this class: the network's segment table
 // carries bypassed flits across this router's crossbar combinationally.
+//
+// The per-cycle phases are allocation-free: staged flits sit in a two-slot
+// ring (at most two can be in flight per input port), switch-allocation
+// requests are an ArbMask bitset, and free-VC queues are fixed-capacity
+// rings. Aggregate occupancy counters make has_traffic() O(1), which the
+// network's active-set scheduler and drain detection lean on every cycle.
 #pragma once
 
 #include <array>
-#include <deque>
 #include <optional>
-#include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -54,9 +58,10 @@ class Router {
   void enable_output(Dir out, int vcs);
 
   // --- Introspection ---------------------------------------------------------
-  bool has_traffic() const;
-  int free_vcs(Dir out) const;
-  int buffered_flits() const;
+  /// O(1): any staged flit, buffered flit or live switch hold.
+  bool has_traffic() const { return staged_total_ + buffered_total_ + holds_total_ > 0; }
+  int free_vcs(Dir o) const { return out(o).free_vcs.size(); }
+  int buffered_flits() const { return buffered_total_; }
 
  private:
   struct StagedFlit {
@@ -64,7 +69,12 @@ class Router {
     Cycle arrival;
   };
   struct InputPort {
-    std::vector<StagedFlit> staging;
+    // Two-slot staging ring: a port's feeder delivers at most one flit per
+    // cycle with a fixed wire delay, so arrivals are FIFO and at most two
+    // flits coexist (one on the wire, one awaiting BW).
+    std::array<StagedFlit, 2> staging;
+    int staging_head = 0;
+    int staging_count = 0;
     std::vector<VcBuffer> vcs;
     bool locked = false;  ///< a granted packet is streaming from this port
   };
@@ -75,7 +85,7 @@ class Router {
   };
   struct OutputPort {
     bool enabled = false;
-    std::deque<VcId> free_vcs;
+    VcQueue free_vcs;
     std::optional<Hold> hold;
     RoundRobinArbiter arb;
   };
@@ -90,6 +100,10 @@ class Router {
   Fabric* fabric_;
   std::array<InputPort, kNumDirs> inputs_;
   std::array<OutputPort, kNumDirs> outputs_;
+  // Aggregate occupancy, maintained at every push/pop (O(1) has_traffic).
+  int staged_total_ = 0;
+  int buffered_total_ = 0;
+  int holds_total_ = 0;
 };
 
 }  // namespace smartnoc::noc

@@ -8,11 +8,15 @@
 //      1-hop packet scores 9 = 1 inject link + 3+1 per hop + 3 + 1 eject);
 //   total latency   = tail arrival - creation + 1 (includes source queueing
 //     and serialization; reported separately).
+//
+// Per-flow stats live in a flat vector indexed by FlowId (flow ids are
+// dense, assigned by FlowSet), so record_packet on the per-packet hot path
+// is an array index instead of a map walk. Flows that never delivered a
+// packet appear as zero-initialized entries.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -69,7 +73,9 @@ class NetworkStats {
 
   void record_packet(FlowId flow, int flits, Cycle created, Cycle injected, Cycle head_arrival,
                      Cycle tail_arrival) {
-    FlowStats& fs = flows_[flow];
+    const auto idx = static_cast<std::size_t>(flow);
+    if (idx >= flows_.size()) flows_.resize(idx + 1);
+    FlowStats& fs = flows_[idx];
     fs.packets += 1;
     fs.flits += static_cast<std::uint64_t>(flits);
     const Cycle net = head_arrival - injected + 1;
@@ -80,14 +86,16 @@ class NetworkStats {
     if (net > fs.max_network_latency) fs.max_network_latency = net;
     if (histogram_.empty()) histogram_.resize(kMaxLatencyBucket + 1, 0);
     histogram_[std::min<std::size_t>(static_cast<std::size_t>(net), kMaxLatencyBucket)] += 1;
+    total_packets_ += 1;
   }
 
   /// Network-latency percentile in cycles (p in (0,100]); 0 if no packets.
+  /// The running packet count makes this one bounded histogram walk (the
+  /// total is no longer recomputed per query).
   Cycle latency_percentile(double p) const {
-    std::uint64_t total = 0;
-    for (std::uint64_t c : histogram_) total += c;
-    if (total == 0) return 0;
-    const auto want = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total) + 0.5);
+    if (total_packets_ == 0) return 0;
+    const auto want =
+        static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total_packets_) + 0.5);
     std::uint64_t seen = 0;
     for (std::size_t lat = 0; lat < histogram_.size(); ++lat) {
       seen += histogram_[lat];
@@ -96,19 +104,17 @@ class NetworkStats {
     return static_cast<Cycle>(histogram_.size() - 1);
   }
 
-  const std::map<FlowId, FlowStats>& per_flow() const { return flows_; }
+  /// Per-flow stats indexed by FlowId (sized to the highest flow that
+  /// delivered a packet; untouched flows read as all-zero).
+  const std::vector<FlowStats>& per_flow() const { return flows_; }
 
-  std::uint64_t total_packets() const {
-    std::uint64_t n = 0;
-    for (const auto& [id, fs] : flows_) n += fs.packets;
-    return n;
-  }
+  std::uint64_t total_packets() const { return total_packets_; }
 
   /// Packet-weighted average network latency across all flows - the
   /// quantity plotted in Fig. 10a.
   double avg_network_latency() const {
     std::uint64_t n = 0, sum = 0;
-    for (const auto& [id, fs] : flows_) {
+    for (const FlowStats& fs : flows_) {
       n += fs.packets;
       sum += fs.sum_network_latency;
     }
@@ -117,7 +123,7 @@ class NetworkStats {
 
   double avg_total_latency() const {
     std::uint64_t n = 0, sum = 0;
-    for (const auto& [id, fs] : flows_) {
+    for (const FlowStats& fs : flows_) {
       n += fs.packets;
       sum += fs.sum_total_latency;
     }
@@ -133,13 +139,15 @@ class NetworkStats {
   void reset() {
     flows_.clear();
     histogram_.clear();
+    total_packets_ = 0;
     activity_.reset();
     measured_cycles = 0;
   }
 
  private:
-  std::map<FlowId, FlowStats> flows_;
+  std::vector<FlowStats> flows_;
   std::vector<std::uint64_t> histogram_;
+  std::uint64_t total_packets_ = 0;
   ActivityCounters activity_;
 };
 

@@ -64,12 +64,14 @@ RunResult run_simulation(noc::Network& net, Traffic& traffic, const NocConfig& c
 
   traffic.set_enabled(false);
   Cycle drained_after = 0;
-  while (!net.drained() && drained_after < cfg.drain_timeout) {
+  bool drained = net.drained();
+  while (!drained && drained_after < cfg.drain_timeout) {
     net.tick();
     drained_after += 1;
+    drained = net.drained();
   }
   res.drain_cycles = drained_after;
-  res.drained = net.drained();
+  res.drained = drained;
 
   const noc::NetworkStats& stats = net.stats();
   res.packets_delivered = stats.total_packets();
@@ -77,7 +79,7 @@ RunResult run_simulation(noc::Network& net, Traffic& traffic, const NocConfig& c
   res.avg_total_latency = stats.avg_total_latency();
   res.p50_network_latency = stats.latency_percentile(50.0);
   res.p99_network_latency = stats.latency_percentile(99.0);
-  for (const auto& [flow, fs] : stats.per_flow()) {
+  for (const noc::FlowStats& fs : stats.per_flow()) {
     if (fs.max_network_latency > res.max_network_latency) {
       res.max_network_latency = fs.max_network_latency;
     }
