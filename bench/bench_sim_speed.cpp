@@ -12,6 +12,7 @@
 #include "dedicated/dedicated_network.hpp"
 #include "mapping/nmap.hpp"
 #include "noc/traffic.hpp"
+#include "sim/runner.hpp"
 #include "smart/smart_network.hpp"
 
 namespace {
@@ -95,6 +96,150 @@ void BM_Mesh8x8TickIdle_ReferenceKernel(benchmark::State& state) {
   run_mesh_8x8_idle(state, true);
 }
 BENCHMARK(BM_Mesh8x8TickIdle_ReferenceKernel);
+
+// PR 3 pair: batched NIC injection. Every NIC registers 63 flows but only
+// one carries traffic, placed so the seed's linear scan walks all 62 idle
+// slots per packet start (round-robin cursor lands just past the busy
+// slot) while the batched injector's sorted nonempty-slot list goes
+// straight to it. Selection order is identical (cross-pinned by the golden
+// determinism matrix); only the scan cost differs. Generation uses the
+// gap-skip engine so the 3969 rate-0 flows cost nothing outside the NICs.
+void run_nic_inject_8x8(benchmark::State& state, bool linear_scan) {
+  const NocConfig cfg = bench_cfg_8x8();
+  const MeshDims dims = cfg.dims();
+  const double busy_mbps = noc::mbps_for_packets_per_cycle(cfg, 0.10);
+  noc::FlowSet flows;
+  for (NodeId s = 0; s < dims.nodes(); ++s) {
+    const NodeId busy = (s + 1) % dims.nodes();
+    flows.add(s, busy, busy_mbps, noc::xy_path(dims, s, busy));  // slot 0
+    for (NodeId d = 0; d < dims.nodes(); ++d) {
+      if (d != s && d != busy) flows.add(s, d, 0.0, noc::xy_path(dims, s, d));
+    }
+  }
+  auto net = noc::make_baseline_mesh(cfg, std::move(flows));
+  for (NodeId n = 0; n < cfg.dims().nodes(); ++n) {
+    net->nic(n).use_reference_scan(linear_scan);
+  }
+  noc::TrafficEngine traffic(cfg, net->flows(), 1, noc::BernoulliMode::GapSkip);
+  for (auto _ : state) {
+    net->tick();
+    traffic.generate(*net);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Nic8x8UniformInject_Batched(benchmark::State& state) {
+  run_nic_inject_8x8(state, false);
+}
+BENCHMARK(BM_Nic8x8UniformInject_Batched);
+
+void BM_Nic8x8UniformInject_LinearScan(benchmark::State& state) {
+  run_nic_inject_8x8(state, true);
+}
+BENCHMARK(BM_Nic8x8UniformInject_LinearScan);
+
+// PR 3 pair: Scenario-API overhead. One iteration = one complete classic
+// warmup/measure/drain experiment; the raw loop hand-wires what Session
+// orchestrates. The CI bench-release job gates the Session/raw ratio at
+// < 2% (items_per_second = simulated cycles/sec).
+NocConfig overhead_cfg() {
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 2000;
+  cfg.drain_timeout = 10'000;
+  return cfg;
+}
+
+void BM_Classic4x4_RawLoop(benchmark::State& state) {
+  const NocConfig cfg = overhead_cfg();
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::Transpose, 0.05,
+                                           noc::TurnModel::XY);
+    auto net = noc::make_baseline_mesh(cfg, std::move(flows));
+    noc::TrafficEngine traffic(cfg, net->flows(), cfg.seed);
+    for (Cycle c = 0; c < cfg.warmup_cycles; ++c) {
+      net->tick();
+      traffic.generate(*net);
+    }
+    net->stats().reset();
+    for (Cycle c = 0; c < cfg.measure_cycles; ++c) {
+      net->tick();
+      traffic.generate(*net);
+    }
+    traffic.set_enabled(false);
+    Cycle drained_after = 0;
+    while (!net->drained() && drained_after < cfg.drain_timeout) {
+      net->tick();
+      drained_after += 1;
+    }
+    cycles += cfg.warmup_cycles + cfg.measure_cycles + drained_after;
+    benchmark::DoNotOptimize(net->stats().total_packets());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_Classic4x4_RawLoop);
+
+void BM_Classic4x4_Session(benchmark::State& state) {
+  const NocConfig cfg = overhead_cfg();
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Session session(
+        sim::ScenarioSpec::classic(Design::Mesh, "transpose", 0.05, cfg));
+    const sim::SessionResult sr = session.run();
+    for (const sim::PhaseResult& p : sr.phases) cycles += p.cycles_run;
+    benchmark::DoNotOptimize(sr.phases.back().packets_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_Classic4x4_Session);
+
+// PR 3 pair: traffic generation alone. 8x8 uniform-random registers 4032
+// flows; the per-cycle path draws each of them every cycle while the
+// gap-skip path only touches flows whose next packet is due.
+class NullSink final : public noc::Network {
+ public:
+  explicit NullSink(const NocConfig& cfg) : cfg_(cfg) {}
+  void tick() override { now_ += 1; }
+  Cycle now() const override { return now_; }
+  void offer_packet(FlowId, Cycle) override { offered_ += 1; }
+  bool drained() const override { return true; }
+  noc::NetworkStats& stats() override { return stats_; }
+  const NocConfig& config() const override { return cfg_; }
+  const noc::FlowSet& flows() const override { return flows_; }
+  std::uint64_t offered() const { return offered_; }
+
+ private:
+  NocConfig cfg_;
+  noc::NetworkStats stats_;
+  noc::FlowSet flows_;
+  std::uint64_t offered_ = 0;
+  Cycle now_ = 0;
+};
+
+void run_traffic_gen(benchmark::State& state, noc::BernoulliMode mode) {
+  const NocConfig cfg = bench_cfg_8x8();
+  const auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::UniformRandom, 0.02,
+                                               noc::TurnModel::XY);
+  NullSink sink(cfg);
+  noc::TrafficEngine traffic(cfg, flows, 1, mode);
+  for (auto _ : state) {
+    sink.tick();
+    traffic.generate(sink);
+  }
+  benchmark::DoNotOptimize(sink.offered());
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TrafficGen8x8Uniform_PerCycle(benchmark::State& state) {
+  run_traffic_gen(state, noc::BernoulliMode::PerCycle);
+}
+BENCHMARK(BM_TrafficGen8x8Uniform_PerCycle);
+
+void BM_TrafficGen8x8Uniform_GapSkip(benchmark::State& state) {
+  run_traffic_gen(state, noc::BernoulliMode::GapSkip);
+}
+BENCHMARK(BM_TrafficGen8x8Uniform_GapSkip);
 
 void BM_MeshTick(benchmark::State& state) {
   const NocConfig cfg = bench_cfg();

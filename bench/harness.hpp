@@ -35,8 +35,11 @@ struct AppResult {
 };
 
 inline DesignResult run_design(noc::Network& net, const NocConfig& cfg) {
-  noc::TrafficEngine traffic(cfg, net.flows(), cfg.seed);
-  const auto run = sim::run_simulation(net, traffic, cfg);
+  // A borrowed Session running the classic 3-phase protocol over the
+  // caller-built network (the benches keep ownership for preset probing).
+  sim::BernoulliWorkload source(cfg, net.flows(), cfg.seed);
+  sim::Session session(net, source, sim::classic_phases(cfg));
+  const sim::RunResult run = sim::session_to_run_result(session.run());
   DesignResult r;
   r.avg_network_latency = net.stats().avg_network_latency();
   r.avg_total_latency = net.stats().avg_total_latency();

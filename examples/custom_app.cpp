@@ -1,76 +1,85 @@
-// Bring your own application: define a task graph, let the flow map and
-// route it, and compare the three designs of the paper's Sec. VI on it.
+// Bring your own application: register a custom workload factory under a
+// name, then drive it like any built-in - one ScenarioSpec per design.
 //
 // The example graph is a small DNN-accelerator-style pipeline with a
 // weight-memory hub - enough structure to show both SMART's bypassing and
 // where hub contention pulls it away from the Dedicated ideal.
 #include <cstdio>
+#include <memory>
 
-#include "dedicated/dedicated_network.hpp"
 #include "mapping/nmap.hpp"
-#include "noc/traffic.hpp"
 #include "sim/runner.hpp"
-#include "smart/smart_network.hpp"
+
+namespace {
+
+using namespace smartnoc;
+
+/// Task graph -> NMAP placement -> routed flows, like the built-in SoC
+/// apps; the injection scale multiplies the graph's bandwidths.
+class DnnAccelFactory final : public sim::WorkloadFactory {
+ public:
+  noc::FlowSet flows(NocConfig& cfg, double injection) const override {
+    mapping::TaskGraph g("dnn_accel");
+    const int dma = g.add_task("dma_in");
+    const int wmem = g.add_task("weight_mem");  // the hub
+    const int pe0 = g.add_task("pe_array0");
+    const int pe1 = g.add_task("pe_array1");
+    const int pe2 = g.add_task("pe_array2");
+    const int pe3 = g.add_task("pe_array3");
+    const int acc = g.add_task("accumulate");
+    const int act = g.add_task("activation");
+    const int out = g.add_task("dma_out");
+    g.add_comm(dma, pe0, 200);  // bandwidths in MB/s
+    g.add_comm(dma, pe1, 200);
+    g.add_comm(wmem, pe0, 400);
+    g.add_comm(wmem, pe1, 400);
+    g.add_comm(wmem, pe2, 400);
+    g.add_comm(wmem, pe3, 400);
+    g.add_comm(pe0, acc, 150);
+    g.add_comm(pe1, acc, 150);
+    g.add_comm(pe2, acc, 150);
+    g.add_comm(pe3, acc, 150);
+    g.add_comm(acc, act, 300);
+    g.add_comm(act, out, 300);
+    g.validate();
+
+    cfg.bandwidth_scale *= injection;
+    const auto m = mapping::nmap_map(g, cfg.dims());
+    return mapping::route_flows(g, m, cfg.dims(), noc::TurnModel::WestFirst);
+  }
+};
+
+}  // namespace
 
 int main() {
-  using namespace smartnoc;
+  // 1. Register the application; from here on "dnn_accel" works anywhere
+  //    a workload name does: scenarios, scenario files, the explorer.
+  sim::WorkloadRegistry::instance().add("dnn_accel", std::make_shared<DnnAccelFactory>());
 
-  // 1. Describe the application (bandwidths in MB/s).
-  mapping::TaskGraph g("dnn_accel");
-  const int dma = g.add_task("dma_in");
-  const int wmem = g.add_task("weight_mem");  // the hub
-  const int pe0 = g.add_task("pe_array0");
-  const int pe1 = g.add_task("pe_array1");
-  const int pe2 = g.add_task("pe_array2");
-  const int pe3 = g.add_task("pe_array3");
-  const int acc = g.add_task("accumulate");
-  const int act = g.add_task("activation");
-  const int out = g.add_task("dma_out");
-  g.add_comm(dma, pe0, 200);
-  g.add_comm(dma, pe1, 200);
-  g.add_comm(wmem, pe0, 400);
-  g.add_comm(wmem, pe1, 400);
-  g.add_comm(wmem, pe2, 400);
-  g.add_comm(wmem, pe3, 400);
-  g.add_comm(pe0, acc, 150);
-  g.add_comm(pe1, acc, 150);
-  g.add_comm(pe2, acc, 150);
-  g.add_comm(pe3, acc, 150);
-  g.add_comm(acc, act, 300);
-  g.add_comm(act, out, 300);
-  g.validate();
-
-  // 2. Map and route on the Table II mesh.
-  NocConfig cfg = NocConfig::paper_4x4();
-  const auto m = mapping::nmap_map(g, cfg.dims());
-  auto flows = mapping::route_flows(g, m, cfg.dims(), noc::TurnModel::WestFirst);
-  std::printf("%s: %d tasks placed; e.g. %s -> core %d\n", g.name().c_str(), g.num_tasks(),
-              g.task_name(wmem).c_str(), m.core_of(wmem));
-
-  // 3. Run the three designs on identical flows and seeds.
-  auto report = [&](const char* name, noc::Network& net) {
-    noc::TrafficEngine traffic(cfg, net.flows(), cfg.seed);
-    sim::run_simulation(net, traffic, cfg);
-    std::printf("  %-10s avg network latency %6.2f cycles  (%llu packets)\n", name,
-                net.stats().avg_network_latency(),
-                static_cast<unsigned long long>(net.stats().total_packets()));
-  };
-  {
-    auto mesh = noc::make_baseline_mesh(cfg, flows);
-    report("Mesh", *mesh);
-  }
-  {
-    auto smart = smart::make_smart_network(cfg, flows);
-    int stop_free = 0;
-    for (const auto& s : smart.presets.stops_per_flow) stop_free += s.empty() ? 1 : 0;
-    report("SMART", *smart.net);
-    std::printf("             (%d/%d flows bypass end-to-end; hub flows stop at the\n"
-                "             weight-memory and accumulator routers)\n",
-                stop_free, smart.net->flows().size());
-  }
-  {
-    dedicated::DedicatedNetwork ded(cfg, flows);
-    report("Dedicated", ded);
+  // 2. Run the three designs of Sec. VI on identical flows and seeds.
+  const NocConfig cfg = NocConfig::paper_4x4();
+  std::puts("dnn_accel: custom task graph registered as a workload\n");
+  for (Design design : {Design::Mesh, Design::Smart, Design::Dedicated}) {
+    sim::Session session(sim::ScenarioSpec::classic(design, "dnn_accel", 1.0, cfg));
+    const sim::SessionResult sr = session.run();
+    if (!sr.ok) {
+      std::printf("  %-10s failed: %s\n", design_name(design), sr.error.c_str());
+      continue;
+    }
+    const sim::PhaseResult& last = sr.phases.back();
+    std::printf("  %-10s avg network latency %6.2f cycles  (%llu packets)\n",
+                design_name(design), last.avg_network_latency,
+                static_cast<unsigned long long>(last.packets_delivered));
+    if (design == Design::Smart) {
+      noc::MeshNetwork& net = *session.mesh_network();
+      int stop_free = 0;
+      for (const auto& f : net.flows()) {
+        stop_free += net.flow_info(f.id).stops.empty() ? 1 : 0;
+      }
+      std::printf("             (%d/%d flows bypass end-to-end; hub flows stop at the\n"
+                  "             weight-memory and accumulator routers)\n",
+                  stop_free, net.flows().size());
+    }
   }
   return 0;
 }

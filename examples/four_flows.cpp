@@ -5,6 +5,7 @@
 #include <string>
 
 #include "noc/routing.hpp"
+#include "sim/session.hpp"
 #include "smart/smart_network.hpp"
 
 int main() {
@@ -45,14 +46,25 @@ int main() {
                 s.empty() ? " (none)" : s.c_str(), stops.size(), 1 + 3 * stops.size());
   }
 
-  // Trace one blue packet, cycle by cycle.
+  // Trace one blue packet cycle by cycle, single-stepping a borrowed
+  // Session (a quiet free-run phase; the packet is hand-offered).
+  sim::LambdaWorkload quiet([](noc::Network&) { return std::uint64_t{0}; });
+  sim::PhaseSpec trace_phase;
+  trace_phase.name = "trace";
+  trace_phase.cycles = 1000;
+  sim::Session session(net, quiet, {trace_phase});
+
   std::puts("\ncycle-by-cycle trace of one blue packet (head flit):");
   net.offer_packet(3, net.now());
   const Cycle start = net.now() + 1;
   const auto packets_before = net.stats().total_packets();
   Cycle arrived = 0;
   while (net.stats().total_packets() == packets_before) {
-    net.tick();
+    if (session.done()) {  // trace phase exhausted: the packet never arrived
+      std::puts("ERROR: packet not delivered within the trace phase");
+      return 1;
+    }
+    session.step(1);
     const Cycle rel = net.now() - start + 1;
     // Reconstruct the paper's annotations from the known stop schedule.
     if (rel == 1) {

@@ -1,57 +1,57 @@
 // Quickstart: the shortest path through the public API.
 //
-//   1. pick an application task graph (VOPD),
-//   2. map it onto the 4x4 mesh with the paper's modified NMAP,
-//   3. build a SMART network (presets computed, encoded through the
-//      Section V registers, HPC_max from the circuit model),
-//   4. drive it with bandwidth-proportional traffic and read the results.
+//   1. declare a scenario: design + workload + the classic
+//      warmup/measure/drain protocol (one line),
+//   2. let the Session build everything (task graph -> NMAP placement ->
+//      routed flows -> presets -> registers -> SMART network -> traffic),
+//   3. run it and read the results.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+//               ./build/quickstart
 #include <cstdio>
 
-#include "mapping/nmap.hpp"
-#include "noc/traffic.hpp"
 #include "power/energy_model.hpp"
 #include "sim/runner.hpp"
-#include "smart/smart_network.hpp"
 
 int main() {
   using namespace smartnoc;
 
-  // Table II configuration: 4x4 mesh, 32-bit flits, 2 VCs, 2 GHz.
+  // Table II configuration: 4x4 mesh, 32-bit flits, 2 VCs, 2 GHz. The
+  // scenario runs VOPD on the SMART design at the paper's bandwidths.
   const NocConfig cfg = NocConfig::paper_4x4();
+  sim::Session session(sim::ScenarioSpec::classic(Design::Smart, "vopd", 1.0, cfg));
 
-  // Task graph -> placement -> routed flows.
-  const mapping::MappedApp app = mapping::map_app(mapping::SocApp::VOPD, cfg);
-  std::printf("VOPD: %d tasks, %d flows, mean route %.2f hops\n", app.graph.num_tasks(),
-              app.flows.size(), app.mean_hops());
-
-  // SMART network: presets + registers + segments, HPC_max from Table I.
-  auto smart = smart::make_smart_network(app.cfg, app.flows);
+  // step(0) builds the first era without simulating a cycle, so the
+  // network is inspectable before the run.
+  session.step(0);
+  noc::MeshNetwork& net = *session.mesh_network();
+  std::printf("VOPD: %d flows mapped and routed on the 4x4 mesh\n", net.flows().size());
   std::printf("HPC_max at %.1f GHz (low swing): %d hops/cycle\n", cfg.freq_ghz,
-              smart.hpc_max);
+              session.hpc_max());
   int bypass_flows = 0;
-  for (const auto& stops : smart.presets.stops_per_flow) {
-    bypass_flows += stops.empty() ? 1 : 0;
+  for (const auto& f : net.flows()) {
+    bypass_flows += net.flow_info(f.id).stops.empty() ? 1 : 0;
   }
-  std::printf("%d of %d flows run source-NIC -> dest-NIC in a single cycle\n\n",
-              bypass_flows, app.flows.size());
+  std::printf("%d of %d flows run source-NIC -> dest-NIC in a single cycle\n\n", bypass_flows,
+              net.flows().size());
 
-  // Simulate: warmup, measure, drain.
-  noc::TrafficEngine traffic(app.cfg, smart.net->flows(), app.cfg.seed);
-  const auto run = sim::run_simulation(*smart.net, traffic, app.cfg);
+  // Simulate: warmup, measure, drain (the classic protocol).
+  const sim::RunResult run = sim::session_to_run_result(session.run());
+  if (!run.ok) {
+    std::printf("run failed: %s\n", run.error.c_str());
+    return 1;
+  }
 
-  const auto& stats = smart.net->stats();
   std::printf("packets delivered:      %llu\n",
-              static_cast<unsigned long long>(stats.total_packets()));
-  std::printf("avg network latency:    %.2f cycles (%.2f ns)\n", stats.avg_network_latency(),
-              stats.avg_network_latency() / cfg.freq_ghz);
+              static_cast<unsigned long long>(run.packets_delivered));
+  std::printf("avg network latency:    %.2f cycles (%.2f ns)\n", run.avg_network_latency,
+              run.avg_network_latency / cfg.freq_ghz);
   std::printf("avg total latency:      %.2f cycles (incl. source queueing)\n",
-              stats.avg_total_latency());
+              run.avg_total_latency);
 
-  const auto power = power::compute_power(app.cfg, run.activity, run.measure_cycles,
-                                          power::EnergyParams::for_config(app.cfg));
+  const NocConfig& era_cfg = session.era_config();
+  const auto power = power::compute_power(era_cfg, run.activity, run.measure_cycles,
+                                          power::EnergyParams::for_config(era_cfg));
   std::printf("dynamic power:          %.2f mW (buffer %.2f, alloc %.2f, xbar+pipe %.2f, "
               "link %.2f)\n",
               power.total() * 1e3, power.buffer_w * 1e3, power.allocator_w * 1e3,

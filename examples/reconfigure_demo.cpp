@@ -1,15 +1,14 @@
-// Fig. 1 demo: one SMART NoC, three applications, runtime reconfiguration.
+// Fig. 1 demo: one SMART NoC, three applications, runtime reconfiguration -
+// declared as a single multi-phase scenario.
 //
-// WLAN runs, the network drains, sixteen memory stores rewrite the preset
-// registers, H264 runs on what is effectively a different topology - then
-// again for VOPD. Per application we print the reconfiguration cost and
-// the latency the tailored topology delivers.
+// WLAN runs, then entering the H264 phase triggers the reconfiguration
+// flow (drain the network, execute the register-store program over the
+// config ring, resume on what is effectively a different topology), then
+// again for VOPD. The Session reports the reconfiguration latency and the
+// per-phase latency/throughput the tailored topology delivers.
 #include <cstdio>
 
-#include "mapping/nmap.hpp"
-#include "noc/traffic.hpp"
 #include "sim/runner.hpp"
-#include "smart/reconfig.hpp"
 
 int main() {
   using namespace smartnoc;
@@ -17,33 +16,60 @@ int main() {
   NocConfig cfg = NocConfig::paper_4x4();
   cfg.measure_cycles = 100'000;
 
-  smart::ReconfigManager mgr(cfg, /*single_config_core=*/true);
+  sim::ScenarioSpec spec;
+  spec.name = "fig1-app-switching";
+  spec.design = Design::Smart;
+  spec.config = cfg;
+  spec.single_config_core = true;  // stores ride the side ring (paper Fig. 1)
+  auto app_phase = [](const char* app) {
+    sim::PhaseSpec ph;
+    ph.name = app;
+    ph.workload = app;
+    ph.injection = 1.0;
+    ph.cycles = 100'000;
+    ph.measure = true;
+    return ph;
+  };
+  spec.phases = {app_phase("wlan"), app_phase("h264"), app_phase("vopd")};
+  sim::PhaseSpec drain;
+  drain.name = "drain";
+  drain.drain = true;
+  drain.traffic = false;
+  spec.phases.push_back(drain);
 
-  std::puts("Fig. 1: one mesh, three applications, reconfigured at runtime\n");
-  for (mapping::SocApp app :
-       {mapping::SocApp::WLAN, mapping::SocApp::H264, mapping::SocApp::VOPD}) {
-    const auto mapped = mapping::map_app(app, cfg);
-    const auto cost = mgr.reconfigure(mapped.flows);
+  std::puts("Fig. 1: one mesh, three applications, reconfigured at runtime");
+  std::puts("(one declarative ScenarioSpec; each workload change swaps the presets)\n");
 
-    std::printf("[%s]\n", mapping::app_name(app));
-    std::printf("  reconfigure: drained in %llu cycles, %d register stores, %llu cycles on "
-                "the config ring => %llu cycles total\n",
-                static_cast<unsigned long long>(cost.drain_cycles), cost.stores,
-                static_cast<unsigned long long>(cost.store_cycles),
-                static_cast<unsigned long long>(cost.total()));
+  sim::Session session(spec);
+  while (!session.done()) {
+    const sim::PhaseResult& r = session.run_phase();
+    if (!r.ok) {
+      std::printf("[%s] failed: %s\n", r.name.c_str(), r.error.c_str());
+      return 1;
+    }
+    if (r.drain) continue;  // the final drain just empties the fabric
 
+    std::printf("[%s]\n", r.workload.c_str());
+    const sim::ReconfigEvent& rc = r.reconfig;
+    if (rc.performed) {
+      std::printf("  reconfigure: drained in %llu cycles, %d register stores, %llu cycles on "
+                  "the config ring => %llu cycles total\n",
+                  static_cast<unsigned long long>(rc.drain_cycles), rc.stores,
+                  static_cast<unsigned long long>(rc.store_cycles),
+                  static_cast<unsigned long long>(rc.total()));
+    } else {
+      std::printf("  initial configuration: %d register stores\n", rc.stores);
+    }
+
+    noc::MeshNetwork& net = *session.mesh_network();
     int bypassed = 0;
-    for (const auto& stops : mgr.presets().stops_per_flow) {
-      bypassed += stops.empty() ? 1 : 0;
+    for (const auto& f : net.flows()) {
+      bypassed += net.flow_info(f.id).stops.empty() ? 1 : 0;
     }
     std::printf("  presets: %d/%d flows single-cycle end-to-end\n", bypassed,
-                mgr.network().flows().size());
-
-    noc::TrafficEngine traffic(mapped.cfg, mgr.network().flows(), cfg.seed);
-    sim::run_simulation(mgr.network(), traffic, mapped.cfg);
+                net.flows().size());
     std::printf("  result: %llu packets, avg network latency %.2f cycles\n\n",
-                static_cast<unsigned long long>(mgr.network().stats().total_packets()),
-                mgr.network().stats().avg_network_latency());
+                static_cast<unsigned long long>(r.packets_delivered), r.avg_network_latency);
   }
 
   std::puts("The reconfiguration cost (~10^2 cycles) is the paper's \"just the amount");

@@ -125,6 +125,8 @@ struct NocConfig {
   /// constructor for use in benches and docs.
   static NocConfig paper_4x4() { return NocConfig{}; }
 
+  friend bool operator==(const NocConfig&, const NocConfig&) = default;
+
  private:
   static void require(bool ok, const std::string& msg) {
     if (!ok) throw ConfigError(msg);

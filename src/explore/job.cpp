@@ -1,61 +1,13 @@
 #include "explore/job.hpp"
 
-#include <memory>
-#include <utility>
+#include <string>
 
-#include "common/rng.hpp"
 #include "common/table.hpp"
-#include "dedicated/dedicated_network.hpp"
-#include "mapping/nmap.hpp"
-#include "noc/faults.hpp"
-#include "noc/traffic.hpp"
 #include "power/energy_model.hpp"
 #include "sim/runner.hpp"
-#include "smart/smart_network.hpp"
 #include "tools/physical_gen.hpp"
 
 namespace smartnoc::explore {
-
-namespace {
-
-/// Deterministic fault pattern for one run: each East/North link (and its
-/// reverse) fails independently with probability `rate`, drawn from a
-/// dedicated sub-stream of the run seed so traffic draws are unaffected.
-/// The stream key lives above the 32-bit FlowId range so it can never
-/// collide with a flow's traffic stream (TrafficEngine keys by flow id).
-constexpr std::uint64_t kFaultStreamKey = (1ULL << 32) + 0xFA;
-
-noc::FaultSet draw_faults(const MeshDims& dims, double rate, std::uint64_t seed) {
-  noc::FaultSet faults;
-  if (rate <= 0.0) return faults;
-  Xoshiro256 rng = make_stream(seed, kFaultStreamKey);
-  for (NodeId n = 0; n < dims.nodes(); ++n) {
-    for (Dir d : {Dir::East, Dir::North}) {
-      if (!dims.has_neighbor(n, d)) continue;
-      if (rng.bernoulli(rate)) faults.fail_link(dims, n, d);
-    }
-  }
-  return faults;
-}
-
-/// Re-routes `flows` around `faults`, dropping flows whose destination
-/// became unreachable. Counts the drops so the record can report them.
-noc::FlowSet reroute_around(const MeshDims& dims, const noc::FlowSet& flows,
-                            const noc::FaultSet& faults, int& dropped) {
-  noc::FlowSet out;
-  dropped = 0;
-  for (const auto& f : flows) {
-    const auto path = noc::route_around_faults(dims, f.src, f.dst, noc::TurnModel::XY, faults);
-    if (!path.has_value()) {
-      ++dropped;
-      continue;
-    }
-    out.add(f.src, f.dst, f.bandwidth_mbps, *path);
-  }
-  return out;
-}
-
-}  // namespace
 
 RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
   RunRecord rec;
@@ -71,57 +23,28 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
   rec.seed = pt.seed;
 
   try {
-    NocConfig cfg = spec.config_for(pt);
+    // One exploration point is exactly the classic 3-phase scenario: the
+    // Session owns the flow build (with fault rerouting), the network and
+    // the traffic engine, replicating the sequence this file hand-wired
+    // before the Scenario API existed (bit-identical, pinned by tests).
+    sim::ScenarioSpec scenario = sim::ScenarioSpec::classic(
+        pt.design, pt.workload.name(), pt.injection, spec.config_for(pt));
+    scenario.fault_rate = pt.fault_rate;
 
-    // --- Workload: flows + routes -------------------------------------
-    noc::FlowSet flows;
-    if (pt.workload.kind == Workload::Kind::Synthetic) {
-      flows = noc::make_synthetic_flows(cfg, pt.workload.pattern, pt.injection,
-                                        noc::TurnModel::XY);
-    } else {
-      mapping::MappedApp mapped = mapping::map_app(pt.workload.app, cfg);
-      cfg = mapped.cfg;
-      // For app workloads the injection axis scales the task graph's
-      // bandwidth demands on top of the paper's recommended scale.
-      cfg.bandwidth_scale *= pt.injection;
-      flows = std::move(mapped.flows);
+    sim::Session session(std::move(scenario));
+    const sim::SessionResult sr = session.run();
+    const sim::RunResult run = sim::session_to_run_result(sr);
+
+    if (!sr.phases.empty()) rec.dropped_flows = sr.phases.front().dropped_flows;
+    if (pt.design == Design::Smart && session.hpc_max() > 0) rec.hpc_max = session.hpc_max();
+    try {
+      rec.flows = session.network().flows().size();
+    } catch (const SimError&) {
+      rec.flows = 0;  // the first era never built (e.g. all flows dropped)
     }
 
-    if (pt.fault_rate > 0.0) {
-      const noc::FaultSet faults = draw_faults(cfg.dims(), pt.fault_rate, pt.seed);
-      flows = reroute_around(cfg.dims(), flows, faults, rec.dropped_flows);
-    }
-    rec.flows = flows.size();
-    if (flows.empty()) {
-      rec.error = "no routable flows (all dropped by faults)";
-      return rec;
-    }
-
-    // --- Network + traffic, then the shared measurement protocol ------
-    std::unique_ptr<noc::Network> owned;
-    switch (pt.design) {
-      case Design::Mesh: owned = noc::make_baseline_mesh(cfg, std::move(flows)); break;
-      case Design::Smart: {
-        auto build = smart::make_smart_network(cfg, std::move(flows));
-        rec.hpc_max = build.hpc_max;
-        owned = std::move(build.net);
-        break;
-      }
-      case Design::Dedicated:
-        owned = std::make_unique<dedicated::DedicatedNetwork>(cfg, std::move(flows));
-        break;
-    }
-    noc::Network& net = *owned;
-    noc::TrafficEngine traffic(cfg, net.flows(), pt.seed);
-    const sim::RunResult run = sim::run_simulation(net, traffic, cfg);
-
-    if (!run.drained) {
-      // A non-drained network means packets from the measurement window
-      // never arrived; its latency statistics are censored and must not
-      // enter the table as if they were real.
-      rec.error = strf("drain timeout: network still busy after %llu cycles "
-                       "(load beyond saturation?)",
-                       static_cast<unsigned long long>(cfg.drain_timeout));
+    if (!run.ok) {
+      rec.error = run.error;
       return rec;
     }
 
@@ -133,6 +56,9 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
     rec.max_latency = static_cast<double>(run.max_network_latency);
     rec.throughput_ppc = run.delivered_packets_per_cycle;
 
+    // Power and area come from the era's configuration: app workloads
+    // adjust bandwidth_scale (and the mapped config) during the build.
+    const NocConfig& cfg = session.era_config();
     const auto power = power::compute_power(cfg, run.activity, run.measure_cycles,
                                             power::EnergyParams::for_config(cfg));
     rec.power_mw = power.total() * 1e3;

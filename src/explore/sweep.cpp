@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 
 namespace smartnoc::explore {
@@ -92,25 +93,15 @@ NocConfig SweepSpec::config_for(const RunPoint& pt) const {
 
 namespace {
 
-std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return s;
-}
+using smartnoc::lower_token;
+using smartnoc::trim_token;
 
 std::vector<std::string> split_list(const std::string& s) {
   std::vector<std::string> out;
   std::stringstream ss(s);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    item = trim(item);
+    item = trim_token(item);
     if (!item.empty()) out.push_back(item);
   }
   return out;
@@ -119,40 +110,15 @@ std::vector<std::string> split_list(const std::string& s) {
 }  // namespace
 
 int parse_axis_int(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const int v = std::stoi(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ConfigError(std::string("malformed ") + what + ": '" + s + "'");
-  }
+  return parse_int_token(s, what);
 }
 
 double parse_axis_double(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ConfigError(std::string("malformed ") + what + ": '" + s + "'");
-  }
+  return parse_double_token(s, what);
 }
 
 std::uint64_t parse_axis_u64(const std::string& s, const char* what) {
-  // A leading '-' would wrap through strtoull to a huge cycle count (a
-  // "warmup = -1" sweep would spin for ~1.8e19 cycles); reject it up front.
-  try {
-    if (s.empty() || s[0] == '-') throw std::invalid_argument(s);
-    std::size_t pos = 0;
-    const std::uint64_t v = std::stoull(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ConfigError(std::string("malformed ") + what + ": '" + s +
-                      "' (expected a non-negative integer)");
-  }
+  return parse_u64_token(s, what);
 }
 
 MeshDims parse_mesh(const std::string& token) {
@@ -165,7 +131,7 @@ MeshDims parse_mesh(const std::string& token) {
 }
 
 Workload parse_workload(const std::string& token) {
-  const std::string t = lower(token);
+  const std::string t = lower_token(token);
   using SP = noc::SyntheticPattern;
   if (t == "uniform" || t == "uniform-random") return Workload::synthetic(SP::UniformRandom);
   if (t == "transpose") return Workload::synthetic(SP::Transpose);
@@ -187,7 +153,7 @@ Workload parse_workload(const std::string& token) {
 }
 
 Design parse_design(const std::string& token) {
-  const std::string t = lower(token);
+  const std::string t = lower_token(token);
   if (t == "mesh" || t == "baseline") return Design::Mesh;
   if (t == "smart") return Design::Smart;
   if (t == "dedicated") return Design::Dedicated;
@@ -208,14 +174,14 @@ SweepSpec parse_sweep(const std::string& text) {
     ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
-    line = trim(line);
+    line = trim_token(line);
     if (line.empty()) continue;
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
       throw ConfigError("sweep line " + std::to_string(lineno) + ": expected 'key = values'");
     }
-    const std::string key = lower(trim(line.substr(0, eq)));
-    const std::string val = trim(line.substr(eq + 1));
+    const std::string key = lower_token(trim_token(line.substr(0, eq)));
+    const std::string val = trim_token(line.substr(eq + 1));
     const std::vector<std::string> items = split_list(val);
     if (items.empty()) {
       throw ConfigError("sweep line " + std::to_string(lineno) + ": no values for '" + key + "'");

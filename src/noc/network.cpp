@@ -56,6 +56,10 @@ void MeshNetwork::use_reference_kernel(bool ref) {
   SMARTNOC_CHECK(now_ == 0 && drained(),
                  "kernel switch requires a pristine network (no ticks, no traffic)");
   reference_kernel_ = ref;
+  // The seed kernel also selects flows by linear scan in the NICs; keeping
+  // the two toggles paired lets the golden matrix cross-pin the batched
+  // injector against the scan.
+  for (auto& nic : nics_) nic->use_reference_scan(ref);
 }
 
 void MeshNetwork::validate_and_index_flow(const Flow& flow) {

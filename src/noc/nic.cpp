@@ -1,5 +1,7 @@
 #include "noc/nic.hpp"
 
+#include <algorithm>
+
 namespace smartnoc::noc {
 
 Nic::Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats)
@@ -28,8 +30,18 @@ void Nic::offer_packet(const Packet& pkt) {
   const auto idx = static_cast<std::size_t>(pkt.flow);
   SMARTNOC_CHECK(idx < slot_of_flow_.size() && slot_of_flow_[idx] >= 0,
                  "packet offered for an unregistered flow");
-  local_flows_[static_cast<std::size_t>(slot_of_flow_[idx])].queue.push_back(pkt);
+  const auto slot = static_cast<std::size_t>(slot_of_flow_[idx]);
+  LocalFlow& lf = local_flows_[slot];
+  if (lf.queue.empty()) {
+    nonempty_.insert(std::lower_bound(nonempty_.begin(), nonempty_.end(), slot), slot);
+  }
+  lf.queue.push_back(pkt);
   queued_total_ += 1;
+}
+
+std::size_t Nic::next_nonempty(std::size_t from) const {
+  const auto it = std::lower_bound(nonempty_.begin(), nonempty_.end(), from);
+  return it != nonempty_.end() ? *it : nonempty_.front();
 }
 
 void Nic::inject(Cycle now, ActivityCounters& act) {
@@ -37,22 +49,34 @@ void Nic::inject(Cycle now, ActivityCounters& act) {
     if (queued_total_ == 0) return;
     // Round-robin over flows with queued packets; needs a free endpoint VC.
     if (free_vcs_.empty()) return;
-    for (std::size_t k = 0; k < local_flows_.size(); ++k) {
-      const std::size_t i = (rr_next_ + k) % local_flows_.size();
-      LocalFlow& lf = local_flows_[i];
-      if (lf.queue.empty()) continue;
-      ActiveTx tx;
-      tx.pkt = lf.queue.front();
-      lf.queue.pop_front();
-      queued_total_ -= 1;
-      tx.route = lf.route;
-      tx.vc = free_vcs_.pop_front();
-      tx.inject_cycle = now;
-      active_ = tx;
-      rr_next_ = (i + 1) % local_flows_.size();
-      break;
+    std::size_t chosen = local_flows_.size();  // sentinel: nothing picked
+    if (reference_scan_) {
+      for (std::size_t k = 0; k < local_flows_.size(); ++k) {
+        const std::size_t i = (rr_next_ + k) % local_flows_.size();
+        if (!local_flows_[i].queue.empty()) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      // queued_total_ > 0 guarantees a nonempty slot; the cyclic
+      // lower_bound lands on the same slot the linear scan would.
+      chosen = next_nonempty(rr_next_);
     }
-    if (!active_.has_value()) return;
+    if (chosen == local_flows_.size()) return;
+    LocalFlow& lf = local_flows_[chosen];
+    ActiveTx tx;
+    tx.pkt = lf.queue.front();
+    lf.queue.pop_front();
+    queued_total_ -= 1;
+    if (lf.queue.empty()) {
+      nonempty_.erase(std::lower_bound(nonempty_.begin(), nonempty_.end(), chosen));
+    }
+    tx.route = lf.route;
+    tx.vc = free_vcs_.pop_front();
+    tx.inject_cycle = now;
+    active_ = tx;
+    rr_next_ = (chosen + 1) % local_flows_.size();
   }
 
   // Stream one flit of the active packet.

@@ -9,12 +9,16 @@
 // Sink side: per-VC reassembly; a packet is consumed on tail arrival and
 // its receive-VC credit returns over the credit mesh.
 //
-// Hot-path layout: local flows live in a flat vector walked by the
-// round-robin injector (the former FlowId-keyed maps cost a tree walk per
-// cycle), packet-id lookup goes through a dense FlowId -> slot index, and
-// reassembly is a small linear-scanned vector bounded by the VC count.
-// A running queued-packet counter makes idle() O(1) for the network's
-// active-set scheduler and drain check.
+// Hot-path layout: local flows live in a flat vector; the round-robin
+// injector picks from a sorted list of the slots with queued packets
+// (cyclic lower_bound from the round-robin cursor), so a NIC with many
+// registered flows but few busy ones no longer probes every slot each
+// cycle. The seed's linear scan survives behind use_reference_scan (wired
+// to MeshNetwork::use_reference_kernel and cross-pinned bit-identical by
+// the golden determinism matrix). Packet-id lookup goes through a dense
+// FlowId -> slot index, and reassembly is a small linear-scanned vector
+// bounded by the VC count. A running queued-packet counter makes idle()
+// O(1) for the network's active-set scheduler and drain check.
 #pragma once
 
 #include <deque>
@@ -65,6 +69,12 @@ class Nic {
   int queued_packets() const { return queued_total_; }
   int source_free_vcs() const { return free_vcs_.size(); }
 
+  /// Selects the next flow with the seed's linear scan over every slot
+  /// instead of the nonempty-slot list (identical choice, O(flows) work);
+  /// the reference path for golden cross-checks and before/after benches.
+  void use_reference_scan(bool ref) { reference_scan_ = ref; }
+  bool reference_scan() const { return reference_scan_; }
+
  private:
   struct LocalFlow {
     FlowId id = kInvalidFlow;
@@ -89,10 +99,16 @@ class Nic {
   Fabric* fabric_;
   NetworkStats* stats_;
 
+  /// First slot in `nonempty_` at or cyclically after `from` (the batched
+  /// injector's round-robin step; nonempty_ must not be empty).
+  std::size_t next_nonempty(std::size_t from) const;
+
   std::vector<LocalFlow> local_flows_;  ///< flows sourced at this NIC
   std::vector<int> slot_of_flow_;      ///< FlowId -> local_flows_ index (-1 = not ours)
+  std::vector<std::size_t> nonempty_;  ///< sorted slots with queued packets
   std::size_t rr_next_ = 0;            ///< round-robin over local_flows_
   int queued_total_ = 0;               ///< packets across all local queues
+  bool reference_scan_ = false;        ///< linear-scan flow selection
   VcQueue free_vcs_;
   std::optional<ActiveTx> active_;
 

@@ -1,5 +1,7 @@
 #include "noc/traffic.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/error.hpp"
@@ -7,7 +9,17 @@
 
 namespace smartnoc::noc {
 
-TrafficEngine::TrafficEngine(const NocConfig& cfg, const FlowSet& flows, std::uint64_t seed) {
+const char* bernoulli_mode_name(BernoulliMode m) {
+  switch (m) {
+    case BernoulliMode::PerCycle: return "per-cycle";
+    case BernoulliMode::GapSkip: return "gap-skip";
+  }
+  return "?";
+}
+
+TrafficEngine::TrafficEngine(const NocConfig& cfg, const FlowSet& flows, std::uint64_t seed,
+                             BernoulliMode mode)
+    : mode_(mode) {
   gens_.reserve(static_cast<std::size_t>(flows.size()));
   // Per-NIC serialization limit: a NIC injects one flit per cycle, so the
   // offered load of its flows must not exceed 1/flits_per_packet packets
@@ -33,10 +45,65 @@ TrafficEngine::TrafficEngine(const NocConfig& cfg, const FlowSet& flows, std::ui
 
 void TrafficEngine::generate(Network& net) {
   if (!enabled_) return;
+  if (mode_ == BernoulliMode::PerCycle) {
+    generate_per_cycle(net);
+  } else {
+    generate_gap_skip(net);
+  }
+}
+
+void TrafficEngine::generate_per_cycle(Network& net) {
   for (Gen& g : gens_) {
+    draws_ += 1;
     if (g.rng.bernoulli(g.p)) {
       net.offer_packet(g.id, net.now());
       generated_ += 1;
+    }
+  }
+}
+
+Cycle TrafficEngine::draw_gap(Gen& g) {
+  if (g.p >= 1.0) return 1;
+  draws_ += 1;
+  const double u = g.rng.uniform();
+  // Inverse CDF of the geometric distribution: the first success of a
+  // Bernoulli(p) sequence lands on draw 1 + floor(log(1-u)/log(1-p)).
+  const double gap = std::floor(std::log1p(-u) / std::log1p(-g.p));
+  // Clamp pathological tails (u ~ 1 at tiny p) to a finite horizon well
+  // beyond any simulation window instead of overflowing Cycle.
+  constexpr double kMaxGap = 1e15;
+  return 1 + static_cast<Cycle>(std::min(gap, kMaxGap));
+}
+
+void TrafficEngine::schedule(std::uint32_t gi, Cycle from) {
+  Gen& g = gens_[gi];
+  if (g.p <= 0.0) return;  // rate-0 flow: never fires, never enters the heap
+  heap_.push_back(DueEntry{from + draw_gap(g) - 1, gi});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void TrafficEngine::generate_gap_skip(Network& net) {
+  const Cycle now = net.now();
+  if (!heap_primed_) {
+    // First call: every flow draws its gap from here; due >= now keeps the
+    // "can fire on the very first cycle" property of the per-cycle draw.
+    heap_.reserve(gens_.size());
+    for (std::uint32_t i = 0; i < gens_.size(); ++i) schedule(i, now);
+    heap_primed_ = true;
+  }
+  while (!heap_.empty() && heap_.front().due <= now) {
+    const DueEntry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+    if (e.due == now) {
+      net.offer_packet(gens_[e.gen].id, now);
+      generated_ += 1;
+      schedule(e.gen, now + 1);
+    } else {
+      // due < now: the flow's slot passed while generation was disabled.
+      // The per-cycle process would simply have drawn nothing in between;
+      // mirror that by re-drawing the gap forward from the present.
+      schedule(e.gen, now);
     }
   }
 }
@@ -59,25 +126,31 @@ double mbps_for_packets_per_cycle(const NocConfig& cfg, double packets_per_cycle
 }
 
 std::vector<TraceEntry> record_bernoulli_trace(const NocConfig& cfg, const FlowSet& flows,
-                                               std::uint64_t seed, Cycle cycles) {
-  // Mirrors TrafficEngine exactly: one RNG stream per flow, flows drawn in
-  // FlowSet order each cycle.
-  struct Gen {
-    FlowId id;
-    double p;
-    Xoshiro256 rng;
-  };
-  std::vector<Gen> gens;
-  gens.reserve(static_cast<std::size_t>(flows.size()));
-  for (const Flow& f : flows) {
-    gens.push_back(
-        Gen{f.id, f.packets_per_cycle(cfg), make_stream(seed, static_cast<std::uint64_t>(f.id))});
-  }
-  std::vector<TraceEntry> trace;
-  for (Cycle t = 1; t <= cycles; ++t) {
-    for (Gen& g : gens) {
-      if (g.rng.bernoulli(g.p)) trace.push_back(TraceEntry{t, g.id});
+                                               std::uint64_t seed, Cycle cycles,
+                                               BernoulliMode mode) {
+  // Mirrors TrafficEngine exactly by replaying its packets into a
+  // trace-collecting network stub - one RNG stream per flow, same draw
+  // order in both modes (FlowSet order within a cycle).
+  struct TraceNet final : Network {
+    std::vector<TraceEntry>* out = nullptr;
+    Cycle now_ = 0;
+    void tick() override { now_ += 1; }
+    Cycle now() const override { return now_; }
+    void offer_packet(FlowId flow, Cycle created) override {
+      out->push_back(TraceEntry{created, flow});
     }
+    bool drained() const override { return true; }
+    NetworkStats& stats() override { throw SimError("trace stub has no stats"); }
+    const NocConfig& config() const override { throw SimError("trace stub has no config"); }
+    const FlowSet& flows() const override { throw SimError("trace stub has no flows"); }
+  };
+  std::vector<TraceEntry> trace;
+  TraceNet net;
+  net.out = &trace;
+  TrafficEngine engine(cfg, flows, seed, mode);
+  for (Cycle t = 1; t <= cycles; ++t) {
+    net.tick();
+    engine.generate(net);
   }
   return trace;
 }

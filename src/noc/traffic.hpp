@@ -25,18 +25,43 @@
 
 namespace smartnoc::noc {
 
+/// How the Bernoulli process is realized.
+///
+///   PerCycle - the seed's draw-per-cycle loop: one uniform per flow per
+///              cycle. O(flows x cycles) RNG work; the stream every pinned
+///              regression value was recorded against, so it stays the
+///              default.
+///   GapSkip  - geometric skip-ahead: one uniform per *packet* draws the
+///              gap to the next packet (inverse CDF of the geometric
+///              distribution), and a min-heap of per-flow due cycles makes
+///              generation O(packets * log flows). Statistically the same
+///              process, but a different realization at equal seeds (the
+///              per-flow streams are consumed per packet, not per cycle).
+enum class BernoulliMode : std::uint8_t { PerCycle, GapSkip };
+
+const char* bernoulli_mode_name(BernoulliMode m);
+
 class TrafficEngine {
  public:
-  TrafficEngine(const NocConfig& cfg, const FlowSet& flows, std::uint64_t seed);
+  TrafficEngine(const NocConfig& cfg, const FlowSet& flows, std::uint64_t seed,
+                BernoulliMode mode = BernoulliMode::PerCycle);
 
-  /// One cycle of generation: Bernoulli draw per flow, offering packets to
-  /// the network at `net.now()`. Call once per tick (after it).
+  /// One cycle of generation, offering packets to the network at
+  /// `net.now()`. Call once per tick (after it).
   void generate(Network& net);
 
-  /// Disables generation (drain phase).
+  /// Disables generation (drain phase). Re-enabling a GapSkip engine
+  /// re-draws the gap of any flow whose due cycle passed while disabled
+  /// (the PerCycle process simply resumes, having drawn nothing).
   void set_enabled(bool e) { enabled_ = e; }
 
   std::uint64_t generated() const { return generated_; }
+  BernoulliMode mode() const { return mode_; }
+
+  /// Uniform variates consumed so far: flows x cycles under PerCycle, one
+  /// per packet (plus one per flow to seed the first gap) under GapSkip.
+  /// Tests pin the O(packets) claim on this counter.
+  std::uint64_t rng_draws() const { return draws_; }
 
  private:
   struct Gen {
@@ -44,9 +69,28 @@ class TrafficEngine {
     double p;  // packets per cycle
     Xoshiro256 rng;
   };
+  /// (due cycle, gens_ index) min-heap entry; index order breaks ties so
+  /// same-cycle packets pop in flow-registration order, like PerCycle.
+  struct DueEntry {
+    Cycle due;
+    std::uint32_t gen;
+    friend bool operator>(const DueEntry& a, const DueEntry& b) {
+      return a.due != b.due ? a.due > b.due : a.gen > b.gen;
+    }
+  };
+
+  Cycle draw_gap(Gen& g);                 ///< geometric gap >= 1 (one uniform)
+  void schedule(std::uint32_t gi, Cycle from);  ///< push next due >= from
+  void generate_per_cycle(Network& net);
+  void generate_gap_skip(Network& net);
+
   std::vector<Gen> gens_;
+  std::vector<DueEntry> heap_;            ///< GapSkip event queue (min-heap)
+  BernoulliMode mode_ = BernoulliMode::PerCycle;
+  bool heap_primed_ = false;              ///< first-generate lazy init done
   bool enabled_ = true;
   std::uint64_t generated_ = 0;
+  std::uint64_t draws_ = 0;
 };
 
 /// Which synthetic pattern to build.
@@ -85,10 +129,13 @@ struct TraceEntry {
   friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
 };
 
-/// Pre-computes exactly the packets TrafficEngine(cfg, flows, seed) would
-/// offer during cycles [1, cycles] (same streams, same draw order).
+/// Pre-computes exactly the packets TrafficEngine(cfg, flows, seed, mode)
+/// would offer during cycles [1, cycles] (same streams, same draw order),
+/// assuming the engine's first generate() call happens at cycle 1 - which
+/// is what the Session/run_simulation loop does.
 std::vector<TraceEntry> record_bernoulli_trace(const NocConfig& cfg, const FlowSet& flows,
-                                               std::uint64_t seed, Cycle cycles);
+                                               std::uint64_t seed, Cycle cycles,
+                                               BernoulliMode mode = BernoulliMode::PerCycle);
 
 std::string serialize_trace(const std::vector<TraceEntry>& trace);
 std::vector<TraceEntry> parse_trace(const std::string& text);

@@ -1,0 +1,550 @@
+#include "sim/scenario.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "sim/workload.hpp"
+
+namespace smartnoc::sim {
+
+// --- Spec construction -------------------------------------------------------
+
+ScenarioSpec ScenarioSpec::classic(Design design, const std::string& workload,
+                                   double injection, const NocConfig& cfg) {
+  ScenarioSpec spec;
+  spec.name = "classic";
+  spec.design = design;
+  spec.config = cfg;
+  spec.phases = classic_phases(cfg);
+  spec.phases.front().workload = workload;
+  spec.phases.front().injection = injection;
+  return spec;
+}
+
+std::vector<PhaseSpec> classic_phases(const NocConfig& cfg) {
+  PhaseSpec warmup;
+  warmup.name = "warmup";
+  warmup.cycles = cfg.warmup_cycles;
+  PhaseSpec measure;
+  measure.name = "measure";
+  measure.cycles = cfg.measure_cycles;
+  measure.measure = true;
+  PhaseSpec drain;
+  drain.name = "drain";
+  drain.drain = true;
+  drain.traffic = false;
+  // The caller's timeout rides in the phase itself, so a borrowed Session
+  // honors the cfg run_simulation was handed (which may differ from the
+  // network's build-time config).
+  drain.cycles = cfg.drain_timeout;
+  return {warmup, measure, drain};
+}
+
+void ScenarioSpec::validate() const {
+  config.validate();
+  if (phases.empty()) throw ConfigError("scenario '" + name + "' declares no phases");
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    throw ConfigError("fault_rate must be in [0,1]");
+  }
+  std::string wl;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSpec& ph = phases[i];
+    const std::string ctx = "phase " + std::to_string(i) + " ('" + ph.name + "')";
+    if (ph.name.empty()) throw ConfigError("phase " + std::to_string(i) + " has no name");
+    if (ph.drain && ph.traffic) {
+      throw ConfigError(ctx + ": drain phases run with traffic off (add no-traffic)");
+    }
+    if (!ph.workload.empty()) wl = ph.workload;
+    if (ph.injection < 0.0) throw ConfigError(ctx + ": injection must be >= 0");
+    if (wl.empty()) {
+      throw ConfigError(ctx + ": no workload named yet (the first phase must name one)");
+    }
+  }
+}
+
+// --- Shared token parsing ----------------------------------------------------
+
+namespace {
+
+using smartnoc::lower_token;
+using smartnoc::trim_token;
+
+Design parse_design_token(const std::string& tok) {
+  const std::string t = lower_token(tok);
+  if (t == "mesh" || t == "baseline") return Design::Mesh;
+  if (t == "smart") return Design::Smart;
+  if (t == "dedicated") return Design::Dedicated;
+  throw ConfigError("unknown design '" + tok + "' (mesh, smart, dedicated)");
+}
+
+RoutingPolicy parse_routing_token(const std::string& tok) {
+  const std::string t = lower_token(tok);
+  if (t == "xy") return RoutingPolicy::XY;
+  if (t == "west-first" || t == "westfirst") return RoutingPolicy::WestFirst;
+  throw ConfigError("unknown routing policy '" + tok + "' (xy, west-first)");
+}
+
+noc::BernoulliMode parse_traffic_mode_token(const std::string& tok) {
+  const std::string t = lower_token(tok);
+  if (t == "per-cycle") return noc::BernoulliMode::PerCycle;
+  if (t == "gap-skip") return noc::BernoulliMode::GapSkip;
+  throw ConfigError("unknown traffic_mode '" + tok + "' (per-cycle, gap-skip)");
+}
+
+void parse_mesh_token(const std::string& tok, NocConfig& cfg) {
+  const auto x = tok.find('x');
+  if (x == std::string::npos) throw ConfigError("mesh: expected WxH, got '" + tok + "'");
+  cfg.width = parse_int_token(tok.substr(0, x), "mesh width");
+  cfg.height = parse_int_token(tok.substr(x + 1), "mesh height");
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const char* routing_name(RoutingPolicy p) {
+  return p == RoutingPolicy::XY ? "xy" : "west-first";
+}
+
+/// Applies one scenario-level `key = value` assignment (shared by the text
+/// and JSON front-ends so both dialects accept exactly the same keys).
+void apply_scalar(ScenarioSpec& spec, const std::string& key, const std::string& value) {
+  NocConfig& cfg = spec.config;
+  if (key == "name") spec.name = value;
+  else if (key == "design") spec.design = parse_design_token(value);
+  else if (key == "mesh") parse_mesh_token(value, cfg);
+  else if (key == "flit_bits") cfg.flit_bits = parse_int_token(value, "flit_bits");
+  else if (key == "packet_bits") cfg.packet_bits = parse_int_token(value, "packet_bits");
+  else if (key == "vcs") cfg.vcs_per_port = parse_int_token(value, "vcs");
+  else if (key == "vc_depth") cfg.vc_depth_flits = parse_int_token(value, "vc_depth");
+  else if (key == "freq_ghz") cfg.freq_ghz = parse_double_token(value, "freq_ghz");
+  else if (key == "hop_mm") cfg.hop_mm = parse_double_token(value, "hop_mm");
+  else if (key == "hpc") cfg.hpc_max_override = parse_int_token(value, "hpc");
+  else if (key == "routing") cfg.routing = parse_routing_token(value);
+  else if (key == "seed") cfg.seed = parse_u64_token(value, "seed");
+  else if (key == "warmup") cfg.warmup_cycles = parse_u64_token(value, "warmup");
+  else if (key == "measure") cfg.measure_cycles = parse_u64_token(value, "measure");
+  else if (key == "drain_timeout") cfg.drain_timeout = parse_u64_token(value, "drain_timeout");
+  else if (key == "bandwidth_scale") cfg.bandwidth_scale = parse_double_token(value, "bandwidth_scale");
+  else if (key == "fault_rate") spec.fault_rate = parse_double_token(value, "fault_rate");
+  else if (key == "single_config_core")
+    spec.single_config_core = parse_bool_token(value, "single_config_core");
+  else if (key == "store_issue") spec.store_issue_cycles = parse_u64_token(value, "store_issue");
+  else if (key == "traffic_mode") spec.traffic_mode = parse_traffic_mode_token(value);
+  else if (key == "reference_kernel")
+    spec.use_reference_kernel = parse_bool_token(value, "reference_kernel");
+  else throw ConfigError("unknown scenario key '" + key + "'");
+}
+
+}  // namespace
+
+// --- Text form ---------------------------------------------------------------
+
+std::string serialize_scenario_text(const ScenarioSpec& spec) {
+  const NocConfig& cfg = spec.config;
+  std::ostringstream out;
+  out << "# smartnoc scenario\n";
+  out << "name = " << spec.name << "\n";
+  out << "design = " << lower_token(design_name(spec.design)) << "\n";
+  out << "mesh = " << cfg.width << "x" << cfg.height << "\n";
+  out << "flit_bits = " << cfg.flit_bits << "\n";
+  out << "packet_bits = " << cfg.packet_bits << "\n";
+  out << "vcs = " << cfg.vcs_per_port << "\n";
+  out << "vc_depth = " << cfg.vc_depth_flits << "\n";
+  out << "freq_ghz = " << fmt_double(cfg.freq_ghz) << "\n";
+  out << "hop_mm = " << fmt_double(cfg.hop_mm) << "\n";
+  out << "hpc = " << cfg.hpc_max_override << "\n";
+  out << "routing = " << routing_name(cfg.routing) << "\n";
+  out << "seed = " << cfg.seed << "\n";
+  out << "warmup = " << cfg.warmup_cycles << "\n";
+  out << "measure = " << cfg.measure_cycles << "\n";
+  out << "drain_timeout = " << cfg.drain_timeout << "\n";
+  out << "bandwidth_scale = " << fmt_double(cfg.bandwidth_scale) << "\n";
+  out << "fault_rate = " << fmt_double(spec.fault_rate) << "\n";
+  out << "single_config_core = " << (spec.single_config_core ? "true" : "false") << "\n";
+  out << "store_issue = " << spec.store_issue_cycles << "\n";
+  out << "traffic_mode = " << bernoulli_mode_name(spec.traffic_mode) << "\n";
+  out << "reference_kernel = " << (spec.use_reference_kernel ? "true" : "false") << "\n";
+  for (const PhaseSpec& ph : spec.phases) {
+    out << "phase " << ph.name;
+    if (!ph.workload.empty()) out << " workload=" << ph.workload;
+    if (ph.injection > 0.0) out << " injection=" << fmt_double(ph.injection);
+    if (ph.cycles > 0) out << " cycles=" << ph.cycles;
+    if (ph.measure) out << " measure";
+    if (!ph.traffic) out << " no-traffic";
+    if (ph.drain) out << " drain";
+    if (ph.reconfigure) out << " reconfigure";
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+PhaseSpec parse_phase_line(const std::string& rest, int line_no) {
+  std::istringstream ss(rest);
+  std::string tok;
+  PhaseSpec ph;
+  if (!(ss >> tok)) {
+    throw ConfigError("line " + std::to_string(line_no) + ": phase needs a name");
+  }
+  ph.name = tok;
+  const std::string ctx = "line " + std::to_string(line_no) + " (phase '" + ph.name + "')";
+  while (ss >> tok) {
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = lower_token(tok.substr(0, eq));
+      const std::string value = tok.substr(eq + 1);
+      if (key == "workload") ph.workload = lower_token(value);
+      else if (key == "injection") ph.injection = parse_double_token(value, ctx + " injection");
+      else if (key == "cycles") ph.cycles = parse_u64_token(value, ctx + " cycles");
+      else throw ConfigError(ctx + ": unknown phase key '" + key + "'");
+    } else {
+      const std::string flag = lower_token(tok);
+      if (flag == "measure") ph.measure = true;
+      else if (flag == "drain") { ph.drain = true; ph.traffic = false; }
+      else if (flag == "no-traffic") ph.traffic = false;
+      else if (flag == "reconfigure") ph.reconfigure = true;
+      else throw ConfigError(ctx + ": unknown phase flag '" + flag + "'");
+    }
+  }
+  return ph;
+}
+
+ScenarioSpec parse_scenario_text(const std::string& text) {
+  ScenarioSpec spec;
+  spec.config = NocConfig::paper_4x4();
+  std::istringstream ss(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(ss, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line = trim_token(raw);
+    if (line.empty()) continue;
+    if (line.rfind("phase", 0) == 0 &&
+        (line.size() == 5 || std::isspace(static_cast<unsigned char>(line[5])))) {
+      spec.phases.push_back(parse_phase_line(line.substr(5), line_no));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": expected 'key = value' or 'phase ...', got '" + line + "'");
+    }
+    try {
+      apply_scalar(spec, lower_token(trim_token(line.substr(0, eq))), trim_token(line.substr(eq + 1)));
+    } catch (const ConfigError& e) {
+      throw ConfigError("line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  spec.config.fit_derived();
+  spec.validate();
+  return spec;
+}
+
+}  // namespace
+
+// --- JSON form ---------------------------------------------------------------
+
+namespace {
+
+/// A minimal JSON reader covering the scenario grammar: objects, arrays,
+/// strings (with \" \\ \/ \b \f \n \r \t escapes), numbers, booleans and
+/// null. Numbers keep their raw spelling so 64-bit seeds survive.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool b = false;
+  std::string text;  ///< string value, or the raw spelling of a number
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ConfigError("scenario JSON, offset " + std::to_string(pos_) + ": " + msg);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::String;
+      v.text = string();
+      return v;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      JsonValue v;
+      v.kind = JsonValue::Kind::Bool;
+      v.b = true;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      JsonValue v;
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.obj.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: fail(std::string("unsupported escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.text = s_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Scalar JSON fields are routed through the same apply_scalar as the text
+/// form: numbers/bools re-use their raw spelling as the token.
+std::string scalar_token(const JsonValue& v, const std::string& key) {
+  switch (v.kind) {
+    case JsonValue::Kind::String: return v.text;
+    case JsonValue::Kind::Number: return v.text;
+    case JsonValue::Kind::Bool: return v.b ? "true" : "false";
+    default: throw ConfigError("scenario JSON: key '" + key + "' must be a scalar");
+  }
+}
+
+ScenarioSpec parse_scenario_json(const std::string& text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::Object) {
+    throw ConfigError("scenario JSON: top level must be an object");
+  }
+  ScenarioSpec spec;
+  spec.config = NocConfig::paper_4x4();
+  for (const auto& [key, v] : root.obj) {
+    if (key == "phases") {
+      if (v.kind != JsonValue::Kind::Array) {
+        throw ConfigError("scenario JSON: 'phases' must be an array");
+      }
+      for (const JsonValue& p : v.arr) {
+        if (p.kind != JsonValue::Kind::Object) {
+          throw ConfigError("scenario JSON: each phase must be an object");
+        }
+        PhaseSpec ph;
+        for (const auto& [pk, pv] : p.obj) {
+          if (pk == "name") ph.name = scalar_token(pv, pk);
+          else if (pk == "workload") ph.workload = lower_token(scalar_token(pv, pk));
+          else if (pk == "injection") ph.injection = parse_double_token(scalar_token(pv, pk), pk);
+          else if (pk == "cycles") ph.cycles = parse_u64_token(scalar_token(pv, pk), pk);
+          else if (pk == "measure") ph.measure = parse_bool_token(scalar_token(pv, pk), pk);
+          else if (pk == "traffic") ph.traffic = parse_bool_token(scalar_token(pv, pk), pk);
+          else if (pk == "drain") ph.drain = parse_bool_token(scalar_token(pv, pk), pk);
+          else if (pk == "reconfigure")
+            ph.reconfigure = parse_bool_token(scalar_token(pv, pk), pk);
+          else throw ConfigError("scenario JSON: unknown phase key '" + pk + "'");
+        }
+        if (ph.drain) ph.traffic = false;
+        spec.phases.push_back(std::move(ph));
+      }
+      continue;
+    }
+    apply_scalar(spec, key, scalar_token(v, key));
+  }
+  spec.config.fit_derived();
+  spec.validate();
+  return spec;
+}
+
+}  // namespace
+
+std::string serialize_scenario_json(const ScenarioSpec& spec) {
+  const NocConfig& cfg = spec.config;
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"name\": \"" << json_escape(spec.name) << "\",\n";
+  out << "  \"design\": \"" << lower_token(design_name(spec.design)) << "\",\n";
+  out << "  \"mesh\": \"" << cfg.width << "x" << cfg.height << "\",\n";
+  out << "  \"flit_bits\": " << cfg.flit_bits << ",\n";
+  out << "  \"packet_bits\": " << cfg.packet_bits << ",\n";
+  out << "  \"vcs\": " << cfg.vcs_per_port << ",\n";
+  out << "  \"vc_depth\": " << cfg.vc_depth_flits << ",\n";
+  out << "  \"freq_ghz\": " << fmt_double(cfg.freq_ghz) << ",\n";
+  out << "  \"hop_mm\": " << fmt_double(cfg.hop_mm) << ",\n";
+  out << "  \"hpc\": " << cfg.hpc_max_override << ",\n";
+  out << "  \"routing\": \"" << routing_name(cfg.routing) << "\",\n";
+  out << "  \"seed\": " << cfg.seed << ",\n";
+  out << "  \"warmup\": " << cfg.warmup_cycles << ",\n";
+  out << "  \"measure\": " << cfg.measure_cycles << ",\n";
+  out << "  \"drain_timeout\": " << cfg.drain_timeout << ",\n";
+  out << "  \"bandwidth_scale\": " << fmt_double(cfg.bandwidth_scale) << ",\n";
+  out << "  \"fault_rate\": " << fmt_double(spec.fault_rate) << ",\n";
+  out << "  \"single_config_core\": " << (spec.single_config_core ? "true" : "false") << ",\n";
+  out << "  \"store_issue\": " << spec.store_issue_cycles << ",\n";
+  out << "  \"traffic_mode\": \"" << bernoulli_mode_name(spec.traffic_mode) << "\",\n";
+  out << "  \"reference_kernel\": " << (spec.use_reference_kernel ? "true" : "false") << ",\n";
+  out << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+    const PhaseSpec& ph = spec.phases[i];
+    out << "    {\"name\": \"" << json_escape(ph.name) << "\"";
+    if (!ph.workload.empty()) out << ", \"workload\": \"" << json_escape(ph.workload) << "\"";
+    if (ph.injection > 0.0) out << ", \"injection\": " << fmt_double(ph.injection);
+    if (ph.cycles > 0) out << ", \"cycles\": " << ph.cycles;
+    if (ph.measure) out << ", \"measure\": true";
+    if (!ph.traffic && !ph.drain) out << ", \"traffic\": false";
+    if (ph.drain) out << ", \"drain\": true";
+    if (ph.reconfigure) out << ", \"reconfigure\": true";
+    out << "}" << (i + 1 < spec.phases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '{') return parse_scenario_json(text);
+    break;
+  }
+  return parse_scenario_text(text);
+}
+
+}  // namespace smartnoc::sim

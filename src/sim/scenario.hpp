@@ -1,0 +1,94 @@
+// Declarative simulation scenarios: the single entry point that describes
+// *every* run of the simulator - from the classic warmup/measure/drain
+// protocol to the paper's headline SoC story "run app A, reconfigure the
+// SMART fabric, run app B" (Fig. 1) - as one data structure.
+//
+// A ScenarioSpec is a design + configuration + a sequence of phases. Each
+// phase names a workload from the WorkloadRegistry, an injection scale, a
+// duration in cycles, and flags: `measure` opens/extends a measurement
+// window (stats reset at phase start), `drain` runs with traffic off until
+// the network empties, `reconfigure` forces a fabric reconfiguration at the
+// phase boundary (it also happens implicitly whenever the workload or
+// injection changes). Scenarios serialize to a line-oriented text form and
+// to JSON; parse -> serialize -> parse is the identity (pinned by tests).
+//
+// Session (session.hpp) executes a ScenarioSpec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/traffic.hpp"
+
+namespace smartnoc::sim {
+
+/// One phase of a scenario.
+struct PhaseSpec {
+  std::string name;        ///< label for reports ("warmup", "appA", ...)
+  std::string workload;    ///< WorkloadRegistry key; "" = inherit previous phase
+  double injection = 0.0;  ///< flits/node/cycle (synthetic) or bandwidth
+                           ///< multiplier (apps); 0 = inherit (1.0 if first)
+  Cycle cycles = 0;        ///< duration; for drain phases 0 = run until
+                           ///< drained, bounded by config.drain_timeout
+  bool measure = false;    ///< stats window: reset at start, snapshot at end
+  bool traffic = true;     ///< generation enabled during the phase
+  bool drain = false;      ///< run until the network drains (traffic off)
+  bool reconfigure = false;  ///< force a fabric reconfiguration at entry
+
+  friend bool operator==(const PhaseSpec&, const PhaseSpec&) = default;
+};
+
+/// A complete simulation declaration.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  Design design = Design::Smart;
+  NocConfig config;            ///< topology, seed, windows, drain_timeout
+  double fault_rate = 0.0;     ///< per-link fault probability (explorer's
+                               ///< deterministic pattern, keyed off the seed)
+  bool single_config_core = true;   ///< Fig. 1 cost model: stores ride a ring
+  Cycle store_issue_cycles = 1;     ///< issue cost per reconfiguration store
+  noc::BernoulliMode traffic_mode = noc::BernoulliMode::PerCycle;
+  bool use_reference_kernel = false;  ///< seed full-scan kernel (golden runs)
+  std::vector<PhaseSpec> phases;
+
+  /// The classic warmup/measure/drain protocol as a 3-phase scenario - the
+  /// shape run_simulation has always executed.
+  static ScenarioSpec classic(Design design, const std::string& workload, double injection,
+                              const NocConfig& cfg);
+
+  /// Throws ConfigError on an invalid declaration (no phases, a first
+  /// phase without a workload, a drain phase with traffic on, a negative
+  /// injection). Zero-length non-drain phases are legal: they simulate
+  /// nothing but still trigger their boundary events (a classic scenario
+  /// with warmup_cycles = 0, or a pure "reconfigure now" marker phase).
+  void validate() const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// The classic 3 phases alone (for Session's borrowing mode, where the
+/// caller provides network and workload and only the protocol is needed).
+std::vector<PhaseSpec> classic_phases(const NocConfig& cfg);
+
+/// Parses a scenario from its text or JSON form (auto-detected: JSON
+/// starts with '{'). Throws ConfigError with a line/context message.
+ScenarioSpec parse_scenario(const std::string& text);
+
+/// Line-oriented text form:
+///
+///   # scenario
+///   name = appswitch
+///   design = smart
+///   mesh = 4x4
+///   ...
+///   phase warmup workload=wlan injection=1 cycles=2000
+///   phase run_a cycles=20000 measure
+///   phase swap workload=vopd cycles=20000 measure reconfigure
+///   phase drain drain
+std::string serialize_scenario_text(const ScenarioSpec& spec);
+
+/// JSON object form (same keys; phases as an array of objects).
+std::string serialize_scenario_json(const ScenarioSpec& spec);
+
+}  // namespace smartnoc::sim

@@ -1,0 +1,462 @@
+#include "sim/session.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dedicated/dedicated_network.hpp"
+#include "smart/preset_computer.hpp"
+
+namespace smartnoc::sim {
+
+namespace {
+
+/// The stream key lives above the 32-bit FlowId range so it can never
+/// collide with a flow's traffic stream (TrafficEngine keys by flow id).
+constexpr std::uint64_t kFaultStreamKey = (1ULL << 32) + 0xFA;
+
+}  // namespace
+
+noc::FaultSet draw_link_faults(const MeshDims& dims, double rate, std::uint64_t seed) {
+  noc::FaultSet faults;
+  if (rate <= 0.0) return faults;
+  Xoshiro256 rng = make_stream(seed, kFaultStreamKey);
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    for (Dir d : {Dir::East, Dir::North}) {
+      if (!dims.has_neighbor(n, d)) continue;
+      if (rng.bernoulli(rate)) faults.fail_link(dims, n, d);
+    }
+  }
+  return faults;
+}
+
+noc::FlowSet reroute_around_faults(const MeshDims& dims, const noc::FlowSet& flows,
+                                   const noc::FaultSet& faults, int& dropped) {
+  noc::FlowSet out;
+  dropped = 0;
+  for (const auto& f : flows) {
+    const auto path = noc::route_around_faults(dims, f.src, f.dst, noc::TurnModel::XY, faults);
+    if (!path.has_value()) {
+      ++dropped;
+      continue;
+    }
+    out.add(f.src, f.dst, f.bandwidth_mbps, *path);
+  }
+  return out;
+}
+
+// --- Construction ------------------------------------------------------------
+
+Session::Session(ScenarioSpec spec) : spec_(std::move(spec)), owning_(true) {
+  spec_.validate();
+  resolve_phases();
+}
+
+Session::Session(noc::Network& net, Workload& source, std::vector<PhaseSpec> phases)
+    : owning_(false), net_(&net), source_(&source) {
+  SMARTNOC_CHECK(!phases.empty(), "a session needs at least one phase");
+  spec_.name = "borrowed";
+  spec_.config = net.config();
+  spec_.phases = std::move(phases);
+  era_cfg_ = net.config();
+  // One era for the whole session: workload names are informational only
+  // and reconfiguration is unavailable (the caller owns the network).
+  resolved_.resize(spec_.phases.size());
+  for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
+    resolved_[i].workload = spec_.phases[i].workload;
+    resolved_[i].injection = spec_.phases[i].injection;
+    resolved_[i].new_era = false;
+  }
+}
+
+void Session::resolve_phases() {
+  resolved_.clear();
+  resolved_.reserve(phases().size());
+  std::string wl;
+  double inj = 0.0;
+  for (std::size_t i = 0; i < phases().size(); ++i) {
+    const PhaseSpec& ph = phases()[i];
+    const std::string new_wl = ph.workload.empty() ? wl : ph.workload;
+    const double new_inj = ph.injection > 0.0 ? ph.injection : (inj > 0.0 ? inj : 1.0);
+    Resolved rv;
+    rv.workload = new_wl;
+    rv.injection = new_inj;
+    rv.new_era = i == 0 || ph.reconfigure || new_wl != wl || new_inj != inj;
+    resolved_.push_back(rv);
+    wl = new_wl;
+    inj = new_inj;
+  }
+}
+
+// --- Era management ----------------------------------------------------------
+
+void Session::switch_era(const Resolved& rv) {
+  ReconfigEvent ev;
+  ev.performed = era_count_ > 0;
+
+  // 1. Empty the running network ("the network needs to be emptied while
+  //    setting the registers").
+  if (net_ != nullptr) {
+    Cycle drained_after = 0;
+    while (!net_->drained()) {
+      if (drained_after >= era_cfg_.drain_timeout) {
+        throw SimError("network failed to drain before reconfiguration");
+      }
+      net_->tick();
+      drained_after += 1;
+    }
+    ev.drain_cycles = drained_after;
+  }
+
+  // 2. The next application's flows (the factory may adjust cfg: apps
+  //    install the paper's bandwidth scale times the injection multiplier).
+  NocConfig cfg = spec_.config;
+  auto factory = WorkloadRegistry::instance().at(rv.workload);
+  noc::FlowSet flows = factory->flows(cfg, rv.injection);
+  if (cfg.dims().nodes() != spec_.config.dims().nodes()) {
+    throw ConfigError("workload '" + rv.workload + "' changed the mesh dimensions");
+  }
+
+  pending_dropped_ = 0;
+  if (spec_.fault_rate > 0.0) {
+    const noc::FaultSet faults = draw_link_faults(cfg.dims(), spec_.fault_rate, cfg.seed);
+    flows = reroute_around_faults(cfg.dims(), flows, faults, pending_dropped_);
+  }
+  if (flows.empty()) throw ConfigError("no routable flows (all dropped by faults)");
+
+  // 3. Build the network. SMART eras run from the *decoded registers*: the
+  //    store program is diffed against the bank left by the previous era,
+  //    which is what makes mid-scenario reconfiguration cost the paper's
+  //    "just the amount of time to execute these instructions".
+  owned_source_.reset();
+  owned_net_.reset();
+  net_ = nullptr;
+  source_ = nullptr;
+  switch (spec_.design) {
+    case Design::Mesh:
+      hpc_max_ = 0;
+      owned_net_ = noc::make_baseline_mesh(cfg, std::move(flows));
+      break;
+    case Design::Dedicated:
+      hpc_max_ = 0;
+      if (spec_.use_reference_kernel) {
+        throw ConfigError("reference_kernel applies to mesh-based designs only");
+      }
+      owned_net_ = std::make_unique<dedicated::DedicatedNetwork>(cfg, std::move(flows));
+      break;
+    case Design::Smart: {
+      hpc_max_ = smart::effective_hpc_max(cfg);
+      const smart::PresetBuild presets =
+          smart::compute_presets(cfg, flows, hpc_max_, /*enable_bypass=*/true);
+      if (!regs_) regs_ = std::make_unique<smart::RegisterFile>(cfg.dims().nodes());
+      const auto program = smart::compile_program_diff(presets.table, *regs_);
+      ev.stores = static_cast<int>(program.size());
+      for (const smart::Store& st : program) {
+        regs_->store(st.addr, st.value);
+        ev.store_cycles += spec_.store_issue_cycles;
+        if (spec_.single_config_core) {
+          // One core performs all stores over a side ring: one hop per
+          // ring position to reach router i.
+          ev.store_cycles += static_cast<Cycle>((st.addr - smart::RegisterFile::kBase) /
+                                                smart::RegisterFile::kStride);
+        }
+      }
+      noc::PresetTable decoded = regs_->decode_all(cfg.dims());
+      SMARTNOC_CHECK(decoded == presets.table, "register round-trip altered the presets");
+      noc::MeshNetwork::Options opt;
+      opt.extra_link_cycle = false;  // crossbar + link share the ST cycle
+      opt.hpc_max = hpc_max_;
+      owned_net_ =
+          std::make_unique<noc::MeshNetwork>(cfg, std::move(flows), std::move(decoded), opt);
+      break;
+    }
+  }
+  net_ = owned_net_.get();
+  if (spec_.use_reference_kernel) {
+    auto* mesh = dynamic_cast<noc::MeshNetwork*>(net_);
+    SMARTNOC_CHECK(mesh != nullptr, "reference kernel requires a MeshNetwork");
+    mesh->use_reference_kernel(true);
+  }
+  era_cfg_ = cfg;
+
+  // 4. The per-cycle source for the final (possibly rerouted) flow set.
+  owned_source_ = factory->source(cfg, net_->flows(), cfg.seed, spec_.traffic_mode);
+  source_ = owned_source_.get();
+
+  pending_reconfig_ = ev;
+  era_count_ += 1;
+  // The new network starts with fresh statistics: the measurement window
+  // restarts with it (otherwise a post-switch phase would divide the new
+  // era's deliveries by the previous era's window length).
+  window_measured_ = 0;
+}
+
+// --- Phase execution ---------------------------------------------------------
+
+void Session::begin_phase() {
+  if (phase_started_) return;
+  const PhaseSpec& ph = phases()[phase_index_];
+  const Resolved& rv = resolved_[phase_index_];
+  if (owning_ && rv.new_era) {
+    switch_era(rv);  // throws on failure; step() converts to a failed phase
+  }
+  SMARTNOC_CHECK(net_ != nullptr && source_ != nullptr, "session has no network");
+  source_->set_enabled(ph.traffic);
+  if (ph.measure) {
+    net_->stats().reset();
+    window_measured_ = 0;
+  }
+  phase_gen_before_ = source_->generated();
+  phase_cycles_ = 0;
+  phase_started_ = true;
+}
+
+void Session::fail_phase(const PhaseSpec& ph, const Resolved& rv, const std::string& why) {
+  PhaseResult r;
+  r.name = ph.name;
+  r.workload = rv.workload;
+  r.injection = rv.injection;
+  r.ok = false;
+  r.error = why;
+  r.drain = ph.drain;
+  r.drained = false;
+  r.cycles_run = phase_cycles_;
+  r.reconfig = std::exchange(pending_reconfig_, {});
+  r.dropped_flows = std::exchange(pending_dropped_, 0);
+  results_.push_back(std::move(r));
+  failed_ = true;
+  if (error_.empty()) error_ = why;
+  phase_index_ += 1;
+  phase_started_ = false;
+}
+
+void Session::finalize_phase(const PhaseSpec& ph, const Resolved& rv) {
+  PhaseResult r;
+  r.name = ph.name;
+  r.workload = rv.workload;
+  r.injection = rv.injection;
+  r.cycles_run = phase_cycles_;
+  r.measured = ph.measure;
+  r.drain = ph.drain;
+  r.reconfig = std::exchange(pending_reconfig_, {});
+  r.dropped_flows = std::exchange(pending_dropped_, 0);
+  if (ph.measure) {
+    window_measured_ += phase_cycles_;
+    net_->stats().measured_cycles = window_measured_;
+  }
+  r.packets_generated = source_->generated() - phase_gen_before_;
+  r.activity = net_->stats().activity();
+
+  const noc::NetworkStats& stats = net_->stats();
+  r.packets_delivered = stats.total_packets();
+  r.avg_network_latency = stats.avg_network_latency();
+  r.avg_total_latency = stats.avg_total_latency();
+  r.p50_network_latency = stats.latency_percentile(50.0);
+  r.p99_network_latency = stats.latency_percentile(99.0);
+  for (const noc::FlowStats& fs : stats.per_flow()) {
+    if (fs.max_network_latency > r.max_network_latency) {
+      r.max_network_latency = fs.max_network_latency;
+    }
+  }
+  r.delivered_packets_per_cycle =
+      window_measured_
+          ? static_cast<double>(r.packets_delivered) / static_cast<double>(window_measured_)
+          : 0.0;
+
+  if (ph.drain) {
+    r.drained = net_->drained();
+    if (!r.drained) {
+      // A non-drained network means packets from the measurement window
+      // never arrived; the statistics above are censored. Surface the
+      // timeout as a failure uniformly (Session, run_simulation and the
+      // explorer all report this same way).
+      const Cycle bound = ph.cycles > 0 ? ph.cycles : spec_.config.drain_timeout;
+      r.ok = false;
+      r.error = strf("drain timeout: network still busy after %llu cycles "
+                     "(load beyond saturation?)",
+                     static_cast<unsigned long long>(bound));
+      failed_ = true;
+      if (error_.empty()) error_ = r.error;
+    }
+  }
+  report_progress(ph);
+  results_.push_back(std::move(r));
+  phase_index_ += 1;
+  phase_started_ = false;
+}
+
+void Session::report_progress(const PhaseSpec& ph) {
+  if (!progress_) return;
+  Progress p;
+  p.phase_index = phase_index_;
+  p.phase_name = &ph.name;
+  p.phase_cycles_run = phase_cycles_;
+  p.phase_cycles_total = ph.drain ? 0 : ph.cycles;
+  p.session_cycles = session_cycles_;
+  progress_(p);
+}
+
+Cycle Session::step(Cycle n) {
+  if (done()) return 0;
+  const PhaseSpec& ph = phases()[phase_index_];
+  const Resolved& rv = resolved_[phase_index_];
+  if (!phase_started_) {
+    try {
+      begin_phase();
+    } catch (const std::exception& e) {
+      fail_phase(ph, rv, e.what());
+      return 0;
+    }
+  }
+
+  Cycle advanced = 0;
+  if (ph.drain) {
+    const Cycle bound = ph.cycles > 0 ? ph.cycles : spec_.config.drain_timeout;
+    while (advanced < n && phase_cycles_ < bound && !net_->drained()) {
+      net_->tick();
+      phase_cycles_ += 1;
+      session_cycles_ += 1;
+      advanced += 1;
+      if (progress_every_ && phase_cycles_ % progress_every_ == 0) report_progress(ph);
+    }
+    if (net_->drained() || phase_cycles_ >= bound) finalize_phase(ph, rv);
+  } else {
+    while (advanced < n && phase_cycles_ < ph.cycles) {
+      net_->tick();
+      if (ph.traffic) source_->generate(*net_);
+      phase_cycles_ += 1;
+      session_cycles_ += 1;
+      advanced += 1;
+      if (progress_every_ && phase_cycles_ % progress_every_ == 0) report_progress(ph);
+    }
+    if (phase_cycles_ >= ph.cycles) finalize_phase(ph, rv);
+  }
+  return advanced;
+}
+
+const PhaseResult& Session::run_phase() {
+  SMARTNOC_CHECK(!done(), "scenario already complete");
+  const std::size_t idx = phase_index_;
+  while (!done() && phase_index_ == idx) {
+    step(1 << 20);
+  }
+  return results_.back();
+}
+
+SessionResult Session::run() {
+  while (!done()) {
+    run_phase();
+  }
+  SessionResult out;
+  out.ok = !failed_;
+  out.error = error_;
+  out.phases = results_;
+  return out;
+}
+
+// --- Accessors ---------------------------------------------------------------
+
+noc::Network& Session::network() {
+  if (net_ == nullptr) {
+    throw SimError("no network yet: call step()/run_phase() to enter the first phase");
+  }
+  return *net_;
+}
+
+noc::MeshNetwork* Session::mesh_network() { return dynamic_cast<noc::MeshNetwork*>(net_); }
+
+const NocConfig& Session::era_config() const { return era_cfg_; }
+
+void Session::set_progress(ProgressFn fn, Cycle every) {
+  progress_ = std::move(fn);
+  progress_every_ = every;
+}
+
+// --- Reporting ---------------------------------------------------------------
+
+std::string summarize(const SessionResult& result) {
+  TextTable table({"phase", "workload", "cycles", "reconfig", "packets", "avg lat", "p99 lat",
+                   "thru pkt/cyc", "status"});
+  for (const PhaseResult& p : result.phases) {
+    std::string reconfig = "-";
+    if (p.reconfig.performed) {
+      reconfig = strf("%llu (%d st)", static_cast<unsigned long long>(p.reconfig.total()),
+                      p.reconfig.stores);
+    }
+    table.add_row({p.name, p.workload.empty() ? "-" : p.workload,
+                   strf("%llu", static_cast<unsigned long long>(p.cycles_run)), reconfig,
+                   strf("%llu", static_cast<unsigned long long>(p.packets_delivered)),
+                   strf("%.2f", p.avg_network_latency),
+                   strf("%llu", static_cast<unsigned long long>(p.p99_network_latency)),
+                   strf("%.4f", p.delivered_packets_per_cycle),
+                   p.ok ? (p.drain ? (p.drained ? "drained" : "TIMEOUT") : "ok")
+                        : "FAILED: " + p.error});
+  }
+  std::string out = table.str();
+  out += strf("total reconfiguration latency: %llu cycles\n",
+              static_cast<unsigned long long>(result.total_reconfig_cycles()));
+  return out;
+}
+
+std::string to_json(const SessionResult& result) {
+  auto esc = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  std::string out = "{\n  \"ok\": ";
+  out += result.ok ? "true" : "false";
+  out += ",\n  \"error\": \"" + esc(result.error) + "\",\n";
+  out += strf("  \"total_reconfig_cycles\": %llu,\n",
+              static_cast<unsigned long long>(result.total_reconfig_cycles()));
+  out += "  \"phases\": [\n";
+  for (std::size_t i = 0; i < result.phases.size(); ++i) {
+    const PhaseResult& p = result.phases[i];
+    out += "    {";
+    out += "\"name\": \"" + esc(p.name) + "\", ";
+    out += "\"workload\": \"" + esc(p.workload) + "\", ";
+    out += strf("\"injection\": %.17g, ", p.injection);
+    out += std::string("\"ok\": ") + (p.ok ? "true" : "false") + ", ";
+    out += "\"error\": \"" + esc(p.error) + "\", ";
+    out += strf("\"cycles_run\": %llu, ", static_cast<unsigned long long>(p.cycles_run));
+    out += std::string("\"measured\": ") + (p.measured ? "true" : "false") + ", ";
+    out += std::string("\"drain\": ") + (p.drain ? "true" : "false") + ", ";
+    out += std::string("\"drained\": ") + (p.drained ? "true" : "false") + ", ";
+    out += strf("\"dropped_flows\": %d, ", p.dropped_flows);
+    out += strf("\"reconfigured\": %s, ", p.reconfig.performed ? "true" : "false");
+    out += strf("\"reconfig_drain_cycles\": %llu, ",
+                static_cast<unsigned long long>(p.reconfig.drain_cycles));
+    out += strf("\"reconfig_stores\": %d, ", p.reconfig.stores);
+    out += strf("\"reconfig_store_cycles\": %llu, ",
+                static_cast<unsigned long long>(p.reconfig.store_cycles));
+    out += strf("\"packets_generated\": %llu, ",
+                static_cast<unsigned long long>(p.packets_generated));
+    out += strf("\"packets_delivered\": %llu, ",
+                static_cast<unsigned long long>(p.packets_delivered));
+    out += strf("\"avg_network_latency\": %.17g, ", p.avg_network_latency);
+    out += strf("\"avg_total_latency\": %.17g, ", p.avg_total_latency);
+    out += strf("\"p50_network_latency\": %llu, ",
+                static_cast<unsigned long long>(p.p50_network_latency));
+    out += strf("\"p99_network_latency\": %llu, ",
+                static_cast<unsigned long long>(p.p99_network_latency));
+    out += strf("\"max_network_latency\": %llu, ",
+                static_cast<unsigned long long>(p.max_network_latency));
+    out += strf("\"delivered_packets_per_cycle\": %.17g", p.delivered_packets_per_cycle);
+    out += "}";
+    out += i + 1 < result.phases.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace smartnoc::sim

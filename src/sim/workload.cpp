@@ -1,0 +1,116 @@
+#include "sim/workload.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "mapping/nmap.hpp"
+#include "noc/routing.hpp"
+
+namespace smartnoc::sim {
+
+std::unique_ptr<Workload> WorkloadFactory::source(const NocConfig& cfg,
+                                                  const noc::FlowSet& flows, std::uint64_t seed,
+                                                  noc::BernoulliMode mode) const {
+  return std::make_unique<BernoulliWorkload>(cfg, flows, seed, mode);
+}
+
+namespace {
+
+/// Synthetic patterns: flows exactly as explore::run_point built them
+/// (XY routes at the given flits/node/cycle injection).
+class SyntheticFactory final : public WorkloadFactory {
+ public:
+  explicit SyntheticFactory(noc::SyntheticPattern p) : pattern_(p) {}
+  noc::FlowSet flows(NocConfig& cfg, double injection) const override {
+    return noc::make_synthetic_flows(cfg, pattern_, injection, noc::TurnModel::XY);
+  }
+
+ private:
+  noc::SyntheticPattern pattern_;
+};
+
+/// SoC task-graph applications: NMAP placement + routing; cfg picks up the
+/// mapped config with the paper's bandwidth scale times the injection
+/// multiplier (the same sequence explore::run_point hand-wired).
+class AppFactory final : public WorkloadFactory {
+ public:
+  explicit AppFactory(mapping::SocApp app) : app_(app) {}
+  noc::FlowSet flows(NocConfig& cfg, double injection) const override {
+    mapping::MappedApp mapped = mapping::map_app(app_, cfg);
+    cfg = mapped.cfg;
+    cfg.bandwidth_scale *= injection;
+    return std::move(mapped.flows);
+  }
+
+ private:
+  mapping::SocApp app_;
+};
+
+}  // namespace
+
+struct WorkloadRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::shared_ptr<const WorkloadFactory>> factories;
+};
+
+WorkloadRegistry::WorkloadRegistry() : impl_(std::make_shared<Impl>()) {
+  using SP = noc::SyntheticPattern;
+  add("uniform", std::make_shared<SyntheticFactory>(SP::UniformRandom));
+  add("uniform-random", std::make_shared<SyntheticFactory>(SP::UniformRandom));
+  add("transpose", std::make_shared<SyntheticFactory>(SP::Transpose));
+  add("bit-complement", std::make_shared<SyntheticFactory>(SP::BitComplement));
+  add("neighbor", std::make_shared<SyntheticFactory>(SP::Neighbor));
+  add("hotspot", std::make_shared<SyntheticFactory>(SP::Hotspot));
+  using SA = mapping::SocApp;
+  add("h264", std::make_shared<AppFactory>(SA::H264));
+  add("mms_dec", std::make_shared<AppFactory>(SA::MMS_DEC));
+  add("mms_enc", std::make_shared<AppFactory>(SA::MMS_ENC));
+  add("mms_mp3", std::make_shared<AppFactory>(SA::MMS_MP3));
+  add("mwd", std::make_shared<AppFactory>(SA::MWD));
+  add("vopd", std::make_shared<AppFactory>(SA::VOPD));
+  add("wlan", std::make_shared<AppFactory>(SA::WLAN));
+  add("pip", std::make_shared<AppFactory>(SA::PIP));
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry reg;
+  return reg;
+}
+
+void WorkloadRegistry::add(const std::string& name,
+                           std::shared_ptr<const WorkloadFactory> factory) {
+  SMARTNOC_CHECK(factory != nullptr, "workload factory must not be null");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->factories[lower_token(name)] = std::move(factory);
+}
+
+std::shared_ptr<const WorkloadFactory> WorkloadRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->factories.find(lower_token(name));
+  return it != impl_->factories.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const WorkloadFactory> WorkloadRegistry::at(const std::string& name) const {
+  auto f = find(name);
+  if (f == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw ConfigError("unknown workload '" + name + "' (registered: " + known + ")");
+  }
+  return f;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->factories.size());
+  for (const auto& [k, v] : impl_->factories) out.push_back(k);
+  return out;
+}
+
+}  // namespace smartnoc::sim

@@ -9,10 +9,17 @@
 //   explorer sweep.txt                      # axes from a sweep file
 //   explorer --mesh 4x4,8x8 --inj 0.02,0.05 --design mesh,smart
 //   explorer sweep.txt --threads 8 --csv out.csv --json out.json
+//   explorer --scenario phases.scn          # one multi-phase Session run
 //
 // Sweep file format: `key = v1, v2, ...` lines; keys mesh, flit_bits,
 // hpc_max, injection, pattern, app, fault_rate, design, seed, warmup,
 // measure, drain_timeout. `#` starts a comment.
+//
+// Scenario files (--scenario) use the sim::parse_scenario text or JSON
+// form: scenario-level `key = value` lines plus one `phase ...` line per
+// phase; see examples/appswitch.scn. The per-phase table (including the
+// reconfiguration latency of every workload switch) prints to stdout;
+// --json captures it as JSON.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +29,7 @@
 
 #include "common/error.hpp"
 #include "explore/explore.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -50,9 +58,53 @@ int usage(const char* argv0, int code) {
                "  --csv FILE            write the result table as CSV\n"
                "  --json FILE           write the result table as JSON\n"
                "  --quiet               suppress the summary table\n"
-               "  --help\n",
+               "  --help\n"
+               "\n"
+               "scenario mode (multi-phase Session run instead of a sweep):\n"
+               "  --scenario FILE       run a scenario file (text or JSON); prints\n"
+               "                        per-phase stats + reconfiguration latency;\n"
+               "                        --json/--quiet apply\n",
                argv0);
   return code;
+}
+
+int run_scenario_file(const std::string& path, const std::string& json_path, bool quiet) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open scenario file '%s'\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  sim::ScenarioSpec spec = sim::parse_scenario(buf.str());
+  sim::Session session(spec);
+  if (!quiet) {
+    std::fprintf(stderr, "scenario '%s': %zu phases on a %dx%d %s fabric...\n",
+                 spec.name.c_str(), spec.phases.size(), spec.config.width, spec.config.height,
+                 design_name(spec.design));
+    session.set_progress(
+        [](const sim::Session::Progress& p) {
+          std::fprintf(stderr, "  phase %zu (%s): %llu cycles\n", p.phase_index,
+                       p.phase_name->c_str(),
+                       static_cast<unsigned long long>(p.phase_cycles_run));
+        },
+        50'000);
+  }
+  const sim::SessionResult result = session.run();
+  if (!quiet) std::fputs(sim::summarize(result).c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    out << sim::to_json(result);
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "scenario failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 std::vector<std::string> split_csv_arg(const std::string& s) {
@@ -77,7 +129,7 @@ bool write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   explore::SweepSpec spec;
   int threads = 0;
-  std::string csv_path, json_path;
+  std::string csv_path, json_path, scenario_path;
   bool quiet = false;
   bool workloads_cleared = false;
 
@@ -98,7 +150,7 @@ int main(int argc, char** argv) {
       return a == "--threads" || a == "--csv" || a == "--json" || a == "--mesh" ||
              a == "--flits" || a == "--hpc" || a == "--inj" || a == "--pattern" ||
              a == "--app" || a == "--faults" || a == "--design" || a == "--seed" ||
-             a == "--warmup" || a == "--measure" || a == "--drain";
+             a == "--warmup" || a == "--measure" || a == "--drain" || a == "--scenario";
     };
 
     // Pass 1: load the sweep file (the positional argument) first, so axis
@@ -143,6 +195,7 @@ int main(int argc, char** argv) {
       if (a == "--threads") threads = explore::parse_axis_int(next_arg("--threads"), "threads");
       else if (a == "--csv") csv_path = next_arg("--csv");
       else if (a == "--json") json_path = next_arg("--json");
+      else if (a == "--scenario") scenario_path = next_arg("--scenario");
       else if (a == "--quiet") quiet = true;
       else if (a == "--mesh") {
         spec.meshes.clear();
@@ -183,6 +236,9 @@ int main(int argc, char** argv) {
         return usage(argv[0], 2);
       }
       // Bare arguments are the sweep file, consumed in pass 1.
+    }
+    if (!scenario_path.empty()) {
+      return run_scenario_file(scenario_path, json_path, quiet);
     }
     spec.validate();
   } catch (const std::exception& e) {
