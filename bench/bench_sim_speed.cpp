@@ -194,6 +194,39 @@ void BM_Classic4x4_Session(benchmark::State& state) {
 }
 BENCHMARK(BM_Classic4x4_Session);
 
+// PR 4 pair: telemetry-probe overhead on the paper's design. The classic
+// experiment on the default SMART fabric, once bare and once with a probe
+// attached (epoch time series + injection recording - the full observer
+// hot path: per-link counting on every segment traversal plus the
+// packet-offered hook). The CI bench-release job gates Probe overhead vs
+// NoProbe at < 5%. (On the baseline mesh the observer fires once per hop
+// instead of once per bypass segment, so its relative cost is higher,
+// ~5%; the virtual-dispatch floor alone measures ~3% there.)
+void run_classic_probe(benchmark::State& state, bool with_probe) {
+  const NocConfig cfg = overhead_cfg();
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::ScenarioSpec spec =
+        sim::ScenarioSpec::classic(Design::Smart, "transpose", 0.05, cfg);
+    if (with_probe) {
+      spec.telemetry.epoch_cycles = 1'024;
+      spec.telemetry.record_trace = "/dev/null";  // keep the injection log hot
+    }
+    sim::Session session(std::move(spec));
+    while (!session.done()) session.run_phase();  // skip flush: no file I/O in the loop
+    for (const sim::PhaseResult& p : session.completed()) cycles += p.cycles_run;
+    benchmark::DoNotOptimize(session.completed().back().packets_delivered);
+    if (with_probe) benchmark::DoNotOptimize(session.probe()->link_flits_total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+
+void BM_Classic4x4_NoProbe(benchmark::State& state) { run_classic_probe(state, false); }
+BENCHMARK(BM_Classic4x4_NoProbe);
+
+void BM_Classic4x4_Probe(benchmark::State& state) { run_classic_probe(state, true); }
+BENCHMARK(BM_Classic4x4_Probe);
+
 // PR 3 pair: traffic generation alone. 8x8 uniform-random registers 4032
 // flows; the per-cycle path draws each of them every cycle while the
 // gap-skip path only touches flows whose next packet is due.

@@ -26,6 +26,15 @@ class SimError : public std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a binary telemetry trace is unreadable or malformed
+/// (truncated file, bad magic, version mismatch, garbage varint). Trace
+/// files are external input: every decode error must surface here, never
+/// as a crash or a partial silent read.
+class TraceError : public std::runtime_error {
+ public:
+  explicit TraceError(const std::string& what) : std::runtime_error(what) {}
+};
+
 [[noreturn]] inline void invariant_failure(const char* expr, const char* file, int line,
                                            const std::string& msg) {
   std::fprintf(stderr, "SMARTNOC INVARIANT VIOLATED: %s\n  at %s:%d\n  %s\n", expr, file, line,

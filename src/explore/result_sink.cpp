@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 
 namespace smartnoc::explore {
@@ -67,26 +68,6 @@ constexpr const char* kCsvHeader =
     "ok,error,flows,dropped_flows,packets,avg_net_latency,avg_total_latency,"
     "p50_latency,p99_latency,max_latency,throughput_ppc,power_mw,area_mm2";
 constexpr int kCsvColumns = 23;
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += strf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 // --- Minimal JSON reader (exactly the subset ResultTable emits) --------------
 

@@ -78,6 +78,14 @@ struct SweepSpec {
   Cycle measure_cycles = 20'000;
   Cycle drain_timeout = 50'000;
 
+  // Per-point telemetry outputs (explorer --telemetry / --record-trace):
+  // non-empty prefixes make every mesh-design point write
+  // <prefix>_p<index>.csv / _heatmap.csv / .sntr next to the sweep results.
+  // Dedicated-design points skip telemetry (no observer hooks).
+  std::string telemetry_prefix;
+  std::string trace_prefix;
+  Cycle telemetry_epoch = 1'024;
+
   /// Number of points the matrix expands to (product of axis sizes).
   std::size_t size() const;
 

@@ -199,6 +199,7 @@ void MeshNetwork::tick_reference() {
 
 void MeshNetwork::offer_packet(FlowId flow, Cycle created) {
   const Flow& f = flows_.at(flow);
+  if (observer_ != nullptr) observer_->packet_offered(flow, f.src, created);
   Packet pkt;
   pkt.id = next_packet_id_++;
   pkt.flow = flow;
@@ -237,12 +238,7 @@ void MeshNetwork::deliver(const Segment& seg, Flit flit, Cycle now, bool from_ro
   // link (the paper's "+1 cycle in link"); SMART absorbs the entire segment
   // into the ST cycle. NIC injection stubs are 1-cycle in both designs.
   const Cycle arrival = now + ((from_router && opt_.extra_link_cycle) ? 1 : 0);
-  if (observer_ != nullptr) {
-    for (const auto& [from, out_dir] : seg.links) {
-      observer_->flit_on_link(from, out_dir, flit, now);
-    }
-    observer_->flit_latched(seg.ep.is_nic, seg.ep.node, flit, arrival);
-  }
+  if (observer_ != nullptr) observer_->segment_traversed(seg, flit, now, arrival);
   if (seg.ep.is_nic) {
     nics_[static_cast<std::size_t>(seg.ep.node)]->accept_flit(flit, arrival);
     activate_nic(seg.ep.node);

@@ -6,6 +6,7 @@
 
 #include "common/types.hpp"
 #include "noc/flit.hpp"
+#include "noc/segment.hpp"
 
 namespace smartnoc::noc {
 
@@ -22,6 +23,29 @@ class TraceObserver {
   /// A flit was latched at a stop router (is_nic=false) or consumed by the
   /// destination NIC (is_nic=true).
   virtual void flit_latched(bool is_nic, NodeId node, const Flit& flit, Cycle cycle) = 0;
+
+  /// A flit traversed a whole segment: every link in `seg.links` during
+  /// `now`, then a latch at `seg.ep` at `arrival`. This is the one call
+  /// the network actually makes per delivery - the default fans out to
+  /// flit_on_link/flit_latched, so simple observers implement only those;
+  /// hot observers (the telemetry probe) override this to amortize the
+  /// virtual dispatch over the segment.
+  virtual void segment_traversed(const Segment& seg, const Flit& flit, Cycle now,
+                                 Cycle arrival) {
+    for (const auto& [from, out] : seg.links) flit_on_link(from, out, flit, now);
+    flit_latched(seg.ep.is_nic, seg.ep.node, flit, arrival);
+  }
+
+  /// A packet of `flow` was offered to the source NIC `src` at `created`
+  /// (network time). This is the injection event a telemetry probe records
+  /// to a packet trace: replaying exactly these (cycle, flow) pairs
+  /// re-executes the run bit-identically. Default no-op so observers that
+  /// only watch flit movement (the VCD dumper) are unaffected.
+  virtual void packet_offered(FlowId flow, NodeId src, Cycle created) {
+    (void)flow;
+    (void)src;
+    (void)created;
+  }
 };
 
 }  // namespace smartnoc::noc

@@ -52,6 +52,27 @@ void ScenarioSpec::validate() const {
   if (fault_rate < 0.0 || fault_rate > 1.0) {
     throw ConfigError("fault_rate must be in [0,1]");
   }
+  if (telemetry.enabled() && design == Design::Dedicated) {
+    throw ConfigError("telemetry requires a mesh-based design (Dedicated has no observer hooks)");
+  }
+  if ((!telemetry.csv.empty() || !telemetry.heatmap.empty() || !telemetry.chrome.empty()) &&
+      telemetry.epoch_cycles == 0) {
+    throw ConfigError("telemetry exports need a sample window: set telemetry_epoch > 0");
+  }
+  // The line-oriented text form tokenizes on whitespace and strips '#'
+  // comments, so such paths cannot survive a serialize -> parse round
+  // trip; reject them rather than silently truncating.
+  auto check_path = [](const std::string& path, const char* what) {
+    if (path.find_first_of(" \t#") != std::string::npos) {
+      throw ConfigError(std::string(what) + " path '" + path +
+                        "' contains whitespace or '#', which the scenario text form "
+                        "cannot represent");
+    }
+  };
+  check_path(telemetry.record_trace, "record_trace");
+  check_path(telemetry.csv, "telemetry_csv");
+  check_path(telemetry.heatmap, "telemetry_heatmap");
+  check_path(telemetry.chrome, "telemetry_chrome");
   std::string wl;
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseSpec& ph = phases[i];
@@ -60,8 +81,21 @@ void ScenarioSpec::validate() const {
     if (ph.drain && ph.traffic) {
       throw ConfigError(ctx + ": drain phases run with traffic off (add no-traffic)");
     }
-    if (!ph.workload.empty()) wl = ph.workload;
+    if (!ph.workload.empty()) {
+      if (ph.workload.find_first_of(" \t#") != std::string::npos) {
+        throw ConfigError(ctx + ": workload key '" + ph.workload +
+                          "' contains whitespace or '#', which the scenario text form "
+                          "cannot represent");
+      }
+      wl = ph.workload;
+    }
     if (ph.injection < 0.0) throw ConfigError(ctx + ": injection must be >= 0");
+    // Negative = the -1.0 inherit sentinel only (an arbitrary negative is
+    // a typo that would silently inherit, and would not survive the
+    // serialize round trip).
+    if (ph.fault_rate > 1.0 || (ph.fault_rate < 0.0 && ph.fault_rate != -1.0)) {
+      throw ConfigError(ctx + ": fault rate must be in [0,1] (or -1 = inherit)");
+    }
     if (wl.empty()) {
       throw ConfigError(ctx + ": no workload named yet (the first phase must name one)");
     }
@@ -141,6 +175,14 @@ void apply_scalar(ScenarioSpec& spec, const std::string& key, const std::string&
   else if (key == "traffic_mode") spec.traffic_mode = parse_traffic_mode_token(value);
   else if (key == "reference_kernel")
     spec.use_reference_kernel = parse_bool_token(value, "reference_kernel");
+  else if (key == "telemetry_epoch")
+    spec.telemetry.epoch_cycles = parse_u64_token(value, "telemetry_epoch");
+  else if (key == "record_trace") spec.telemetry.record_trace = value;
+  else if (key == "telemetry_csv") spec.telemetry.csv = value;
+  else if (key == "telemetry_heatmap") spec.telemetry.heatmap = value;
+  else if (key == "telemetry_chrome") spec.telemetry.chrome = value;
+  else if (key == "telemetry_chrome_events")
+    spec.telemetry.chrome_events = parse_u64_token(value, "telemetry_chrome_events");
   else throw ConfigError("unknown scenario key '" + key + "'");
 }
 
@@ -173,11 +215,23 @@ std::string serialize_scenario_text(const ScenarioSpec& spec) {
   out << "store_issue = " << spec.store_issue_cycles << "\n";
   out << "traffic_mode = " << bernoulli_mode_name(spec.traffic_mode) << "\n";
   out << "reference_kernel = " << (spec.use_reference_kernel ? "true" : "false") << "\n";
+  // The telemetry block serializes only when configured, so pre-telemetry
+  // scenario files round-trip byte-for-byte.
+  const TelemetrySpec& tel = spec.telemetry;
+  if (tel.epoch_cycles > 0) out << "telemetry_epoch = " << tel.epoch_cycles << "\n";
+  if (!tel.record_trace.empty()) out << "record_trace = " << tel.record_trace << "\n";
+  if (!tel.csv.empty()) out << "telemetry_csv = " << tel.csv << "\n";
+  if (!tel.heatmap.empty()) out << "telemetry_heatmap = " << tel.heatmap << "\n";
+  if (!tel.chrome.empty()) out << "telemetry_chrome = " << tel.chrome << "\n";
+  if (tel.chrome_events != TelemetrySpec{}.chrome_events) {
+    out << "telemetry_chrome_events = " << tel.chrome_events << "\n";
+  }
   for (const PhaseSpec& ph : spec.phases) {
     out << "phase " << ph.name;
     if (!ph.workload.empty()) out << " workload=" << ph.workload;
     if (ph.injection > 0.0) out << " injection=" << fmt_double(ph.injection);
     if (ph.cycles > 0) out << " cycles=" << ph.cycles;
+    if (ph.fault_rate >= 0.0) out << " fault=" << fmt_double(ph.fault_rate);
     if (ph.measure) out << " measure";
     if (!ph.traffic) out << " no-traffic";
     if (ph.drain) out << " drain";
@@ -203,9 +257,15 @@ PhaseSpec parse_phase_line(const std::string& rest, int line_no) {
     if (eq != std::string::npos) {
       const std::string key = lower_token(tok.substr(0, eq));
       const std::string value = tok.substr(eq + 1);
-      if (key == "workload") ph.workload = lower_token(value);
+      if (key == "workload") ph.workload = normalize_workload_key(value);
       else if (key == "injection") ph.injection = parse_double_token(value, ctx + " injection");
       else if (key == "cycles") ph.cycles = parse_u64_token(value, ctx + " cycles");
+      else if (key == "fault") {
+        ph.fault_rate = parse_double_token(value, ctx + " fault");
+        if (ph.fault_rate < 0.0) {
+          throw ConfigError(ctx + ": fault rate must be in [0,1] (omit the key to inherit)");
+        }
+      }
       else throw ConfigError(ctx + ": unknown phase key '" + key + "'");
     } else {
       const std::string flag = lower_token(tok);
@@ -402,6 +462,22 @@ class JsonParser {
         case 'n': out += '\n'; break;
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) fail("malformed \\u escape");
+            code = code * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                                    ? h - '0'
+                                    : std::tolower(static_cast<unsigned char>(h)) - 'a' + 10);
+          }
+          // Only the Latin-1 range survives as a single byte (our emitter
+          // writes \u only for control characters, all below 0x20).
+          if (code > 0xFF) fail("\\u escape beyond \\u00ff is not supported");
+          out += static_cast<char>(code);
+          break;
+        }
         default: fail(std::string("unsupported escape '\\") + e + "'");
       }
     }
@@ -425,21 +501,6 @@ class JsonParser {
   const std::string& s_;
   std::size_t pos_ = 0;
 };
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
 
 /// Scalar JSON fields are routed through the same apply_scalar as the text
 /// form: numbers/bools re-use their raw spelling as the token.
@@ -471,9 +532,16 @@ ScenarioSpec parse_scenario_json(const std::string& text) {
         PhaseSpec ph;
         for (const auto& [pk, pv] : p.obj) {
           if (pk == "name") ph.name = scalar_token(pv, pk);
-          else if (pk == "workload") ph.workload = lower_token(scalar_token(pv, pk));
+          else if (pk == "workload") ph.workload = normalize_workload_key(scalar_token(pv, pk));
           else if (pk == "injection") ph.injection = parse_double_token(scalar_token(pv, pk), pk);
           else if (pk == "cycles") ph.cycles = parse_u64_token(scalar_token(pv, pk), pk);
+          else if (pk == "fault_rate") {
+            ph.fault_rate = parse_double_token(scalar_token(pv, pk), pk);
+            if (ph.fault_rate < 0.0) {
+              throw ConfigError(
+                  "scenario JSON: phase fault_rate must be in [0,1] (omit to inherit)");
+            }
+          }
           else if (pk == "measure") ph.measure = parse_bool_token(scalar_token(pv, pk), pk);
           else if (pk == "traffic") ph.traffic = parse_bool_token(scalar_token(pv, pk), pk);
           else if (pk == "drain") ph.drain = parse_bool_token(scalar_token(pv, pk), pk);
@@ -520,6 +588,21 @@ std::string serialize_scenario_json(const ScenarioSpec& spec) {
   out << "  \"store_issue\": " << spec.store_issue_cycles << ",\n";
   out << "  \"traffic_mode\": \"" << bernoulli_mode_name(spec.traffic_mode) << "\",\n";
   out << "  \"reference_kernel\": " << (spec.use_reference_kernel ? "true" : "false") << ",\n";
+  const TelemetrySpec& tel = spec.telemetry;
+  if (tel.epoch_cycles > 0) out << "  \"telemetry_epoch\": " << tel.epoch_cycles << ",\n";
+  if (!tel.record_trace.empty()) {
+    out << "  \"record_trace\": \"" << json_escape(tel.record_trace) << "\",\n";
+  }
+  if (!tel.csv.empty()) out << "  \"telemetry_csv\": \"" << json_escape(tel.csv) << "\",\n";
+  if (!tel.heatmap.empty()) {
+    out << "  \"telemetry_heatmap\": \"" << json_escape(tel.heatmap) << "\",\n";
+  }
+  if (!tel.chrome.empty()) {
+    out << "  \"telemetry_chrome\": \"" << json_escape(tel.chrome) << "\",\n";
+  }
+  if (tel.chrome_events != TelemetrySpec{}.chrome_events) {
+    out << "  \"telemetry_chrome_events\": " << tel.chrome_events << ",\n";
+  }
   out << "  \"phases\": [\n";
   for (std::size_t i = 0; i < spec.phases.size(); ++i) {
     const PhaseSpec& ph = spec.phases[i];
@@ -527,6 +610,7 @@ std::string serialize_scenario_json(const ScenarioSpec& spec) {
     if (!ph.workload.empty()) out << ", \"workload\": \"" << json_escape(ph.workload) << "\"";
     if (ph.injection > 0.0) out << ", \"injection\": " << fmt_double(ph.injection);
     if (ph.cycles > 0) out << ", \"cycles\": " << ph.cycles;
+    if (ph.fault_rate >= 0.0) out << ", \"fault_rate\": " << fmt_double(ph.fault_rate);
     if (ph.measure) out << ", \"measure\": true";
     if (!ph.traffic && !ph.drain) out << ", \"traffic\": false";
     if (ph.drain) out << ", \"drain\": true";

@@ -35,8 +35,31 @@ struct PhaseSpec {
   bool traffic = true;     ///< generation enabled during the phase
   bool drain = false;      ///< run until the network drains (traffic off)
   bool reconfigure = false;  ///< force a fabric reconfiguration at entry
+  /// Per-phase fault-rate *event*: overrides the scenario-level fault rate
+  /// for this phase only (exactly -1.0 = inherit; other negatives are
+  /// rejected by validate()). A change in the effective rate is applied -
+  /// and reverted - at an era boundary: the fabric drains, flows reroute
+  /// around the new fault pattern, and the network rebuilds.
+  double fault_rate = -1.0;
 
   friend bool operator==(const PhaseSpec&, const PhaseSpec&) = default;
+};
+
+/// Declarative telemetry block: attach a Probe, capture a binary packet
+/// trace, and export time series when the run completes (Session::run()
+/// flushes automatically; step()-driven callers call flush_telemetry()).
+struct TelemetrySpec {
+  Cycle epoch_cycles = 0;    ///< sample window; > 0 attaches a Probe
+  std::string record_trace;  ///< binary capture path ("" = off; single-era
+                             ///< scenarios only - replay via trace:<file>)
+  std::string csv;           ///< epoch time-series CSV export path
+  std::string heatmap;       ///< link-utilization heatmap (CSV + ASCII sidecar)
+  std::string chrome;        ///< chrome://tracing JSON export path
+  std::uint64_t chrome_events = 65536;  ///< raw link-event capture cap
+
+  bool enabled() const { return epoch_cycles > 0 || !record_trace.empty(); }
+
+  friend bool operator==(const TelemetrySpec&, const TelemetrySpec&) = default;
 };
 
 /// A complete simulation declaration.
@@ -50,6 +73,7 @@ struct ScenarioSpec {
   Cycle store_issue_cycles = 1;     ///< issue cost per reconfiguration store
   noc::BernoulliMode traffic_mode = noc::BernoulliMode::PerCycle;
   bool use_reference_kernel = false;  ///< seed full-scan kernel (golden runs)
+  TelemetrySpec telemetry;            ///< observability block (off by default)
   std::vector<PhaseSpec> phases;
 
   /// The classic warmup/measure/drain protocol as a 3-phase scenario - the

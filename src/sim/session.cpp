@@ -3,10 +3,14 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "dedicated/dedicated_network.hpp"
 #include "smart/preset_computer.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trace_file.hpp"
+#include "telemetry/trace_workload.hpp"
 
 namespace smartnoc::sim {
 
@@ -51,6 +55,26 @@ noc::FlowSet reroute_around_faults(const MeshDims& dims, const noc::FlowSet& flo
 Session::Session(ScenarioSpec spec) : spec_(std::move(spec)), owning_(true) {
   spec_.validate();
   resolve_phases();
+  if (spec_.telemetry.enabled()) {
+    if (!spec_.telemetry.record_trace.empty()) {
+      // A capture stores one flow table, so recording is a single-era
+      // affair; resolve_phases() already knows - reject before simulating.
+      int eras = 0;
+      for (const Resolved& rv : resolved_) eras += rv.new_era ? 1 : 0;
+      if (eras > 1) {
+        throw ConfigError("record_trace captures a single era; scenario '" + spec_.name +
+                          "' reconfigures " + std::to_string(eras - 1) +
+                          " time(s) (record each era separately)");
+      }
+    }
+    telemetry::Probe::Config pc;
+    pc.epoch_cycles = spec_.telemetry.epoch_cycles;
+    pc.record_injections = !spec_.telemetry.record_trace.empty();
+    pc.chrome_event_capacity =
+        spec_.telemetry.chrome.empty() ? 0 : spec_.telemetry.chrome_events;
+    probe_ = std::make_unique<telemetry::Probe>(spec_.config.dims(),
+                                               spec_.config.flits_per_packet(), pc);
+  }
 }
 
 Session::Session(noc::Network& net, Workload& source, std::vector<PhaseSpec> phases)
@@ -75,17 +99,24 @@ void Session::resolve_phases() {
   resolved_.reserve(phases().size());
   std::string wl;
   double inj = 0.0;
+  double fault = spec_.fault_rate;
   for (std::size_t i = 0; i < phases().size(); ++i) {
     const PhaseSpec& ph = phases()[i];
     const std::string new_wl = ph.workload.empty() ? wl : ph.workload;
     const double new_inj = ph.injection > 0.0 ? ph.injection : (inj > 0.0 ? inj : 1.0);
+    // A phase-level fault rate is an *event*: it overrides the scenario
+    // rate for this phase and reverts when the next phase stops naming one.
+    const double new_fault = ph.fault_rate >= 0.0 ? ph.fault_rate : spec_.fault_rate;
     Resolved rv;
     rv.workload = new_wl;
     rv.injection = new_inj;
-    rv.new_era = i == 0 || ph.reconfigure || new_wl != wl || new_inj != inj;
+    rv.fault_rate = new_fault;
+    rv.new_era =
+        i == 0 || ph.reconfigure || new_wl != wl || new_inj != inj || new_fault != fault;
     resolved_.push_back(rv);
     wl = new_wl;
     inj = new_inj;
+    fault = new_fault;
   }
 }
 
@@ -107,6 +138,9 @@ void Session::switch_era(const Resolved& rv) {
       drained_after += 1;
     }
     ev.drain_cycles = drained_after;
+    // Later events are timestamped by the next era's clock, which restarts
+    // at 0: fold the finished era into the probe's global-time offset.
+    if (probe_ != nullptr) probe_->end_era(net_->now());
   }
 
   // 2. The next application's flows (the factory may adjust cfg: apps
@@ -119,8 +153,17 @@ void Session::switch_era(const Resolved& rv) {
   }
 
   pending_dropped_ = 0;
-  if (spec_.fault_rate > 0.0) {
-    const noc::FaultSet faults = draw_link_faults(cfg.dims(), spec_.fault_rate, cfg.seed);
+  if (rv.fault_rate > 0.0) {
+    if (telemetry::is_trace_workload_key(rv.workload)) {
+      // Rerouting would replay the capture on different routes/presets
+      // than the recording even when no flow is dropped, silently voiding
+      // the bit-identical-replay contract (the recorded flows already
+      // reflect any faults of the capture run).
+      throw ConfigError("trace replay cannot run under link faults (effective fault rate " +
+                        std::to_string(rv.fault_rate) + "); set fault_rate = 0 for '" +
+                        rv.workload + "'");
+    }
+    const noc::FaultSet faults = draw_link_faults(cfg.dims(), rv.fault_rate, cfg.seed);
     flows = reroute_around_faults(cfg.dims(), flows, faults, pending_dropped_);
   }
   if (flows.empty()) throw ConfigError("no routable flows (all dropped by faults)");
@@ -178,6 +221,20 @@ void Session::switch_era(const Resolved& rv) {
     SMARTNOC_CHECK(mesh != nullptr, "reference kernel requires a MeshNetwork");
     mesh->use_reference_kernel(true);
   }
+  if (probe_ != nullptr) {
+    if (cfg.flits_per_packet() != probe_->flits_per_packet()) {
+      // A trace:<file> workload swaps in the recorded configuration; the
+      // probe's occupancy accounting is in flits, so a silent packet-size
+      // change would skew it. Surface the mismatch instead.
+      throw ConfigError("workload '" + rv.workload + "' changed the packet size (" +
+                        std::to_string(cfg.flits_per_packet()) + " flits/packet vs " +
+                        std::to_string(probe_->flits_per_packet()) +
+                        " declared); telemetry needs a constant packet size");
+    }
+    auto* mesh = dynamic_cast<noc::MeshNetwork*>(net_);
+    SMARTNOC_CHECK(mesh != nullptr, "telemetry requires a mesh-based network");
+    mesh->set_observer(probe_.get());
+  }
   era_cfg_ = cfg;
 
   // 4. The per-cycle source for the final (possibly rerouted) flow set.
@@ -202,6 +259,7 @@ void Session::begin_phase() {
     switch_era(rv);  // throws on failure; step() converts to a failed phase
   }
   SMARTNOC_CHECK(net_ != nullptr && source_ != nullptr, "session has no network");
+  if (probe_ != nullptr) probe_->mark(ph.name, net_->now(), rv.new_era);
   source_->set_enabled(ph.traffic);
   if (ph.measure) {
     net_->stats().reset();
@@ -348,11 +406,35 @@ SessionResult Session::run() {
   while (!done()) {
     run_phase();
   }
+  flush_telemetry();
   SessionResult out;
   out.ok = !failed_;
   out.error = error_;
   out.phases = results_;
   return out;
+}
+
+void Session::flush_telemetry() {
+  if (probe_ == nullptr || telemetry_flushed_) return;
+  telemetry_flushed_ = true;
+  const TelemetrySpec& tel = spec_.telemetry;
+  if (!tel.record_trace.empty() && net_ != nullptr) {
+    telemetry::TraceWriter writer(era_cfg_, net_->flows());
+    writer.add_all(probe_->injection_log());
+    writer.write(tel.record_trace);
+  }
+  if (!tel.csv.empty()) {
+    telemetry::write_text_file(tel.csv, telemetry::export_time_series_csv(*probe_));
+  }
+  if (!tel.heatmap.empty()) {
+    const Cycle span = net_ != nullptr ? probe_->global_cycle(net_->now()) : 0;
+    telemetry::write_text_file(tel.heatmap, telemetry::export_link_heatmap_csv(*probe_, span));
+    telemetry::write_text_file(tel.heatmap + ".txt",
+                               telemetry::export_link_heatmap_ascii(*probe_));
+  }
+  if (!tel.chrome.empty()) {
+    telemetry::write_text_file(tel.chrome, telemetry::export_chrome_trace_json(*probe_));
+  }
 }
 
 // --- Accessors ---------------------------------------------------------------
@@ -400,20 +482,7 @@ std::string summarize(const SessionResult& result) {
 }
 
 std::string to_json(const SessionResult& result) {
-  auto esc = [](const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default: out += c;
-      }
-    }
-    return out;
-  };
+  const auto& esc = json_escape;
   std::string out = "{\n  \"ok\": ";
   out += result.ok ? "true" : "false";
   out += ",\n  \"error\": \"" + esc(result.error) + "\",\n";

@@ -31,6 +31,7 @@
 #include "sim/scenario.hpp"
 #include "sim/workload.hpp"
 #include "smart/config_reg.hpp"
+#include "telemetry/probe.hpp"
 
 namespace smartnoc::sim {
 
@@ -165,10 +166,23 @@ class Session {
   /// Fires `fn` every `every` cycles inside a phase (and at phase end).
   void set_progress(ProgressFn fn, Cycle every);
 
+  /// The telemetry probe (nullptr when the scenario declares no telemetry
+  /// block). Attached to every era's network; phase/era boundaries appear
+  /// as marks in its series.
+  telemetry::Probe* probe() { return probe_.get(); }
+
+  /// Writes the telemetry outputs the scenario declared: the binary packet
+  /// trace (record_trace), the time-series CSV, the heatmap (CSV + ASCII
+  /// sidecar) and the Chrome-tracing JSON. run() calls this automatically
+  /// once all phases complete; step()-driven callers invoke it themselves.
+  /// Idempotent; throws SimError/TraceError on I/O failure.
+  void flush_telemetry();
+
  private:
   struct Resolved {
     std::string workload;
     double injection = 1.0;
+    double fault_rate = 0.0;  ///< effective rate (phase override or scenario)
     bool new_era = false;
   };
 
@@ -191,6 +205,8 @@ class Session {
   Workload* source_ = nullptr;
   NocConfig era_cfg_;
   std::unique_ptr<smart::RegisterFile> regs_;  ///< persists across eras
+  std::unique_ptr<telemetry::Probe> probe_;    ///< persists across eras
+  bool telemetry_flushed_ = false;
   int era_count_ = 0;
   int hpc_max_ = 0;
   ReconfigEvent pending_reconfig_;

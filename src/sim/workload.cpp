@@ -7,6 +7,7 @@
 #include "common/parse.hpp"
 #include "mapping/nmap.hpp"
 #include "noc/routing.hpp"
+#include "telemetry/trace_workload.hpp"
 
 namespace smartnoc::sim {
 
@@ -53,6 +54,10 @@ class AppFactory final : public WorkloadFactory {
 struct WorkloadRegistry::Impl {
   mutable std::mutex mu;
   std::map<std::string, std::shared_ptr<const WorkloadFactory>> factories;
+  /// trace:<path> factories, keyed by path, so every Session replaying the
+  /// same capture shares one factory (and its decoded-trace cache) instead
+  /// of re-reading the file per lookup.
+  std::map<std::string, std::shared_ptr<const WorkloadFactory>> traces;
 };
 
 WorkloadRegistry::WorkloadRegistry() : impl_(std::make_shared<Impl>()) {
@@ -86,7 +91,21 @@ void WorkloadRegistry::add(const std::string& name,
   impl_->factories[lower_token(name)] = std::move(factory);
 }
 
+std::string normalize_workload_key(const std::string& name) {
+  if (telemetry::is_trace_workload_key(name)) {
+    return "trace:" + name.substr(6);
+  }
+  return lower_token(name);
+}
+
 std::shared_ptr<const WorkloadFactory> WorkloadRegistry::find(const std::string& name) const {
+  if (telemetry::is_trace_workload_key(name)) {
+    const std::string path = telemetry::trace_workload_path(name);
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto& slot = impl_->traces[path];
+    if (slot == nullptr) slot = std::make_shared<telemetry::TraceFileFactory>(path);
+    return slot;
+  }
   std::lock_guard<std::mutex> lock(impl_->mu);
   const auto it = impl_->factories.find(lower_token(name));
   return it != impl_->factories.end() ? it->second : nullptr;

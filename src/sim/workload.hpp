@@ -112,12 +112,19 @@ class WorkloadFactory {
                                            std::uint64_t seed, noc::BernoulliMode mode) const;
 };
 
+/// Canonical registry key: lowercased, except `trace:<path>` keys, whose
+/// path keeps its case (file systems are case-sensitive). The scenario
+/// parser routes workload names through this.
+std::string normalize_workload_key(const std::string& name);
+
 /// String-keyed factory registry. Pre-populated with the five synthetic
 /// patterns (uniform, transpose, bit-complement, neighbor, hotspot) and
 /// the paper's eight SoC applications (h264, mms_dec, mms_enc, mms_mp3,
-/// mwd, vopd, wlan, pip); user code may add or replace entries. Lookup is
-/// case-insensitive; add/find are thread-safe (the explorer resolves
-/// workloads from worker threads).
+/// mwd, vopd, wlan, pip); user code may add or replace entries. Keys of
+/// the form `trace:<file>` resolve dynamically to a
+/// telemetry::TraceFileFactory replaying that binary capture. Lookup is
+/// case-insensitive (trace paths excepted); add/find are thread-safe (the
+/// explorer resolves workloads from worker threads).
 class WorkloadRegistry {
  public:
   static WorkloadRegistry& instance();

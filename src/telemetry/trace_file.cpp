@@ -1,0 +1,333 @@
+#include "telemetry/trace_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace smartnoc::telemetry {
+
+namespace {
+
+// --- Primitive encoders ------------------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+}
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+void put_double(std::string& out, double d) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof d);
+  std::memcpy(&bits, &d, sizeof bits);
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((bits >> (8 * i)) & 0xFF);
+}
+
+// --- Primitive decoders (bounds-checked; everything throws TraceError) -------
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& bytes) : s_(bytes) {}
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return s_.size() - pos_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw TraceError("trace offset " + std::to_string(pos_) + ": " + msg);
+  }
+
+  std::uint8_t byte(const char* what) {
+    if (pos_ >= s_.size()) fail(std::string("truncated trace file (reading ") + what + ")");
+    return static_cast<std::uint8_t>(s_[pos_++]);
+  }
+
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(byte(what)) << (8 * i);
+    return v;
+  }
+
+  std::uint16_t u16(const char* what) {
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(byte(what)) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t varint(const char* what) {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = byte(what);
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        // Reject non-canonical garbage in the 10th byte (bits past 2^64).
+        if (shift == 63 && (b & 0x7E) != 0) fail(std::string("garbage varint in ") + what);
+        return v;
+      }
+    }
+    fail(std::string("garbage varint in ") + what + " (continuation past 10 bytes)");
+  }
+
+  /// A varint that must fit an int and lie in [lo, hi].
+  int ranged_int(const char* what, int lo, int hi) {
+    const std::uint64_t v = varint(what);
+    if (v > static_cast<std::uint64_t>(hi) || static_cast<int>(v) < lo) {
+      fail(std::string(what) + " out of range: " + std::to_string(v));
+    }
+    return static_cast<int>(v);
+  }
+
+  double f64(const char* what) {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(byte(what)) << (8 * i);
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void encode_config(std::string& out, const NocConfig& cfg) {
+  put_varint(out, static_cast<std::uint64_t>(cfg.width));
+  put_varint(out, static_cast<std::uint64_t>(cfg.height));
+  put_varint(out, static_cast<std::uint64_t>(cfg.flit_bits));
+  put_varint(out, static_cast<std::uint64_t>(cfg.packet_bits));
+  put_varint(out, static_cast<std::uint64_t>(cfg.vcs_per_port));
+  put_varint(out, static_cast<std::uint64_t>(cfg.vc_depth_flits));
+  put_varint(out, static_cast<std::uint64_t>(cfg.header_bits));
+  put_varint(out, static_cast<std::uint64_t>(cfg.credit_bits));
+  put_double(out, cfg.freq_ghz);
+  put_double(out, cfg.hop_mm);
+  put_varint(out, static_cast<std::uint64_t>(cfg.link_swing));
+  put_varint(out, static_cast<std::uint64_t>(cfg.hpc_max_override));
+  put_varint(out, static_cast<std::uint64_t>(cfg.router_stages));
+  put_varint(out, cfg.clock_gate_unused_ports ? 1 : 0);
+  put_varint(out, cfg.seed);
+  put_varint(out, cfg.warmup_cycles);
+  put_varint(out, cfg.measure_cycles);
+  put_varint(out, cfg.drain_timeout);
+  put_varint(out, static_cast<std::uint64_t>(cfg.routing));
+  put_double(out, cfg.bandwidth_scale);
+}
+
+NocConfig decode_config(Cursor& c) {
+  NocConfig cfg;
+  cfg.width = c.ranged_int("width", 1, 1 << 16);
+  cfg.height = c.ranged_int("height", 1, 1 << 16);
+  cfg.flit_bits = c.ranged_int("flit_bits", 1, 1 << 20);
+  cfg.packet_bits = c.ranged_int("packet_bits", 1, 1 << 24);
+  cfg.vcs_per_port = c.ranged_int("vcs_per_port", 1, 16);
+  cfg.vc_depth_flits = c.ranged_int("vc_depth_flits", 1, 1 << 20);
+  cfg.header_bits = c.ranged_int("header_bits", 1, 1 << 16);
+  cfg.credit_bits = c.ranged_int("credit_bits", 1, 64);
+  cfg.freq_ghz = c.f64("freq_ghz");
+  cfg.hop_mm = c.f64("hop_mm");
+  cfg.link_swing = static_cast<Swing>(c.ranged_int("link_swing", 0, 1));
+  cfg.hpc_max_override = c.ranged_int("hpc_max_override", 0, 1 << 16);
+  cfg.router_stages = c.ranged_int("router_stages", 1, 16);
+  cfg.clock_gate_unused_ports = c.varint("clock_gate") != 0;
+  cfg.seed = c.varint("seed");
+  cfg.warmup_cycles = c.varint("warmup_cycles");
+  cfg.measure_cycles = c.varint("measure_cycles");
+  cfg.drain_timeout = c.varint("drain_timeout");
+  cfg.routing = static_cast<RoutingPolicy>(c.ranged_int("routing", 0, 1));
+  cfg.bandwidth_scale = c.f64("bandwidth_scale");
+  return cfg;
+}
+
+}  // namespace
+
+// --- Writer ------------------------------------------------------------------
+
+TraceWriter::TraceWriter(const NocConfig& config, const noc::FlowSet& flows)
+    : config_(config), flow_count_(flows.size()) {
+  put_u32(header_, kTraceMagic);
+  put_u16(header_, kTraceVersion);
+  encode_config(header_, config_);
+  put_varint(header_, static_cast<std::uint64_t>(flows.size()));
+  for (const noc::Flow& f : flows) {
+    put_varint(header_, static_cast<std::uint64_t>(f.src));
+    put_varint(header_, static_cast<std::uint64_t>(f.dst));
+    put_double(header_, f.bandwidth_mbps);
+    put_varint(header_, static_cast<std::uint64_t>(f.path.links.size()));
+    for (Dir d : f.path.links) header_ += static_cast<char>(dir_index(d));
+  }
+}
+
+void TraceWriter::add(Cycle cycle, FlowId flow) {
+  if (records_ > 0 && cycle < last_cycle_) {
+    throw TraceError("trace records must be added in nondecreasing cycle order (got " +
+                     std::to_string(cycle) + " after " + std::to_string(last_cycle_) + ")");
+  }
+  if (flow < 0 || flow >= static_cast<FlowId>(flow_count_)) {
+    throw TraceError("trace record names flow " + std::to_string(flow) + " but the flow table has " +
+                     std::to_string(flow_count_) + " entries");
+  }
+  put_varint(records_buf_, records_ == 0 ? cycle : cycle - last_cycle_);
+  put_varint(records_buf_, static_cast<std::uint64_t>(flow));
+  last_cycle_ = cycle;
+  records_ += 1;
+}
+
+void TraceWriter::add_all(const std::vector<noc::TraceEntry>& entries) {
+  for (const auto& e : entries) add(e.cycle, e.flow);
+}
+
+std::string TraceWriter::encode() const {
+  std::string out = header_;
+  put_varint(out, records_);
+  out += records_buf_;
+  put_u32(out, kTraceEndMagic);
+  return out;
+}
+
+void TraceWriter::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw TraceError("cannot open '" + path + "' for writing");
+  const std::string bytes = encode();
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.flush();
+  if (!f) throw TraceError("short write to '" + path + "'");
+}
+
+// --- Reader ------------------------------------------------------------------
+
+TraceFile decode_trace(const std::string& bytes) {
+  Cursor c(bytes);
+  const std::uint32_t magic = c.u32("magic");
+  if (magic != kTraceMagic) {
+    throw TraceError("not a smartnoc trace (bad magic 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%08x", magic);
+      return std::string(buf);
+    }() + ", expected \"SNTR\")");
+  }
+  const std::uint16_t version = c.u16("version");
+  if (version != kTraceVersion) {
+    throw TraceError("unsupported trace version " + std::to_string(version) + " (this build reads " +
+                     std::to_string(kTraceVersion) + ")");
+  }
+
+  TraceFile out;
+  out.config = decode_config(c);
+  try {
+    out.config.validate();
+  } catch (const ConfigError& e) {
+    throw TraceError(std::string("trace carries an inconsistent config: ") + e.what());
+  }
+  const MeshDims dims = out.config.dims();
+
+  const std::uint64_t flow_count = c.varint("flow_count");
+  // Each flow needs >= 12 bytes; an absurd count is a corrupt header, not
+  // an allocation request.
+  if (flow_count > c.remaining()) {
+    throw TraceError("flow table claims " + std::to_string(flow_count) +
+                     " flows but only " + std::to_string(c.remaining()) + " bytes remain");
+  }
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    const auto src = static_cast<NodeId>(c.ranged_int("flow src", 0, dims.nodes() - 1));
+    const auto dst = static_cast<NodeId>(c.ranged_int("flow dst", 0, dims.nodes() - 1));
+    const double bw = c.f64("flow bandwidth");
+    const std::uint64_t hops = c.varint("flow hops");
+    if (hops == 0 || hops > c.remaining()) {
+      throw TraceError("flow " + std::to_string(i) + " has a truncated route");
+    }
+    noc::RoutePath path;
+    path.src = src;
+    path.dst = dst;
+    NodeId at = src;
+    for (std::uint64_t h = 0; h < hops; ++h) {
+      const std::uint8_t d = c.byte("route direction");
+      if (d >= kNumMeshDirs) {
+        throw TraceError("flow " + std::to_string(i) + ": invalid direction byte " +
+                         std::to_string(d));
+      }
+      const Dir dir = dir_from_index(d);
+      if (!dims.has_neighbor(at, dir)) {
+        throw TraceError("flow " + std::to_string(i) + ": route leaves the mesh at node " +
+                         std::to_string(at) + " going " + dir_name(dir));
+      }
+      at = dims.neighbor(at, dir);
+      path.links.push_back(dir);
+    }
+    if (at != dst) {
+      throw TraceError("flow " + std::to_string(i) + ": route ends at node " + std::to_string(at) +
+                       ", not its destination " + std::to_string(dst));
+    }
+    if (src == dst) {
+      throw TraceError("flow " + std::to_string(i) + " is a self-flow");
+    }
+    out.flows.add(src, dst, bw, std::move(path));
+  }
+
+  const std::uint64_t record_count = c.varint("record_count");
+  if (record_count > c.remaining()) {
+    throw TraceError("record section claims " + std::to_string(record_count) +
+                     " records but only " + std::to_string(c.remaining()) + " bytes remain");
+  }
+  out.entries.reserve(record_count);
+  Cycle cycle = 0;
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    const std::uint64_t delta = c.varint("record cycle");
+    if (i == 0) {
+      cycle = delta;
+    } else if (cycle + delta < cycle) {
+      throw TraceError("record " + std::to_string(i) + ": cycle overflow");
+    } else {
+      cycle += delta;
+    }
+    const std::uint64_t flow = c.varint("record flow");
+    if (flow >= flow_count) {
+      throw TraceError("record " + std::to_string(i) + " names flow " + std::to_string(flow) +
+                       " but the flow table has " + std::to_string(flow_count) + " entries");
+    }
+    out.entries.push_back(noc::TraceEntry{cycle, static_cast<FlowId>(flow)});
+  }
+
+  if (c.u32("end magic") != kTraceEndMagic) {
+    throw TraceError("missing end marker (file truncated or corrupt)");
+  }
+  if (c.remaining() != 0) {
+    throw TraceError(std::to_string(c.remaining()) + " trailing bytes after the end marker");
+  }
+  return out;
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw TraceError("cannot open trace file '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (!f) throw TraceError("error reading trace file '" + path + "'");
+  return decode_trace(buf.str());
+}
+
+std::string summarize_trace(const TraceFile& trace) {
+  const Cycle first = trace.entries.empty() ? 0 : trace.entries.front().cycle;
+  const Cycle last = trace.entries.empty() ? 0 : trace.entries.back().cycle;
+  return strf(
+      "smartnoc trace v%u: %dx%d mesh, %d flows, %zu injections over cycles [%llu, %llu], "
+      "%d-bit flits, %d-bit packets, seed %llu\n",
+      static_cast<unsigned>(kTraceVersion), trace.config.width, trace.config.height,
+      trace.flows.size(), trace.entries.size(), static_cast<unsigned long long>(first),
+      static_cast<unsigned long long>(last), trace.config.flit_bits, trace.config.packet_bits,
+      static_cast<unsigned long long>(trace.config.seed));
+}
+
+}  // namespace smartnoc::telemetry

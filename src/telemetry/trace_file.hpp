@@ -1,0 +1,91 @@
+// Versioned compact binary packet-trace files: record a workload once,
+// replay it from disk bit-identically (the repo's first durable on-disk
+// artifact pipeline).
+//
+// A trace file is self-contained: it carries the full NocConfig of the
+// recording era and the exact flow set (ids, routes, bandwidths) alongside
+// the injection events, so `trace:<file>` replays rebuild the *same*
+// network the recording ran on - presets, register program and all - and a
+// replayed run reproduces the live run's RunResult bit-identically (pinned
+// by tests).
+//
+// Layout (all integers little-endian; varint = unsigned LEB128):
+//
+//   u32  magic   "SNTR" (0x53 0x4E 0x54 0x52 on disk)
+//   u16  version (currently 1)
+//   config block: varint width, height, flit_bits, packet_bits,
+//                 vcs_per_port, vc_depth_flits, header_bits, credit_bits,
+//                 u64 freq_ghz bits, u64 hop_mm bits, varint link_swing,
+//                 hpc_max_override, router_stages, clock_gate, seed,
+//                 warmup, measure, drain_timeout, routing,
+//                 u64 bandwidth_scale bits
+//   varint flow_count
+//     per flow: varint src, varint dst, u64 bandwidth_mbps bits,
+//               varint hops, then one byte per hop (Dir, 0..3)
+//   varint record_count
+//     per record: varint cycle delta (first record: absolute cycle),
+//                 varint flow id
+//   u32  end magic "TEND" (truncation tripwire)
+//
+// Every decode error - short file, bad magic, unknown version, a varint
+// running past the end or past 10 bytes, an out-of-range flow/direction -
+// throws TraceError; there are no partial silent reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "noc/flow.hpp"
+#include "noc/traffic.hpp"
+
+namespace smartnoc::telemetry {
+
+inline constexpr std::uint32_t kTraceMagic = 0x52544E53;     // "SNTR" in LE byte order
+inline constexpr std::uint32_t kTraceEndMagic = 0x444E4554;  // "TEND"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// A decoded trace: everything needed to re-execute the recorded run.
+struct TraceFile {
+  NocConfig config;                     ///< the recording era's configuration
+  noc::FlowSet flows;                   ///< identical ids, routes, bandwidths
+  std::vector<noc::TraceEntry> entries; ///< injection events, cycle-sorted
+};
+
+/// Serializes a capture. Records must be added in nondecreasing cycle
+/// order (delta encoding; add() throws TraceError otherwise).
+class TraceWriter {
+ public:
+  TraceWriter(const NocConfig& config, const noc::FlowSet& flows);
+
+  void add(Cycle cycle, FlowId flow);
+  void add_all(const std::vector<noc::TraceEntry>& entries);
+  std::uint64_t records() const { return records_; }
+
+  /// The complete binary image (header + records + end marker).
+  std::string encode() const;
+
+  /// Writes encode() to `path`. Throws TraceError on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  NocConfig config_;
+  int flow_count_ = 0;
+  std::string header_;   ///< config + flow table (fixed at construction)
+  std::string records_buf_;
+  std::uint64_t records_ = 0;
+  Cycle last_cycle_ = 0;
+};
+
+/// Decodes a binary image. Throws TraceError on any malformation.
+TraceFile decode_trace(const std::string& bytes);
+
+/// Reads and decodes `path`. Throws TraceError when unreadable.
+TraceFile read_trace_file(const std::string& path);
+
+/// One-line human summary (config, flows, records, cycle span) as printed
+/// by `trace_tool info`.
+std::string summarize_trace(const TraceFile& trace);
+
+}  // namespace smartnoc::telemetry

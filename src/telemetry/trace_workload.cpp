@@ -1,0 +1,77 @@
+#include "telemetry/trace_workload.hpp"
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+
+namespace smartnoc::telemetry {
+
+namespace {
+constexpr const char* kPrefix = "trace:";
+constexpr std::size_t kPrefixLen = 6;
+}  // namespace
+
+bool is_trace_workload_key(const std::string& name) {
+  return name.size() >= kPrefixLen && lower_token(name.substr(0, kPrefixLen)) == kPrefix;
+}
+
+std::string trace_workload_path(const std::string& name) {
+  SMARTNOC_CHECK(is_trace_workload_key(name), "not a trace workload key: " + name);
+  std::string path = trim_token(name.substr(kPrefixLen));
+  if (path.empty()) {
+    throw ConfigError("trace workload needs a file path ('trace:<file>')");
+  }
+  return path;
+}
+
+TraceFileFactory::TraceFileFactory(std::string path) : path_(std::move(path)) {}
+
+const TraceFile& TraceFileFactory::load() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path_, ec);
+  // Re-read when the file changed under us (record -> replay -> re-record
+  // in one process); an unreadable mtime keeps whatever is cached.
+  if (!cached_ || (!ec && mtime != mtime_)) {
+    cached_ = std::make_shared<const TraceFile>(read_trace_file(path_));
+    mtime_ = ec ? std::filesystem::file_time_type{} : mtime;
+  }
+  return *cached_;
+}
+
+noc::FlowSet TraceFileFactory::flows(NocConfig& cfg, double injection) const {
+  (void)injection;
+  const TraceFile& t = load();
+  if (cfg.dims() != t.config.dims()) {
+    throw ConfigError("trace '" + path_ + "' was recorded on a " +
+                      std::to_string(t.config.width) + "x" + std::to_string(t.config.height) +
+                      " mesh; the scenario declares " + std::to_string(cfg.width) + "x" +
+                      std::to_string(cfg.height));
+  }
+  cfg = t.config;
+  noc::FlowSet out;
+  for (const noc::Flow& f : t.flows) {
+    out.add(f.src, f.dst, f.bandwidth_mbps, f.path);
+  }
+  return out;
+}
+
+std::unique_ptr<sim::Workload> TraceFileFactory::source(const NocConfig& cfg,
+                                                        const noc::FlowSet& flows,
+                                                        std::uint64_t seed,
+                                                        noc::BernoulliMode mode) const {
+  (void)cfg;
+  (void)seed;
+  (void)mode;
+  const TraceFile& t = load();
+  if (flows.size() != t.flows.size()) {
+    // Fault rerouting dropped flows: the remaining ids no longer line up
+    // with the recorded entries, so a replay would inject the wrong flows.
+    throw ConfigError("trace replay cannot run on a modified flow set (" +
+                      std::to_string(flows.size()) + " flows vs " +
+                      std::to_string(t.flows.size()) +
+                      " recorded; set fault_rate = 0 for replay scenarios)");
+  }
+  return std::make_unique<sim::ReplayWorkload>(t.entries);
+}
+
+}  // namespace smartnoc::telemetry

@@ -60,15 +60,32 @@ int usage(const char* argv0, int code) {
                "  --quiet               suppress the summary table\n"
                "  --help\n"
                "\n"
+               "telemetry (per-point in sweep mode, per-run in scenario mode):\n"
+               "  --telemetry PREFIX    write epoch time series + link heatmap\n"
+               "                        (<PREFIX>_p<i>.csv / _heatmap.csv per point)\n"
+               "  --telemetry-epoch N   sample window in cycles (default 1024)\n"
+               "  --record-trace PREFIX capture a binary packet trace per point\n"
+               "                        (<PREFIX>_p<i>.sntr; replay with the\n"
+               "                        trace:<file> workload or trace_tool)\n"
+               "\n"
                "scenario mode (multi-phase Session run instead of a sweep):\n"
                "  --scenario FILE       run a scenario file (text or JSON); prints\n"
                "                        per-phase stats + reconfiguration latency;\n"
-               "                        --json/--quiet apply\n",
+               "                        --json/--quiet/--telemetry/--record-trace apply\n",
                argv0);
   return code;
 }
 
-int run_scenario_file(const std::string& path, const std::string& json_path, bool quiet) {
+struct TelemetryArgs {
+  std::string prefix;       ///< --telemetry
+  std::string trace_prefix; ///< --record-trace
+  Cycle epoch = 0;          ///< --telemetry-epoch; 0 = not given (scenario
+                            ///< files keep their declared epoch, else 1024)
+  static constexpr Cycle kDefaultEpoch = 1'024;
+};
+
+int run_scenario_file(const std::string& path, const std::string& json_path, bool quiet,
+                      const TelemetryArgs& tel) {
   std::ifstream f(path);
   if (!f) {
     std::fprintf(stderr, "cannot open scenario file '%s'\n", path.c_str());
@@ -77,6 +94,18 @@ int run_scenario_file(const std::string& path, const std::string& json_path, boo
   std::stringstream buf;
   buf << f.rdbuf();
   sim::ScenarioSpec spec = sim::parse_scenario(buf.str());
+  // CLI telemetry flags layer over the scenario's block; an explicit
+  // --telemetry-epoch wins, otherwise a scenario-declared epoch is kept.
+  if (tel.epoch != 0) spec.telemetry.epoch_cycles = tel.epoch;
+  if (!tel.prefix.empty()) {
+    if (spec.telemetry.epoch_cycles == 0) {
+      spec.telemetry.epoch_cycles = TelemetryArgs::kDefaultEpoch;
+    }
+    spec.telemetry.csv = tel.prefix + ".csv";
+    spec.telemetry.heatmap = tel.prefix + "_heatmap.csv";
+  }
+  if (!tel.trace_prefix.empty()) spec.telemetry.record_trace = tel.trace_prefix + ".sntr";
+  spec.validate();
   sim::Session session(spec);
   if (!quiet) {
     std::fprintf(stderr, "scenario '%s': %zu phases on a %dx%d %s fabric...\n",
@@ -130,6 +159,7 @@ int main(int argc, char** argv) {
   explore::SweepSpec spec;
   int threads = 0;
   std::string csv_path, json_path, scenario_path;
+  TelemetryArgs telemetry;
   bool quiet = false;
   bool workloads_cleared = false;
 
@@ -150,7 +180,8 @@ int main(int argc, char** argv) {
       return a == "--threads" || a == "--csv" || a == "--json" || a == "--mesh" ||
              a == "--flits" || a == "--hpc" || a == "--inj" || a == "--pattern" ||
              a == "--app" || a == "--faults" || a == "--design" || a == "--seed" ||
-             a == "--warmup" || a == "--measure" || a == "--drain" || a == "--scenario";
+             a == "--warmup" || a == "--measure" || a == "--drain" || a == "--scenario" ||
+             a == "--telemetry" || a == "--telemetry-epoch" || a == "--record-trace";
     };
 
     // Pass 1: load the sweep file (the positional argument) first, so axis
@@ -196,6 +227,11 @@ int main(int argc, char** argv) {
       else if (a == "--csv") csv_path = next_arg("--csv");
       else if (a == "--json") json_path = next_arg("--json");
       else if (a == "--scenario") scenario_path = next_arg("--scenario");
+      else if (a == "--telemetry") telemetry.prefix = next_arg("--telemetry");
+      else if (a == "--telemetry-epoch") {
+        telemetry.epoch = explore::parse_axis_u64(next_arg("--telemetry-epoch"),
+                                                  "telemetry-epoch");
+      } else if (a == "--record-trace") telemetry.trace_prefix = next_arg("--record-trace");
       else if (a == "--quiet") quiet = true;
       else if (a == "--mesh") {
         spec.meshes.clear();
@@ -238,8 +274,11 @@ int main(int argc, char** argv) {
       // Bare arguments are the sweep file, consumed in pass 1.
     }
     if (!scenario_path.empty()) {
-      return run_scenario_file(scenario_path, json_path, quiet);
+      return run_scenario_file(scenario_path, json_path, quiet, telemetry);
     }
+    spec.telemetry_prefix = telemetry.prefix;
+    spec.trace_prefix = telemetry.trace_prefix;
+    if (telemetry.epoch != 0) spec.telemetry_epoch = telemetry.epoch;
     spec.validate();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,122 @@
+// trace_tool - inspect, summarize and convert smartnoc binary packet traces.
+//
+// Usage:
+//   trace_tool info  FILE           one-line header + injection summary
+//   trace_tool flows FILE           the recorded flow table
+//   trace_tool dump  FILE           entries as text ("<cycle> <flow>" lines,
+//                                   the noc::serialize_trace archival form)
+//   trace_tool csv   FILE [EPOCH]   injections per epoch as CSV (default
+//                                   epoch: 1024 cycles)
+//
+// All decode errors (truncation, bad magic, version mismatch, garbage
+// varints) surface as one-line diagnostics with exit code 1.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "common/table.hpp"
+#include "noc/traffic.hpp"
+#include "telemetry/trace_file.hpp"
+
+namespace {
+
+using namespace smartnoc;
+
+int usage(const char* argv0, int code) {
+  std::fprintf(code ? stderr : stdout,
+               "usage: %s <command> FILE [args]\n"
+               "  info  FILE          header + injection summary\n"
+               "  flows FILE          recorded flow table\n"
+               "  dump  FILE          entries as '<cycle> <flow>' text\n"
+               "  csv   FILE [EPOCH]  injections per epoch as CSV\n",
+               argv0);
+  return code;
+}
+
+int cmd_info(const telemetry::TraceFile& trace) {
+  std::fputs(telemetry::summarize_trace(trace).c_str(), stdout);
+  std::uint64_t busiest = 0;
+  FlowId busiest_flow = kInvalidFlow;
+  std::vector<std::uint64_t> per_flow(static_cast<std::size_t>(trace.flows.size()), 0);
+  for (const noc::TraceEntry& e : trace.entries) {
+    per_flow[static_cast<std::size_t>(e.flow)] += 1;
+  }
+  for (std::size_t i = 0; i < per_flow.size(); ++i) {
+    if (per_flow[i] > busiest) {
+      busiest = per_flow[i];
+      busiest_flow = static_cast<FlowId>(i);
+    }
+  }
+  if (busiest_flow != kInvalidFlow) {
+    const noc::Flow& f = trace.flows.at(busiest_flow);
+    std::printf("busiest flow: %d (%d->%d), %llu packets\n", busiest_flow, f.src, f.dst,
+                static_cast<unsigned long long>(busiest));
+  }
+  return 0;
+}
+
+int cmd_flows(const telemetry::TraceFile& trace) {
+  TextTable table({"flow", "src", "dst", "bandwidth MB/s", "route"});
+  for (const noc::Flow& f : trace.flows) {
+    table.add_row({std::to_string(f.id), std::to_string(f.src), std::to_string(f.dst),
+                   strf("%.4g", f.bandwidth_mbps), f.path.str()});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
+int cmd_dump(const telemetry::TraceFile& trace) {
+  std::fputs(noc::serialize_trace(trace.entries).c_str(), stdout);
+  return 0;
+}
+
+int cmd_csv(const telemetry::TraceFile& trace, Cycle epoch) {
+  if (epoch == 0) {
+    std::fprintf(stderr, "epoch must be > 0\n");
+    return 2;
+  }
+  // One row per epoch that contains injections, walking the entries (not
+  // the cycle range: a well-formed trace may legally name astronomically
+  // late cycles, and output must stay proportional to the record count).
+  std::printf("epoch,start_cycle,injected_packets\n");
+  std::size_t i = 0;
+  while (i < trace.entries.size()) {
+    const Cycle e = trace.entries[i].cycle / epoch;
+    std::uint64_t n = 0;
+    while (i < trace.entries.size() && trace.entries[i].cycle / epoch == e) {
+      ++n;
+      ++i;
+    }
+    std::printf("%llu,%llu,%llu\n", static_cast<unsigned long long>(e),
+                static_cast<unsigned long long>(e * epoch), static_cast<unsigned long long>(n));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0)) {
+    return usage(argv[0], 0);
+  }
+  if (argc < 3) return usage(argv[0], 2);
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  try {
+    const telemetry::TraceFile trace = telemetry::read_trace_file(path);
+    if (cmd == "info") return cmd_info(trace);
+    if (cmd == "flows") return cmd_flows(trace);
+    if (cmd == "dump") return cmd_dump(trace);
+    if (cmd == "csv") {
+      const Cycle epoch = argc >= 4 ? parse_u64_token(argv[3], "epoch") : 1024;
+      return cmd_csv(trace, epoch);
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage(argv[0], 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

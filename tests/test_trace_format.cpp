@@ -1,0 +1,372 @@
+// Binary packet-trace format: encode/decode round trips, strict typed
+// error paths (truncated file, bad magic, version mismatch, garbage
+// varint - no crashes, no partial silent reads), and the headline
+// record -> replay identity: a `trace:<file>` replay of a captured run
+// reproduces the live run's RunResult and per-flow stats bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "helpers.hpp"
+#include "noc/routing.hpp"
+#include "sim/runner.hpp"
+#include "telemetry/trace_file.hpp"
+#include "telemetry/trace_workload.hpp"
+
+namespace smartnoc {
+namespace {
+
+using telemetry::decode_trace;
+using telemetry::TraceFile;
+using telemetry::TraceWriter;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "smartnoc_" + name;
+}
+
+NocConfig small_cfg() {
+  NocConfig cfg = smartnoc::testing::test_config();
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 4000;
+  cfg.drain_timeout = 20000;
+  return cfg;
+}
+
+noc::FlowSet demo_flows(const NocConfig& cfg) {
+  noc::FlowSet fs;
+  fs.add(0, 5, 400.0, noc::xy_path(cfg.dims(), 0, 5));
+  fs.add(12, 3, 123.456, noc::xy_path(cfg.dims(), 12, 3));
+  fs.add(7, 6, 50.0, noc::xy_path(cfg.dims(), 7, 6));
+  return fs;
+}
+
+std::string demo_image() {
+  const NocConfig cfg = small_cfg();
+  TraceWriter w(cfg, demo_flows(cfg));
+  w.add(3, 0);
+  w.add(3, 2);
+  w.add(10, 1);
+  w.add(500000, 0);
+  return w.encode();
+}
+
+// --- Round trips -------------------------------------------------------------
+
+TEST(TraceFormat, RoundTripPreservesEverything) {
+  NocConfig cfg = small_cfg();
+  cfg.seed = 0xDEADBEEFCAFEULL;
+  cfg.bandwidth_scale = 1.375;
+  cfg.hpc_max_override = 7;
+  cfg.routing = RoutingPolicy::XY;
+  const noc::FlowSet flows = demo_flows(cfg);
+  TraceWriter w(cfg, flows);
+  const std::vector<noc::TraceEntry> entries = {{1, 2}, {1, 0}, {7, 1}, {7, 1}, {123456789, 2}};
+  w.add_all(entries);
+
+  const TraceFile t = decode_trace(w.encode());
+  EXPECT_EQ(t.config, cfg);
+  ASSERT_EQ(t.flows.size(), flows.size());
+  for (FlowId i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(t.flows.at(i).src, flows.at(i).src);
+    EXPECT_EQ(t.flows.at(i).dst, flows.at(i).dst);
+    EXPECT_EQ(t.flows.at(i).bandwidth_mbps, flows.at(i).bandwidth_mbps);
+    EXPECT_EQ(t.flows.at(i).path.links, flows.at(i).path.links);
+    EXPECT_EQ(t.flows.at(i).route, flows.at(i).route);
+  }
+  EXPECT_EQ(t.entries, entries);
+}
+
+TEST(TraceFormat, FileRoundTrip) {
+  const std::string path = temp_path("roundtrip.sntr");
+  const NocConfig cfg = small_cfg();
+  TraceWriter w(cfg, demo_flows(cfg));
+  w.add(42, 1);
+  w.write(path);
+  const TraceFile t = telemetry::read_trace_file(path);
+  EXPECT_EQ(t.entries, (std::vector<noc::TraceEntry>{{42, 1}}));
+  EXPECT_EQ(t.config, cfg);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormat, EmptyTraceIsValid) {
+  const NocConfig cfg = small_cfg();
+  TraceWriter w(cfg, demo_flows(cfg));
+  const TraceFile t = decode_trace(w.encode());
+  EXPECT_TRUE(t.entries.empty());
+  EXPECT_EQ(t.flows.size(), 3);
+}
+
+// --- Writer preconditions ----------------------------------------------------
+
+TEST(TraceFormat, WriterRejectsOutOfOrderCycles) {
+  const NocConfig cfg = small_cfg();
+  TraceWriter w(cfg, demo_flows(cfg));
+  w.add(10, 0);
+  EXPECT_THROW(w.add(9, 0), TraceError);
+}
+
+TEST(TraceFormat, WriterRejectsUnknownFlow) {
+  const NocConfig cfg = small_cfg();
+  TraceWriter w(cfg, demo_flows(cfg));
+  EXPECT_THROW(w.add(1, 3), TraceError);
+  EXPECT_THROW(w.add(1, -1), TraceError);
+}
+
+// --- Typed decode errors -----------------------------------------------------
+
+TEST(TraceFormat, TruncatedFileThrowsEverywhere) {
+  const std::string image = demo_image();
+  // Chopping the image at *any* byte must throw TraceError - never crash,
+  // never return a partial trace.
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_THROW(decode_trace(image.substr(0, len)), TraceError) << "prefix length " << len;
+  }
+  EXPECT_NO_THROW(decode_trace(image));
+}
+
+TEST(TraceFormat, BadMagicThrows) {
+  std::string image = demo_image();
+  image[0] = 'X';
+  try {
+    decode_trace(image);
+    FAIL() << "bad magic must throw";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST(TraceFormat, VersionMismatchThrows) {
+  std::string image = demo_image();
+  image[4] = 99;  // version field
+  try {
+    decode_trace(image);
+    FAIL() << "version mismatch must throw";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(TraceFormat, GarbageVarintThrows) {
+  // A varint with 11 continuation bytes can encode nothing.
+  std::string image = demo_image().substr(0, 6);  // magic + version
+  image += std::string(11, '\xFF');
+  EXPECT_THROW(decode_trace(image), TraceError);
+  // Non-canonical 10th byte (bits above 2^64).
+  std::string image2 = demo_image().substr(0, 6);
+  image2 += std::string(9, '\x80');
+  image2 += '\x7F';
+  EXPECT_THROW(decode_trace(image2), TraceError);
+}
+
+TEST(TraceFormat, TrailingGarbageThrows) {
+  std::string image = demo_image();
+  image += "extra";
+  EXPECT_THROW(decode_trace(image), TraceError);
+}
+
+TEST(TraceFormat, MissingFileThrows) {
+  EXPECT_THROW(telemetry::read_trace_file(temp_path("does_not_exist.sntr")), TraceError);
+}
+
+TEST(TraceFormat, NotATraceFileThrows) {
+  const std::string path = temp_path("not_a_trace.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("just some text, definitely not SNTR\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(telemetry::read_trace_file(path), TraceError);
+  std::remove(path.c_str());
+}
+
+// --- trace:<file> workload keys ----------------------------------------------
+
+TEST(TraceWorkload, KeyDetectionAndNormalization) {
+  EXPECT_TRUE(telemetry::is_trace_workload_key("trace:foo.sntr"));
+  EXPECT_TRUE(telemetry::is_trace_workload_key("TRACE:Foo.sntr"));
+  EXPECT_FALSE(telemetry::is_trace_workload_key("transpose"));
+  EXPECT_FALSE(telemetry::is_trace_workload_key("tracer"));
+  // Paths keep their case; plain workload names are lowercased.
+  EXPECT_EQ(sim::normalize_workload_key("TRACE:/Tmp/Cap.SNTR"), "trace:/Tmp/Cap.SNTR");
+  EXPECT_EQ(sim::normalize_workload_key("VOPD"), "vopd");
+  EXPECT_THROW(telemetry::trace_workload_path("trace:"), ConfigError);
+}
+
+TEST(TraceWorkload, RegistryResolvesTraceKeys) {
+  auto factory = sim::WorkloadRegistry::instance().find("trace:" + temp_path("missing.sntr"));
+  ASSERT_NE(factory, nullptr);
+  // The file is read lazily: building flows surfaces the TraceError.
+  NocConfig cfg = small_cfg();
+  EXPECT_THROW(factory->flows(cfg, 1.0), TraceError);
+}
+
+// Faults would reroute the recorded flows (even without dropping any),
+// replaying the capture on different presets than the recording - the
+// Session rejects the combination instead of silently diverging.
+TEST(TraceWorkload, ReplayUnderFaultsFails) {
+  const std::string path = temp_path("faulty_replay.sntr");
+  const NocConfig cfg = small_cfg();
+  sim::ScenarioSpec live = sim::ScenarioSpec::classic(Design::Smart, "transpose", 0.05, cfg);
+  live.telemetry.record_trace = path;
+  ASSERT_TRUE(sim::Session(live).run().ok);
+
+  sim::ScenarioSpec replay =
+      sim::ScenarioSpec::classic(Design::Smart, "trace:" + path, 1.0, cfg);
+  replay.fault_rate = 0.05;
+  const sim::SessionResult sr = sim::Session(replay).run();
+  EXPECT_FALSE(sr.ok);
+  EXPECT_NE(sr.error.find("fault"), std::string::npos) << sr.error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkload, MeshMismatchThrows) {
+  const std::string path = temp_path("mesh_mismatch.sntr");
+  const NocConfig cfg = small_cfg();  // 4x4
+  TraceWriter(cfg, demo_flows(cfg)).write(path);
+  NocConfig cfg8 = cfg;
+  cfg8.width = 8;
+  cfg8.height = 8;
+  cfg8.fit_derived();
+  telemetry::TraceFileFactory factory(path);
+  EXPECT_THROW(factory.flows(cfg8, 1.0), ConfigError);
+  std::remove(path.c_str());
+}
+
+// --- Record -> replay identity (the acceptance pin) --------------------------
+
+struct ReplayCase {
+  Design design;
+  const char* workload;
+  double injection;
+};
+
+class RecordReplay : public ::testing::TestWithParam<ReplayCase> {};
+
+TEST_P(RecordReplay, ReplayReproducesLiveRunBitIdentically) {
+  const ReplayCase rc = GetParam();
+  const std::string path = temp_path(std::string("capture_") + design_name(rc.design) + "_" +
+                                     rc.workload + ".sntr");
+  const NocConfig cfg = small_cfg();
+
+  // Live run: classic protocol with a recording probe attached.
+  sim::ScenarioSpec live = sim::ScenarioSpec::classic(rc.design, rc.workload, rc.injection, cfg);
+  live.telemetry.record_trace = path;
+  sim::Session live_session(live);
+  const sim::SessionResult live_sr = live_session.run();
+  ASSERT_TRUE(live_sr.ok) << live_sr.error;
+  const sim::RunResult live_run = sim::session_to_run_result(live_sr);
+  ASSERT_GT(live_run.packets_delivered, 0u);
+  const noc::NetworkStats live_stats = live_session.network().stats();
+
+  // Replay run: same phases, workload = trace:<file>, no probe.
+  sim::ScenarioSpec replay =
+      sim::ScenarioSpec::classic(rc.design, "trace:" + path, rc.injection, cfg);
+  sim::Session replay_session(replay);
+  const sim::SessionResult replay_sr = replay_session.run();
+  ASSERT_TRUE(replay_sr.ok) << replay_sr.error;
+  const sim::RunResult replay_run = sim::session_to_run_result(replay_sr);
+  const noc::NetworkStats replay_stats = replay_session.network().stats();
+
+  // RunResult, bit for bit.
+  EXPECT_EQ(live_run.warmup_cycles, replay_run.warmup_cycles);
+  EXPECT_EQ(live_run.measure_cycles, replay_run.measure_cycles);
+  EXPECT_EQ(live_run.drain_cycles, replay_run.drain_cycles);
+  EXPECT_EQ(live_run.drained, replay_run.drained);
+  EXPECT_EQ(live_run.packets_generated, replay_run.packets_generated);
+  EXPECT_EQ(live_run.packets_delivered, replay_run.packets_delivered);
+  EXPECT_EQ(live_run.avg_network_latency, replay_run.avg_network_latency);
+  EXPECT_EQ(live_run.avg_total_latency, replay_run.avg_total_latency);
+  EXPECT_EQ(live_run.p50_network_latency, replay_run.p50_network_latency);
+  EXPECT_EQ(live_run.p99_network_latency, replay_run.p99_network_latency);
+  EXPECT_EQ(live_run.max_network_latency, replay_run.max_network_latency);
+  EXPECT_EQ(live_run.delivered_packets_per_cycle, replay_run.delivered_packets_per_cycle);
+  EXPECT_EQ(live_run.activity.buffer_writes, replay_run.activity.buffer_writes);
+  EXPECT_EQ(live_run.activity.alloc_grants, replay_run.activity.alloc_grants);
+  EXPECT_EQ(live_run.activity.xbar_flit_traversals, replay_run.activity.xbar_flit_traversals);
+  EXPECT_EQ(live_run.activity.link_flit_mm, replay_run.activity.link_flit_mm);
+  EXPECT_EQ(live_run.activity.link_credit_mm, replay_run.activity.link_credit_mm);
+  EXPECT_EQ(live_run.activity.pipeline_latches, replay_run.activity.pipeline_latches);
+  EXPECT_EQ(live_run.activity.clocked_inport_cycles, replay_run.activity.clocked_inport_cycles);
+
+  // Per-flow statistics, bit for bit.
+  ASSERT_EQ(live_stats.per_flow().size(), replay_stats.per_flow().size());
+  for (std::size_t i = 0; i < live_stats.per_flow().size(); ++i) {
+    const noc::FlowStats& a = live_stats.per_flow()[i];
+    const noc::FlowStats& b = replay_stats.per_flow()[i];
+    EXPECT_EQ(a.packets, b.packets) << "flow " << i;
+    EXPECT_EQ(a.flits, b.flits) << "flow " << i;
+    EXPECT_EQ(a.sum_network_latency, b.sum_network_latency) << "flow " << i;
+    EXPECT_EQ(a.sum_total_latency, b.sum_total_latency) << "flow " << i;
+    EXPECT_EQ(a.sum_queue_latency, b.sum_queue_latency) << "flow " << i;
+    EXPECT_EQ(a.max_network_latency, b.max_network_latency) << "flow " << i;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, RecordReplay,
+                         ::testing::Values(ReplayCase{Design::Smart, "vopd", 1.0},
+                                           ReplayCase{Design::Smart, "transpose", 0.05},
+                                           ReplayCase{Design::Mesh, "uniform", 0.02},
+                                           ReplayCase{Design::Mesh, "wlan", 1.0}),
+                         [](const ::testing::TestParamInfo<ReplayCase>& info) {
+                           return std::string(design_name(info.param.design)) + "_" +
+                                  info.param.workload;
+                         });
+
+// A scenario file can name the capture directly: the whole stack (parse ->
+// registry -> Session) replays it.
+TEST(TraceWorkload, ScenarioFileReplaysCapture) {
+  const std::string path = temp_path("scenario_replay.sntr");
+  const NocConfig cfg = small_cfg();
+  sim::ScenarioSpec live = sim::ScenarioSpec::classic(Design::Smart, "transpose", 0.05, cfg);
+  live.telemetry.record_trace = path;
+  const sim::SessionResult live_sr = sim::Session(live).run();
+  ASSERT_TRUE(live_sr.ok) << live_sr.error;
+
+  sim::ScenarioSpec replay = sim::ScenarioSpec::classic(Design::Smart, "x", 1.0, cfg);
+  replay.phases.front().workload = "trace:" + path;
+  const std::string text = sim::serialize_scenario_text(replay);
+  const sim::ScenarioSpec parsed = sim::parse_scenario(text);
+  EXPECT_EQ(parsed.phases.front().workload, "trace:" + path);  // path case survives
+  const sim::SessionResult replay_sr = sim::Session(parsed).run();
+  ASSERT_TRUE(replay_sr.ok) << replay_sr.error;
+  EXPECT_EQ(live_sr.phases.back().packets_delivered, replay_sr.phases.back().packets_delivered);
+  EXPECT_EQ(live_sr.phases.back().avg_network_latency,
+            replay_sr.phases.back().avg_network_latency);
+  std::remove(path.c_str());
+}
+
+// Recording is a single-era affair: a reconfiguring scenario is rejected
+// up front (before any cycle simulates) instead of writing a garbled
+// capture or burning the first era's cycles first.
+TEST(TraceWorkload, RecordingAcrossErasFails) {
+  const std::string path = temp_path("multi_era.sntr");
+  NocConfig cfg = small_cfg();
+  cfg.warmup_cycles = 100;
+  sim::ScenarioSpec spec;
+  spec.design = Design::Smart;
+  spec.config = cfg;
+  spec.telemetry.record_trace = path;
+  sim::PhaseSpec a;
+  a.name = "a";
+  a.workload = "vopd";
+  a.cycles = 500;
+  sim::PhaseSpec b = a;
+  b.name = "b";
+  b.workload = "wlan";
+  spec.phases = {a, b};
+  try {
+    sim::Session session(spec);
+    FAIL() << "multi-era recording must be rejected at construction";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("single era"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smartnoc
