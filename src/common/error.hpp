@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/types.hpp"
+
 namespace smartnoc {
 
 /// Thrown when a NocConfig / task graph / register image is inconsistent.
@@ -34,6 +36,18 @@ class TraceError : public std::runtime_error {
  public:
   explicit TraceError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// The canonical drain-timeout diagnostic. Every surface that gives up on
+/// an undraining network (Session phases, reconfiguration drains - and
+/// through them run_simulation and the explorer) formats the failure here,
+/// so "one failure message across all surfaces" holds by construction.
+inline std::string drain_timeout_error(Cycle bound) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "drain timeout: network still busy after %llu cycles (load beyond saturation?)",
+                static_cast<unsigned long long>(bound));
+  return buf;
+}
 
 [[noreturn]] inline void invariant_failure(const char* expr, const char* file, int line,
                                            const std::string& msg) {

@@ -6,9 +6,10 @@
 
 namespace smartnoc::dedicated {
 
-using noc::Flit;
+using noc::FlitRef;
 using noc::FlitType;
-using noc::Packet;
+using noc::PacketPayload;
+using noc::PacketSlot;
 
 DedicatedNetwork::DedicatedNetwork(const NocConfig& cfg, noc::FlowSet flows)
     : cfg_(cfg), flows_(std::move(flows)) {
@@ -55,34 +56,39 @@ int DedicatedNetwork::link_mm(FlowId flow) const {
 
 void DedicatedNetwork::offer_packet(FlowId flow, Cycle created) {
   const auto& f = flows_.at(flow);
-  Packet pkt;
+  const PacketSlot slot = pool_.alloc();
+  PacketPayload& pkt = pool_.at(slot);
   pkt.id = next_packet_id_++;
   pkt.flow = flow;
   pkt.src = f.src;
   pkt.dst = f.dst;
   pkt.flits = cfg_.flits_per_packet();
+  pkt.route = f.route;  // unused by dedicated links; kept for uniformity
   pkt.created = created;
-  sources_[static_cast<std::size_t>(flow)].queue.push_back(pkt);
+  pkt.injected = 0;
+  sources_[static_cast<std::size_t>(flow)].queue.push_back(slot);
 }
 
-void DedicatedNetwork::nic_deliver(NodeId dst, const Flit& f, Cycle arrival, bool via_sink) {
+void DedicatedNetwork::nic_deliver(NodeId dst, const FlitRef& f, Cycle arrival, bool via_sink) {
   auto& rx = nic_rx_[static_cast<std::size_t>(dst)];
-  auto& a = rx.assembling[f.packet_id];
+  auto& a = rx.assembling[f.slot];
   if (is_head(f.type)) a.second = arrival;
   a.first += 1;
   if (is_tail(f.type)) {
-    stats_.record_packet(f.flow, a.first, f.created, f.injected, a.second, arrival);
-    rx.assembling.erase(f.packet_id);
+    const PacketPayload& pkt = pool_.at(f.slot);
+    stats_.record_packet(pkt.flow, a.first, pkt.created, pkt.injected, a.second, arrival);
+    rx.assembling.erase(f.slot);
     // Return the receive credit: to the sink router's NIC pool when the
     // packet came through a sink, else to the flow's private source.
     PendingCredit c;
     c.due = arrival + 1;
     c.vc = f.vc;
-    c.flow = f.flow;
+    c.flow = pkt.flow;
     c.to_sink_nic = via_sink;
     c.sink_node = dst;
     credits_.push_back(c);
   }
+  pool_.release(f.slot);  // the consumed flit's reference
 }
 
 void DedicatedNetwork::sink_bw(Sink& s) {
@@ -92,7 +98,7 @@ void DedicatedNetwork::sink_bw(Sink& s) {
         ++k;
         continue;
       }
-      Flit f = in.staging[k].first;
+      FlitRef f = in.staging[k].first;
       in.staging.erase(in.staging.begin() + static_cast<std::ptrdiff_t>(k));
       auto& vc = in.vcs[static_cast<std::size_t>(f.vc)];
       f.buffered_at = now_;
@@ -108,7 +114,7 @@ void DedicatedNetwork::sink_st(Sink& s) {
   auto& in = s.inputs[static_cast<std::size_t>(s.hold->first)];
   auto& vc = in.vcs[static_cast<std::size_t>(s.hold->second)];
   if (vc.empty() || vc.front().buffered_at >= now_) return;
-  Flit f = vc.pop();
+  FlitRef f = vc.pop();
   stats_.activity().buffer_reads += 1;
   stats_.activity().xbar_flit_traversals += 1;
   stats_.activity().pipeline_latches += 1;
@@ -186,29 +192,28 @@ void DedicatedNetwork::tick() {
   for (auto& s : sources_) {
     if (!s.active.has_value()) {
       if (s.queue.empty() || s.free_vcs.empty()) continue;
-      if (s.queue.front().created >= now_) continue;  // created this cycle
+      if (pool_.at(s.queue.front()).created >= now_) continue;  // created this cycle
       s.active = s.queue.front();
       s.queue.pop_front();
       s.next_seq = 0;
       s.active_vc = s.free_vcs.front();
       s.free_vcs.pop_front();
-      s.inject_cycle = now_;
+      PacketPayload& pkt = pool_.at(*s.active);
+      pkt.injected = now_;
+      s.active_flits = pkt.flits;
     }
-    const Packet& pkt = *s.active;
-    Flit f;
-    const int last = pkt.flits - 1;
-    f.type = pkt.flits == 1 ? FlitType::HeadTail
+    FlitRef f;
+    const int last = s.active_flits - 1;
+    f.type = s.active_flits == 1 ? FlitType::HeadTail
              : s.next_seq == 0 ? FlitType::Head
              : s.next_seq == last ? FlitType::Tail
                                   : FlitType::Body;
+    f.slot = *s.active;
     f.seq = static_cast<std::uint8_t>(s.next_seq);
     f.vc = s.active_vc;
-    f.flow = pkt.flow;
-    f.packet_id = pkt.id;
-    f.src = pkt.src;
-    f.dst = pkt.dst;
-    f.created = pkt.created;
-    f.injected = s.inject_cycle;
+    pool_.add_ref(f.slot);  // the in-flight flit's reference
+    s.next_seq += 1;
+    const bool done = s.next_seq == s.active_flits;
     stats_.activity().link_flit_mm += static_cast<std::uint64_t>(s.mm);
     if (s.contended) {
       auto& sink = sinks_.at(s.dst);
@@ -217,8 +222,10 @@ void DedicatedNetwork::tick() {
     } else {
       nic_deliver(s.dst, f, now_, /*via_sink=*/false);
     }
-    s.next_seq += 1;
-    if (s.next_seq == pkt.flits) s.active.reset();
+    if (done) {
+      pool_.release(*s.active);  // transmit reference; may recycle the slot
+      s.active.reset();
+    }
   }
 }
 

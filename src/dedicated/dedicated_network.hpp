@@ -32,8 +32,10 @@
 #include "common/config.hpp"
 #include "noc/arbiter.hpp"
 #include "noc/buffer.hpp"
+#include "noc/flit.hpp"
 #include "noc/flow.hpp"
 #include "noc/network_iface.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/stats.hpp"
 
 namespace smartnoc::dedicated {
@@ -57,16 +59,20 @@ class DedicatedNetwork final : public noc::Network {
   bool has_sink_router(NodeId dst) const;
   /// Wire length (mm) of a flow's dedicated link.
   int link_mm(FlowId flow) const;
+  /// The structure-of-arrays packet store (live() == 0 once drained).
+  const noc::PacketPool& packet_pool() const { return pool_; }
 
  private:
   /// Per-flow private source: streams one flit per cycle once a packet has
   /// a VC at its delivery point (sink-router input or the dest NIC).
+  /// Queued/active packets are pool slots (cold payload lives once in the
+  /// PacketPool, same structure-of-arrays split as the mesh datapath).
   struct Source {
-    std::deque<noc::Packet> queue;
-    std::optional<noc::Packet> active;
+    std::deque<noc::PacketSlot> queue;
+    std::optional<noc::PacketSlot> active;
+    int active_flits = 0;   ///< payload.flits of the active packet
     int next_seq = 0;
     VcId active_vc = kInvalidVc;
-    Cycle inject_cycle = 0;
     std::deque<VcId> free_vcs;
     int mm = 0;             ///< Manhattan length of the dedicated wire
     bool contended = false; ///< delivery goes through a sink router
@@ -78,7 +84,7 @@ class DedicatedNetwork final : public noc::Network {
   /// into the NIC); BW/SA/ST pipeline identical to the mesh router's.
   struct SinkInput {
     FlowId flow = kInvalidFlow;
-    std::vector<std::pair<noc::Flit, Cycle>> staging;
+    std::vector<std::pair<noc::FlitRef, Cycle>> staging;
     std::vector<noc::VcBuffer> vcs;
     bool locked = false;
   };
@@ -92,7 +98,7 @@ class DedicatedNetwork final : public noc::Network {
   };
 
   struct NicRx {
-    std::map<std::uint32_t, std::pair<int, Cycle>> assembling;  // id -> (flits, head)
+    std::map<noc::PacketSlot, std::pair<int, Cycle>> assembling;  // slot -> (flits, head)
   };
 
   struct PendingCredit {
@@ -103,7 +109,7 @@ class DedicatedNetwork final : public noc::Network {
     NodeId sink_node = kInvalidNode;
   };
 
-  void nic_deliver(NodeId dst, const noc::Flit& f, Cycle arrival, bool via_sink);
+  void nic_deliver(NodeId dst, const noc::FlitRef& f, Cycle arrival, bool via_sink);
   void sink_bw(Sink& s);
   void sink_st(Sink& s);
   void sink_sa(Sink& s);
@@ -111,6 +117,7 @@ class DedicatedNetwork final : public noc::Network {
   NocConfig cfg_;
   noc::FlowSet flows_;
   noc::NetworkStats stats_;
+  noc::PacketPool pool_;
   std::vector<Source> sources_;              // by flow id
   std::map<NodeId, Sink> sinks_;             // only for contended destinations
   std::vector<NicRx> nic_rx_;                // by node

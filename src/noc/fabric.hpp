@@ -2,6 +2,8 @@
 // through the network fabric. The concrete network owns the segment table
 // and the link-delay policy (SMART: same-cycle multi-hop delivery; baseline
 // mesh: one extra cycle per link), so components stay topology-agnostic.
+// Flits travel as 16-byte FlitRefs; the network (which owns the
+// PacketPool) resolves payload where a consumer needs it.
 #pragma once
 
 #include "common/types.hpp"
@@ -15,10 +17,10 @@ class Fabric {
 
   /// Carry a flit out of router `router` through output `out`, along the
   /// preset segment, into the next stop's buffer or the destination NIC.
-  virtual void deliver_from_router(NodeId router, Dir out, Flit flit, Cycle now) = 0;
+  virtual void deliver_from_router(NodeId router, Dir out, FlitRef flit, Cycle now) = 0;
 
   /// Carry a flit injected by NIC `nic` along its injection segment.
-  virtual void deliver_from_nic(NodeId nic, Flit flit, Cycle now) = 0;
+  virtual void deliver_from_nic(NodeId nic, FlitRef flit, Cycle now) = 0;
 
   /// A VC at router `router`'s input `in` was freed (tail departed):
   /// return the credit to the feeder's free-VC queue via the credit mesh.

@@ -2,15 +2,23 @@
 //
 // Table II: 256-bit packets on a 32-bit channel, i.e. 8 flits per packet;
 // the head flit carries a 20-bit header (source route + VC + type) and
-// body/tail flits a 4-bit one. In the simulator every flit carries the full
-// route plus bookkeeping timestamps; the header-width *budget* is enforced
-// by NocConfig::validate() against the encoded route size.
+// body/tail flits a 4-bit one. The header-width *budget* is enforced by
+// NocConfig::validate() against the encoded route size.
+//
+// Storage is structure-of-arrays: the simulator moves small FlitRef values
+// (packet slot + type + seq + vc + hop index + BW timestamp, 16 B) through
+// buffers, staging rings, segments and NIC queues, while the cold payload
+// the arbiters never read (full source route, flow id, endpoints,
+// creation/injection timestamps) lives once per packet in the network's
+// PacketPool (noc/packet_pool.hpp) and is resolved by slot where needed -
+// route decode at Buffer Write, statistics at the destination NIC, and
+// observers.
 #pragma once
 
 #include <cstdint>
 
 #include "common/types.hpp"
-#include "noc/route.hpp"
+#include "noc/packet_pool.hpp"
 
 namespace smartnoc::noc {
 
@@ -19,32 +27,18 @@ enum class FlitType : std::uint8_t { Head, Body, Tail, HeadTail };
 constexpr bool is_head(FlitType t) { return t == FlitType::Head || t == FlitType::HeadTail; }
 constexpr bool is_tail(FlitType t) { return t == FlitType::Tail || t == FlitType::HeadTail; }
 
-/// A packet descriptor, created by the traffic engine and queued at the
-/// source NIC until injection.
-struct Packet {
-  std::uint32_t id = 0;
-  FlowId flow = kInvalidFlow;
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  int flits = 0;
-  Cycle created = 0;
-};
-
-struct Flit {
+/// The hot per-flit state: everything BW/SA/ST actually reads, plus the
+/// slot that resolves the rest through the PacketPool.
+struct FlitRef {
+  PacketSlot slot = kInvalidSlot;
   FlitType type = FlitType::Head;
   std::uint8_t seq = 0;       ///< index within the packet (0 = head)
   VcId vc = kInvalidVc;       ///< VC at the *next stop*, stamped by the sender
-  FlowId flow = kInvalidFlow;
-  std::uint32_t packet_id = 0;
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  SourceRoute route;          ///< 2-bit-per-router source route (paper Sec. IV)
   std::uint8_t hop_index = 0; ///< route entries consumed so far
-
-  Cycle created = 0;          ///< packet creation (traffic engine)
-  Cycle injected = 0;         ///< head flit placed on the injection link
   Cycle buffered_at = 0;      ///< last Buffer Write cycle (pipeline ordering)
 };
+
+static_assert(sizeof(FlitRef) <= 16, "FlitRef must stay two machine words");
 
 /// A credit returning a freed VC to the upstream stop's free-VC queue.
 /// Travels the reverse credit mesh (paper Sec. IV "Flow Control"); width is

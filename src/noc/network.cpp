@@ -19,8 +19,8 @@ MeshNetwork::MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable preset
   routers_.reserve(static_cast<std::size_t>(dims.nodes()));
   nics_.reserve(static_cast<std::size_t>(dims.nodes()));
   for (NodeId n = 0; n < dims.nodes(); ++n) {
-    routers_.push_back(std::make_unique<Router>(n, cfg_, static_cast<Fabric*>(this)));
-    nics_.push_back(std::make_unique<Nic>(n, cfg_, static_cast<Fabric*>(this), &stats_));
+    routers_.push_back(std::make_unique<Router>(n, cfg_, static_cast<Fabric*>(this), &pool_));
+    nics_.push_back(std::make_unique<Nic>(n, cfg_, static_cast<Fabric*>(this), &stats_, &pool_));
   }
   router_in_set_.assign(static_cast<std::size_t>(dims.nodes()), 0);
   nic_in_set_.assign(static_cast<std::size_t>(dims.nodes()), 0);
@@ -200,14 +200,17 @@ void MeshNetwork::tick_reference() {
 void MeshNetwork::offer_packet(FlowId flow, Cycle created) {
   const Flow& f = flows_.at(flow);
   if (observer_ != nullptr) observer_->packet_offered(flow, f.src, created);
-  Packet pkt;
+  const PacketSlot slot = pool_.alloc();
+  PacketPayload& pkt = pool_.at(slot);
   pkt.id = next_packet_id_++;
   pkt.flow = flow;
   pkt.src = f.src;
   pkt.dst = f.dst;
   pkt.flits = cfg_.flits_per_packet();
+  pkt.route = f.route;
   pkt.created = created;
-  nics_[static_cast<std::size_t>(f.src)]->offer_packet(pkt);
+  pkt.injected = 0;
+  nics_[static_cast<std::size_t>(f.src)]->offer_packet(slot);
   activate_nic(f.src);
 }
 
@@ -228,7 +231,7 @@ bool MeshNetwork::drained() const {
   return credits_in_flight_ == 0 && active_routers_.empty() && active_nics_.empty();
 }
 
-void MeshNetwork::deliver(const Segment& seg, Flit flit, Cycle now, bool from_router) {
+void MeshNetwork::deliver(const Segment& seg, FlitRef flit, Cycle now, bool from_router) {
   ActivityCounters& act = stats_.activity();
   act.xbar_flit_traversals += static_cast<std::uint64_t>(seg.bypassed + (from_router ? 1 : 0));
   act.link_flit_mm += static_cast<std::uint64_t>(seg.mm);
@@ -238,7 +241,7 @@ void MeshNetwork::deliver(const Segment& seg, Flit flit, Cycle now, bool from_ro
   // link (the paper's "+1 cycle in link"); SMART absorbs the entire segment
   // into the ST cycle. NIC injection stubs are 1-cycle in both designs.
   const Cycle arrival = now + ((from_router && opt_.extra_link_cycle) ? 1 : 0);
-  if (observer_ != nullptr) observer_->segment_traversed(seg, flit, now, arrival);
+  if (observer_ != nullptr) observer_->segment_traversed(seg, flit, pool_, now, arrival);
   if (seg.ep.is_nic) {
     nics_[static_cast<std::size_t>(seg.ep.node)]->accept_flit(flit, arrival);
     activate_nic(seg.ep.node);
@@ -248,13 +251,13 @@ void MeshNetwork::deliver(const Segment& seg, Flit flit, Cycle now, bool from_ro
   }
 }
 
-void MeshNetwork::deliver_from_router(NodeId router, Dir out_dir, Flit flit, Cycle now) {
+void MeshNetwork::deliver_from_router(NodeId router, Dir out_dir, FlitRef flit, Cycle now) {
   const auto& seg = segments_.output(router, out_dir);
   SMARTNOC_CHECK(seg.has_value(), "switch traversal on an output without a segment");
   deliver(*seg, flit, now, /*from_router=*/true);
 }
 
-void MeshNetwork::deliver_from_nic(NodeId nic_node, Flit flit, Cycle now) {
+void MeshNetwork::deliver_from_nic(NodeId nic_node, FlitRef flit, Cycle now) {
   deliver(segments_.injection(nic_node), flit, now, /*from_router=*/false);
 }
 

@@ -33,6 +33,7 @@
 #include "noc/flow.hpp"
 #include "noc/network_iface.hpp"
 #include "noc/nic.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/preset.hpp"
 #include "noc/router.hpp"
 #include "noc/segment.hpp"
@@ -72,6 +73,10 @@ class MeshNetwork final : public Network, private Fabric {
   Nic& nic(NodeId n) { return *nics_.at(static_cast<std::size_t>(n)); }
   const SegmentTable& segments() const { return segments_; }
   const PresetTable& presets() const { return presets_; }
+  /// The structure-of-arrays packet store: live() == in-flight packets
+  /// (queued at NICs or with flits somewhere in the fabric); tests pin
+  /// live() == 0 against drained().
+  const PacketPool& packet_pool() const { return pool_; }
 
   /// Switches this network to the seed's full-scan cycle kernel: every
   /// router/NIC ticked every cycle, in-flight credits in a linearly scanned
@@ -103,12 +108,12 @@ class MeshNetwork final : public Network, private Fabric {
 
  private:
   // --- Fabric interface -------------------------------------------------------
-  void deliver_from_router(NodeId router, Dir out, Flit flit, Cycle now) override;
-  void deliver_from_nic(NodeId nic, Flit flit, Cycle now) override;
+  void deliver_from_router(NodeId router, Dir out, FlitRef flit, Cycle now) override;
+  void deliver_from_nic(NodeId nic, FlitRef flit, Cycle now) override;
   void credit_from_router_input(NodeId router, Dir in, VcId vc, Cycle now) override;
   void credit_from_nic(NodeId nic, VcId vc, Cycle now) override;
 
-  void deliver(const Segment& seg, Flit flit, Cycle now, bool from_router);
+  void deliver(const Segment& seg, FlitRef flit, Cycle now, bool from_router);
   void schedule_credit(const SegOrigin& target, VcId vc, Cycle due, int mm, int xbar_hops);
   void deliver_credit(const SegOrigin& target, VcId vc);
   void validate_and_index_flow(const Flow& flow);
@@ -153,6 +158,7 @@ class MeshNetwork final : public Network, private Fabric {
   PresetTable presets_;
   SegmentTable segments_;
   NetworkStats stats_;
+  PacketPool pool_;  ///< cold payload store; routers/NICs hold pointers
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::array<std::vector<InFlightCredit>, kWheelSize> credit_wheel_;

@@ -4,9 +4,11 @@
 
 namespace smartnoc::noc {
 
-Nic::Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats)
-    : node_(node), cfg_(&cfg), fabric_(fabric), stats_(stats) {
-  SMARTNOC_CHECK(fabric_ != nullptr && stats_ != nullptr, "NIC needs fabric and stats");
+Nic::Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats,
+         PacketPool* pool)
+    : node_(node), cfg_(&cfg), fabric_(fabric), stats_(stats), pool_(pool) {
+  SMARTNOC_CHECK(fabric_ != nullptr && stats_ != nullptr && pool_ != nullptr,
+                 "NIC needs fabric, stats and the packet pool");
 }
 
 void Nic::register_flow(const Flow& flow) {
@@ -17,7 +19,6 @@ void Nic::register_flow(const Flow& flow) {
   slot_of_flow_[idx] = static_cast<int>(local_flows_.size());
   LocalFlow lf;
   lf.id = flow.id;
-  lf.route = flow.route;
   local_flows_.push_back(std::move(lf));
 }
 
@@ -26,7 +27,8 @@ void Nic::init_source_credits(int vcs) {
   for (VcId v = 0; v < vcs; ++v) free_vcs_.push_back(v);
 }
 
-void Nic::offer_packet(const Packet& pkt) {
+void Nic::offer_packet(PacketSlot pkt_slot) {
+  const PacketPayload& pkt = pool_->at(pkt_slot);
   const auto idx = static_cast<std::size_t>(pkt.flow);
   SMARTNOC_CHECK(idx < slot_of_flow_.size() && slot_of_flow_[idx] >= 0,
                  "packet offered for an unregistered flow");
@@ -35,7 +37,7 @@ void Nic::offer_packet(const Packet& pkt) {
   if (lf.queue.empty()) {
     nonempty_.insert(std::lower_bound(nonempty_.begin(), nonempty_.end(), slot), slot);
   }
-  lf.queue.push_back(pkt);
+  lf.queue.push_back(pkt_slot);
   queued_total_ += 1;
 }
 
@@ -66,58 +68,60 @@ void Nic::inject(Cycle now, ActivityCounters& act) {
     if (chosen == local_flows_.size()) return;
     LocalFlow& lf = local_flows_[chosen];
     ActiveTx tx;
-    tx.pkt = lf.queue.front();
+    tx.slot = lf.queue.front();
     lf.queue.pop_front();
     queued_total_ -= 1;
     if (lf.queue.empty()) {
       nonempty_.erase(std::lower_bound(nonempty_.begin(), nonempty_.end(), chosen));
     }
-    tx.route = lf.route;
+    PacketPayload& pkt = pool_->at(tx.slot);
+    pkt.injected = now;  // head flit hits the injection link this cycle
+    tx.flits = pkt.flits;
     tx.vc = free_vcs_.pop_front();
-    tx.inject_cycle = now;
     active_ = tx;
     rr_next_ = (chosen + 1) % local_flows_.size();
   }
 
   // Stream one flit of the active packet.
   ActiveTx& tx = *active_;
-  Flit f;
-  const int last = tx.pkt.flits - 1;
-  f.type = tx.pkt.flits == 1 ? FlitType::HeadTail
+  FlitRef f;
+  const int last = tx.flits - 1;
+  f.type = tx.flits == 1 ? FlitType::HeadTail
            : tx.next_seq == 0 ? FlitType::Head
            : tx.next_seq == last ? FlitType::Tail
                                  : FlitType::Body;
+  f.slot = tx.slot;
   f.seq = static_cast<std::uint8_t>(tx.next_seq);
   f.vc = tx.vc;
-  f.flow = tx.pkt.flow;
-  f.packet_id = tx.pkt.id;
-  f.src = tx.pkt.src;
-  f.dst = tx.pkt.dst;
-  f.route = tx.route;
   f.hop_index = 0;
-  f.created = tx.pkt.created;
-  f.injected = tx.inject_cycle;
-  fabric_->deliver_from_nic(node_, f, now);
+  pool_->add_ref(tx.slot);  // the in-flight flit's reference
   tx.next_seq += 1;
-  if (tx.next_seq == tx.pkt.flits) {
+  const bool done = tx.next_seq == tx.flits;
+  fabric_->deliver_from_nic(node_, f, now);
+  if (done) {
+    // Tail left: drop the transmit reference. Under full bypass the tail
+    // may already have been consumed at the destination within this very
+    // call, so this can recycle the slot - nothing reads it afterwards.
+    pool_->release(tx.slot);
     active_.reset();
   }
   (void)act;  // injection energy is counted by the fabric's segment delivery
 }
 
-void Nic::accept_flit(const Flit& flit, Cycle now) {
-  SMARTNOC_CHECK(flit.dst == node_, "flit delivered to the wrong NIC");
-  SMARTNOC_CHECK(flit.hop_index == flit.route.entries(),
+void Nic::accept_flit(const FlitRef& flit, Cycle now) {
+  const PacketPayload& pkt = pool_->at(flit.slot);
+  SMARTNOC_CHECK(pkt.dst == node_, "flit delivered to the wrong NIC");
+  SMARTNOC_CHECK(flit.hop_index == pkt.route.entries(),
                  "flit reached the NIC with route entries left");
   Assembly* a = nullptr;
   for (Assembly& cand : assembling_) {
-    if (cand.packet_id == flit.packet_id) {
+    if (cand.slot == flit.slot) {
       a = &cand;
       break;
     }
   }
   if (a == nullptr) {
-    assembling_.push_back(Assembly{flit.packet_id, 0, 0});
+    assembling_.push_back(Assembly{flit.slot, 0, 0});
     a = &assembling_.back();
   }
   if (is_head(flit.type)) a->head_arrival = now;
@@ -125,12 +129,14 @@ void Nic::accept_flit(const Flit& flit, Cycle now) {
   SMARTNOC_CHECK(static_cast<int>(assembling_.size()) <= cfg_->vcs_per_port,
                  "more packets in reassembly than receive VCs");
   if (is_tail(flit.type)) {
-    stats_->record_packet(flit.flow, a->flits, flit.created, flit.injected, a->head_arrival, now);
+    stats_->record_packet(pkt.flow, a->flits, pkt.created, pkt.injected, a->head_arrival, now);
     *a = assembling_.back();
     assembling_.pop_back();
     // The receive VC is free again: return its credit to the feeder.
     fabric_->credit_from_nic(node_, flit.vc, now);
   }
+  // Consumed: drop the flit's pool reference (after the last payload read).
+  pool_->release(flit.slot);
 }
 
 void Nic::credit_arrived(VcId vc) {

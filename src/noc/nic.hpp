@@ -15,10 +15,12 @@
 // registered flows but few busy ones no longer probes every slot each
 // cycle. The seed's linear scan survives behind use_reference_scan (wired
 // to MeshNetwork::use_reference_kernel and cross-pinned bit-identical by
-// the golden determinism matrix). Packet-id lookup goes through a dense
-// FlowId -> slot index, and reassembly is a small linear-scanned vector
-// bounded by the VC count. A running queued-packet counter makes idle()
-// O(1) for the network's active-set scheduler and drain check.
+// the golden determinism matrix). Queued packets are 4-byte PacketSlots
+// into the network's PacketPool (the structure-of-arrays split: the pool
+// owns route/timestamps/ids once per packet), injected flits are 16-byte
+// FlitRefs, and reassembly is a small linear-scanned vector bounded by the
+// VC count. A running queued-packet counter makes idle() O(1) for the
+// network's active-set scheduler and drain check.
 #pragma once
 
 #include <deque>
@@ -32,32 +34,36 @@
 #include "noc/fabric.hpp"
 #include "noc/flit.hpp"
 #include "noc/flow.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/stats.hpp"
 
 namespace smartnoc::noc {
 
 class Nic {
  public:
-  Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats);
+  Nic(NodeId node, const NocConfig& cfg, Fabric* fabric, NetworkStats* stats, PacketPool* pool);
 
   NodeId node() const { return node_; }
 
-  /// Registers a flow that originates here (provides its encoded route).
+  /// Registers a flow that originates here.
   void register_flow(const Flow& flow);
 
   /// Gives the source side `vcs` credits for its injection-segment endpoint.
   void init_source_credits(int vcs);
 
   /// Queue a packet for injection (infinite source queue; queueing time is
-  /// measured separately from network latency).
-  void offer_packet(const Packet& pkt);
+  /// measured separately from network latency). The slot's payload must be
+  /// fully populated; the NIC inherits the slot's transmit reference and
+  /// releases it when the tail leaves.
+  void offer_packet(PacketSlot slot);
 
   /// Per-cycle injection phase: stream the active packet or start the next
   /// one (round-robin across this NIC's flows, one flit per cycle).
   void inject(Cycle now, ActivityCounters& act);
 
   /// Sink side: a flit delivered by the fabric (end of cycle `now`).
-  void accept_flit(const Flit& flit, Cycle now);
+  /// Consumes the flit's pool reference.
+  void accept_flit(const FlitRef& flit, Cycle now);
 
   /// Source-side credit return (a packet left the endpoint buffers).
   void credit_arrived(VcId vc);
@@ -78,18 +84,16 @@ class Nic {
  private:
   struct LocalFlow {
     FlowId id = kInvalidFlow;
-    SourceRoute route;
-    std::deque<Packet> queue;
+    std::deque<PacketSlot> queue;  ///< queued packets, payload in the pool
   };
   struct ActiveTx {
-    Packet pkt;
-    SourceRoute route;
-    VcId vc;
+    PacketSlot slot = kInvalidSlot;
+    int flits = 0;     ///< payload.flits, copied so streaming skips the pool
+    VcId vc = kInvalidVc;
     int next_seq = 0;
-    Cycle inject_cycle = 0;
   };
   struct Assembly {
-    std::uint32_t packet_id = 0;
+    PacketSlot slot = kInvalidSlot;  ///< unique while any flit is unconsumed
     int flits = 0;
     Cycle head_arrival = 0;
   };
@@ -98,6 +102,7 @@ class Nic {
   const NocConfig* cfg_;
   Fabric* fabric_;
   NetworkStats* stats_;
+  PacketPool* pool_;
 
   /// First slot in `nonempty_` at or cyclically after `from` (the batched
   /// injector's round-robin step; nonempty_ must not be empty).

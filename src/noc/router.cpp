@@ -6,9 +6,9 @@
 
 namespace smartnoc::noc {
 
-Router::Router(NodeId id, const NocConfig& cfg, Fabric* fabric)
-    : id_(id), vcs_per_port_(cfg.vcs_per_port), fabric_(fabric) {
-  SMARTNOC_CHECK(fabric_ != nullptr, "router needs a fabric");
+Router::Router(NodeId id, const NocConfig& cfg, Fabric* fabric, const PacketPool* pool)
+    : id_(id), vcs_per_port_(cfg.vcs_per_port), fabric_(fabric), pool_(pool) {
+  SMARTNOC_CHECK(fabric_ != nullptr && pool_ != nullptr, "router needs a fabric and a pool");
   SMARTNOC_CHECK(kNumDirs * vcs_per_port_ <= kMaxArbInputs,
                  "vcs_per_port exceeds the switch-allocation mask width");
   for (auto& ip : inputs_) {
@@ -27,7 +27,7 @@ void Router::enable_output(Dir o, int vcs) {
   for (VcId v = 0; v < vcs; ++v) op.free_vcs.push_back(v);
 }
 
-void Router::accept_flit(Dir in_dir, Flit flit, Cycle arrival) {
+void Router::accept_flit(Dir in_dir, FlitRef flit, Cycle arrival) {
   InputPort& ip = in(in_dir);
   SMARTNOC_CHECK(ip.staging_count < 2, "more than one flit in flight per input port");
   ip.staging[static_cast<std::size_t>((ip.staging_head + ip.staging_count) % 2)] =
@@ -53,7 +53,7 @@ void Router::buffer_write(Cycle now, ActivityCounters& act) {
     while (ip.staging_count > 0) {
       StagedFlit& sf = ip.staging[static_cast<std::size_t>(ip.staging_head)];
       if (sf.arrival >= now) break;  // still on the wire (baseline-mesh link cycle)
-      Flit f = sf.flit;
+      FlitRef f = sf.flit;
       ip.staging_head = (ip.staging_head + 1) % 2;
       ip.staging_count -= 1;
       staged_total_ -= 1;
@@ -63,8 +63,9 @@ void Router::buffer_write(Cycle now, ActivityCounters& act) {
       if (is_head(f.type)) {
         SMARTNOC_CHECK(vc.empty() && !vc.has_request(),
                        "head flit arriving into a busy VC: upstream flow control broke");
-        // Decode this router's 2-bit route entry relative to the arrival port.
-        vc.set_request(f.route.output_at(f.hop_index, d));
+        // Decode this router's 2-bit route entry relative to the arrival
+        // port - the one cold-payload read of the whole pipeline.
+        vc.set_request(pool_->at(f.slot).route.output_at(f.hop_index, d));
       } else {
         SMARTNOC_CHECK(vc.has_request(), "body flit with no open packet on its VC");
       }
@@ -84,7 +85,7 @@ void Router::switch_traversal(Cycle now, ActivityCounters& act) {
     VcBuffer& vc = ip.vcs[static_cast<std::size_t>(op.hold->in_vc)];
     if (vc.empty()) continue;                    // cut-through gap: wait
     if (vc.front().buffered_at >= now) continue; // written this very cycle
-    Flit f = vc.pop();
+    FlitRef f = vc.pop();
     buffered_total_ -= 1;
     const bool tail = is_tail(f.type);
     f.vc = op.hold->out_vc;  // VC at the segment endpoint, allocated at SA
@@ -119,7 +120,7 @@ void Router::switch_allocation(Cycle now, ActivityCounters& act) {
     for (int v = 0; v < vcs_per_port_; ++v) {
       const VcBuffer& vc = ip.vcs[static_cast<std::size_t>(v)];
       if (vc.empty() || !vc.has_request()) continue;
-      const Flit& f = vc.front();
+      const FlitRef& f = vc.front();
       if (!is_head(f.type)) continue;     // packet already in flight elsewhere
       if (f.buffered_at >= now) continue; // BW this cycle: allocate next cycle
       req[static_cast<std::size_t>(dir_index(vc.requested_out()))].set(

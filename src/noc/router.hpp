@@ -19,6 +19,10 @@
 // requests are an ArbMask bitset, and free-VC queues are fixed-capacity
 // rings. Aggregate occupancy counters make has_traffic() O(1), which the
 // network's active-set scheduler and drain detection lean on every cycle.
+//
+// Flits move as 16-byte FlitRefs (structure-of-arrays split): BW, SA and
+// ST never touch the cold payload; the only pool access is the head-flit
+// route decode at Buffer Write, resolved through the network's PacketPool.
 #pragma once
 
 #include <array>
@@ -29,6 +33,7 @@
 #include "noc/arbiter.hpp"
 #include "noc/buffer.hpp"
 #include "noc/fabric.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/preset.hpp"
 #include "noc/stats.hpp"
 
@@ -36,7 +41,7 @@ namespace smartnoc::noc {
 
 class Router {
  public:
-  Router(NodeId id, const NocConfig& cfg, Fabric* fabric);
+  Router(NodeId id, const NocConfig& cfg, Fabric* fabric, const PacketPool* pool);
 
   NodeId id() const { return id_; }
 
@@ -48,7 +53,7 @@ class Router {
   // --- Fabric-facing ---------------------------------------------------------
   /// Latch an arriving flit (end of `arrival` cycle) into the staging
   /// register of input port `in`; BW picks it up the following cycle.
-  void accept_flit(Dir in, Flit flit, Cycle arrival);
+  void accept_flit(Dir in, FlitRef flit, Cycle arrival);
 
   /// A credit returned to output port `out`'s free-VC queue.
   void credit_arrived(Dir out, VcId vc);
@@ -65,7 +70,7 @@ class Router {
 
  private:
   struct StagedFlit {
-    Flit flit;
+    FlitRef flit;
     Cycle arrival;
   };
   struct InputPort {
@@ -98,6 +103,7 @@ class Router {
   NodeId id_;
   int vcs_per_port_;
   Fabric* fabric_;
+  const PacketPool* pool_;  ///< route decode at BW (the one payload read)
   std::array<InputPort, kNumDirs> inputs_;
   std::array<OutputPort, kNumDirs> outputs_;
   // Aggregate occupancy, maintained at every push/pop (O(1) has_traffic).

@@ -2,10 +2,18 @@
 // VCD dumper (the paper's power methodology runs PrimePower on VCD
 // activity from post-layout simulation; sim/vcd.hpp reproduces the VCD
 // side of that flow) and any custom instrumentation.
+//
+// The network hands observers the hot FlitRef plus the PacketPool that
+// resolves it: under the structure-of-arrays flit split the cold fields
+// (packet id, flow, route, timestamps) live once per packet in the pool,
+// and an observer pays the slot lookup only on the paths that actually
+// read payload (e.g. the probe's bounded Chrome-event capture) - the
+// common counting paths never touch it.
 #pragma once
 
 #include "common/types.hpp"
 #include "noc/flit.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/segment.hpp"
 
 namespace smartnoc::noc {
@@ -18,22 +26,26 @@ class TraceObserver {
   /// Called once per link of a multi-hop bypass segment - a SMART flit
   /// produces several calls with the same cycle, which is exactly the
   /// single-cycle multi-hop signature in the resulting waveform.
-  virtual void flit_on_link(NodeId from, Dir out, const Flit& flit, Cycle cycle) = 0;
+  /// `pool.at(flit.slot)` resolves the cold payload when needed.
+  virtual void flit_on_link(NodeId from, Dir out, const FlitRef& flit,
+                            const PacketPool& pool, Cycle cycle) = 0;
 
   /// A flit was latched at a stop router (is_nic=false) or consumed by the
   /// destination NIC (is_nic=true).
-  virtual void flit_latched(bool is_nic, NodeId node, const Flit& flit, Cycle cycle) = 0;
+  virtual void flit_latched(bool is_nic, NodeId node, const FlitRef& flit,
+                            const PacketPool& pool, Cycle cycle) = 0;
 
   /// A flit traversed a whole segment: every link in `seg.links` during
   /// `now`, then a latch at `seg.ep` at `arrival`. This is the one call
   /// the network actually makes per delivery - the default fans out to
   /// flit_on_link/flit_latched, so simple observers implement only those;
   /// hot observers (the telemetry probe) override this to amortize the
-  /// virtual dispatch over the segment.
-  virtual void segment_traversed(const Segment& seg, const Flit& flit, Cycle now,
-                                 Cycle arrival) {
-    for (const auto& [from, out] : seg.links) flit_on_link(from, out, flit, now);
-    flit_latched(seg.ep.is_nic, seg.ep.node, flit, arrival);
+  /// virtual dispatch over the segment and resolve payload through `pool`
+  /// only on the branches that read it.
+  virtual void segment_traversed(const Segment& seg, const FlitRef& flit,
+                                 const PacketPool& pool, Cycle now, Cycle arrival) {
+    for (const auto& [from, out] : seg.links) flit_on_link(from, out, flit, pool, now);
+    flit_latched(seg.ep.is_nic, seg.ep.node, flit, pool, arrival);
   }
 
   /// A packet of `flow` was offered to the source NIC `src` at `created`

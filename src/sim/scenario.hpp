@@ -71,7 +71,7 @@ struct ScenarioSpec {
                                ///< deterministic pattern, keyed off the seed)
   bool single_config_core = true;   ///< Fig. 1 cost model: stores ride a ring
   Cycle store_issue_cycles = 1;     ///< issue cost per reconfiguration store
-  noc::BernoulliMode traffic_mode = noc::BernoulliMode::PerCycle;
+  noc::BernoulliMode traffic_mode = noc::kDefaultBernoulliMode;
   bool use_reference_kernel = false;  ///< seed full-scan kernel (golden runs)
   TelemetrySpec telemetry;            ///< observability block (off by default)
   std::vector<PhaseSpec> phases;

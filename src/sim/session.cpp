@@ -132,7 +132,8 @@ void Session::switch_era(const Resolved& rv) {
     Cycle drained_after = 0;
     while (!net_->drained()) {
       if (drained_after >= era_cfg_.drain_timeout) {
-        throw SimError("network failed to drain before reconfiguration");
+        throw SimError(drain_timeout_error(era_cfg_.drain_timeout) +
+                       " - cannot reconfigure a busy network");
       }
       net_->tick();
       drained_after += 1;
@@ -331,9 +332,7 @@ void Session::finalize_phase(const PhaseSpec& ph, const Resolved& rv) {
       // explorer all report this same way).
       const Cycle bound = ph.cycles > 0 ? ph.cycles : spec_.config.drain_timeout;
       r.ok = false;
-      r.error = strf("drain timeout: network still busy after %llu cycles "
-                     "(load beyond saturation?)",
-                     static_cast<unsigned long long>(bound));
+      r.error = drain_timeout_error(bound);
       failed_ = true;
       if (error_.empty()) error_ = r.error;
     }

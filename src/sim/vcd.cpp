@@ -50,14 +50,18 @@ std::string VcdTracer::nic_code(NodeId nic) const {
   return code_for(dims_.nodes() * kNumMeshDirs + nic);
 }
 
-void VcdTracer::flit_on_link(NodeId from, Dir out, const noc::Flit& flit, Cycle cycle) {
+void VcdTracer::flit_on_link(NodeId from, Dir out, const noc::FlitRef& flit,
+                             const noc::PacketPool& pool, Cycle cycle) {
   (void)flit;
+  (void)pool;
   pulses_[cycle].push_back(link_index(from, out));
   link_toggles_ += 1;
 }
 
-void VcdTracer::flit_latched(bool is_nic, NodeId node, const noc::Flit& flit, Cycle cycle) {
+void VcdTracer::flit_latched(bool is_nic, NodeId node, const noc::FlitRef& flit,
+                             const noc::PacketPool& pool, Cycle cycle) {
   (void)flit;
+  (void)pool;
   if (!is_nic) return;
   pulses_[cycle].push_back(dims_.nodes() * kNumMeshDirs + node);
   nic_deliveries_ += 1;

@@ -32,8 +32,10 @@ class VcdTracer final : public noc::TraceObserver {
   VcdTracer(const MeshDims& dims, double timescale_ps);
 
   // TraceObserver:
-  void flit_on_link(NodeId from, Dir out, const noc::Flit& flit, Cycle cycle) override;
-  void flit_latched(bool is_nic, NodeId node, const noc::Flit& flit, Cycle cycle) override;
+  void flit_on_link(NodeId from, Dir out, const noc::FlitRef& flit,
+                    const noc::PacketPool& pool, Cycle cycle) override;
+  void flit_latched(bool is_nic, NodeId node, const noc::FlitRef& flit,
+                    const noc::PacketPool& pool, Cycle cycle) override;
 
   /// Total link pulses recorded (== flit-mm traversed while attached).
   std::uint64_t link_toggles() const { return link_toggles_; }

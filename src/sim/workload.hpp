@@ -56,7 +56,7 @@ class DuckWorkload final : public Workload {
 class BernoulliWorkload final : public Workload {
  public:
   BernoulliWorkload(const NocConfig& cfg, const noc::FlowSet& flows, std::uint64_t seed,
-                    noc::BernoulliMode mode = noc::BernoulliMode::PerCycle)
+                    noc::BernoulliMode mode = noc::kDefaultBernoulliMode)
       : engine_(cfg, flows, seed, mode) {}
   void generate(noc::Network& net) override { engine_.generate(net); }
   void set_enabled(bool e) override { engine_.set_enabled(e); }

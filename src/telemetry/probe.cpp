@@ -41,7 +41,8 @@ void Probe::rewindow(Cycle g) {
   win_inject_p_ = inject_series_.data() + win_epoch_ * nodes_;
 }
 
-void Probe::flit_on_link(NodeId from, Dir out, const noc::Flit& flit, Cycle cycle) {
+void Probe::flit_on_link(NodeId from, Dir out, const noc::FlitRef& flit,
+                         const noc::PacketPool& pool, Cycle cycle) {
   if (cfg_.epoch_cycles != 0) {
     epoch_of(cycle);  // refreshes win_link_p_
     win_link_p_[static_cast<std::size_t>(from) * kNumMeshDirs +
@@ -51,15 +52,17 @@ void Probe::flit_on_link(NodeId from, Dir out, const noc::Flit& flit, Cycle cycl
   }
   if (cfg_.chrome_event_capacity > 0) {
     if (events_.size() < cfg_.chrome_event_capacity) {
-      events_.push_back(LinkEvent{era_base_ + cycle, from, out, flit.packet_id, flit.seq});
+      events_.push_back(LinkEvent{era_base_ + cycle, from, out, pool.at(flit.slot).id, flit.seq});
     } else {
       events_truncated_ = true;
     }
   }
 }
 
-void Probe::flit_latched(bool is_nic, NodeId node, const noc::Flit& flit, Cycle cycle) {
+void Probe::flit_latched(bool is_nic, NodeId node, const noc::FlitRef& flit,
+                         const noc::PacketPool& pool, Cycle cycle) {
   (void)flit;
+  (void)pool;
   if (cfg_.epoch_cycles != 0) {
     epoch_of(cycle);  // refreshes win_node_p_
     win_node_p_[is_nic ? 1 : 0][static_cast<std::size_t>(node)] += 1;
@@ -70,8 +73,8 @@ void Probe::flit_latched(bool is_nic, NodeId node, const noc::Flit& flit, Cycle 
   }
 }
 
-void Probe::segment_traversed(const noc::Segment& seg, const noc::Flit& flit, Cycle now,
-                              Cycle arrival) {
+void Probe::segment_traversed(const noc::Segment& seg, const noc::FlitRef& flit,
+                              const noc::PacketPool& pool, Cycle now, Cycle arrival) {
   // The one call per delivery: epoch series only (whole-run totals are
   // summed from the series at export time, keeping this path lean); the
   // scalar counters are maintained only when the series are off.
@@ -92,9 +95,10 @@ void Probe::segment_traversed(const noc::Segment& seg, const noc::Flit& flit, Cy
     }
   }
   if (cfg_.chrome_event_capacity > 0) {
+    // The one payload read of the probe: the packet id for Chrome tracks.
     for (const auto& [from, out] : seg.links) {
       if (events_.size() < cfg_.chrome_event_capacity) {
-        events_.push_back(LinkEvent{era_base_ + now, from, out, flit.packet_id, flit.seq});
+        events_.push_back(LinkEvent{era_base_ + now, from, out, pool.at(flit.slot).id, flit.seq});
       } else {
         events_truncated_ = true;
       }

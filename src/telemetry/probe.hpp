@@ -72,15 +72,18 @@ class Probe final : public noc::TraceObserver {
   Probe(const MeshDims& dims, int flits_per_packet, Config cfg);
 
   // --- TraceObserver ----------------------------------------------------------
-  void flit_on_link(NodeId from, Dir out, const noc::Flit& flit, Cycle cycle) override;
-  void flit_latched(bool is_nic, NodeId node, const noc::Flit& flit, Cycle cycle) override;
+  void flit_on_link(NodeId from, Dir out, const noc::FlitRef& flit,
+                    const noc::PacketPool& pool, Cycle cycle) override;
+  void flit_latched(bool is_nic, NodeId node, const noc::FlitRef& flit,
+                    const noc::PacketPool& pool, Cycle cycle) override;
   /// One virtual call per delivery: counts the whole segment with one
   /// epoch lookup. The end-of-segment latch is attributed to the epoch of
   /// the traversal cycle `now` (a latch arriving 1 cycle into the next
   /// epoch lands in the previous bucket - totals are unaffected, and the
-  /// bucket skew is at most one cycle at epoch boundaries).
-  void segment_traversed(const noc::Segment& seg, const noc::Flit& flit, Cycle now,
-                         Cycle arrival) override;
+  /// bucket skew is at most one cycle at epoch boundaries). Payload is
+  /// resolved through `pool` only on the Chrome-event capture branch.
+  void segment_traversed(const noc::Segment& seg, const noc::FlitRef& flit,
+                         const noc::PacketPool& pool, Cycle now, Cycle arrival) override;
   void packet_offered(FlowId flow, NodeId src, Cycle created) override;
 
   // --- Era / phase bookkeeping (driven by sim::Session) -----------------------
@@ -196,15 +199,17 @@ class TeeObserver final : public noc::TraceObserver {
     if (obs != nullptr) obs_.push_back(obs);
   }
 
-  void flit_on_link(NodeId from, Dir out, const noc::Flit& flit, Cycle cycle) override {
-    for (auto* o : obs_) o->flit_on_link(from, out, flit, cycle);
+  void flit_on_link(NodeId from, Dir out, const noc::FlitRef& flit,
+                    const noc::PacketPool& pool, Cycle cycle) override {
+    for (auto* o : obs_) o->flit_on_link(from, out, flit, pool, cycle);
   }
-  void flit_latched(bool is_nic, NodeId node, const noc::Flit& flit, Cycle cycle) override {
-    for (auto* o : obs_) o->flit_latched(is_nic, node, flit, cycle);
+  void flit_latched(bool is_nic, NodeId node, const noc::FlitRef& flit,
+                    const noc::PacketPool& pool, Cycle cycle) override {
+    for (auto* o : obs_) o->flit_latched(is_nic, node, flit, pool, cycle);
   }
-  void segment_traversed(const noc::Segment& seg, const noc::Flit& flit, Cycle now,
-                         Cycle arrival) override {
-    for (auto* o : obs_) o->segment_traversed(seg, flit, now, arrival);
+  void segment_traversed(const noc::Segment& seg, const noc::FlitRef& flit,
+                         const noc::PacketPool& pool, Cycle now, Cycle arrival) override {
+    for (auto* o : obs_) o->segment_traversed(seg, flit, pool, now, arrival);
   }
   void packet_offered(FlowId flow, NodeId src, Cycle created) override {
     for (auto* o : obs_) o->packet_offered(flow, src, created);

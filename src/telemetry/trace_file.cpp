@@ -1,5 +1,6 @@
 #include "telemetry/trace_file.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -316,6 +317,77 @@ TraceFile read_trace_file(const std::string& path) {
   buf << f.rdbuf();
   if (!f) throw TraceError("error reading trace file '" + path + "'");
   return decode_trace(buf.str());
+}
+
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b) {
+  TraceDiff d;
+  auto differ = [&d](const std::string& line) {
+    d.identical = false;
+    d.report += line + "\n";
+  };
+
+  // Configuration, field by field (operator== would only say "different").
+  auto cfg_field = [&](const char* name, auto va, auto vb) {
+    if (va != vb) {
+      std::ostringstream os;
+      os << "config." << name << ": " << va << " vs " << vb;
+      differ(os.str());
+    }
+  };
+  const NocConfig& ca = a.config;
+  const NocConfig& cb = b.config;
+  cfg_field("width", ca.width, cb.width);
+  cfg_field("height", ca.height, cb.height);
+  cfg_field("flit_bits", ca.flit_bits, cb.flit_bits);
+  cfg_field("packet_bits", ca.packet_bits, cb.packet_bits);
+  cfg_field("vcs_per_port", ca.vcs_per_port, cb.vcs_per_port);
+  cfg_field("vc_depth_flits", ca.vc_depth_flits, cb.vc_depth_flits);
+  cfg_field("header_bits", ca.header_bits, cb.header_bits);
+  cfg_field("credit_bits", ca.credit_bits, cb.credit_bits);
+  cfg_field("freq_ghz", ca.freq_ghz, cb.freq_ghz);
+  cfg_field("hop_mm", ca.hop_mm, cb.hop_mm);
+  cfg_field("link_swing", static_cast<int>(ca.link_swing), static_cast<int>(cb.link_swing));
+  cfg_field("hpc_max_override", ca.hpc_max_override, cb.hpc_max_override);
+  cfg_field("router_stages", ca.router_stages, cb.router_stages);
+  cfg_field("clock_gate_unused_ports", ca.clock_gate_unused_ports,
+            cb.clock_gate_unused_ports);
+  cfg_field("seed", ca.seed, cb.seed);
+  cfg_field("warmup_cycles", ca.warmup_cycles, cb.warmup_cycles);
+  cfg_field("measure_cycles", ca.measure_cycles, cb.measure_cycles);
+  cfg_field("drain_timeout", ca.drain_timeout, cb.drain_timeout);
+  cfg_field("routing", static_cast<int>(ca.routing), static_cast<int>(cb.routing));
+  cfg_field("bandwidth_scale", ca.bandwidth_scale, cb.bandwidth_scale);
+
+  // Flow tables: count, then the first differing entry.
+  if (a.flows.size() != b.flows.size()) {
+    differ(strf("flow table: %d flows vs %d flows", a.flows.size(), b.flows.size()));
+  }
+  const int nflows = std::min(a.flows.size(), b.flows.size());
+  for (FlowId i = 0; i < nflows; ++i) {
+    const noc::Flow& fa = a.flows.at(i);
+    const noc::Flow& fb = b.flows.at(i);
+    if (fa.src != fb.src || fa.dst != fb.dst || fa.bandwidth_mbps != fb.bandwidth_mbps ||
+        fa.path.links != fb.path.links) {
+      differ(strf("flow %d: %s @ %.6g MB/s vs %s @ %.6g MB/s", i, fa.path.str().c_str(),
+                  fa.bandwidth_mbps, fb.path.str().c_str(), fb.bandwidth_mbps));
+      break;  // one flow-table divergence locates the problem
+    }
+  }
+
+  // Records: count, then record-by-record up to the first divergence.
+  if (a.entries.size() != b.entries.size()) {
+    differ(strf("records: %zu vs %zu", a.entries.size(), b.entries.size()));
+  }
+  const std::size_t nrec = std::min(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < nrec; ++i) {
+    if (!(a.entries[i] == b.entries[i])) {
+      differ(strf("record %zu: cycle %llu flow %d vs cycle %llu flow %d (first divergence)", i,
+                  static_cast<unsigned long long>(a.entries[i].cycle), a.entries[i].flow,
+                  static_cast<unsigned long long>(b.entries[i].cycle), b.entries[i].flow));
+      break;
+    }
+  }
+  return d;
 }
 
 std::string summarize_trace(const TraceFile& trace) {

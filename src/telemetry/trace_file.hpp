@@ -88,4 +88,14 @@ TraceFile read_trace_file(const std::string& path);
 /// by `trace_tool info`.
 std::string summarize_trace(const TraceFile& trace);
 
+/// Structured comparison of two decoded captures (`trace_tool diff`):
+/// configuration field by field, flow table entry by entry, then the
+/// injection records up to their first divergence. `report` holds one
+/// human-readable line per difference (empty when identical).
+struct TraceDiff {
+  bool identical = true;
+  std::string report;
+};
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b);
+
 }  // namespace smartnoc::telemetry

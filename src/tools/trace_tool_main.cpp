@@ -7,6 +7,9 @@
 //                                   the noc::serialize_trace archival form)
 //   trace_tool csv   FILE [EPOCH]   injections per epoch as CSV (default
 //                                   epoch: 1024 cycles)
+//   trace_tool diff  A B            compare two captures (config, flow
+//                                   table, record-by-record first
+//                                   divergence); exit 1 on mismatch
 //
 // All decode errors (truncation, bad magic, version mismatch, garbage
 // varints) surface as one-line diagnostics with exit code 1.
@@ -30,9 +33,23 @@ int usage(const char* argv0, int code) {
                "  info  FILE          header + injection summary\n"
                "  flows FILE          recorded flow table\n"
                "  dump  FILE          entries as '<cycle> <flow>' text\n"
-               "  csv   FILE [EPOCH]  injections per epoch as CSV\n",
+               "  csv   FILE [EPOCH]  injections per epoch as CSV\n"
+               "  diff  A B           compare two captures (exit 1 on mismatch)\n",
                argv0);
   return code;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  const telemetry::TraceFile a = telemetry::read_trace_file(path_a);
+  const telemetry::TraceFile b = telemetry::read_trace_file(path_b);
+  const telemetry::TraceDiff d = telemetry::diff_traces(a, b);
+  if (d.identical) {
+    std::printf("captures are identical (%d flows, %zu records)\n", a.flows.size(),
+                a.entries.size());
+    return 0;
+  }
+  std::fputs(d.report.c_str(), stdout);
+  return 1;
 }
 
 int cmd_info(const telemetry::TraceFile& trace) {
@@ -105,6 +122,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::string path = argv[2];
   try {
+    if (cmd == "diff") {
+      if (argc < 4) return usage(argv[0], 2);
+      return cmd_diff(path, argv[3]);
+    }
     const telemetry::TraceFile trace = telemetry::read_trace_file(path);
     if (cmd == "info") return cmd_info(trace);
     if (cmd == "flows") return cmd_flows(trace);

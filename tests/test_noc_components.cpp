@@ -15,7 +15,7 @@ namespace {
 TEST(VcBufferTest, FifoOrder) {
   VcBuffer b(4);
   for (int i = 0; i < 4; ++i) {
-    Flit f;
+    FlitRef f;
     f.seq = static_cast<std::uint8_t>(i);
     b.push(f);
   }

@@ -1,13 +1,16 @@
 // Router and NIC unit tests against a mock fabric: pipeline stage-by-stage
 // behaviour, per-packet switch holds, input locking, arbitration fairness
 // under sustained two-way contention, and credit discipline - without a
-// whole network around them.
+// whole network around them. Under the structure-of-arrays flit split the
+// tests own the PacketPool a network would normally own: payloads are
+// allocated up front and flits travel as FlitRefs.
 #include <gtest/gtest.h>
 
 #include <deque>
 #include <map>
 
 #include "noc/nic.hpp"
+#include "noc/packet_pool.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
 
@@ -20,7 +23,7 @@ class MockFabric final : public Fabric {
   struct Sent {
     NodeId router;
     Dir out;
-    Flit flit;
+    FlitRef flit;
     Cycle cycle;
   };
   struct CreditEvt {
@@ -30,10 +33,10 @@ class MockFabric final : public Fabric {
     Cycle cycle;
   };
 
-  void deliver_from_router(NodeId router, Dir out, Flit flit, Cycle now) override {
+  void deliver_from_router(NodeId router, Dir out, FlitRef flit, Cycle now) override {
     sent.push_back({router, out, flit, now});
   }
-  void deliver_from_nic(NodeId nic, Flit flit, Cycle now) override {
+  void deliver_from_nic(NodeId nic, FlitRef flit, Cycle now) override {
     sent.push_back({nic, Dir::Core, flit, now});
   }
   void credit_from_router_input(NodeId router, Dir in, VcId vc, Cycle now) override {
@@ -49,16 +52,22 @@ class MockFabric final : public Fabric {
 
 NocConfig cfg4() { return NocConfig::paper_4x4(); }
 
-Flit make_head(FlowId flow, VcId vc, const RoutePath& path, std::uint8_t hop_index,
-               FlitType type = FlitType::HeadTail) {
-  Flit f;
+/// Allocates a packet payload in `pool` and returns a head flit of it.
+/// The slot keeps its transmit reference for the test's lifetime, so the
+/// router's route decode always resolves.
+FlitRef make_head(PacketPool& pool, FlowId flow, VcId vc, const RoutePath& path,
+                  std::uint8_t hop_index, FlitType type = FlitType::HeadTail) {
+  const PacketSlot slot = pool.alloc();
+  PacketPayload& pkt = pool.at(slot);
+  pkt.flow = flow;
+  pkt.id = static_cast<std::uint32_t>(100 + flow);
+  pkt.src = path.src;
+  pkt.dst = path.dst;
+  pkt.route = SourceRoute::encode(path);
+  FlitRef f;
+  f.slot = slot;
   f.type = type;
   f.vc = vc;
-  f.flow = flow;
-  f.packet_id = static_cast<std::uint32_t>(100 + flow);
-  f.src = path.src;
-  f.dst = path.dst;
-  f.route = SourceRoute::encode(path);
   f.hop_index = hop_index;
   return f;
 }
@@ -73,14 +82,15 @@ void cycle(Router& r, Cycle now, ActivityCounters& act) {
 TEST(RouterUnit, SingleFlitTakesExactlyThreeStages) {
   const NocConfig cfg = cfg4();
   MockFabric fab;
-  Router r(5, cfg, &fab);
+  PacketPool pool;
+  Router r(5, cfg, &fab, &pool);
   r.enable_output(Dir::East, cfg.vcs_per_port);
   ActivityCounters act;
 
   // Head-tail flit arrives (latched end of cycle 10) at input West,
   // heading straight East (hop 1 of path 4 -> 5 -> 6).
   const RoutePath path = xy_path(cfg.dims(), 4, 6);
-  r.accept_flit(Dir::West, make_head(0, 0, path, 1), 10);
+  r.accept_flit(Dir::West, make_head(pool, 0, 0, path, 1), 10);
 
   cycle(r, 11, act);  // BW
   EXPECT_TRUE(fab.sent.empty());
@@ -99,24 +109,25 @@ TEST(RouterUnit, SingleFlitTakesExactlyThreeStages) {
 TEST(RouterUnit, PacketHoldsSwitchUntilTail) {
   const NocConfig cfg = cfg4();
   MockFabric fab;
-  Router r(5, cfg, &fab);
+  PacketPool pool;
+  Router r(5, cfg, &fab, &pool);
   r.enable_output(Dir::East, cfg.vcs_per_port);
   ActivityCounters act;
 
   const RoutePath path = xy_path(cfg.dims(), 4, 6);
   // 3-flit packet arriving back to back on VC 0.
-  Flit head = make_head(0, 0, path, 1, FlitType::Head);
-  Flit body = head;
+  FlitRef head = make_head(pool, 0, 0, path, 1, FlitType::Head);
+  FlitRef body = head;
   body.type = FlitType::Body;
   body.seq = 1;
-  Flit tail = head;
+  FlitRef tail = head;
   tail.type = FlitType::Tail;
   tail.seq = 2;
   // One flit per cycle on the physical link, interleaved with the
   // router's cycles; the rival single-flit packet on the other VC of the
   // same input follows the tail and must wait out the input lock.
-  Flit rival = make_head(1, 1, path, 1);
-  rival.packet_id = 555;
+  FlitRef rival = make_head(pool, 1, 1, path, 1);
+  pool.at(rival.slot).id = 555;
   r.accept_flit(Dir::West, head, 10);
   cycle(r, 11, act);
   r.accept_flit(Dir::West, body, 11);
@@ -130,11 +141,11 @@ TEST(RouterUnit, PacketHoldsSwitchUntilTail) {
   // Flits of packet 100 leave in order at 13,14,15; the tail's ST releases
   // the lock before SA runs that same cycle, so the rival wins SA at 15
   // and traverses at 16.
-  EXPECT_EQ(fab.sent[0].flit.packet_id, 100u);
+  EXPECT_EQ(pool.at(fab.sent[0].flit.slot).id, 100u);
   EXPECT_EQ(fab.sent[1].flit.seq, 1);
   EXPECT_EQ(fab.sent[2].flit.seq, 2);
   EXPECT_EQ(fab.sent[2].cycle, 15u);
-  EXPECT_EQ(fab.sent[3].flit.packet_id, 555u);
+  EXPECT_EQ(pool.at(fab.sent[3].flit.slot).id, 555u);
   EXPECT_EQ(fab.sent[3].cycle, 16u);
   // Credits: one per packet, carrying the right VC ids.
   ASSERT_EQ(fab.credits.size(), 2u);
@@ -145,16 +156,17 @@ TEST(RouterUnit, PacketHoldsSwitchUntilTail) {
 TEST(RouterUnit, OutputBlocksWhenNoDownstreamVc) {
   const NocConfig cfg = cfg4();
   MockFabric fab;
-  Router r(5, cfg, &fab);
+  PacketPool pool;
+  Router r(5, cfg, &fab, &pool);
   r.enable_output(Dir::East, 1);  // a single downstream VC
   ActivityCounters act;
   const RoutePath path = xy_path(cfg.dims(), 4, 6);
 
-  r.accept_flit(Dir::West, make_head(0, 0, path, 1), 10);
+  r.accept_flit(Dir::West, make_head(pool, 0, 0, path, 1), 10);
   for (Cycle t = 11; t <= 13; ++t) cycle(r, t, act);
   ASSERT_EQ(fab.sent.size(), 1u);  // first packet went out, consumed the VC
 
-  r.accept_flit(Dir::West, make_head(1, 0, path, 1), 14);
+  r.accept_flit(Dir::West, make_head(pool, 1, 0, path, 1), 14);
   for (Cycle t = 15; t <= 19; ++t) cycle(r, t, act);
   EXPECT_EQ(fab.sent.size(), 1u) << "no credit returned: the packet must stall";
 
@@ -169,7 +181,8 @@ TEST(RouterUnit, OutputBlocksWhenNoDownstreamVc) {
 TEST(RouterUnit, TwoInputsShareOutputFairly) {
   const NocConfig cfg = cfg4();
   MockFabric fab;
-  Router r(5, cfg, &fab);
+  PacketPool pool;
+  Router r(5, cfg, &fab, &pool);
   r.enable_output(Dir::East, cfg.vcs_per_port);
   ActivityCounters act;
   const RoutePath from_w = xy_path(cfg.dims(), 4, 6);   // W -> E straight
@@ -177,6 +190,11 @@ TEST(RouterUnit, TwoInputsShareOutputFairly) {
   from_n.src = 9;
   from_n.dst = 6;
   from_n.links = {Dir::South, Dir::East};
+
+  // One reusable payload per feeder; the router only decodes the route and
+  // identifies flows through the payload, so reusing slots is fine here.
+  const FlitRef proto_w = make_head(pool, 0, 0, from_w, 1);
+  const FlitRef proto_n = make_head(pool, 1, 0, from_n, 1);
 
   // Keep both inputs saturated while honouring flow control: each upstream
   // holds this router's input VCs as credits and sends a new single-flit
@@ -189,12 +207,12 @@ TEST(RouterUnit, TwoInputsShareOutputFairly) {
   }
   for (Cycle t = 10; t < 210; ++t) {
     for (Dir in : {Dir::West, Dir::North}) {
-      auto& pool = upstream_credits[dir_index(in)];
-      if (pool.empty()) continue;
-      const VcId vc = pool.front();
-      pool.pop_front();
-      r.accept_flit(in, make_head(in == Dir::West ? 0 : 1, vc, in == Dir::West ? from_w : from_n, 1),
-                    t);
+      auto& avail = upstream_credits[dir_index(in)];
+      if (avail.empty()) continue;
+      FlitRef f = in == Dir::West ? proto_w : proto_n;
+      f.vc = avail.front();
+      avail.pop_front();
+      r.accept_flit(in, f, t);
     }
     cycle(r, t + 1, act);
     // Downstream returns output credits instantly; upstream pools refill
@@ -202,7 +220,9 @@ TEST(RouterUnit, TwoInputsShareOutputFairly) {
     for (const auto& c : fab.credits) upstream_credits[dir_index(c.in)].push_back(c.vc);
     fab.credits.clear();
     while (r.free_vcs(Dir::East) < cfg.vcs_per_port) r.credit_arrived(Dir::East, 0);
-    for (const auto& s : fab.sent) sent_per_input[s.flit.flow == 0 ? Dir::West : Dir::North]++;
+    for (const auto& s : fab.sent) {
+      sent_per_input[pool.at(s.flit.slot).flow == 0 ? Dir::West : Dir::North]++;
+    }
     fab.sent.clear();
   }
   const int w = sent_per_input[Dir::West], n = sent_per_input[Dir::North];
@@ -212,24 +232,36 @@ TEST(RouterUnit, TwoInputsShareOutputFairly) {
       << "round-robin must split a contended output evenly";
 }
 
+/// Allocates a slot whose payload mirrors what MeshNetwork::offer_packet
+/// would install for this NIC-side test.
+PacketSlot offer(PacketPool& pool, std::uint32_t id, FlowId flow, const RoutePath& path,
+                 int flits, Cycle created) {
+  const PacketSlot slot = pool.alloc();
+  PacketPayload& pkt = pool.at(slot);
+  pkt.id = id;
+  pkt.flow = flow;
+  pkt.src = path.src;
+  pkt.dst = path.dst;
+  pkt.flits = flits;
+  pkt.route = SourceRoute::encode(path);
+  pkt.created = created;
+  return slot;
+}
+
 TEST(NicUnit, StreamsWholePacketOneFlitPerCycle) {
   const NocConfig cfg = cfg4();
   MockFabric fab;
   NetworkStats stats;
-  Nic nic(4, cfg, &fab, &stats);
+  PacketPool pool;
+  Nic nic(4, cfg, &fab, &stats, &pool);
   FlowSet fs;
   fs.add(4, 6, 100.0, xy_path(cfg.dims(), 4, 6));
   nic.register_flow(fs.at(0));
   nic.init_source_credits(cfg.vcs_per_port);
 
-  Packet pkt;
-  pkt.id = 9;
-  pkt.flow = 0;
-  pkt.src = 4;
-  pkt.dst = 6;
-  pkt.flits = cfg.flits_per_packet();
-  pkt.created = 5;
-  nic.offer_packet(pkt);
+  const RoutePath path = xy_path(cfg.dims(), 4, 6);
+  const PacketSlot slot = offer(pool, 9, 0, path, cfg.flits_per_packet(), 5);
+  nic.offer_packet(slot);
 
   ActivityCounters act;
   for (Cycle t = 6; t < 6 + 8; ++t) nic.inject(t, act);
@@ -237,33 +269,32 @@ TEST(NicUnit, StreamsWholePacketOneFlitPerCycle) {
   for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_EQ(fab.sent[i].flit.seq, static_cast<int>(i));
     EXPECT_EQ(fab.sent[i].cycle, 6 + i);
-    EXPECT_EQ(fab.sent[i].flit.injected, 6u);
+    EXPECT_EQ(fab.sent[i].flit.slot, slot);
   }
+  EXPECT_EQ(pool.at(slot).injected, 6u);  // stamped when the head left
   EXPECT_TRUE(is_head(fab.sent.front().flit.type));
   EXPECT_TRUE(is_tail(fab.sent.back().flit.type));
   EXPECT_EQ(nic.source_free_vcs(), cfg.vcs_per_port - 1);
+  // Transmit reference dropped at the tail; the 8 in-flight flit
+  // references (held by our mock fabric) keep the slot live.
+  EXPECT_EQ(pool.refs(slot), 8u);
 }
 
 TEST(NicUnit, BlocksWithoutCredits) {
   const NocConfig cfg = cfg4();
   MockFabric fab;
   NetworkStats stats;
-  Nic nic(4, cfg, &fab, &stats);
+  PacketPool pool;
+  Nic nic(4, cfg, &fab, &stats, &pool);
   FlowSet fs;
   fs.add(4, 6, 100.0, xy_path(cfg.dims(), 4, 6));
   nic.register_flow(fs.at(0));
   nic.init_source_credits(1);
 
   ActivityCounters act;
+  const RoutePath path = xy_path(cfg.dims(), 4, 6);
   for (int p = 0; p < 2; ++p) {
-    Packet pkt;
-    pkt.id = static_cast<std::uint32_t>(p);
-    pkt.flow = 0;
-    pkt.src = 4;
-    pkt.dst = 6;
-    pkt.flits = 1;
-    pkt.created = 1;
-    nic.offer_packet(pkt);
+    nic.offer_packet(offer(pool, static_cast<std::uint32_t>(p), 0, path, 1, 1));
   }
   nic.inject(2, act);
   nic.inject(3, act);
@@ -277,23 +308,21 @@ TEST(NicUnit, ReceiveAssemblesAndCredits) {
   const NocConfig cfg = cfg4();
   MockFabric fab;
   NetworkStats stats;
-  Nic nic(6, cfg, &fab, &stats);
+  PacketPool pool;
+  Nic nic(6, cfg, &fab, &stats, &pool);
 
   const RoutePath path = xy_path(cfg.dims(), 4, 6);
+  const PacketSlot slot = offer(pool, 77, 0, path, 4, 1);
+  pool.at(slot).injected = 2;
   const SourceRoute route = SourceRoute::encode(path);
   for (int s = 0; s < 4; ++s) {
-    Flit f;
+    FlitRef f;
+    f.slot = slot;
     f.type = s == 0 ? FlitType::Head : s == 3 ? FlitType::Tail : FlitType::Body;
     f.seq = static_cast<std::uint8_t>(s);
     f.vc = 1;
-    f.flow = 0;
-    f.packet_id = 77;
-    f.src = 4;
-    f.dst = 6;
-    f.route = route;
     f.hop_index = static_cast<std::uint8_t>(route.entries());
-    f.created = 1;
-    f.injected = 2;
+    pool.add_ref(slot);  // the in-flight flit's reference
     nic.accept_flit(f, 10 + static_cast<Cycle>(s));
   }
   EXPECT_EQ(stats.total_packets(), 1u);
@@ -304,6 +333,9 @@ TEST(NicUnit, ReceiveAssemblesAndCredits) {
   ASSERT_EQ(fab.credits.size(), 1u);
   EXPECT_EQ(fab.credits[0].vc, 1);
   EXPECT_EQ(fab.credits[0].cycle, 13u);
+  // All four flit references consumed; only the test's own remains.
+  EXPECT_EQ(pool.refs(slot), 1u);
+  EXPECT_EQ(pool.live(), 1u);
 }
 
 }  // namespace

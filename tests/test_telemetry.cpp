@@ -164,8 +164,10 @@ TEST(Probe, ChromeExportSurfacesTruncation) {
   pc.epoch_cycles = 100;
   pc.chrome_event_capacity = 2;
   telemetry::Probe probe(cfg.dims(), cfg.flits_per_packet(), pc);
-  noc::Flit flit;
-  for (int i = 0; i < 3; ++i) probe.flit_on_link(0, Dir::East, flit, 5);
+  noc::PacketPool pool;
+  noc::FlitRef flit;
+  flit.slot = pool.alloc();
+  for (int i = 0; i < 3; ++i) probe.flit_on_link(0, Dir::East, flit, pool, 5);
   EXPECT_TRUE(probe.events_truncated());
   EXPECT_EQ(probe.events().size(), 2u);
   EXPECT_NE(telemetry::export_chrome_trace_json(probe).find("capture truncated"),

@@ -183,6 +183,77 @@ TEST(TraceFormat, NotATraceFileThrows) {
   std::remove(path.c_str());
 }
 
+// --- Capture diffing (trace_tool diff) ---------------------------------------
+
+TEST(TraceDiff, IdenticalCapturesCompareEqual) {
+  const TraceFile a = decode_trace(demo_image());
+  const TraceFile b = decode_trace(demo_image());
+  const telemetry::TraceDiff d = telemetry::diff_traces(a, b);
+  EXPECT_TRUE(d.identical);
+  EXPECT_TRUE(d.report.empty()) << d.report;
+}
+
+TEST(TraceDiff, ConfigDifferenceIsNamedFieldByField) {
+  const TraceFile a = decode_trace(demo_image());
+  TraceFile b = decode_trace(demo_image());
+  b.config.seed += 1;
+  b.config.vcs_per_port += 1;
+  const telemetry::TraceDiff d = telemetry::diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_NE(d.report.find("config.seed"), std::string::npos) << d.report;
+  EXPECT_NE(d.report.find("config.vcs_per_port"), std::string::npos) << d.report;
+}
+
+TEST(TraceDiff, RecordCountDifferenceIsReported) {
+  const NocConfig cfg = small_cfg();
+  TraceWriter w(cfg, demo_flows(cfg));
+  w.add(3, 0);
+  const TraceFile a = decode_trace(demo_image());
+  const TraceFile b = decode_trace(w.encode());
+  const telemetry::TraceDiff d = telemetry::diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_NE(d.report.find("records: 4 vs 1"), std::string::npos) << d.report;
+}
+
+TEST(TraceDiff, FlowTableDifferenceIsReported) {
+  const NocConfig cfg = small_cfg();
+  noc::FlowSet other = demo_flows(cfg);  // same shape...
+  noc::FlowSet changed;
+  for (const noc::Flow& f : other) {
+    // ...but flow 1 carries a different bandwidth.
+    changed.add(f.src, f.dst, f.id == 1 ? f.bandwidth_mbps * 2 : f.bandwidth_mbps, f.path);
+  }
+  TraceWriter w(cfg, changed);
+  w.add(3, 0);
+  w.add(3, 2);
+  w.add(10, 1);
+  w.add(500000, 0);  // identical records: only the flow table diverges
+  const telemetry::TraceDiff d =
+      telemetry::diff_traces(decode_trace(demo_image()), decode_trace(w.encode()));
+  EXPECT_FALSE(d.identical);
+  EXPECT_NE(d.report.find("flow 1:"), std::string::npos) << d.report;
+  EXPECT_EQ(d.report.find("record"), std::string::npos)
+      << "records are identical; only the flow table should be reported:\n"
+      << d.report;
+}
+
+TEST(TraceDiff, FirstRecordDivergenceIsLocated) {
+  const NocConfig cfg = small_cfg();
+  TraceWriter wa(cfg, demo_flows(cfg));
+  TraceWriter wb(cfg, demo_flows(cfg));
+  wa.add(3, 0);
+  wb.add(3, 0);
+  wa.add(10, 1);
+  wb.add(10, 2);  // diverges here (record 1)
+  wa.add(20, 0);
+  wb.add(20, 0);
+  const telemetry::TraceDiff d =
+      telemetry::diff_traces(decode_trace(wa.encode()), decode_trace(wb.encode()));
+  EXPECT_FALSE(d.identical);
+  EXPECT_NE(d.report.find("record 1:"), std::string::npos) << d.report;
+  EXPECT_NE(d.report.find("first divergence"), std::string::npos) << d.report;
+}
+
 // --- trace:<file> workload keys ----------------------------------------------
 
 TEST(TraceWorkload, KeyDetectionAndNormalization) {
