@@ -9,11 +9,15 @@
 // full-scan reference kernel. items_per_second = simulated cycles/sec.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "dedicated/dedicated_network.hpp"
 #include "mapping/nmap.hpp"
 #include "noc/traffic.hpp"
 #include "sim/runner.hpp"
 #include "smart/smart_network.hpp"
+#include "telemetry/probe.hpp"
+#include "telemetry/trace_file.hpp"
 
 namespace {
 
@@ -202,7 +206,7 @@ BENCHMARK(BM_Classic4x4_Session);
 // NoProbe at < 5%. (On the baseline mesh the observer fires once per hop
 // instead of once per bypass segment, so its relative cost is higher,
 // ~5%; the virtual-dispatch floor alone measures ~3% there.)
-void run_classic_probe(benchmark::State& state, bool with_probe) {
+void run_classic_probe(benchmark::State& state, bool with_probe, bool power_series = false) {
   const NocConfig cfg = overhead_cfg();
   std::uint64_t cycles = 0;
   for (auto _ : state) {
@@ -210,13 +214,17 @@ void run_classic_probe(benchmark::State& state, bool with_probe) {
         sim::ScenarioSpec::classic(Design::Smart, "transpose", 0.05, cfg);
     if (with_probe) {
       spec.telemetry.epoch_cycles = 1'024;
-      spec.telemetry.record_trace = "/dev/null";  // keep the injection log hot
+      spec.telemetry.record_trace = "/dev/null";  // keep the injection sink hot
+      // Adds the per-tick activity-delta stream + per-epoch fold (the
+      // time-resolved power input); the CSV itself is never written here.
+      if (power_series) spec.telemetry.power_csv = "/dev/null";
     }
     sim::Session session(std::move(spec));
     while (!session.done()) session.run_phase();  // skip flush: no file I/O in the loop
     for (const sim::PhaseResult& p : session.completed()) cycles += p.cycles_run;
     benchmark::DoNotOptimize(session.completed().back().packets_delivered);
     if (with_probe) benchmark::DoNotOptimize(session.probe()->link_flits_total());
+    if (power_series) benchmark::DoNotOptimize(session.probe()->activity_total().buffer_writes);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
 }
@@ -226,6 +234,71 @@ BENCHMARK(BM_Classic4x4_NoProbe);
 
 void BM_Classic4x4_Probe(benchmark::State& state) { run_classic_probe(state, true); }
 BENCHMARK(BM_Classic4x4_Probe);
+
+// PR 6 pair: time-resolved power on top of the probe. Identical to the
+// Probe case plus the activity-delta stream (one virtual call + 10 integer
+// adds per *active* tick) and the per-epoch series fold. The CI
+// bench-release job gates PowerSeries vs Probe at < 3%.
+void BM_Classic4x4_PowerSeries(benchmark::State& state) {
+  run_classic_probe(state, true, true);
+}
+BENCHMARK(BM_Classic4x4_PowerSeries);
+
+// PR 6 pair: capture back-ends. The same classic experiment recording
+// every injection, once into the probe's in-memory log (the pre-streaming
+// buffered path) and once through a StreamingTraceWriter (the Session's
+// v2 on-disk path, flushing 64 KiB chunks to /dev/null). The CI
+// bench-release job gates Streaming vs Buffered at < 5%.
+void run_classic_capture(benchmark::State& state, bool streaming) {
+  const NocConfig cfg = overhead_cfg();
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::Transpose, 0.05,
+                                           noc::TurnModel::XY);
+    auto net = noc::make_baseline_mesh(cfg, std::move(flows));
+    telemetry::Probe::Config pc;
+    pc.epoch_cycles = 0;  // pure capture: no time series
+    pc.record_injections = !streaming;
+    telemetry::Probe probe(cfg.dims(), cfg.flits_per_packet(), pc);
+    std::unique_ptr<telemetry::StreamingTraceWriter> writer;
+    if (streaming) {
+      writer = std::make_unique<telemetry::StreamingTraceWriter>("/dev/null");
+      writer->begin_era(cfg, net->flows());
+      probe.set_injection_sink(
+          [w = writer.get()](Cycle c, FlowId f) { w->add(c, f); });
+    }
+    net->set_observer(&probe);
+    noc::TrafficEngine traffic(cfg, net->flows(), cfg.seed);
+    for (Cycle c = 0; c < cfg.warmup_cycles + cfg.measure_cycles; ++c) {
+      net->tick();
+      traffic.generate(*net);
+    }
+    traffic.set_enabled(false);
+    Cycle drained_after = 0;
+    while (!net->drained() && drained_after < cfg.drain_timeout) {
+      net->tick();
+      drained_after += 1;
+    }
+    cycles += cfg.warmup_cycles + cfg.measure_cycles + drained_after;
+    if (streaming) {
+      writer->finish();
+      benchmark::DoNotOptimize(writer->records());
+    } else {
+      benchmark::DoNotOptimize(probe.injection_log().size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+
+void BM_Classic4x4_CaptureBuffered(benchmark::State& state) {
+  run_classic_capture(state, false);
+}
+BENCHMARK(BM_Classic4x4_CaptureBuffered);
+
+void BM_Classic4x4_CaptureStreaming(benchmark::State& state) {
+  run_classic_capture(state, true);
+}
+BENCHMARK(BM_Classic4x4_CaptureStreaming);
 
 // PR 3 pair: traffic generation alone. 8x8 uniform-random registers 4032
 // flows; the per-cycle path draws each of them every cycle while the

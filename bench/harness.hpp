@@ -22,6 +22,9 @@ struct DesignResult {
   std::uint64_t packets = 0;
   power::PowerBreakdown power;
   bool drained = false;
+  /// Simulator self-profile: wall-clock per simulated cycle (host speed,
+  /// not a paper metric - never feed it into figure data).
+  double ns_per_cycle = 0.0;
 };
 
 struct AppResult {
@@ -47,6 +50,7 @@ inline DesignResult run_design(noc::Network& net, const NocConfig& cfg) {
   r.power = power::compute_power(cfg, run.activity, run.measure_cycles,
                                  power::EnergyParams::for_config(cfg));
   r.drained = run.drained;
+  r.ns_per_cycle = run.profile.ns_per_cycle();
   return r;
 }
 

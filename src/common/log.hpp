@@ -1,10 +1,23 @@
 // Minimal leveled logger. Deliberately tiny: the simulator's primary outputs
 // are the stats/power reports; logging exists for debugging presets and
 // traffic, and is compiled in but off by default.
+//
+// The initial level comes from the SMARTNOC_LOG environment variable -
+// error | warn | info | debug | trace, or the numeric 0..4 - read once on
+// first use; Log::level() stays assignable for programmatic override.
+//
+// Every message is prefixed with its wall-clock offset from the first log
+// call and, when a driver has published one (sim::Session does), the
+// current *simulated* cycle - so interleaved output distinguishes "late in
+// wall time" from "late in simulated time":
+//
+//   [WARN ] [wall +1.204s | cycle 48128] telemetry: ...
 #pragma once
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace smartnoc {
 
@@ -13,11 +26,19 @@ enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 
 class Log {
  public:
   static LogLevel& level() {
-    static LogLevel lvl = LogLevel::Warn;
+    static LogLevel lvl = level_from_env();
     return lvl;
   }
 
   static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
+
+  /// Simulated-time context for message prefixes: the driver's current
+  /// cycle count, or -1 when no simulation is running (no cycle prefix).
+  /// sim::Session keeps this pointed at its session clock.
+  static long long& sim_cycle() {
+    static long long cycle = -1;
+    return cycle;
+  }
 
 #if defined(__GNUC__)
   __attribute__((format(printf, 2, 3)))
@@ -25,12 +46,54 @@ class Log {
   static void write(LogLevel lvl, const char* fmt, ...) {
     if (!enabled(lvl)) return;
     static const char* names[] = {"ERROR", "WARN ", "INFO ", "DEBUG", "TRACE"};
-    std::fprintf(stderr, "[%s] ", names[static_cast<int>(lvl)]);
+    std::fprintf(stderr, "[%s] [wall +%.3fs", names[static_cast<int>(lvl)], wall_seconds());
+    if (sim_cycle() >= 0) std::fprintf(stderr, " | cycle %lld", sim_cycle());
+    std::fputs("] ", stderr);
     va_list args;
     va_start(args, fmt);
     std::vfprintf(stderr, fmt, args);
     va_end(args);
     std::fputc('\n', stderr);
+  }
+
+ private:
+  /// Wall-clock seconds since the first log call (monotonic).
+  static double wall_seconds() {
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+
+  static LogLevel level_from_env() {
+    const char* env = std::getenv("SMARTNOC_LOG");
+    if (env == nullptr || *env == '\0') return LogLevel::Warn;
+    if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+      return static_cast<LogLevel>(env[0] - '0');
+    }
+    struct Name {
+      const char* name;
+      LogLevel lvl;
+    };
+    static constexpr Name kNames[] = {{"error", LogLevel::Error},
+                                      {"warn", LogLevel::Warn},
+                                      {"info", LogLevel::Info},
+                                      {"debug", LogLevel::Debug},
+                                      {"trace", LogLevel::Trace}};
+    for (const Name& n : kNames) {
+      const char* a = env;
+      const char* b = n.name;
+      while (*a != '\0' && *b != '\0') {
+        const char ca = *a >= 'A' && *a <= 'Z' ? static_cast<char>(*a - 'A' + 'a') : *a;
+        if (ca != *b) break;
+        ++a;
+        ++b;
+      }
+      if (*a == '\0' && *b == '\0') return n.lvl;
+    }
+    std::fprintf(stderr,
+                 "[WARN ] SMARTNOC_LOG='%s' is not a level "
+                 "(error|warn|info|debug|trace or 0-4); keeping 'warn'\n",
+                 env);
+    return LogLevel::Warn;
   }
 };
 

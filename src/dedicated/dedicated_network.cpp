@@ -56,6 +56,7 @@ int DedicatedNetwork::link_mm(FlowId flow) const {
 
 void DedicatedNetwork::offer_packet(FlowId flow, Cycle created) {
   const auto& f = flows_.at(flow);
+  if (observer_ != nullptr) observer_->packet_offered(flow, f.src, created);
   const PacketSlot slot = pool_.alloc();
   PacketPayload& pkt = pool_.at(slot);
   pkt.id = next_packet_id_++;
@@ -165,6 +166,16 @@ void DedicatedNetwork::sink_sa(Sink& s) {
 }
 
 void DedicatedNetwork::tick() {
+  if (observer_wants_deltas_) {
+    const noc::ActivityCounters before = stats_.activity();
+    tick_impl();
+    observer_->activity_delta(noc::activity_diff(stats_.activity(), before), now_);
+    return;
+  }
+  tick_impl();
+}
+
+void DedicatedNetwork::tick_impl() {
   now_ += 1;
 
   // Phase 1: credits.

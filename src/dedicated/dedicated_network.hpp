@@ -37,6 +37,7 @@
 #include "noc/network_iface.hpp"
 #include "noc/packet_pool.hpp"
 #include "noc/stats.hpp"
+#include "noc/trace.hpp"
 
 namespace smartnoc::dedicated {
 
@@ -61,6 +62,14 @@ class DedicatedNetwork final : public noc::Network {
   int link_mm(FlowId flow) const;
   /// The structure-of-arrays packet store (live() == 0 once drained).
   const noc::PacketPool& packet_pool() const { return pool_; }
+
+  /// Attach a trace observer. Dedicated links carry no mesh flits, so only
+  /// the packet_offered and activity_delta hooks fire (link/heatmap series
+  /// stay empty); that is enough for trace capture and the power series.
+  void set_observer(noc::TraceObserver* obs) override {
+    observer_ = obs;
+    observer_wants_deltas_ = obs != nullptr && obs->wants_activity_deltas();
+  }
 
  private:
   /// Per-flow private source: streams one flit per cycle once a packet has
@@ -109,6 +118,7 @@ class DedicatedNetwork final : public noc::Network {
     NodeId sink_node = kInvalidNode;
   };
 
+  void tick_impl();
   void nic_deliver(NodeId dst, const noc::FlitRef& f, Cycle arrival, bool via_sink);
   void sink_bw(Sink& s);
   void sink_st(Sink& s);
@@ -123,6 +133,8 @@ class DedicatedNetwork final : public noc::Network {
   std::vector<NicRx> nic_rx_;                // by node
   std::vector<PendingCredit> credits_;
   std::uint32_t next_packet_id_ = 1;
+  noc::TraceObserver* observer_ = nullptr;
+  bool observer_wants_deltas_ = false;
   Cycle now_ = 0;
 };
 

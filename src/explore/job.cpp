@@ -31,17 +31,17 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
         pt.design, pt.workload.name(), pt.injection, spec.config_for(pt));
     scenario.fault_rate = pt.fault_rate;
 
-    // Per-point observability (Dedicated has no observer hooks: skip).
-    if (pt.design != Design::Dedicated) {
-      const std::string tag = "_p" + std::to_string(pt.index);
-      if (!spec.telemetry_prefix.empty()) {
-        scenario.telemetry.epoch_cycles = spec.telemetry_epoch;
-        scenario.telemetry.csv = spec.telemetry_prefix + tag + ".csv";
-        scenario.telemetry.heatmap = spec.telemetry_prefix + tag + "_heatmap.csv";
-      }
-      if (!spec.trace_prefix.empty()) {
-        scenario.telemetry.record_trace = spec.trace_prefix + tag + ".sntr";
-      }
+    // Per-point observability (every design: Mesh/Smart via MeshNetwork's
+    // observer, Dedicated via its own packet/activity hooks).
+    const std::string tag = "_p" + std::to_string(pt.index);
+    if (!spec.telemetry_prefix.empty()) {
+      scenario.telemetry.epoch_cycles = spec.telemetry_epoch;
+      scenario.telemetry.csv = spec.telemetry_prefix + tag + ".csv";
+      scenario.telemetry.power_csv = spec.telemetry_prefix + tag + "_power.csv";
+      scenario.telemetry.heatmap = spec.telemetry_prefix + tag + "_heatmap.csv";
+    }
+    if (!spec.trace_prefix.empty()) {
+      scenario.telemetry.record_trace = spec.trace_prefix + tag + ".sntr";
     }
 
     sim::Session session(std::move(scenario));

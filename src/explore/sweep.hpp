@@ -79,9 +79,10 @@ struct SweepSpec {
   Cycle drain_timeout = 50'000;
 
   // Per-point telemetry outputs (explorer --telemetry / --record-trace):
-  // non-empty prefixes make every mesh-design point write
-  // <prefix>_p<index>.csv / _heatmap.csv / .sntr next to the sweep results.
-  // Dedicated-design points skip telemetry (no observer hooks).
+  // non-empty prefixes make every point (all three designs) write
+  // <prefix>_p<index>.csv / _power.csv / _heatmap.csv / .sntr next to the
+  // sweep results. The _power.csv sidecar is the per-epoch Fig. 10b
+  // breakdown (time-resolved power).
   std::string telemetry_prefix;
   std::string trace_prefix;
   Cycle telemetry_epoch = 1'024;

@@ -96,6 +96,19 @@ void MeshNetwork::validate_and_index_flow(const Flow& flow) {
 }
 
 void MeshNetwork::tick() {
+  if (observer_wants_deltas_) {
+    // Snapshot/diff around the kernel: every ActivityCounters mutation
+    // happens inside the tick phases and stats resets happen between
+    // ticks, so the field-wise difference is exactly this tick's activity.
+    const ActivityCounters before = stats_.activity();
+    if (reference_kernel_) {
+      tick_reference();
+    } else {
+      tick_active_set();
+    }
+    observer_->activity_delta(activity_diff(stats_.activity(), before), now_);
+    return;
+  }
   if (reference_kernel_) {
     tick_reference();
   } else {

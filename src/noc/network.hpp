@@ -104,7 +104,10 @@ class MeshNetwork final : public Network, private Fabric {
 
   /// Installs a trace observer (e.g. sim::VcdTracer). Pass nullptr to
   /// detach. The observer must outlive the network or be detached first.
-  void set_observer(TraceObserver* obs) { observer_ = obs; }
+  void set_observer(TraceObserver* obs) override {
+    observer_ = obs;
+    observer_wants_deltas_ = obs != nullptr && obs->wants_activity_deltas();
+  }
 
  private:
   // --- Fabric interface -------------------------------------------------------
@@ -174,6 +177,7 @@ class MeshNetwork final : public Network, private Fabric {
   int clocked_out_total_ = 0;
   bool reference_kernel_ = false;
   TraceObserver* observer_ = nullptr;
+  bool observer_wants_deltas_ = false;  ///< cached obs->wants_activity_deltas()
   Cycle now_ = 0;
 };
 

@@ -10,6 +10,8 @@
 
 namespace smartnoc::noc {
 
+class TraceObserver;
+
 class Network {
  public:
   virtual ~Network() = default;
@@ -27,6 +29,11 @@ class Network {
   virtual NetworkStats& stats() = 0;
   virtual const NocConfig& config() const = 0;
   virtual const FlowSet& flows() const = 0;
+
+  /// Attach a trace observer (nullptr detaches). Default no-op so minimal
+  /// Network implementations (test sinks) need not care; Mesh, SMART and
+  /// Dedicated all override.
+  virtual void set_observer(TraceObserver* obs) { (void)obs; }
 };
 
 }  // namespace smartnoc::noc

@@ -62,7 +62,38 @@ struct ActivityCounters {
   std::uint64_t clocked_outport_cycles = 0;  ///< ungated output-port * cycles
 
   void reset() { *this = ActivityCounters{}; }
+
+  void add(const ActivityCounters& o) {
+    buffer_writes += o.buffer_writes;
+    buffer_reads += o.buffer_reads;
+    alloc_grants += o.alloc_grants;
+    xbar_flit_traversals += o.xbar_flit_traversals;
+    xbar_credit_traversals += o.xbar_credit_traversals;
+    pipeline_latches += o.pipeline_latches;
+    link_flit_mm += o.link_flit_mm;
+    link_credit_mm += o.link_credit_mm;
+    clocked_inport_cycles += o.clocked_inport_cycles;
+    clocked_outport_cycles += o.clocked_outport_cycles;
+  }
 };
+
+/// Field-wise a - b. Networks emitting per-tick activity deltas snapshot
+/// their counters at tick start and diff at tick end; the counters only
+/// ever grow within a tick, so each field difference is exact.
+inline ActivityCounters activity_diff(const ActivityCounters& a, const ActivityCounters& b) {
+  ActivityCounters d;
+  d.buffer_writes = a.buffer_writes - b.buffer_writes;
+  d.buffer_reads = a.buffer_reads - b.buffer_reads;
+  d.alloc_grants = a.alloc_grants - b.alloc_grants;
+  d.xbar_flit_traversals = a.xbar_flit_traversals - b.xbar_flit_traversals;
+  d.xbar_credit_traversals = a.xbar_credit_traversals - b.xbar_credit_traversals;
+  d.pipeline_latches = a.pipeline_latches - b.pipeline_latches;
+  d.link_flit_mm = a.link_flit_mm - b.link_flit_mm;
+  d.link_credit_mm = a.link_credit_mm - b.link_credit_mm;
+  d.clocked_inport_cycles = a.clocked_inport_cycles - b.clocked_inport_cycles;
+  d.clocked_outport_cycles = a.clocked_outport_cycles - b.clocked_outport_cycles;
+  return d;
+}
 
 class NetworkStats {
  public:

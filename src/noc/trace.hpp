@@ -15,6 +15,7 @@
 #include "noc/flit.hpp"
 #include "noc/packet_pool.hpp"
 #include "noc/segment.hpp"
+#include "noc/stats.hpp"
 
 namespace smartnoc::noc {
 
@@ -58,6 +59,24 @@ class TraceObserver {
     (void)src;
     (void)created;
   }
+
+  /// Per-tick activity delta: the field-wise change of the network's
+  /// ActivityCounters over the tick that ended at `cycle`. Emitted only
+  /// when wants_activity_deltas() returns true (the network caches the
+  /// answer at set_observer time, so observers that do not need power
+  /// series pay nothing). Every counter mutation happens strictly inside
+  /// tick() and stats resets happen between ticks, so summing the deltas
+  /// over a window reproduces the window's counters exactly - this is what
+  /// lets the per-epoch power series match the end-of-run Fig. 10b
+  /// breakdown bit-for-bit.
+  virtual void activity_delta(const ActivityCounters& delta, Cycle cycle) {
+    (void)delta;
+    (void)cycle;
+  }
+
+  /// Opt-in for the per-tick activity_delta stream (snapshot/diff of ten
+  /// uint64 counters per tick - cheap, but not free).
+  virtual bool wants_activity_deltas() const { return false; }
 };
 
 }  // namespace smartnoc::noc

@@ -51,6 +51,10 @@ struct RunResult {
   Cycle max_network_latency = 0;
   /// Delivered packets per cycle of the measurement window (whole mesh).
   double delivered_packets_per_cycle = 0.0;
+
+  /// Wall-clock self-profile of the run (nondeterministic; keep out of any
+  /// output pinned byte-identical across runs or thread counts).
+  RunProfile profile;
 };
 
 /// Folds a session's phase records into the classic RunResult shape:
@@ -61,6 +65,7 @@ inline RunResult session_to_run_result(const SessionResult& sr) {
   RunResult res;
   res.ok = sr.ok;
   res.error = sr.error;
+  res.profile = sr.profile;
   bool saw_drain = false;
   res.drained = true;
   for (const PhaseResult& p : sr.phases) {

@@ -52,10 +52,8 @@ void ScenarioSpec::validate() const {
   if (fault_rate < 0.0 || fault_rate > 1.0) {
     throw ConfigError("fault_rate must be in [0,1]");
   }
-  if (telemetry.enabled() && design == Design::Dedicated) {
-    throw ConfigError("telemetry requires a mesh-based design (Dedicated has no observer hooks)");
-  }
-  if ((!telemetry.csv.empty() || !telemetry.heatmap.empty() || !telemetry.chrome.empty()) &&
+  if ((!telemetry.csv.empty() || !telemetry.power_csv.empty() || !telemetry.heatmap.empty() ||
+       !telemetry.chrome.empty()) &&
       telemetry.epoch_cycles == 0) {
     throw ConfigError("telemetry exports need a sample window: set telemetry_epoch > 0");
   }
@@ -71,6 +69,7 @@ void ScenarioSpec::validate() const {
   };
   check_path(telemetry.record_trace, "record_trace");
   check_path(telemetry.csv, "telemetry_csv");
+  check_path(telemetry.power_csv, "telemetry_power_csv");
   check_path(telemetry.heatmap, "telemetry_heatmap");
   check_path(telemetry.chrome, "telemetry_chrome");
   std::string wl;
@@ -179,6 +178,7 @@ void apply_scalar(ScenarioSpec& spec, const std::string& key, const std::string&
     spec.telemetry.epoch_cycles = parse_u64_token(value, "telemetry_epoch");
   else if (key == "record_trace") spec.telemetry.record_trace = value;
   else if (key == "telemetry_csv") spec.telemetry.csv = value;
+  else if (key == "telemetry_power_csv") spec.telemetry.power_csv = value;
   else if (key == "telemetry_heatmap") spec.telemetry.heatmap = value;
   else if (key == "telemetry_chrome") spec.telemetry.chrome = value;
   else if (key == "telemetry_chrome_events")
@@ -221,6 +221,7 @@ std::string serialize_scenario_text(const ScenarioSpec& spec) {
   if (tel.epoch_cycles > 0) out << "telemetry_epoch = " << tel.epoch_cycles << "\n";
   if (!tel.record_trace.empty()) out << "record_trace = " << tel.record_trace << "\n";
   if (!tel.csv.empty()) out << "telemetry_csv = " << tel.csv << "\n";
+  if (!tel.power_csv.empty()) out << "telemetry_power_csv = " << tel.power_csv << "\n";
   if (!tel.heatmap.empty()) out << "telemetry_heatmap = " << tel.heatmap << "\n";
   if (!tel.chrome.empty()) out << "telemetry_chrome = " << tel.chrome << "\n";
   if (tel.chrome_events != TelemetrySpec{}.chrome_events) {
@@ -594,6 +595,9 @@ std::string serialize_scenario_json(const ScenarioSpec& spec) {
     out << "  \"record_trace\": \"" << json_escape(tel.record_trace) << "\",\n";
   }
   if (!tel.csv.empty()) out << "  \"telemetry_csv\": \"" << json_escape(tel.csv) << "\",\n";
+  if (!tel.power_csv.empty()) {
+    out << "  \"telemetry_power_csv\": \"" << json_escape(tel.power_csv) << "\",\n";
+  }
   if (!tel.heatmap.empty()) {
     out << "  \"telemetry_heatmap\": \"" << json_escape(tel.heatmap) << "\",\n";
   }

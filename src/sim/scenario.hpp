@@ -50,14 +50,26 @@ struct PhaseSpec {
 /// flushes automatically; step()-driven callers call flush_telemetry()).
 struct TelemetrySpec {
   Cycle epoch_cycles = 0;    ///< sample window; > 0 attaches a Probe
-  std::string record_trace;  ///< binary capture path ("" = off; single-era
-                             ///< scenarios only - replay via trace:<file>)
+  std::string record_trace;  ///< binary capture path ("" = off). Streamed to
+                             ///< disk as format v2 with one era section per
+                             ///< reconfiguration - multi-era scenarios record
+                             ///< end to end; replay via trace:<file>[@era]
   std::string csv;           ///< epoch time-series CSV export path
+  std::string power_csv;     ///< per-epoch power-breakdown CSV export path
+                             ///< (time-resolved Fig. 10b; needs epoch_cycles)
   std::string heatmap;       ///< link-utilization heatmap (CSV + ASCII sidecar)
   std::string chrome;        ///< chrome://tracing JSON export path
   std::uint64_t chrome_events = 65536;  ///< raw link-event capture cap
 
-  bool enabled() const { return epoch_cycles > 0 || !record_trace.empty(); }
+  bool enabled() const {
+    return epoch_cycles > 0 || !record_trace.empty() || !power_csv.empty();
+  }
+  /// The probe keeps the per-epoch activity series (the time-resolved
+  /// power input) whenever something consumes it: the power CSV or the
+  /// Chrome export's power counter tracks.
+  bool power_series() const {
+    return epoch_cycles > 0 && (!power_csv.empty() || !chrome.empty());
+  }
 
   friend bool operator==(const TelemetrySpec&, const TelemetrySpec&) = default;
 };

@@ -1,8 +1,10 @@
 #include "sim/session.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -19,6 +21,13 @@ namespace {
 /// The stream key lives above the 32-bit FlowId range so it can never
 /// collide with a flow's traffic stream (TrafficEngine keys by flow id).
 constexpr std::uint64_t kFaultStreamKey = (1ULL << 32) + 0xFA;
+
+// Self-profiler clock (wall time, monotonic).
+using ProfClock = std::chrono::steady_clock;
+
+double seconds_since(ProfClock::time_point t0) {
+  return std::chrono::duration<double>(ProfClock::now() - t0).count();
+}
 
 }  // namespace
 
@@ -56,24 +65,23 @@ Session::Session(ScenarioSpec spec) : spec_(std::move(spec)), owning_(true) {
   spec_.validate();
   resolve_phases();
   if (spec_.telemetry.enabled()) {
-    if (!spec_.telemetry.record_trace.empty()) {
-      // A capture stores one flow table, so recording is a single-era
-      // affair; resolve_phases() already knows - reject before simulating.
-      int eras = 0;
-      for (const Resolved& rv : resolved_) eras += rv.new_era ? 1 : 0;
-      if (eras > 1) {
-        throw ConfigError("record_trace captures a single era; scenario '" + spec_.name +
-                          "' reconfigures " + std::to_string(eras - 1) +
-                          " time(s) (record each era separately)");
-      }
-    }
     telemetry::Probe::Config pc;
     pc.epoch_cycles = spec_.telemetry.epoch_cycles;
-    pc.record_injections = !spec_.telemetry.record_trace.empty();
     pc.chrome_event_capacity =
         spec_.telemetry.chrome.empty() ? 0 : spec_.telemetry.chrome_events;
+    pc.power_series = spec_.telemetry.power_series();
     probe_ = std::make_unique<telemetry::Probe>(spec_.config.dims(),
                                                spec_.config.flits_per_packet(), pc);
+    if (!spec_.telemetry.record_trace.empty()) {
+      // Capture streams to disk as the run produces it (format v2, one era
+      // section per reconfiguration) instead of buffering an injection log
+      // in memory: recording cost no longer grows with run length, and a
+      // multi-era scenario records through its reconfigurations.
+      trace_writer_ =
+          std::make_unique<telemetry::StreamingTraceWriter>(spec_.telemetry.record_trace);
+      probe_->set_injection_sink(
+          [w = trace_writer_.get()](Cycle cycle, FlowId flow) { w->add(cycle, flow); });
+    }
   }
 }
 
@@ -129,6 +137,7 @@ void Session::switch_era(const Resolved& rv) {
   // 1. Empty the running network ("the network needs to be emptied while
   //    setting the registers").
   if (net_ != nullptr) {
+    const auto t_drain = ProfClock::now();
     Cycle drained_after = 0;
     while (!net_->drained()) {
       if (drained_after >= era_cfg_.drain_timeout) {
@@ -138,11 +147,16 @@ void Session::switch_era(const Resolved& rv) {
       net_->tick();
       drained_after += 1;
     }
+    const double dt = seconds_since(t_drain);
+    profile_.drain_seconds += dt;
+    profile_.drain_cycles += drained_after;
+    phase_wall_seconds_ += dt;
     ev.drain_cycles = drained_after;
     // Later events are timestamped by the next era's clock, which restarts
     // at 0: fold the finished era into the probe's global-time offset.
     if (probe_ != nullptr) probe_->end_era(net_->now());
   }
+  const auto t_build = ProfClock::now();
 
   // 2. The next application's flows (the factory may adjust cfg: apps
   //    install the paper's bandwidth scale times the injection multiplier).
@@ -232,11 +246,12 @@ void Session::switch_era(const Resolved& rv) {
                         std::to_string(probe_->flits_per_packet()) +
                         " declared); telemetry needs a constant packet size");
     }
-    auto* mesh = dynamic_cast<noc::MeshNetwork*>(net_);
-    SMARTNOC_CHECK(mesh != nullptr, "telemetry requires a mesh-based network");
-    mesh->set_observer(probe_.get());
+    net_->set_observer(probe_.get());
   }
   era_cfg_ = cfg;
+  // A new era opens a new capture section: its own config + (possibly
+  // rerouted) flow table, records timestamped by the new era-local clock.
+  if (trace_writer_ != nullptr) trace_writer_->begin_era(era_cfg_, net_->flows());
 
   // 4. The per-cycle source for the final (possibly rerouted) flow set.
   owned_source_ = factory->source(cfg, net_->flows(), cfg.seed, spec_.traffic_mode);
@@ -246,8 +261,14 @@ void Session::switch_era(const Resolved& rv) {
   era_count_ += 1;
   // The new network starts with fresh statistics: the measurement window
   // restarts with it (otherwise a post-switch phase would divide the new
-  // era's deliveries by the previous era's window length).
+  // era's deliveries by the previous era's window length). The probe's
+  // activity window snapshots in lockstep so it keeps matching the stats
+  // window bit-for-bit.
   window_measured_ = 0;
+  if (probe_ != nullptr) probe_->window_reset();
+  const double dt = seconds_since(t_build);
+  profile_.reconfig_seconds += dt;
+  phase_wall_seconds_ += dt;
 }
 
 // --- Phase execution ---------------------------------------------------------
@@ -265,6 +286,11 @@ void Session::begin_phase() {
   if (ph.measure) {
     net_->stats().reset();
     window_measured_ = 0;
+    // Snapshot the probe's cumulative activity exactly when the stats
+    // window resets: Probe::window_activity() then reproduces the window's
+    // ActivityCounters bit-for-bit (same integer deltas, same boundaries),
+    // which is what pins the power series against the Fig. 10b breakdown.
+    if (probe_ != nullptr) probe_->window_reset();
   }
   phase_gen_before_ = source_->generated();
   phase_cycles_ = 0;
@@ -283,6 +309,7 @@ void Session::fail_phase(const PhaseSpec& ph, const Resolved& rv, const std::str
   r.cycles_run = phase_cycles_;
   r.reconfig = std::exchange(pending_reconfig_, {});
   r.dropped_flows = std::exchange(pending_dropped_, 0);
+  r.wall_seconds = std::exchange(phase_wall_seconds_, 0.0);
   results_.push_back(std::move(r));
   failed_ = true;
   if (error_.empty()) error_ = why;
@@ -300,6 +327,7 @@ void Session::finalize_phase(const PhaseSpec& ph, const Resolved& rv) {
   r.drain = ph.drain;
   r.reconfig = std::exchange(pending_reconfig_, {});
   r.dropped_flows = std::exchange(pending_dropped_, 0);
+  r.wall_seconds = std::exchange(phase_wall_seconds_, 0.0);
   if (ph.measure) {
     window_measured_ += phase_cycles_;
     net_->stats().measured_cycles = window_measured_;
@@ -368,6 +396,7 @@ Cycle Session::step(Cycle n) {
   }
 
   Cycle advanced = 0;
+  const auto t0 = ProfClock::now();
   if (ph.drain) {
     const Cycle bound = ph.cycles > 0 ? ph.cycles : spec_.config.drain_timeout;
     while (advanced < n && phase_cycles_ < bound && !net_->drained()) {
@@ -377,6 +406,10 @@ Cycle Session::step(Cycle n) {
       advanced += 1;
       if (progress_every_ && phase_cycles_ % progress_every_ == 0) report_progress(ph);
     }
+    const double dt = seconds_since(t0);
+    profile_.drain_seconds += dt;
+    profile_.drain_cycles += advanced;
+    phase_wall_seconds_ += dt;
     if (net_->drained() || phase_cycles_ >= bound) finalize_phase(ph, rv);
   } else {
     while (advanced < n && phase_cycles_ < ph.cycles) {
@@ -387,8 +420,14 @@ Cycle Session::step(Cycle n) {
       advanced += 1;
       if (progress_every_ && phase_cycles_ % progress_every_ == 0) report_progress(ph);
     }
+    const double dt = seconds_since(t0);
+    profile_.traffic_seconds += dt;
+    profile_.traffic_cycles += advanced;
+    phase_wall_seconds_ += dt;
     if (phase_cycles_ >= ph.cycles) finalize_phase(ph, rv);
   }
+  // Publish simulated time so log lines carry "cycle N" context.
+  Log::sim_cycle() = static_cast<long long>(session_cycles_);
   return advanced;
 }
 
@@ -410,6 +449,7 @@ SessionResult Session::run() {
   out.ok = !failed_;
   out.error = error_;
   out.phases = results_;
+  out.profile = profile_;
   return out;
 }
 
@@ -417,13 +457,28 @@ void Session::flush_telemetry() {
   if (probe_ == nullptr || telemetry_flushed_) return;
   telemetry_flushed_ = true;
   const TelemetrySpec& tel = spec_.telemetry;
-  if (!tel.record_trace.empty() && net_ != nullptr) {
-    telemetry::TraceWriter writer(era_cfg_, net_->flows());
-    writer.add_all(probe_->injection_log());
-    writer.write(tel.record_trace);
+  // Close the streaming capture (chunk flush + end marker). A session that
+  // failed before its first era has nothing to finish: leave the header-only
+  // file as is rather than fabricate an empty era section.
+  if (trace_writer_ != nullptr && trace_writer_->eras() > 0) trace_writer_->finish();
+  if (probe_->events_truncated()) {
+    SMARTNOC_LOG_WARN(
+        "telemetry: chrome link-event capture truncated at %llu events "
+        "(raise telemetry.chrome_events to keep more)",
+        static_cast<unsigned long long>(probe_->events().size()));
   }
   if (!tel.csv.empty()) {
     telemetry::write_text_file(tel.csv, telemetry::export_time_series_csv(*probe_));
+  }
+  // Power folding uses the live era's configuration (frequency and link
+  // swing never change across eras - workload factories only adjust the
+  // bandwidth scale - so one EnergyParams covers the whole timeline).
+  const NocConfig& pcfg = era_count_ > 0 ? era_cfg_ : spec_.config;
+  if (!tel.power_csv.empty()) {
+    telemetry::write_text_file(
+        tel.power_csv,
+        telemetry::export_power_series_csv(*probe_, pcfg,
+                                           power::EnergyParams::for_config(pcfg)));
   }
   if (!tel.heatmap.empty()) {
     const Cycle span = net_ != nullptr ? probe_->global_cycle(net_->now()) : 0;
@@ -432,7 +487,13 @@ void Session::flush_telemetry() {
                                telemetry::export_link_heatmap_ascii(*probe_));
   }
   if (!tel.chrome.empty()) {
-    telemetry::write_text_file(tel.chrome, telemetry::export_chrome_trace_json(*probe_));
+    if (probe_->power_series_enabled()) {
+      const power::EnergyParams ep = power::EnergyParams::for_config(pcfg);
+      telemetry::write_text_file(tel.chrome,
+                                 telemetry::export_chrome_trace_json(*probe_, &pcfg, &ep));
+    } else {
+      telemetry::write_text_file(tel.chrome, telemetry::export_chrome_trace_json(*probe_));
+    }
   }
 }
 
@@ -477,6 +538,15 @@ std::string summarize(const SessionResult& result) {
   std::string out = table.str();
   out += strf("total reconfiguration latency: %llu cycles\n",
               static_cast<unsigned long long>(result.total_reconfig_cycles()));
+  const RunProfile& prof = result.profile;
+  if (prof.cycles() != 0 || prof.reconfig_seconds > 0.0) {
+    out += strf(
+        "self-profile: %.3f s wall (%.1f ns/cycle; traffic %.3f s / %llu cyc, "
+        "drain %.3f s / %llu cyc, reconfig %.3f s)\n",
+        prof.total_seconds(), prof.ns_per_cycle(), prof.traffic_seconds,
+        static_cast<unsigned long long>(prof.traffic_cycles), prof.drain_seconds,
+        static_cast<unsigned long long>(prof.drain_cycles), prof.reconfig_seconds);
+  }
   return out;
 }
 
@@ -487,6 +557,14 @@ std::string to_json(const SessionResult& result) {
   out += ",\n  \"error\": \"" + esc(result.error) + "\",\n";
   out += strf("  \"total_reconfig_cycles\": %llu,\n",
               static_cast<unsigned long long>(result.total_reconfig_cycles()));
+  const RunProfile& prof = result.profile;
+  out += strf(
+      "  \"profile\": {\"traffic_seconds\": %.6g, \"traffic_cycles\": %llu, "
+      "\"drain_seconds\": %.6g, \"drain_cycles\": %llu, \"reconfig_seconds\": %.6g, "
+      "\"ns_per_cycle\": %.6g},\n",
+      prof.traffic_seconds, static_cast<unsigned long long>(prof.traffic_cycles),
+      prof.drain_seconds, static_cast<unsigned long long>(prof.drain_cycles),
+      prof.reconfig_seconds, prof.ns_per_cycle());
   out += "  \"phases\": [\n";
   for (std::size_t i = 0; i < result.phases.size(); ++i) {
     const PhaseResult& p = result.phases[i];
@@ -519,7 +597,8 @@ std::string to_json(const SessionResult& result) {
                 static_cast<unsigned long long>(p.p99_network_latency));
     out += strf("\"max_network_latency\": %llu, ",
                 static_cast<unsigned long long>(p.max_network_latency));
-    out += strf("\"delivered_packets_per_cycle\": %.17g", p.delivered_packets_per_cycle);
+    out += strf("\"delivered_packets_per_cycle\": %.17g, ", p.delivered_packets_per_cycle);
+    out += strf("\"wall_seconds\": %.6g", p.wall_seconds);
     out += "}";
     out += i + 1 < result.phases.size() ? ",\n" : "\n";
   }

@@ -32,6 +32,7 @@
 #include "sim/workload.hpp"
 #include "smart/config_reg.hpp"
 #include "telemetry/probe.hpp"
+#include "telemetry/trace_file.hpp"
 
 namespace smartnoc::sim {
 
@@ -42,6 +43,30 @@ struct ReconfigEvent {
   int stores = 0;           ///< register-store program length (diffed)
   Cycle store_cycles = 0;   ///< issue + config-ring delivery of the stores
   Cycle total() const { return drain_cycles + store_cycles; }
+};
+
+/// Wall-clock self-profile of a run: the simulator timing itself, not the
+/// simulated clock. The work splits into three kernel sections: `traffic`
+/// (tick + generate loops), `drain` (bare-tick loops, including the drain
+/// that precedes every reconfiguration) and `reconfig` (era builds: preset
+/// computation, register programs, network construction - no ticking).
+/// Wall-clock numbers are inherently nondeterministic; keep them out of
+/// any output that is pinned byte-identical across runs.
+struct RunProfile {
+  double traffic_seconds = 0.0;
+  double drain_seconds = 0.0;
+  double reconfig_seconds = 0.0;
+  std::uint64_t traffic_cycles = 0;
+  std::uint64_t drain_cycles = 0;
+
+  double total_seconds() const { return traffic_seconds + drain_seconds + reconfig_seconds; }
+  std::uint64_t cycles() const { return traffic_cycles + drain_cycles; }
+  /// Wall nanoseconds per simulated cycle across the ticking sections.
+  double ns_per_cycle() const {
+    return cycles() != 0
+               ? (traffic_seconds + drain_seconds) * 1e9 / static_cast<double>(cycles())
+               : 0.0;
+  }
 };
 
 /// Everything one phase produced. Latency/throughput fields snapshot the
@@ -72,12 +97,16 @@ struct PhaseResult {
   Cycle max_network_latency = 0;
   double delivered_packets_per_cycle = 0.0;  ///< per measured-window cycle
   noc::ActivityCounters activity;            ///< window activity at phase end
+  /// Wall-clock seconds spent simulating this phase, including the era
+  /// switch it triggered (self-profiler; nondeterministic by nature).
+  double wall_seconds = 0.0;
 };
 
 struct SessionResult {
   bool ok = true;
   std::string error;               ///< first failure (phase errors repeat it)
   std::vector<PhaseResult> phases;
+  RunProfile profile;              ///< wall-clock self-profile of the run
 
   /// Sum of every *switch*'s reconfiguration latency (the Fig. 1 number;
   /// the scenario's initial configuration is not a runtime switch).
@@ -171,10 +200,15 @@ class Session {
   /// as marks in its series.
   telemetry::Probe* probe() { return probe_.get(); }
 
-  /// Writes the telemetry outputs the scenario declared: the binary packet
-  /// trace (record_trace), the time-series CSV, the heatmap (CSV + ASCII
-  /// sidecar) and the Chrome-tracing JSON. run() calls this automatically
-  /// once all phases complete; step()-driven callers invoke it themselves.
+  /// The run's wall-clock self-profile so far (run() also returns it on
+  /// the SessionResult).
+  const RunProfile& profile() const { return profile_; }
+
+  /// Writes the telemetry outputs the scenario declared: finishes the
+  /// streaming binary capture (record_trace), then exports the time-series
+  /// CSV, the per-epoch power CSV, the heatmap (CSV + ASCII sidecar) and
+  /// the Chrome-tracing JSON. run() calls this automatically once all
+  /// phases complete; step()-driven callers invoke it themselves.
   /// Idempotent; throws SimError/TraceError on I/O failure.
   void flush_telemetry();
 
@@ -206,6 +240,9 @@ class Session {
   NocConfig era_cfg_;
   std::unique_ptr<smart::RegisterFile> regs_;  ///< persists across eras
   std::unique_ptr<telemetry::Probe> probe_;    ///< persists across eras
+  /// Streaming capture (record_trace): one era section per reconfiguration,
+  /// fed by the probe's injection sink, finished by flush_telemetry().
+  std::unique_ptr<telemetry::StreamingTraceWriter> trace_writer_;
   bool telemetry_flushed_ = false;
   int era_count_ = 0;
   int hpc_max_ = 0;
@@ -222,6 +259,10 @@ class Session {
   std::vector<PhaseResult> results_;
   bool failed_ = false;
   std::string error_;
+
+  // Self-profiler state (wall clock; see RunProfile).
+  RunProfile profile_;
+  double phase_wall_seconds_ = 0.0;
 
   ProgressFn progress_;
   Cycle progress_every_ = 0;

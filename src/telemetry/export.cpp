@@ -62,6 +62,32 @@ std::string export_time_series_csv(const Probe& probe) {
   return out.str();
 }
 
+std::string export_power_series_csv(const Probe& probe, const NocConfig& cfg,
+                                    const power::EnergyParams& params) {
+  SMARTNOC_CHECK(probe.power_series_enabled(),
+                 "the power CSV needs a power-series probe (Config::power_series)");
+  std::ostringstream out;
+  out << "epoch,start_cycle,buffer_w,allocator_w,xbar_pipe_w,link_w,total_w,phase\n";
+  const Cycle ep = probe.epoch_cycles();
+  const auto series = probe.power_series(cfg, params);
+  for (std::size_t e = 0; e < series.size(); ++e) {
+    const power::PowerBreakdown& p = series[e];
+    std::string phase;
+    for (const Mark& m : probe.marks()) {
+      if (ep != 0 && m.cycle / ep == e) {
+        if (!phase.empty()) phase += "|";
+        phase += m.label;
+        if (m.new_era) phase += "!";
+      }
+    }
+    out << e << "," << e * ep << "," << strf("%.9g", p.buffer_w) << ","
+        << strf("%.9g", p.allocator_w) << "," << strf("%.9g", p.xbar_pipe_w) << ","
+        << strf("%.9g", p.link_w) << "," << strf("%.9g", p.total()) << ","
+        << csv_field(phase) << "\n";
+  }
+  return out.str();
+}
+
 std::string export_link_heatmap_csv(const Probe& probe, Cycle span_cycles) {
   const MeshDims& dims = probe.dims();
   const auto totals = probe.link_totals();
@@ -126,7 +152,8 @@ std::string export_link_heatmap_ascii(const Probe& probe) {
   return out.str();
 }
 
-std::string export_chrome_trace_json(const Probe& probe) {
+std::string export_chrome_trace_json(const Probe& probe, const NocConfig* cfg,
+                                     const power::EnergyParams* params) {
   const MeshDims& dims = probe.dims();
   std::ostringstream out;
   out << "[\n";
@@ -136,6 +163,18 @@ std::string export_chrome_trace_json(const Probe& probe) {
     first = false;
     out << obj;
   };
+  // Power counter track: one "C" event per epoch, four stacked series.
+  if (cfg != nullptr && params != nullptr && probe.power_series_enabled()) {
+    const auto series = probe.power_series(*cfg, *params);
+    for (std::size_t e = 0; e < series.size(); ++e) {
+      const power::PowerBreakdown& p = series[e];
+      emit(strf("{\"ph\":\"C\",\"name\":\"power (W)\",\"ts\":%llu,\"pid\":0,\"tid\":0,"
+                "\"args\":{\"buffer\":%.9g,\"allocator\":%.9g,\"xbar_pipe\":%.9g,"
+                "\"link\":%.9g}}",
+                static_cast<unsigned long long>(e * probe.epoch_cycles()), p.buffer_w,
+                p.allocator_w, p.xbar_pipe_w, p.link_w));
+    }
+  }
   // Track metadata: name every directed link's tid on its source-row pid.
   for (NodeId n = 0; n < dims.nodes(); ++n) {
     for (Dir d : kMeshDirs) {

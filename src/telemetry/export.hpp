@@ -33,11 +33,26 @@ std::string export_link_heatmap_csv(const Probe& probe, Cycle span_cycles = 0);
 /// the busiest node; legend + per-link top talkers appended.
 std::string export_link_heatmap_ascii(const Probe& probe);
 
+/// Per-epoch power breakdown as CSV (the time-resolved Fig. 10b): one row
+/// per epoch with the four category watts, the total, and the label of any
+/// phase mark falling inside the epoch. Requires a power-series probe
+/// (Config::power_series); each epoch's activity is folded through the
+/// energy model over a full epoch_cycles window.
+std::string export_power_series_csv(const Probe& probe, const NocConfig& cfg,
+                                    const power::EnergyParams& params);
+
 /// Chrome-tracing JSON (array-of-events form) from the probe's raw link
 /// event capture. One pid per mesh row of routers, one tid per directed
 /// link; each flit traversal is a 1-cycle duration event whose timestamp
-/// is the global cycle. Phase marks become instant events.
-std::string export_chrome_trace_json(const Probe& probe);
+/// is the global cycle. Phase marks become instant events; a truncated
+/// event capture is flagged with an instant event at the cut.
+///
+/// When `cfg`/`params` are non-null and the probe keeps a power series,
+/// the export additionally carries one "power (W)" counter track with the
+/// four Fig. 10b categories sampled per epoch (rendered as a stacked area
+/// in chrome://tracing / Perfetto).
+std::string export_chrome_trace_json(const Probe& probe, const NocConfig* cfg = nullptr,
+                                     const power::EnergyParams* params = nullptr);
 
 /// Writes `content` to `path`. Throws SimError on I/O failure.
 void write_text_file(const std::string& path, const std::string& content);

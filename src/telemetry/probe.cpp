@@ -11,6 +11,8 @@ Probe::Probe(const MeshDims& dims, int flits_per_packet, Config cfg)
       nodes_(static_cast<std::size_t>(dims.nodes())),
       links_(static_cast<std::size_t>(dims.nodes()) * kNumMeshDirs) {
   SMARTNOC_CHECK(flits_per_packet_ > 0, "probe needs the packet size in flits");
+  SMARTNOC_CHECK(!cfg_.power_series || cfg_.epoch_cycles > 0,
+                 "the power series needs an epoch length (epoch_cycles > 0)");
   if (cfg_.chrome_event_capacity > 0) events_.reserve(cfg_.chrome_event_capacity);
   // Materialize epoch 0 so the window cache is valid from the first event.
   if (cfg_.epoch_cycles > 0) rewindow(0);
@@ -26,6 +28,7 @@ void Probe::ensure_epoch(std::size_t epoch) {
     router_series_.resize(cap * nodes_);
     inject_series_.resize(cap * nodes_);
     eject_series_.resize(cap * nodes_);
+    if (cfg_.power_series) activity_series_.resize(cap);
     epochs_reserved_ = cap;
   }
   epochs_ = need;
@@ -108,12 +111,32 @@ void Probe::segment_traversed(const noc::Segment& seg, const noc::FlitRef& flit,
 
 void Probe::packet_offered(FlowId flow, NodeId src, Cycle created) {
   if (cfg_.record_injections) injection_log_.push_back(noc::TraceEntry{created, flow});
+  if (injection_sink_) injection_sink_(created, flow);
   if (cfg_.epoch_cycles != 0) {
     epoch_of(created);
     win_inject_p_[static_cast<std::size_t>(src)] += 1;
   } else {
     inject_total_ += 1;
   }
+}
+
+void Probe::activity_delta(const noc::ActivityCounters& delta, Cycle cycle) {
+  // Reached only when wants_activity_deltas() opted in, except through a
+  // TeeObserver whose *other* children wanted the stream - bail then.
+  if (!cfg_.power_series) return;
+  activity_total_.add(delta);
+  epoch_of(cycle);  // materializes the row (and may grow activity_series_)
+  activity_series_[win_epoch_].add(delta);
+}
+
+std::vector<power::PowerBreakdown> Probe::power_series(const NocConfig& cfg,
+                                                       const power::EnergyParams& p) const {
+  std::vector<power::PowerBreakdown> out;
+  out.reserve(epochs_);
+  for (std::size_t e = 0; e < epochs_; ++e) {
+    out.push_back(power::compute_power(cfg, activity_series_[e], cfg_.epoch_cycles, p));
+  }
+  return out;
 }
 
 void Probe::end_era(Cycle era_cycles) { era_base_ += era_cycles; }

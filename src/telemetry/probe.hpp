@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "common/types.hpp"
 #include "noc/trace.hpp"
 #include "noc/traffic.hpp"
+#include "power/energy_model.hpp"
 
 namespace smartnoc::telemetry {
 
@@ -67,6 +69,10 @@ class Probe final : public noc::TraceObserver {
     /// Raw link events kept for the Chrome exporter; 0 = none. The capture
     /// stops (and events_truncated() reports it) once the cap is reached.
     std::size_t chrome_event_capacity = 0;
+    /// Keep a per-epoch ActivityCounters series (the time-resolved power
+    /// input). Opts the probe into the network's per-tick activity_delta
+    /// stream; requires epoch_cycles > 0.
+    bool power_series = false;
   };
 
   Probe(const MeshDims& dims, int flits_per_packet, Config cfg);
@@ -85,6 +91,9 @@ class Probe final : public noc::TraceObserver {
   void segment_traversed(const noc::Segment& seg, const noc::FlitRef& flit,
                          const noc::PacketPool& pool, Cycle now, Cycle arrival) override;
   void packet_offered(FlowId flow, NodeId src, Cycle created) override;
+  /// Per-tick activity deltas (only emitted when Config::power_series).
+  void activity_delta(const noc::ActivityCounters& delta, Cycle cycle) override;
+  bool wants_activity_deltas() const override { return cfg_.power_series; }
 
   // --- Era / phase bookkeeping (driven by sim::Session) -----------------------
   /// The network of the current era is about to go away after running
@@ -120,6 +129,32 @@ class Probe final : public noc::TraceObserver {
   /// flits (packets * flits/packet) minus cumulative ejected flits.
   std::vector<std::int64_t> occupancy_series() const;
 
+  // --- Activity / power series (Config::power_series) -------------------------
+  /// Per-epoch activity aligned to the Fig. 10b power categories; only the
+  /// first epochs() entries are meaningful (storage is reserved ahead like
+  /// the other series).
+  const std::vector<noc::ActivityCounters>& activity_series() const {
+    return activity_series_;
+  }
+  bool power_series_enabled() const { return cfg_.power_series; }
+  /// Whole-run activity: the sum of every per-tick delta (all eras, all
+  /// phases - independent of any stats window reset).
+  const noc::ActivityCounters& activity_total() const { return activity_total_; }
+  /// Snapshot the cumulative activity; window_activity() then reports
+  /// everything since. sim::Session calls this exactly when it resets the
+  /// network's stats window, so window_activity() matches the window's
+  /// ActivityCounters bit-for-bit (same integer deltas, same boundaries).
+  void window_reset() { window_base_ = activity_total_; }
+  noc::ActivityCounters window_activity() const {
+    return noc::activity_diff(activity_total_, window_base_);
+  }
+  /// Folds the per-epoch activity through the energy model: one
+  /// PowerBreakdown per materialized epoch, each averaged over a full
+  /// epoch_cycles window (the final, possibly partial, epoch included -
+  /// consistent with how the other series treat it).
+  std::vector<power::PowerBreakdown> power_series(const NocConfig& cfg,
+                                                  const power::EnergyParams& p) const;
+
   /// Whole-run totals (all epochs; independent of any stats window reset).
   /// Summed from the series at query time - the hot path maintains only
   /// the per-epoch arrays (scalar counters exist just for series-off
@@ -136,6 +171,13 @@ class Probe final : public noc::TraceObserver {
   bool events_truncated() const { return events_truncated_; }
   const std::vector<noc::TraceEntry>& injection_log() const { return injection_log_; }
   bool recording() const { return cfg_.record_injections; }
+
+  /// Streaming injection sink: called as (era-local cycle, flow) on every
+  /// packet_offered, independent of the buffered injection log. The
+  /// Session points this at a StreamingTraceWriter so captures go straight
+  /// to disk with bounded memory.
+  using InjectionSink = std::function<void(Cycle, FlowId)>;
+  void set_injection_sink(InjectionSink sink) { injection_sink_ = std::move(sink); }
 
  private:
   /// Grows every series to cover `epoch` (zero-filled, doubling growth).
@@ -178,6 +220,9 @@ class Probe final : public noc::TraceObserver {
   std::vector<std::uint64_t> router_series_;
   std::vector<std::uint64_t> inject_series_;
   std::vector<std::uint64_t> eject_series_;
+  std::vector<noc::ActivityCounters> activity_series_;  ///< power_series only
+  noc::ActivityCounters activity_total_;
+  noc::ActivityCounters window_base_;
 
   std::uint64_t link_total_ = 0;
   std::uint64_t router_total_ = 0;
@@ -188,6 +233,7 @@ class Probe final : public noc::TraceObserver {
   std::vector<LinkEvent> events_;
   bool events_truncated_ = false;
   std::vector<noc::TraceEntry> injection_log_;
+  InjectionSink injection_sink_;
 };
 
 /// Fans one observer slot out to several observers (a network carries a
@@ -213,6 +259,15 @@ class TeeObserver final : public noc::TraceObserver {
   }
   void packet_offered(FlowId flow, NodeId src, Cycle created) override {
     for (auto* o : obs_) o->packet_offered(flow, src, created);
+  }
+  void activity_delta(const noc::ActivityCounters& delta, Cycle cycle) override {
+    for (auto* o : obs_) o->activity_delta(delta, cycle);
+  }
+  bool wants_activity_deltas() const override {
+    for (const auto* o : obs_) {
+      if (o->wants_activity_deltas()) return true;
+    }
+    return false;
   }
 
  private:

@@ -156,19 +156,27 @@ NocConfig decode_config(Cursor& c) {
 
 // --- Writer ------------------------------------------------------------------
 
+namespace {
+
+void encode_flow_table(std::string& out, const noc::FlowSet& flows) {
+  put_varint(out, static_cast<std::uint64_t>(flows.size()));
+  for (const noc::Flow& f : flows) {
+    put_varint(out, static_cast<std::uint64_t>(f.src));
+    put_varint(out, static_cast<std::uint64_t>(f.dst));
+    put_double(out, f.bandwidth_mbps);
+    put_varint(out, static_cast<std::uint64_t>(f.path.links.size()));
+    for (Dir d : f.path.links) out += static_cast<char>(dir_index(d));
+  }
+}
+
+}  // namespace
+
 TraceWriter::TraceWriter(const NocConfig& config, const noc::FlowSet& flows)
     : config_(config), flow_count_(flows.size()) {
   put_u32(header_, kTraceMagic);
-  put_u16(header_, kTraceVersion);
+  put_u16(header_, kTraceVersionV1);
   encode_config(header_, config_);
-  put_varint(header_, static_cast<std::uint64_t>(flows.size()));
-  for (const noc::Flow& f : flows) {
-    put_varint(header_, static_cast<std::uint64_t>(f.src));
-    put_varint(header_, static_cast<std::uint64_t>(f.dst));
-    put_double(header_, f.bandwidth_mbps);
-    put_varint(header_, static_cast<std::uint64_t>(f.path.links.size()));
-    for (Dir d : f.path.links) header_ += static_cast<char>(dir_index(d));
-  }
+  encode_flow_table(header_, flows);
 }
 
 void TraceWriter::add(Cycle cycle, FlowId flow) {
@@ -207,33 +215,120 @@ void TraceWriter::write(const std::string& path) const {
   if (!f) throw TraceError("short write to '" + path + "'");
 }
 
+// --- Streaming writer (format v2) --------------------------------------------
+
+namespace {
+/// Flush threshold for the pending record chunk; the cap on capture
+/// memory. Records are ~2-4 bytes, so one chunk frames a few thousand of
+/// them - small enough that a chopped tail loses little, large enough
+/// that the length-prefix overhead is noise.
+constexpr std::size_t kStreamChunkBytes = 64 * 1024;
+}  // namespace
+
+StreamingTraceWriter::StreamingTraceWriter(const std::string& path)
+    : path_(path), out_(path, std::ios::binary) {
+  if (!out_) throw TraceError("cannot open '" + path_ + "' for writing");
+  std::string header;
+  put_u32(header, kTraceMagic);
+  put_u16(header, kTraceVersion);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  check_stream("header");
+  chunk_.reserve(kStreamChunkBytes + 16);
+}
+
+StreamingTraceWriter::~StreamingTraceWriter() {
+  try {
+    if (!finished_ && eras_ > 0) finish();
+  } catch (...) {
+    // Destructor best-effort; call finish() explicitly to observe errors.
+  }
+}
+
+void StreamingTraceWriter::check_stream(const char* what) {
+  if (!out_) {
+    throw TraceError(std::string("write error on '") + path_ + "' (" + what + ")");
+  }
+}
+
+void StreamingTraceWriter::flush_chunk() {
+  if (chunk_.empty()) return;
+  std::string len;
+  put_varint(len, chunk_.size());
+  out_.write(len.data(), static_cast<std::streamsize>(len.size()));
+  out_.write(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
+  check_stream("record chunk");
+  chunk_.clear();
+}
+
+void StreamingTraceWriter::begin_era(const NocConfig& config, const noc::FlowSet& flows) {
+  if (finished_) throw TraceError("begin_era after finish on '" + path_ + "'");
+  if (eras_ > 0) {
+    // Close the previous era's record section.
+    flush_chunk();
+    std::string z;
+    put_varint(z, 0);
+    out_.write(z.data(), static_cast<std::streamsize>(z.size()));
+  }
+  std::string section;
+  put_u32(section, kTraceEraMagic);
+  encode_config(section, config);
+  encode_flow_table(section, flows);
+  out_.write(section.data(), static_cast<std::streamsize>(section.size()));
+  check_stream("era header");
+  eras_ += 1;
+  flow_count_ = flows.size();
+  last_cycle_ = 0;
+  era_records_ = 0;
+}
+
+void StreamingTraceWriter::add(Cycle cycle, FlowId flow) {
+  if (eras_ == 0) throw TraceError("streaming trace record before any begin_era");
+  if (finished_) throw TraceError("record added after finish on '" + path_ + "'");
+  if (era_records_ > 0 && cycle < last_cycle_) {
+    throw TraceError("trace records must be added in nondecreasing cycle order (got " +
+                     std::to_string(cycle) + " after " + std::to_string(last_cycle_) + ")");
+  }
+  if (flow < 0 || flow >= static_cast<FlowId>(flow_count_)) {
+    throw TraceError("trace record names flow " + std::to_string(flow) +
+                     " but the era's flow table has " + std::to_string(flow_count_) + " entries");
+  }
+  put_varint(chunk_, era_records_ == 0 ? cycle : cycle - last_cycle_);
+  put_varint(chunk_, static_cast<std::uint64_t>(flow));
+  last_cycle_ = cycle;
+  era_records_ += 1;
+  records_ += 1;
+  if (chunk_.size() >= kStreamChunkBytes) flush_chunk();
+}
+
+void StreamingTraceWriter::finish() {
+  if (finished_) return;
+  if (eras_ == 0) throw TraceError("streaming trace finished with no era sections");
+  flush_chunk();
+  std::string tail;
+  put_varint(tail, 0);  // end of the final era's records
+  put_u32(tail, kTraceEndMagic);
+  out_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  out_.flush();
+  check_stream("end marker");
+  finished_ = true;
+}
+
 // --- Reader ------------------------------------------------------------------
 
-TraceFile decode_trace(const std::string& bytes) {
-  Cursor c(bytes);
-  const std::uint32_t magic = c.u32("magic");
-  if (magic != kTraceMagic) {
-    throw TraceError("not a smartnoc trace (bad magic 0x" + [&] {
-      char buf[16];
-      std::snprintf(buf, sizeof buf, "%08x", magic);
-      return std::string(buf);
-    }() + ", expected \"SNTR\")");
-  }
-  const std::uint16_t version = c.u16("version");
-  if (version != kTraceVersion) {
-    throw TraceError("unsupported trace version " + std::to_string(version) + " (this build reads " +
-                     std::to_string(kTraceVersion) + ")");
-  }
+namespace {
 
-  TraceFile out;
-  out.config = decode_config(c);
+NocConfig decode_validated_config(Cursor& c) {
+  NocConfig cfg = decode_config(c);
   try {
-    out.config.validate();
+    cfg.validate();
   } catch (const ConfigError& e) {
     throw TraceError(std::string("trace carries an inconsistent config: ") + e.what());
   }
-  const MeshDims dims = out.config.dims();
+  return cfg;
+}
 
+noc::FlowSet decode_flow_table(Cursor& c, const MeshDims& dims) {
+  noc::FlowSet flows;
   const std::uint64_t flow_count = c.varint("flow_count");
   // Each flow needs >= 12 bytes; an absurd count is a corrupt header, not
   // an allocation request.
@@ -274,39 +369,131 @@ TraceFile decode_trace(const std::string& bytes) {
     if (src == dst) {
       throw TraceError("flow " + std::to_string(i) + " is a self-flow");
     }
-    out.flows.add(src, dst, bw, std::move(path));
+    flows.add(src, dst, bw, std::move(path));
   }
+  return flows;
+}
 
+/// Accumulates one (delta, flow) record onto `entries`.
+void decode_one_record(Cursor& c, std::uint64_t flow_count, Cycle& cycle,
+                       std::vector<noc::TraceEntry>& entries) {
+  const std::uint64_t i = entries.size();
+  const std::uint64_t delta = c.varint("record cycle");
+  if (i == 0) {
+    cycle = delta;
+  } else if (cycle + delta < cycle) {
+    throw TraceError("record " + std::to_string(i) + ": cycle overflow");
+  } else {
+    cycle += delta;
+  }
+  const std::uint64_t flow = c.varint("record flow");
+  if (flow >= flow_count) {
+    throw TraceError("record " + std::to_string(i) + " names flow " + std::to_string(flow) +
+                     " but the flow table has " + std::to_string(flow_count) + " entries");
+  }
+  entries.push_back(noc::TraceEntry{cycle, static_cast<FlowId>(flow)});
+}
+
+/// v1 records: count-prefixed.
+std::vector<noc::TraceEntry> decode_counted_records(Cursor& c, std::uint64_t flow_count) {
+  std::vector<noc::TraceEntry> entries;
   const std::uint64_t record_count = c.varint("record_count");
   if (record_count > c.remaining()) {
     throw TraceError("record section claims " + std::to_string(record_count) +
                      " records but only " + std::to_string(c.remaining()) + " bytes remain");
   }
-  out.entries.reserve(record_count);
+  entries.reserve(record_count);
   Cycle cycle = 0;
   for (std::uint64_t i = 0; i < record_count; ++i) {
-    const std::uint64_t delta = c.varint("record cycle");
-    if (i == 0) {
-      cycle = delta;
-    } else if (cycle + delta < cycle) {
-      throw TraceError("record " + std::to_string(i) + ": cycle overflow");
-    } else {
-      cycle += delta;
+    decode_one_record(c, flow_count, cycle, entries);
+  }
+  return entries;
+}
+
+/// v2 records: length-prefixed chunks of whole records, terminated by a
+/// zero-length chunk. A record running past its chunk boundary is a
+/// malformation (the writer only ever flushes whole records).
+std::vector<noc::TraceEntry> decode_chunked_records(Cursor& c, std::uint64_t flow_count) {
+  std::vector<noc::TraceEntry> entries;
+  Cycle cycle = 0;
+  for (;;) {
+    const std::uint64_t chunk = c.varint("record chunk length");
+    if (chunk == 0) return entries;
+    if (chunk > c.remaining()) {
+      throw TraceError("record chunk claims " + std::to_string(chunk) + " bytes but only " +
+                       std::to_string(c.remaining()) + " remain");
     }
-    const std::uint64_t flow = c.varint("record flow");
-    if (flow >= flow_count) {
-      throw TraceError("record " + std::to_string(i) + " names flow " + std::to_string(flow) +
-                       " but the flow table has " + std::to_string(flow_count) + " entries");
+    const std::size_t end = c.pos() + static_cast<std::size_t>(chunk);
+    while (c.pos() < end) {
+      decode_one_record(c, flow_count, cycle, entries);
     }
-    out.entries.push_back(noc::TraceEntry{cycle, static_cast<FlowId>(flow)});
+    if (c.pos() != end) {
+      throw TraceError("record " + std::to_string(entries.size() - 1) +
+                       " overruns its chunk boundary");
+    }
+  }
+}
+
+TraceEra decode_era(Cursor& c) {
+  TraceEra era;
+  era.config = decode_validated_config(c);
+  era.flows = decode_flow_table(c, era.config.dims());
+  return era;
+}
+
+}  // namespace
+
+TraceFile decode_trace(const std::string& bytes) {
+  Cursor c(bytes);
+  const std::uint32_t magic = c.u32("magic");
+  if (magic != kTraceMagic) {
+    throw TraceError("not a smartnoc trace (bad magic 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%08x", magic);
+      return std::string(buf);
+    }() + ", expected \"SNTR\")");
+  }
+  const std::uint16_t version = c.u16("version");
+  if (version != kTraceVersionV1 && version != kTraceVersion) {
+    throw TraceError("unsupported trace version " + std::to_string(version) +
+                     " (this build reads versions " + std::to_string(kTraceVersionV1) + " and " +
+                     std::to_string(kTraceVersion) + ")");
   }
 
-  if (c.u32("end magic") != kTraceEndMagic) {
-    throw TraceError("missing end marker (file truncated or corrupt)");
+  TraceFile out;
+  out.version = version;
+  if (version == kTraceVersionV1) {
+    TraceEra era = decode_era(c);
+    era.entries = decode_counted_records(c, static_cast<std::uint64_t>(era.flows.size()));
+    out.eras.push_back(std::move(era));
+    if (c.u32("end magic") != kTraceEndMagic) {
+      throw TraceError("missing end marker (file truncated or corrupt)");
+    }
+  } else {
+    for (;;) {
+      const std::uint32_t m = c.u32(out.eras.empty() ? "era magic" : "section magic");
+      if (m == kTraceEndMagic) break;
+      if (m != kTraceEraMagic) {
+        throw TraceError("expected an era section (\"ERA!\") or the end marker, got 0x" + [&] {
+          char buf[16];
+          std::snprintf(buf, sizeof buf, "%08x", m);
+          return std::string(buf);
+        }());
+      }
+      TraceEra era = decode_era(c);
+      era.entries = decode_chunked_records(c, static_cast<std::uint64_t>(era.flows.size()));
+      out.eras.push_back(std::move(era));
+    }
+    if (out.eras.empty()) {
+      throw TraceError("v2 trace has no era sections");
+    }
   }
   if (c.remaining() != 0) {
     throw TraceError(std::to_string(c.remaining()) + " trailing bytes after the end marker");
   }
+  out.config = out.eras.front().config;
+  out.flows = out.eras.front().flows;
+  out.entries = out.eras.front().entries;
   return out;
 }
 
@@ -387,19 +574,54 @@ TraceDiff diff_traces(const TraceFile& a, const TraceFile& b) {
       break;
     }
   }
+
+  // Later eras (v2 captures): per-era record counts and first divergence.
+  // (Era 0 is the top-level comparison above.)
+  if (a.eras.size() != b.eras.size()) {
+    differ(strf("era sections: %zu vs %zu", a.eras.size(), b.eras.size()));
+  }
+  const std::size_t neras = std::min(a.eras.size(), b.eras.size());
+  for (std::size_t e = 1; e < neras; ++e) {
+    const auto& ea = a.eras[e].entries;
+    const auto& eb = b.eras[e].entries;
+    if (ea.size() != eb.size()) {
+      differ(strf("era %zu records: %zu vs %zu", e, ea.size(), eb.size()));
+    }
+    const std::size_t n = std::min(ea.size(), eb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(ea[i] == eb[i])) {
+        differ(strf("era %zu record %zu: cycle %llu flow %d vs cycle %llu flow %d", e, i,
+                    static_cast<unsigned long long>(ea[i].cycle), ea[i].flow,
+                    static_cast<unsigned long long>(eb[i].cycle), eb[i].flow));
+        break;
+      }
+    }
+  }
   return d;
 }
 
 std::string summarize_trace(const TraceFile& trace) {
   const Cycle first = trace.entries.empty() ? 0 : trace.entries.front().cycle;
   const Cycle last = trace.entries.empty() ? 0 : trace.entries.back().cycle;
-  return strf(
+  std::string s = strf(
       "smartnoc trace v%u: %dx%d mesh, %d flows, %zu injections over cycles [%llu, %llu], "
       "%d-bit flits, %d-bit packets, seed %llu\n",
-      static_cast<unsigned>(kTraceVersion), trace.config.width, trace.config.height,
+      static_cast<unsigned>(trace.version), trace.config.width, trace.config.height,
       trace.flows.size(), trace.entries.size(), static_cast<unsigned long long>(first),
       static_cast<unsigned long long>(last), trace.config.flit_bits, trace.config.packet_bits,
       static_cast<unsigned long long>(trace.config.seed));
+  if (trace.eras.size() > 1) {
+    s += strf("%zu era sections (cycles are era-local):\n", trace.eras.size());
+    for (std::size_t i = 0; i < trace.eras.size(); ++i) {
+      const TraceEra& e = trace.eras[i];
+      const Cycle ef = e.entries.empty() ? 0 : e.entries.front().cycle;
+      const Cycle el = e.entries.empty() ? 0 : e.entries.back().cycle;
+      s += strf("  era %zu: %d flows, %zu injections over cycles [%llu, %llu]\n", i,
+                e.flows.size(), e.entries.size(), static_cast<unsigned long long>(ef),
+                static_cast<unsigned long long>(el));
+    }
+  }
+  return s;
 }
 
 }  // namespace smartnoc::telemetry

@@ -9,10 +9,10 @@
 // replayed run reproduces the live run's RunResult bit-identically (pinned
 // by tests).
 //
-// Layout (all integers little-endian; varint = unsigned LEB128):
+// Layout v1 (all integers little-endian; varint = unsigned LEB128):
 //
 //   u32  magic   "SNTR" (0x53 0x4E 0x54 0x52 on disk)
-//   u16  version (currently 1)
+//   u16  version (1)
 //   config block: varint width, height, flit_bits, packet_bits,
 //                 vcs_per_port, vc_depth_flits, header_bits, credit_bits,
 //                 u64 freq_ghz bits, u64 hop_mm bits, varint link_swing,
@@ -27,12 +27,33 @@
 //                 varint flow id
 //   u32  end magic "TEND" (truncation tripwire)
 //
+// Layout v2 (streaming-friendly; what StreamingTraceWriter emits and a
+// Session's multi-era record_trace produces):
+//
+//   u32  magic "SNTR", u16 version (2)
+//   one or more era sections:
+//     u32  era magic "ERA!"
+//     config block + flow table      (exactly the v1 encodings)
+//     record chunks: varint chunk_len (> 0) followed by exactly chunk_len
+//       bytes of whole (varint cycle-delta, varint flow) records - a
+//       record straddling a chunk boundary is a decode error - then a
+//       varint 0 terminating the era's records. Cycles are *era-local*
+//       (each era's network restarts at 0); delta encoding restarts too.
+//   u32  end magic "TEND"
+//
+// Chunked framing is what removes the v1 up-front record_count: a writer
+// can append records as the run produces them with bounded memory and no
+// back-patching, and every chunk boundary is a truncation tripwire.
+// TraceReader reads both versions; TraceWriter still emits v1 (a buffered
+// single-era capture replays everywhere, including older builds).
+//
 // Every decode error - short file, bad magic, unknown version, a varint
 // running past the end or past 10 bytes, an out-of-range flow/direction -
 // throws TraceError; there are no partial silent reads.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -44,17 +65,33 @@ namespace smartnoc::telemetry {
 
 inline constexpr std::uint32_t kTraceMagic = 0x52544E53;     // "SNTR" in LE byte order
 inline constexpr std::uint32_t kTraceEndMagic = 0x444E4554;  // "TEND"
-inline constexpr std::uint16_t kTraceVersion = 1;
+inline constexpr std::uint32_t kTraceEraMagic = 0x21415245;  // "ERA!"
+inline constexpr std::uint16_t kTraceVersionV1 = 1;
+inline constexpr std::uint16_t kTraceVersion = 2;  ///< newest readable/writable
 
-/// A decoded trace: everything needed to re-execute the recorded run.
-struct TraceFile {
-  NocConfig config;                     ///< the recording era's configuration
-  noc::FlowSet flows;                   ///< identical ids, routes, bandwidths
-  std::vector<noc::TraceEntry> entries; ///< injection events, cycle-sorted
+/// One recording era: the configuration and flow table the era's network
+/// was built from, plus its injection events in era-local cycles.
+struct TraceEra {
+  NocConfig config;
+  noc::FlowSet flows;
+  std::vector<noc::TraceEntry> entries;
 };
 
-/// Serializes a capture. Records must be added in nondecreasing cycle
-/// order (delta encoding; add() throws TraceError otherwise).
+/// A decoded trace: everything needed to re-execute the recorded run.
+/// The top-level config/flows/entries mirror the *first* era, so every
+/// consumer written against the single-era v1 shape keeps working; v2
+/// multi-era captures additionally expose all eras in `eras`.
+struct TraceFile {
+  std::uint16_t version = kTraceVersionV1;  ///< on-disk version as read
+  NocConfig config;                     ///< the first era's configuration
+  noc::FlowSet flows;                   ///< identical ids, routes, bandwidths
+  std::vector<noc::TraceEntry> entries; ///< first era's injections, cycle-sorted
+  std::vector<TraceEra> eras;           ///< all eras (size 1 for v1 files)
+};
+
+/// Serializes a buffered single-era capture as format v1. Records must be
+/// added in nondecreasing cycle order (delta encoding; add() throws
+/// TraceError otherwise).
 class TraceWriter {
  public:
   TraceWriter(const NocConfig& config, const noc::FlowSet& flows);
@@ -78,7 +115,57 @@ class TraceWriter {
   Cycle last_cycle_ = 0;
 };
 
-/// Decodes a binary image. Throws TraceError on any malformation.
+/// Appends a format-v2 capture to disk as the run produces it, with
+/// bounded memory (one ~64 KiB record chunk plus stream buffers - capture
+/// length never shows up in the resident set). Drive it as:
+///
+///   StreamingTraceWriter w(path);      // writes the file header
+///   w.begin_era(cfg, flows);           // once per era, before its records
+///   w.add(cycle, flow);                // era-local cycles, nondecreasing
+///   ...
+///   w.begin_era(cfg2, flows2);         // a reconfiguration: new section
+///   ...
+///   w.finish();                        // end marker + flush (idempotent)
+///
+/// All ordering/range violations and I/O failures throw TraceError. The
+/// destructor finishes the file best-effort (errors swallowed); call
+/// finish() explicitly to observe them.
+class StreamingTraceWriter {
+ public:
+  explicit StreamingTraceWriter(const std::string& path);
+  ~StreamingTraceWriter();
+
+  StreamingTraceWriter(const StreamingTraceWriter&) = delete;
+  StreamingTraceWriter& operator=(const StreamingTraceWriter&) = delete;
+
+  /// Opens a new era section (closing the previous era's records first).
+  void begin_era(const NocConfig& config, const noc::FlowSet& flows);
+  /// Appends one injection record to the current era.
+  void add(Cycle cycle, FlowId flow);
+  void finish();
+
+  std::uint64_t records() const { return records_; }
+  std::uint64_t eras() const { return eras_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  /// Flushes the pending record chunk as (varint length, bytes).
+  void flush_chunk();
+  void check_stream(const char* what);
+
+  std::string path_;
+  std::ofstream out_;
+  std::string chunk_;      ///< pending records of the open section
+  std::uint64_t records_ = 0;
+  std::uint64_t eras_ = 0;
+  int flow_count_ = 0;     ///< current era's flow table size
+  Cycle last_cycle_ = 0;   ///< current era's last record cycle
+  std::uint64_t era_records_ = 0;
+  bool finished_ = false;
+};
+
+/// Decodes a binary image (format v1 or v2). Throws TraceError on any
+/// malformation.
 TraceFile decode_trace(const std::string& bytes);
 
 /// Reads and decodes `path`. Throws TraceError when unreadable.

@@ -1,5 +1,7 @@
 #include "telemetry/trace_workload.hpp"
 
+#include <cstdlib>
+
 #include "common/error.hpp"
 #include "common/parse.hpp"
 
@@ -23,7 +25,30 @@ std::string trace_workload_path(const std::string& name) {
   return path;
 }
 
-TraceFileFactory::TraceFileFactory(std::string path) : path_(std::move(path)) {}
+TraceFileFactory::TraceFileFactory(std::string spec) : path_(std::move(spec)) {
+  // Optional era selector: "capture.sntr@1" replays era 1 of a multi-era
+  // capture. Only a *trailing all-digits* "@..." is a selector, so paths
+  // that merely contain '@' keep resolving as plain paths.
+  const auto at = path_.find_last_of('@');
+  if (at != std::string::npos && at + 1 < path_.size()) {
+    bool digits = true;
+    for (std::size_t i = at + 1; i < path_.size(); ++i) {
+      digits = digits && path_[i] >= '0' && path_[i] <= '9';
+    }
+    if (digits) {
+      era_ = static_cast<std::size_t>(std::strtoull(path_.c_str() + at + 1, nullptr, 10));
+      path_.erase(at);
+    }
+  }
+}
+
+const TraceEra& TraceFileFactory::selected(const TraceFile& t) const {
+  if (era_ >= t.eras.size()) {
+    throw ConfigError("trace '" + path_ + "' holds " + std::to_string(t.eras.size()) +
+                      " era section(s); '@" + std::to_string(era_) + "' is out of range");
+  }
+  return t.eras[era_];
+}
 
 const TraceFile& TraceFileFactory::load() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -40,16 +65,16 @@ const TraceFile& TraceFileFactory::load() const {
 
 noc::FlowSet TraceFileFactory::flows(NocConfig& cfg, double injection) const {
   (void)injection;
-  const TraceFile& t = load();
-  if (cfg.dims() != t.config.dims()) {
+  const TraceEra& era = selected(load());
+  if (cfg.dims() != era.config.dims()) {
     throw ConfigError("trace '" + path_ + "' was recorded on a " +
-                      std::to_string(t.config.width) + "x" + std::to_string(t.config.height) +
-                      " mesh; the scenario declares " + std::to_string(cfg.width) + "x" +
-                      std::to_string(cfg.height));
+                      std::to_string(era.config.width) + "x" +
+                      std::to_string(era.config.height) + " mesh; the scenario declares " +
+                      std::to_string(cfg.width) + "x" + std::to_string(cfg.height));
   }
-  cfg = t.config;
+  cfg = era.config;
   noc::FlowSet out;
-  for (const noc::Flow& f : t.flows) {
+  for (const noc::Flow& f : era.flows) {
     out.add(f.src, f.dst, f.bandwidth_mbps, f.path);
   }
   return out;
@@ -62,16 +87,16 @@ std::unique_ptr<sim::Workload> TraceFileFactory::source(const NocConfig& cfg,
   (void)cfg;
   (void)seed;
   (void)mode;
-  const TraceFile& t = load();
-  if (flows.size() != t.flows.size()) {
+  const TraceEra& era = selected(load());
+  if (flows.size() != era.flows.size()) {
     // Fault rerouting dropped flows: the remaining ids no longer line up
     // with the recorded entries, so a replay would inject the wrong flows.
     throw ConfigError("trace replay cannot run on a modified flow set (" +
                       std::to_string(flows.size()) + " flows vs " +
-                      std::to_string(t.flows.size()) +
+                      std::to_string(era.flows.size()) +
                       " recorded; set fault_rate = 0 for replay scenarios)");
   }
-  return std::make_unique<sim::ReplayWorkload>(t.entries);
+  return std::make_unique<sim::ReplayWorkload>(era.entries);
 }
 
 }  // namespace smartnoc::telemetry

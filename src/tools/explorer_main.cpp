@@ -20,6 +20,7 @@
 // phase; see examples/appswitch.scn. The per-phase table (including the
 // reconfiguration latency of every workload switch) prints to stdout;
 // --json captures it as JSON.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -61,12 +62,13 @@ int usage(const char* argv0, int code) {
                "  --help\n"
                "\n"
                "telemetry (per-point in sweep mode, per-run in scenario mode):\n"
-               "  --telemetry PREFIX    write epoch time series + link heatmap\n"
-               "                        (<PREFIX>_p<i>.csv / _heatmap.csv per point)\n"
+               "  --telemetry PREFIX    write epoch time series, per-epoch power\n"
+               "                        breakdown, and link heatmap (<PREFIX>_p<i>.csv /\n"
+               "                        _power.csv / _heatmap.csv per point)\n"
                "  --telemetry-epoch N   sample window in cycles (default 1024)\n"
                "  --record-trace PREFIX capture a binary packet trace per point\n"
                "                        (<PREFIX>_p<i>.sntr; replay with the\n"
-               "                        trace:<file> workload or trace_tool)\n"
+               "                        trace:<file>[@era] workload or trace_tool)\n"
                "\n"
                "scenario mode (multi-phase Session run instead of a sweep):\n"
                "  --scenario FILE       run a scenario file (text or JSON); prints\n"
@@ -102,6 +104,7 @@ int run_scenario_file(const std::string& path, const std::string& json_path, boo
       spec.telemetry.epoch_cycles = TelemetryArgs::kDefaultEpoch;
     }
     spec.telemetry.csv = tel.prefix + ".csv";
+    spec.telemetry.power_csv = tel.prefix + "_power.csv";
     spec.telemetry.heatmap = tel.prefix + "_heatmap.csv";
   }
   if (!tel.trace_prefix.empty()) spec.telemetry.record_trace = tel.trace_prefix + ".sntr";
@@ -121,6 +124,12 @@ int run_scenario_file(const std::string& path, const std::string& json_path, boo
   }
   const sim::SessionResult result = session.run();
   if (!quiet) std::fputs(sim::summarize(result).c_str(), stdout);
+  if (session.probe() != nullptr && session.probe()->events_truncated()) {
+    std::fprintf(stderr,
+                 "warning: chrome link-event capture truncated at %zu events; raise "
+                 "telemetry_chrome_events in the scenario to keep more\n",
+                 session.probe()->events().size());
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);
     if (!out) {
@@ -292,9 +301,17 @@ int main(int argc, char** argv) {
                  exec.threads());
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
   const explore::ResultTable table = explore::run_sweep(spec, threads);
+  const double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   if (!quiet) std::fputs(table.summary().c_str(), stdout);
+  if (!quiet) {
+    // Wall-clock stays on stderr: the result table is a pure function of the
+    // sweep spec (bit-identical across thread counts) and must remain so.
+    std::fprintf(stderr, "swept %zu configurations in %.2f s (%.1f points/s)\n", total, sweep_s,
+                 sweep_s > 0.0 ? static_cast<double>(total) / sweep_s : 0.0);
+  }
 
   if (!csv_path.empty() && !write_file(csv_path, table.to_csv())) {
     std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());

@@ -10,6 +10,10 @@
 //   trace_tool diff  A B            compare two captures (config, flow
 //                                   table, record-by-record first
 //                                   divergence); exit 1 on mismatch
+//   trace_tool power FILE [EPOCH] [DESIGN]
+//                                   replay the capture (every era, through
+//                                   each recorded reconfiguration) and print
+//                                   the per-epoch power breakdown as CSV
 //
 // All decode errors (truncation, bad magic, version mismatch, garbage
 // varints) surface as one-line diagnostics with exit code 1.
@@ -20,7 +24,11 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
+#include "explore/sweep.hpp"
 #include "noc/traffic.hpp"
+#include "power/energy_model.hpp"
+#include "sim/session.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/trace_file.hpp"
 
 namespace {
@@ -34,7 +42,10 @@ int usage(const char* argv0, int code) {
                "  flows FILE          recorded flow table\n"
                "  dump  FILE          entries as '<cycle> <flow>' text\n"
                "  csv   FILE [EPOCH]  injections per epoch as CSV\n"
-               "  diff  A B           compare two captures (exit 1 on mismatch)\n",
+               "  diff  A B           compare two captures (exit 1 on mismatch)\n"
+               "  power FILE [EPOCH] [DESIGN]\n"
+               "                      replay every era and print the per-epoch power\n"
+               "                      breakdown as CSV (default epoch 1024, design smart)\n",
                argv0);
   return code;
 }
@@ -112,6 +123,54 @@ int cmd_csv(const telemetry::TraceFile& trace, Cycle epoch) {
   return 0;
 }
 
+int cmd_power(const std::string& path, const telemetry::TraceFile& trace, Cycle epoch,
+              Design design) {
+  if (epoch == 0) {
+    std::fprintf(stderr, "epoch must be > 0\n");
+    return 2;
+  }
+  // Re-execute the capture as a scenario: one measured phase per recorded
+  // era (the trace:<file>@<e> workload rebuilds the recorded flows and
+  // injections; the phase boundary drains and reconfigures exactly like the
+  // original run's era switch), then fold the probe's per-epoch activity
+  // through the energy model.
+  sim::ScenarioSpec spec;
+  spec.name = "trace_power";
+  spec.design = design;
+  spec.config = trace.eras.front().config;
+  spec.telemetry.epoch_cycles = epoch;
+  // Enables the power series; the CSV itself goes to stdout below.
+  spec.telemetry.power_csv = "/dev/null";
+  for (std::size_t e = 0; e < trace.eras.size(); ++e) {
+    const telemetry::TraceEra& era = trace.eras[e];
+    sim::PhaseSpec ph;
+    ph.name = "era" + std::to_string(e);
+    ph.workload = "trace:" + path + "@" + std::to_string(e);
+    ph.cycles = era.entries.empty() ? 1 : era.entries.back().cycle + 1;
+    ph.measure = true;
+    spec.phases.push_back(ph);
+  }
+  sim::PhaseSpec drain;
+  drain.name = "drain";
+  drain.traffic = false;
+  drain.drain = true;
+  spec.phases.push_back(drain);
+  spec.validate();
+
+  sim::Session session(spec);
+  const sim::SessionResult result = session.run();
+  if (!result.ok) {
+    std::fprintf(stderr, "replay failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  const NocConfig& cfg = session.era_config();
+  std::fputs(telemetry::export_power_series_csv(*session.probe(), cfg,
+                                                power::EnergyParams::for_config(cfg))
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,6 +192,11 @@ int main(int argc, char** argv) {
     if (cmd == "csv") {
       const Cycle epoch = argc >= 4 ? parse_u64_token(argv[3], "epoch") : 1024;
       return cmd_csv(trace, epoch);
+    }
+    if (cmd == "power") {
+      const Cycle epoch = argc >= 4 ? parse_u64_token(argv[3], "epoch") : 1024;
+      const Design design = argc >= 5 ? explore::parse_design(argv[4]) : Design::Smart;
+      return cmd_power(path, trace, epoch, design);
     }
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage(argv[0], 2);

@@ -233,6 +233,7 @@ TEST(SessionTelemetry, PhaseAndEraMarksLandOnTheSeries) {
 
 TEST(SessionTelemetry, ExportsWriteDeclaredFiles) {
   const std::string csv = temp_path("series.csv");
+  const std::string power_csv = temp_path("power.csv");
   const std::string heatmap = temp_path("heatmap.csv");
   const std::string chrome = temp_path("chrome.json");
   NocConfig cfg = test_config();
@@ -241,6 +242,7 @@ TEST(SessionTelemetry, ExportsWriteDeclaredFiles) {
   sim::ScenarioSpec spec = sim::ScenarioSpec::classic(Design::Smart, "transpose", 0.05, cfg);
   spec.telemetry.epoch_cycles = 256;
   spec.telemetry.csv = csv;
+  spec.telemetry.power_csv = power_csv;
   spec.telemetry.heatmap = heatmap;
   spec.telemetry.chrome = chrome;
   sim::Session session(spec);
@@ -275,7 +277,17 @@ TEST(SessionTelemetry, ExportsWriteDeclaredFiles) {
   ascii << af.rdbuf();
   EXPECT_NE(ascii.str().find("link utilization"), std::string::npos);
 
-  // Chrome trace: valid-looking JSON array with link events and markers.
+  // Power CSV: header + one row per epoch (the time-resolved Fig. 10b).
+  std::ifstream pf(power_csv);
+  ASSERT_TRUE(pf.good());
+  std::getline(pf, line);
+  EXPECT_EQ(line, "epoch,start_cycle,buffer_w,allocator_w,xbar_pipe_w,link_w,total_w,phase");
+  int prows = 0;
+  while (std::getline(pf, line)) ++prows;
+  EXPECT_EQ(static_cast<std::size_t>(prows), session.probe()->epochs());
+
+  // Chrome trace: valid-looking JSON array with link events, markers and
+  // the per-epoch power counter track.
   std::ifstream jf(chrome);
   ASSERT_TRUE(jf.good());
   std::stringstream js;
@@ -283,8 +295,10 @@ TEST(SessionTelemetry, ExportsWriteDeclaredFiles) {
   EXPECT_EQ(js.str().front(), '[');
   EXPECT_NE(js.str().find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(js.str().find("\"cat\":\"phase\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"name\":\"power (W)\""), std::string::npos);
 
   std::remove(csv.c_str());
+  std::remove(power_csv.c_str());
   std::remove(heatmap.c_str());
   std::remove((heatmap + ".txt").c_str());
   std::remove(chrome.c_str());
@@ -296,10 +310,15 @@ TEST(SessionTelemetry, ValidationRejectsBadBlocks) {
   sim::ScenarioSpec spec = sim::ScenarioSpec::classic(Design::Smart, "vopd", 1.0, cfg);
   spec.telemetry.csv = "out.csv";
   EXPECT_THROW(spec.validate(), ConfigError);
-  // Telemetry on the Dedicated design (no observer hooks).
+  // Telemetry on the Dedicated design is legal since the dedicated network
+  // grew observer hooks (packet_offered + activity deltas).
   sim::ScenarioSpec ded = sim::ScenarioSpec::classic(Design::Dedicated, "vopd", 1.0, cfg);
   ded.telemetry.epoch_cycles = 100;
-  EXPECT_THROW(ded.validate(), ConfigError);
+  EXPECT_NO_THROW(ded.validate());
+  // A power CSV without a sample window still has nothing to sample.
+  sim::ScenarioSpec pw = sim::ScenarioSpec::classic(Design::Smart, "vopd", 1.0, cfg);
+  pw.telemetry.power_csv = "power.csv";
+  EXPECT_THROW(pw.validate(), ConfigError);
   // Paths the line-oriented text form cannot represent (whitespace, '#').
   sim::ScenarioSpec sp = sim::ScenarioSpec::classic(Design::Smart, "vopd", 1.0, cfg);
   sp.telemetry.record_trace = "my capture.sntr";
@@ -330,6 +349,7 @@ TEST(ScenarioTelemetry, TelemetryBlockRoundTripsTextAndJson) {
   spec.telemetry.epoch_cycles = 2048;
   spec.telemetry.record_trace = "cap.sntr";
   spec.telemetry.csv = "series.csv";
+  spec.telemetry.power_csv = "power.csv";
   spec.telemetry.heatmap = "heat.csv";
   spec.telemetry.chrome = "trace.json";
   spec.telemetry.chrome_events = 1234;
@@ -402,6 +422,149 @@ TEST(SessionFaultEvents, OverrideAppliesAndRevertsAtEraBoundaries) {
   EXPECT_EQ(sr.phases[0].dropped_flows, 0);
   EXPECT_GT(sr.phases[1].dropped_flows, 0);
   EXPECT_EQ(sr.phases[2].dropped_flows, 0);
+}
+
+// --- Time-resolved power (the Fig. 10b series) -------------------------------
+
+void expect_activity_eq(const noc::ActivityCounters& a, const noc::ActivityCounters& b) {
+  EXPECT_EQ(a.buffer_writes, b.buffer_writes);
+  EXPECT_EQ(a.buffer_reads, b.buffer_reads);
+  EXPECT_EQ(a.alloc_grants, b.alloc_grants);
+  EXPECT_EQ(a.xbar_flit_traversals, b.xbar_flit_traversals);
+  EXPECT_EQ(a.xbar_credit_traversals, b.xbar_credit_traversals);
+  EXPECT_EQ(a.pipeline_latches, b.pipeline_latches);
+  EXPECT_EQ(a.link_flit_mm, b.link_flit_mm);
+  EXPECT_EQ(a.link_credit_mm, b.link_credit_mm);
+  EXPECT_EQ(a.clocked_inport_cycles, b.clocked_inport_cycles);
+  EXPECT_EQ(a.clocked_outport_cycles, b.clocked_outport_cycles);
+}
+
+struct PowerPoint {
+  Design design;
+  bool gating;
+};
+
+class PowerSeriesPin : public ::testing::TestWithParam<PowerPoint> {};
+
+// The acceptance pin: summing the per-epoch series reproduces the
+// end-of-run Fig. 10b breakdown bit-for-bit. Proven in activity space -
+// the probe accumulates the identical integer deltas the stats window
+// does, between the identical reset boundaries, so feeding either side
+// through the energy model once yields identical doubles.
+TEST_P(PowerSeriesPin, EpochSeriesSumsToRunBreakdownBitForBit) {
+  const PowerPoint pt = GetParam();
+  NocConfig cfg = test_config();
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 2000;
+  cfg.clock_gate_unused_ports = pt.gating;
+  sim::ScenarioSpec spec = sim::ScenarioSpec::classic(pt.design, "vopd", 1.0, cfg);
+  spec.telemetry.epoch_cycles = 256;
+  spec.telemetry.power_csv = "/dev/null";  // series on; CSV content pinned elsewhere
+  sim::Session session(spec);
+  const sim::RunResult run = sim::session_to_run_result(session.run());
+  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_GT(run.packets_delivered, 0u);
+
+  const telemetry::Probe& probe = *session.probe();
+  // No tick's delta is lost to epoch bucketing: the series sums back to
+  // the cumulative whole-run total.
+  noc::ActivityCounters series_sum;
+  for (std::size_t e = 0; e < probe.epochs(); ++e) series_sum.add(probe.activity_series()[e]);
+  expect_activity_eq(series_sum, probe.activity_total());
+
+  // The probe's window snapshot is the stats window, integer for integer.
+  expect_activity_eq(probe.window_activity(), run.activity);
+
+  // Identical integers through the same fold: identical watts.
+  const NocConfig& ecfg = session.era_config();
+  const auto params = power::EnergyParams::for_config(ecfg);
+  const power::PowerBreakdown from_series =
+      power::compute_power(ecfg, probe.window_activity(), run.measure_cycles, params);
+  const power::PowerBreakdown end_of_run =
+      power::compute_power(ecfg, run.activity, run.measure_cycles, params);
+  EXPECT_EQ(from_series.buffer_w, end_of_run.buffer_w);
+  EXPECT_EQ(from_series.allocator_w, end_of_run.allocator_w);
+  EXPECT_EQ(from_series.xbar_pipe_w, end_of_run.xbar_pipe_w);
+  EXPECT_EQ(from_series.link_w, end_of_run.link_w);
+  EXPECT_EQ(from_series.total(), end_of_run.total());
+  EXPECT_GT(end_of_run.total(), 0.0);
+
+  // The per-epoch power fold covers every materialized epoch.
+  EXPECT_EQ(probe.power_series(ecfg, params).size(), probe.epochs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PowerSeriesPin,
+    ::testing::Values(PowerPoint{Design::Mesh, true}, PowerPoint{Design::Mesh, false},
+                      PowerPoint{Design::Smart, true}, PowerPoint{Design::Smart, false},
+                      PowerPoint{Design::Dedicated, true},
+                      PowerPoint{Design::Dedicated, false}),
+    [](const ::testing::TestParamInfo<PowerPoint>& info) {
+      return std::string(design_name(info.param.design)) +
+             (info.param.gating ? "_gated" : "_ungated");
+    });
+
+// --- Run self-profiler -------------------------------------------------------
+
+TEST(SessionProfile, ProfileCoversTheRun) {
+  NocConfig cfg = test_config();
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 2000;
+  sim::ScenarioSpec spec = sim::ScenarioSpec::classic(Design::Smart, "vopd", 1.0, cfg);
+  sim::Session session(spec);
+  const sim::SessionResult sr = session.run();
+  ASSERT_TRUE(sr.ok) << sr.error;
+
+  const sim::RunProfile& prof = sr.profile;
+  // Cycle accounting is exact: traffic cycles are the non-drain phase
+  // cycles, drain cycles the rest, and every simulated cycle is timed.
+  std::uint64_t expected = 0;
+  for (const sim::PhaseResult& p : sr.phases) expected += p.cycles_run;
+  EXPECT_EQ(prof.cycles(), expected);
+  EXPECT_EQ(prof.traffic_cycles, sr.phases[0].cycles_run + sr.phases[1].cycles_run);
+  EXPECT_EQ(prof.drain_cycles, sr.phases[2].cycles_run);
+  // Wall clocks are monotone-sourced and strictly positive for real work.
+  EXPECT_GT(prof.traffic_seconds, 0.0);
+  EXPECT_GE(prof.drain_seconds, 0.0);
+  EXPECT_GT(prof.ns_per_cycle(), 0.0);
+  EXPECT_GE(prof.total_seconds(), prof.traffic_seconds + prof.drain_seconds);
+  // Per-phase wall clocks: every executed phase took measurable time.
+  for (const sim::PhaseResult& p : sr.phases) EXPECT_GE(p.wall_seconds, 0.0);
+
+  // The profile reaches RunResult and the (non-pinned) session JSON.
+  const sim::RunResult run = sim::session_to_run_result(sr);
+  EXPECT_EQ(run.profile.cycles(), prof.cycles());
+  const std::string js = sim::to_json(sr);
+  EXPECT_NE(js.find("\"profile\""), std::string::npos);
+  EXPECT_NE(js.find("\"ns_per_cycle\""), std::string::npos);
+  EXPECT_NE(js.find("\"wall_seconds\""), std::string::npos);
+  // And the human summary names it.
+  EXPECT_NE(sim::summarize(sr).find("self-profile"), std::string::npos);
+}
+
+TEST(SessionProfile, ReconfigurationTimeIsAttributed) {
+  NocConfig cfg = test_config();
+  cfg.warmup_cycles = 100;
+  sim::ScenarioSpec spec;
+  spec.design = Design::Smart;
+  spec.config = cfg;
+  sim::PhaseSpec a;
+  a.name = "a";
+  a.workload = "transpose";  // congested: packets in flight at the boundary
+  a.injection = 0.3;
+  a.cycles = 500;
+  sim::PhaseSpec b = a;
+  b.name = "b";
+  b.workload = "uniform";  // era switch: drain + rebuild
+  spec.phases = {a, b};
+  const sim::SessionResult sr = sim::Session(spec).run();
+  ASSERT_TRUE(sr.ok) << sr.error;
+  ASSERT_TRUE(sr.phases[1].reconfig.performed);
+  // Two builds (initial + switch) happened on the clock.
+  EXPECT_GT(sr.profile.reconfig_seconds, 0.0);
+  // The inter-era drain cycles are accounted as drain, not traffic.
+  EXPECT_EQ(sr.profile.traffic_cycles, sr.phases[0].cycles_run + sr.phases[1].cycles_run);
+  EXPECT_GT(sr.profile.drain_cycles, 0u);
 }
 
 TEST(SessionFaultEvents, SameEffectiveRateDoesNotSwitchEras) {

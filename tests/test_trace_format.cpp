@@ -411,31 +411,173 @@ TEST(TraceWorkload, ScenarioFileReplaysCapture) {
   std::remove(path.c_str());
 }
 
-// Recording is a single-era affair: a reconfiguring scenario is rejected
-// up front (before any cycle simulates) instead of writing a garbled
-// capture or burning the first era's cycles first.
-TEST(TraceWorkload, RecordingAcrossErasFails) {
+// --- Format v2 / streaming capture -------------------------------------------
+
+std::string read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(TraceFormatV2, StreamingWriterMultiEraRoundTrip) {
+  const std::string path = temp_path("v2_roundtrip.sntr");
+  const NocConfig cfg = small_cfg();
+  NocConfig cfg2 = cfg;
+  cfg2.seed = 77;
+  cfg2.bandwidth_scale = 2.5;
+  telemetry::StreamingTraceWriter w(path);
+  w.begin_era(cfg, demo_flows(cfg));
+  w.add(3, 0);
+  w.add(10, 1);
+  w.begin_era(cfg2, demo_flows(cfg2));
+  w.add(0, 2);  // era-local clock restarts: cycle 0 again is legal
+  w.add(5, 0);
+  w.finish();
+  EXPECT_EQ(w.eras(), 2u);
+  EXPECT_EQ(w.records(), 4u);
+
+  const TraceFile t = telemetry::read_trace_file(path);
+  EXPECT_EQ(t.version, telemetry::kTraceVersion);
+  ASSERT_EQ(t.eras.size(), 2u);
+  EXPECT_EQ(t.eras[0].entries, (std::vector<noc::TraceEntry>{{3, 0}, {10, 1}}));
+  EXPECT_EQ(t.eras[1].entries, (std::vector<noc::TraceEntry>{{0, 2}, {5, 0}}));
+  EXPECT_EQ(t.eras[0].config, cfg);
+  EXPECT_EQ(t.eras[1].config, cfg2);
+  // Top level mirrors era 0 for v1-shaped consumers.
+  EXPECT_EQ(t.config, t.eras[0].config);
+  EXPECT_EQ(t.entries, t.eras[0].entries);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormatV2, V1FilesStillDecode) {
+  // TraceWriter deliberately keeps emitting v1: old captures (and old
+  // tooling's output) must stay readable forever.
+  const TraceFile t = decode_trace(demo_image());
+  EXPECT_EQ(t.version, telemetry::kTraceVersionV1);
+  ASSERT_EQ(t.eras.size(), 1u);
+  EXPECT_EQ(t.eras[0].config, t.config);
+  EXPECT_EQ(t.eras[0].entries, t.entries);
+}
+
+TEST(TraceFormatV2, TruncatedStreamingFileThrowsEverywhere) {
+  // The v1 chop sweep, extended to a streaming-written multi-era file: a
+  // cut at *any* byte - header, mid-era-section, between chunks, inside
+  // the second era's flow table - throws TraceError, never crashes and
+  // never yields a partial trace.
+  const std::string path = temp_path("v2_chop.sntr");
+  const NocConfig cfg = small_cfg();
+  telemetry::StreamingTraceWriter w(path);
+  w.begin_era(cfg, demo_flows(cfg));
+  w.add(3, 0);
+  w.add(10, 1);
+  w.begin_era(cfg, demo_flows(cfg));
+  w.add(2, 2);
+  w.finish();
+  const std::string image = read_file_bytes(path);
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_THROW(decode_trace(image.substr(0, len)), TraceError) << "prefix length " << len;
+  }
+  EXPECT_NO_THROW(decode_trace(image));
+  std::remove(path.c_str());
+}
+
+// The acceptance pin for streaming capture: one recording spans a
+// reconfiguration (two eras in one v2 file, written incrementally during
+// the run), and each era replays the live run's phase bit-identically.
+TEST(TraceFormatV2, MultiEraRecordingReplaysBitIdentically) {
   const std::string path = temp_path("multi_era.sntr");
-  NocConfig cfg = small_cfg();
-  cfg.warmup_cycles = 100;
-  sim::ScenarioSpec spec;
-  spec.design = Design::Smart;
-  spec.config = cfg;
-  spec.telemetry.record_trace = path;
+  const NocConfig cfg = small_cfg();
+  sim::ScenarioSpec live;
+  live.design = Design::Smart;
+  live.config = cfg;
+  live.telemetry.record_trace = path;
   sim::PhaseSpec a;
   a.name = "a";
   a.workload = "vopd";
-  a.cycles = 500;
+  a.injection = 1.0;
+  a.cycles = 2000;
+  a.measure = true;
   sim::PhaseSpec b = a;
   b.name = "b";
-  b.workload = "wlan";
-  spec.phases = {a, b};
-  try {
-    sim::Session session(spec);
-    FAIL() << "multi-era recording must be rejected at construction";
-  } catch (const ConfigError& e) {
-    EXPECT_NE(std::string(e.what()).find("single era"), std::string::npos) << e.what();
+  b.workload = "wlan";  // workload change => implicit reconfiguration
+  live.phases = {a, b};
+  sim::Session live_session(live);
+  const sim::SessionResult live_sr = live_session.run();
+  ASSERT_TRUE(live_sr.ok) << live_sr.error;
+  ASSERT_GT(live_sr.phases[0].packets_delivered, 0u);
+  ASSERT_GT(live_sr.phases[1].packets_delivered, 0u);
+
+  const TraceFile t = telemetry::read_trace_file(path);
+  EXPECT_EQ(t.version, telemetry::kTraceVersion);
+  ASSERT_EQ(t.eras.size(), 2u);
+  EXPECT_FALSE(t.eras[0].entries.empty());
+  EXPECT_FALSE(t.eras[1].entries.empty());
+
+  for (std::size_t e = 0; e < 2; ++e) {
+    sim::ScenarioSpec replay;
+    replay.design = Design::Smart;
+    replay.config = cfg;
+    sim::PhaseSpec ph;
+    ph.name = "replay";
+    ph.workload = "trace:" + path + "@" + std::to_string(e);
+    ph.cycles = 2000;
+    ph.measure = true;
+    replay.phases = {ph};
+    const sim::SessionResult rp = sim::Session(replay).run();
+    ASSERT_TRUE(rp.ok) << "era " << e << ": " << rp.error;
+    const sim::PhaseResult& lp = live_sr.phases[e];
+    const sim::PhaseResult& pp = rp.phases[0];
+    EXPECT_EQ(lp.packets_delivered, pp.packets_delivered) << "era " << e;
+    EXPECT_EQ(lp.avg_network_latency, pp.avg_network_latency) << "era " << e;
+    EXPECT_EQ(lp.avg_total_latency, pp.avg_total_latency) << "era " << e;
+    EXPECT_EQ(lp.delivered_packets_per_cycle, pp.delivered_packets_per_cycle) << "era " << e;
   }
+  std::remove(path.c_str());
+}
+
+TEST(TraceWorkload, EraSelectorPicksSection) {
+  const std::string path = temp_path("era_select.sntr");
+  const NocConfig cfg = small_cfg();
+  NocConfig cfg2 = cfg;
+  cfg2.seed = 99;
+  telemetry::StreamingTraceWriter w(path);
+  w.begin_era(cfg, demo_flows(cfg));
+  w.add(1, 0);
+  noc::FlowSet era1_flows;
+  era1_flows.add(2, 9, 250.0, noc::xy_path(cfg.dims(), 2, 9));
+  w.begin_era(cfg2, era1_flows);
+  w.add(4, 0);
+  w.finish();
+
+  telemetry::TraceFileFactory f1(path + "@1");
+  EXPECT_EQ(f1.era(), 1u);
+  NocConfig got = cfg;
+  const noc::FlowSet fs = f1.flows(got, 1.0);
+  EXPECT_EQ(got.seed, cfg2.seed);
+  ASSERT_EQ(fs.size(), 1);
+  EXPECT_EQ(fs.at(0).src, 2);
+  EXPECT_EQ(fs.at(0).dst, 9);
+
+  // Out-of-range selector names the section count.
+  telemetry::TraceFileFactory f5(path + "@5");
+  NocConfig got5 = cfg;
+  try {
+    f5.flows(got5, 1.0);
+    FAIL() << "@5 must be out of range";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos) << e.what();
+  }
+
+  // No selector = era 0; '@' without a digits suffix stays part of the path.
+  telemetry::TraceFileFactory f0(path);
+  EXPECT_EQ(f0.era(), 0u);
+  telemetry::TraceFileFactory weird("we@ird.sntr");
+  EXPECT_EQ(weird.era(), 0u);
   std::remove(path.c_str());
 }
 
