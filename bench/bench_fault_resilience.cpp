@@ -11,10 +11,75 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "harness.hpp"
+#include "noc/fault_engine.hpp"
 #include "noc/faults.hpp"
+
+namespace {
+
+// Online-fault degradation curve: the same SMART fabric under seeded MTBF
+// glitch campaigns applied to the *live* network mid-run (no rebuild).
+// Latency and throughput vs mean time between failures, with the recovery
+// counters (retransmits, reroutes, drops) that explain the shape.
+void run_mtbf_campaign() {
+  using namespace smartnoc;
+
+  NocConfig cfg = NocConfig::paper_4x4();
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 20'000;
+  cfg.drain_timeout = 50'000;
+  cfg.watchdog_window = 20'000;  // a wedged campaign fails structured, not silent
+
+  std::puts("=== Extension: online glitch campaigns (latency/throughput vs MTBF) ===\n");
+  TextTable t({"MTBF", "events", "delivered", "dropped", "retrans", "rerouted",
+               "avg latency", "throughput", "vs fault-free"});
+
+  const Cycle horizon = cfg.warmup_cycles + cfg.measure_cycles;
+  double base_latency = 0.0, base_throughput = 0.0;
+  for (const Cycle mtbf : {Cycle(0), Cycle(8'000), Cycle(4'000), Cycle(2'000), Cycle(1'000)}) {
+    sim::ScenarioSpec spec = sim::ScenarioSpec::classic(Design::Smart, "uniform", 0.05, cfg);
+    if (mtbf != 0) {
+      spec.fault_events =
+          noc::FaultSchedule::random_events(cfg.dims(), mtbf, horizon, 42, /*repair_after=*/500);
+    }
+    const std::size_t events = spec.fault_events.size();
+    sim::Session session(std::move(spec));
+    const sim::SessionResult sr = session.run();
+    if (!sr.ok) {
+      t.add_row({mtbf == 0 ? "inf" : strf("%llu", static_cast<unsigned long long>(mtbf)),
+                 strf("%zu", events), "-", "-", "-", "-", "-", "-",
+                 "FAILED: " + sr.error});
+      continue;
+    }
+    const sim::RunResult run = sim::session_to_run_result(sr);
+    const noc::FaultCounters& fc = session.network().stats().faults();
+    if (mtbf == 0) {
+      base_latency = run.avg_network_latency;
+      base_throughput = run.delivered_packets_per_cycle;
+    }
+    t.add_row({mtbf == 0 ? "inf" : strf("%llu", static_cast<unsigned long long>(mtbf)),
+               strf("%zu", events), strf("%llu", static_cast<unsigned long long>(run.packets_delivered)),
+               strf("%llu", static_cast<unsigned long long>(fc.packets_dropped)),
+               strf("%llu", static_cast<unsigned long long>(fc.packets_retransmitted)),
+               strf("%llu", static_cast<unsigned long long>(fc.flows_rerouted)),
+               strf("%.2f", run.avg_network_latency),
+               strf("%.4f", run.delivered_packets_per_cycle),
+               strf("%+.1f%% lat, %+.1f%% thr",
+                    100.0 * (run.avg_network_latency / base_latency - 1.0),
+                    100.0 * (run.delivered_packets_per_cycle / base_throughput - 1.0))});
+  }
+  t.print();
+  std::puts("\nreading: as MTBF shrinks, glitches purge more in-flight flits (each a");
+  std::puts("backoff'd retransmission), chains truncate and flows detour - latency");
+  std::puts("degrades smoothly and throughput sags, but every packet stays accounted");
+  std::puts("(delivered + dropped == offered; pinned by tests).\n");
+}
+
+}  // namespace
 
 int main() {
   using namespace smartnoc;
+
+  run_mtbf_campaign();
 
   NocConfig cfg = NocConfig::paper_4x4();
   cfg.measure_cycles = 100'000;

@@ -13,6 +13,7 @@
 
 #include "dedicated/dedicated_network.hpp"
 #include "mapping/nmap.hpp"
+#include "noc/fault_engine.hpp"
 #include "noc/traffic.hpp"
 #include "sim/runner.hpp"
 #include "smart/smart_network.hpp"
@@ -197,6 +198,31 @@ void BM_Classic4x4_Session(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
 }
 BENCHMARK(BM_Classic4x4_Session);
+
+// PR 7 pair: fault-machinery overhead on a fault-free run. The same
+// classic experiment with the whole recovery apparatus armed - liveness
+// watchdog ticking, retry knobs set, a fault schedule loaded whose one
+// event fires far beyond the run - but no fault ever firing. The per-tick
+// cost is one due-cycle compare plus the watchdog fingerprint; the CI
+// bench-release job gates FaultArmed vs Session at < 2%.
+void BM_Classic4x4_FaultArmed(benchmark::State& state) {
+  NocConfig cfg = overhead_cfg();
+  cfg.watchdog_window = 5'000;
+  cfg.retry_limit = 3;
+  cfg.retry_backoff_cycles = 64;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::ScenarioSpec spec =
+        sim::ScenarioSpec::classic(Design::Mesh, "transpose", 0.05, cfg);
+    spec.fault_events = noc::parse_fault_schedule_token("kill@1000000000:5:E");
+    sim::Session session(std::move(spec));
+    const sim::SessionResult sr = session.run();
+    for (const sim::PhaseResult& p : sr.phases) cycles += p.cycles_run;
+    benchmark::DoNotOptimize(sr.phases.back().packets_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_Classic4x4_FaultArmed);
 
 // PR 4 pair: telemetry-probe overhead on the paper's design. The classic
 // experiment on the default SMART fabric, once bare and once with a probe

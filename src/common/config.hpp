@@ -66,6 +66,16 @@ struct NocConfig {
   RoutingPolicy routing = RoutingPolicy::WestFirst;
   double bandwidth_scale = 1.0;  ///< multiplies all task-graph bandwidths
 
+  // ---- Fault tolerance -----------------------------------------------------
+  /// Liveness watchdog: a Session fails the phase with a StallReport when no
+  /// forward progress happens over this many cycles. 0 disables the check.
+  Cycle watchdog_window = 0;
+  /// End-to-end recovery: packets lost to a fault are re-queued at their
+  /// source NIC up to this many times before being dropped for good.
+  int retry_limit = 3;
+  /// Base retransmission delay; attempt k waits backoff << (k-1) cycles.
+  Cycle retry_backoff_cycles = 64;
+
   // ---- Derived -------------------------------------------------------------
   int flits_per_packet() const { return packet_bits / flit_bits; }
   MeshDims dims() const { return MeshDims(width, height); }
@@ -102,6 +112,8 @@ struct NocConfig {
     require(hpc_max_override >= 0, "hpc_max_override must be >= 0");
     require(router_stages == 3, "this microarchitecture is the paper's 3-stage router");
     require(bandwidth_scale > 0.0, "bandwidth_scale must be positive");
+    require(retry_limit >= 0, "retry_limit must be >= 0");
+    require(retry_backoff_cycles > 0, "retry_backoff_cycles must be positive");
   }
 
   /// Grows the dependent fields to fit the primary ones: vc_depth_flits to

@@ -49,6 +49,15 @@ inline std::string drain_timeout_error(Cycle bound) {
   return buf;
 }
 
+/// Drain-timeout diagnostic with the liveness watchdog's StallReport summary
+/// appended, so the message names the stuck component (occupied VCs, oldest
+/// in-flight packet, live faults) instead of just the cycle count.
+inline std::string drain_timeout_error(Cycle bound, const std::string& stall_summary) {
+  std::string out = drain_timeout_error(bound);
+  if (!stall_summary.empty()) out += " [" + stall_summary + "]";
+  return out;
+}
+
 [[noreturn]] inline void invariant_failure(const char* expr, const char* file, int line,
                                            const std::string& msg) {
   std::fprintf(stderr, "SMARTNOC INVARIANT VIOLATED: %s\n  at %s:%d\n  %s\n", expr, file, line,

@@ -260,4 +260,37 @@ bool DedicatedNetwork::drained() const {
   return true;
 }
 
+noc::StallReport DedicatedNetwork::stall_report() const {
+  noc::StallReport report;
+  report.cycle = now_;
+  report.live_packets = pool_.live();
+  for (const auto& s : sources_) {
+    report.queued_packets += s.queue.size();
+  }
+  for (const auto& [node, sink] : sinks_) {
+    bool busy = sink.hold.has_value();
+    for (const auto& in : sink.inputs) {
+      busy = busy || !in.staging.empty();
+      for (const auto& vc : in.vcs) {
+        if (!vc.empty()) {
+          report.occupied_vcs += 1;
+          busy = true;
+        }
+      }
+    }
+    if (busy) report.stuck_routers.push_back(node);
+  }
+  for (noc::PacketSlot s = 0; s < pool_.capacity(); ++s) {
+    if (pool_.refs(s) == 0) continue;
+    const noc::PacketPayload& p = pool_.at(s);
+    if (!report.have_oldest || p.created < report.oldest_packet_created) {
+      report.have_oldest = true;
+      report.oldest_packet_id = p.id;
+      report.oldest_packet_flow = p.flow;
+      report.oldest_packet_created = p.created;
+    }
+  }
+  return report;
+}
+
 }  // namespace smartnoc::dedicated

@@ -63,6 +63,10 @@ class DedicatedNetwork final : public noc::Network {
   /// The structure-of-arrays packet store (live() == 0 once drained).
   const noc::PacketPool& packet_pool() const { return pool_; }
 
+  /// Watchdog diagnosis. Dedicated links cannot fault, so only the
+  /// packet-level census applies (live/queued packets, oldest in flight).
+  noc::StallReport stall_report() const override;
+
   /// Attach a trace observer. Dedicated links carry no mesh flits, so only
   /// the packet_offered and activity_delta hooks fire (link/heatmap series
   /// stay empty); that is enough for trace capture and the power series.

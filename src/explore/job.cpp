@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "noc/fault_engine.hpp"
 #include "power/energy_model.hpp"
 #include "sim/runner.hpp"
 #include "tools/physical_gen.hpp"
@@ -19,6 +20,7 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
   rec.injection = pt.injection;
   rec.workload = pt.workload.name();
   rec.fault_rate = pt.fault_rate;
+  rec.fault_schedule = pt.fault_schedule;
   rec.design = design_name(pt.design);
   rec.seed = pt.seed;
 
@@ -30,6 +32,9 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
     sim::ScenarioSpec scenario = sim::ScenarioSpec::classic(
         pt.design, pt.workload.name(), pt.injection, spec.config_for(pt));
     scenario.fault_rate = pt.fault_rate;
+    if (!pt.fault_schedule.empty() && pt.fault_schedule != "none") {
+      scenario.fault_events = noc::parse_fault_schedule_token(pt.fault_schedule);
+    }
 
     // Per-point observability (every design: Mesh/Smart via MeshNetwork's
     // observer, Dedicated via its own packet/activity hooks).
@@ -52,6 +57,13 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
     if (pt.design == Design::Smart && session.hpc_max() > 0) rec.hpc_max = session.hpc_max();
     try {
       rec.flows = session.network().flows().size();
+      // Degradation columns: how much the fault campaign actually cost.
+      const noc::FaultCounters& fc = session.network().stats().faults();
+      rec.packets_offered = fc.packets_offered;
+      rec.packets_dropped = fc.packets_dropped;
+      rec.packets_retransmitted = fc.packets_retransmitted;
+      rec.flows_rerouted = fc.flows_rerouted;
+      rec.flows_failed = fc.flows_failed;
     } catch (const SimError&) {
       rec.flows = 0;  // the first era never built (e.g. all flows dropped)
     }

@@ -64,10 +64,11 @@ std::vector<std::string> csv_split(const std::string& line) {
 }
 
 constexpr const char* kCsvHeader =
-    "index,width,height,flit_bits,hpc_max,injection,workload,fault_rate,design,seed,"
-    "ok,error,flows,dropped_flows,packets,avg_net_latency,avg_total_latency,"
-    "p50_latency,p99_latency,max_latency,throughput_ppc,power_mw,area_mm2";
-constexpr int kCsvColumns = 23;
+    "index,width,height,flit_bits,hpc_max,injection,workload,fault_rate,fault_schedule,"
+    "design,seed,ok,error,flows,dropped_flows,packets,avg_net_latency,avg_total_latency,"
+    "p50_latency,p99_latency,max_latency,throughput_ppc,power_mw,area_mm2,"
+    "packets_offered,packets_dropped,packets_retransmitted,flows_rerouted,flows_failed";
+constexpr int kCsvColumns = 29;
 
 // --- Minimal JSON reader (exactly the subset ResultTable emits) --------------
 
@@ -157,14 +158,18 @@ std::string ResultTable::to_csv() const {
     out += fmt_u64(r.index) + ',' + strf("%d,%d,%d,%d,", r.width, r.height, r.flit_bits,
                                          r.hpc_max);
     out += fmt_double(r.injection) + ',' + csv_quote(r.workload) + ',' +
-           fmt_double(r.fault_rate) + ',' + csv_quote(r.design) + ',' + fmt_u64(r.seed) + ',';
+           fmt_double(r.fault_rate) + ',' + csv_quote(r.fault_schedule) + ',' +
+           csv_quote(r.design) + ',' + fmt_u64(r.seed) + ',';
     out += (r.ok ? "1," : "0,");
     out += csv_quote(r.error) + ',';
     out += strf("%d,%d,", r.flows, r.dropped_flows) + fmt_u64(r.packets) + ',';
     out += fmt_double(r.avg_net_latency) + ',' + fmt_double(r.avg_total_latency) + ',' +
            fmt_double(r.p50_latency) + ',' + fmt_double(r.p99_latency) + ',' +
            fmt_double(r.max_latency) + ',' + fmt_double(r.throughput_ppc) + ',' +
-           fmt_double(r.power_mw) + ',' + fmt_double(r.area_mm2);
+           fmt_double(r.power_mw) + ',' + fmt_double(r.area_mm2) + ',';
+    out += fmt_u64(r.packets_offered) + ',' + fmt_u64(r.packets_dropped) + ',' +
+           fmt_u64(r.packets_retransmitted) + ',' + fmt_u64(r.flows_rerouted) + ',' +
+           fmt_u64(r.flows_failed);
     out += '\n';
   }
   return out;
@@ -205,6 +210,7 @@ ResultTable ResultTable::from_csv(const std::string& text) {
     r.injection = std::strtod(f[i++].c_str(), nullptr);
     r.workload = f[i++];
     r.fault_rate = std::strtod(f[i++].c_str(), nullptr);
+    r.fault_schedule = f[i++];
     r.design = f[i++];
     r.seed = parse_u64(f[i++]);
     r.ok = f[i++] == "1";
@@ -220,6 +226,11 @@ ResultTable ResultTable::from_csv(const std::string& text) {
     r.throughput_ppc = std::strtod(f[i++].c_str(), nullptr);
     r.power_mw = std::strtod(f[i++].c_str(), nullptr);
     r.area_mm2 = std::strtod(f[i++].c_str(), nullptr);
+    r.packets_offered = parse_u64(f[i++]);
+    r.packets_dropped = parse_u64(f[i++]);
+    r.packets_retransmitted = parse_u64(f[i++]);
+    r.flows_rerouted = parse_u64(f[i++]);
+    r.flows_failed = parse_u64(f[i++]);
     out.add(std::move(r));
   }
   return out;
@@ -236,6 +247,7 @@ std::string ResultTable::to_json() const {
     out += ", \"injection\": " + fmt_double(r.injection);
     out += ", \"workload\": \"" + json_escape(r.workload) + '"';
     out += ", \"fault_rate\": " + fmt_double(r.fault_rate);
+    out += ", \"fault_schedule\": \"" + json_escape(r.fault_schedule) + '"';
     out += ", \"design\": \"" + json_escape(r.design) + '"';
     out += ", \"seed\": " + fmt_u64(r.seed);
     out += std::string(", \"ok\": ") + (r.ok ? "true" : "false");
@@ -250,6 +262,11 @@ std::string ResultTable::to_json() const {
     out += ", \"throughput_ppc\": " + fmt_double(r.throughput_ppc);
     out += ", \"power_mw\": " + fmt_double(r.power_mw);
     out += ", \"area_mm2\": " + fmt_double(r.area_mm2);
+    out += ", \"packets_offered\": " + fmt_u64(r.packets_offered);
+    out += ", \"packets_dropped\": " + fmt_u64(r.packets_dropped);
+    out += ", \"packets_retransmitted\": " + fmt_u64(r.packets_retransmitted);
+    out += ", \"flows_rerouted\": " + fmt_u64(r.flows_rerouted);
+    out += ", \"flows_failed\": " + fmt_u64(r.flows_failed);
     out += '}';
     if (i + 1 < rows_.size()) out += ',';
     out += '\n';
@@ -272,6 +289,8 @@ ResultTable ResultTable::from_json(const std::string& text) {
         rd.expect(':');
         if (key == "workload") {
           r.workload = rd.read_string();
+        } else if (key == "fault_schedule") {
+          r.fault_schedule = rd.read_string();
         } else if (key == "design") {
           r.design = rd.read_string();
         } else if (key == "error") {
@@ -299,6 +318,11 @@ ResultTable ResultTable::from_json(const std::string& text) {
           else if (key == "throughput_ppc") r.throughput_ppc = std::strtod(tok.c_str(), nullptr);
           else if (key == "power_mw") r.power_mw = std::strtod(tok.c_str(), nullptr);
           else if (key == "area_mm2") r.area_mm2 = std::strtod(tok.c_str(), nullptr);
+          else if (key == "packets_offered") r.packets_offered = parse_u64(tok);
+          else if (key == "packets_dropped") r.packets_dropped = parse_u64(tok);
+          else if (key == "packets_retransmitted") r.packets_retransmitted = parse_u64(tok);
+          else if (key == "flows_rerouted") r.flows_rerouted = parse_u64(tok);
+          else if (key == "flows_failed") r.flows_failed = parse_u64(tok);
           else throw ConfigError("JSON: unknown ResultTable key '" + key + "'");
         }
       } while (rd.consume(','));

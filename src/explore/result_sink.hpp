@@ -24,6 +24,8 @@ struct RunRecord {
   double injection = 0.0;
   std::string workload;
   double fault_rate = 0.0;
+  /// Online fault-schedule token (fault_engine grammar; "none" = no events).
+  std::string fault_schedule = "none";
   std::string design;
   std::uint64_t seed = 0;
 
@@ -46,6 +48,13 @@ struct RunRecord {
   double throughput_ppc = 0.0;  ///< packets delivered per cycle (whole mesh)
   double power_mw = 0.0;
   double area_mm2 = 0.0;        ///< router area, all tiles
+
+  // --- Degradation (all zero unless faults fired during the run) ---------
+  std::uint64_t packets_offered = 0;        ///< offered at the sources
+  std::uint64_t packets_dropped = 0;        ///< retry budget spent / flow failed
+  std::uint64_t packets_retransmitted = 0;  ///< end-to-end retries after faults
+  std::uint64_t flows_rerouted = 0;         ///< routes recomputed online
+  std::uint64_t flows_failed = 0;           ///< destinations left unreachable
 
   friend bool operator==(const RunRecord&, const RunRecord&) = default;
 };

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "common/rng.hpp"
+#include "noc/fault_engine.hpp"
 
 namespace smartnoc::explore {
 
@@ -17,7 +18,7 @@ std::string Workload::name() const {
 
 std::size_t SweepSpec::size() const {
   return meshes.size() * flit_bits.size() * hpc_max.size() * injections.size() *
-         workloads.size() * fault_rates.size() * designs.size();
+         workloads.size() * fault_rates.size() * fault_schedules.size() * designs.size();
 }
 
 void SweepSpec::validate() const {
@@ -30,6 +31,7 @@ void SweepSpec::validate() const {
   nonempty(!injections.empty(), "injection");
   nonempty(!workloads.empty(), "workload");
   nonempty(!fault_rates.empty(), "fault_rate");
+  nonempty(!fault_schedules.empty(), "fault_schedule");
   nonempty(!designs.empty(), "design");
   for (int f : flit_bits) {
     if (f <= 0) throw ConfigError("flit_bits axis value must be positive");
@@ -43,6 +45,9 @@ void SweepSpec::validate() const {
   for (double r : fault_rates) {
     if (r < 0.0 || r >= 1.0) throw ConfigError("fault_rate axis value must be in [0,1)");
   }
+  // Grammar check only: link bounds depend on the mesh axis and are
+  // validated per point when the scenario resolves.
+  for (const std::string& s : fault_schedules) noc::parse_fault_schedule_token(s);
   if (measure_cycles == 0) throw ConfigError("measure_cycles must be positive");
 }
 
@@ -56,21 +61,24 @@ std::vector<RunPoint> SweepSpec::expand() const {
         for (double inj : injections)
           for (const Workload& wl : workloads)
             for (double faults : fault_rates)
-              for (Design design : designs) {
-                RunPoint pt;
-                pt.index = out.size();
-                pt.mesh = mesh;
-                pt.flit_bits = flits;
-                pt.hpc_max = hpc;
-                pt.injection = inj;
-                pt.workload = wl;
-                pt.fault_rate = faults;
-                pt.design = design;
-                // Position-derived seed: identical for point i no matter
-                // what thread runs it or what other axes exist.
-                pt.seed = SplitMix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (pt.index + 1))).next();
-                out.push_back(pt);
-              }
+              for (const std::string& sched : fault_schedules)
+                for (Design design : designs) {
+                  RunPoint pt;
+                  pt.index = out.size();
+                  pt.mesh = mesh;
+                  pt.flit_bits = flits;
+                  pt.hpc_max = hpc;
+                  pt.injection = inj;
+                  pt.workload = wl;
+                  pt.fault_rate = faults;
+                  pt.fault_schedule = sched;
+                  pt.design = design;
+                  // Position-derived seed: identical for point i no matter
+                  // what thread runs it or what other axes exist.
+                  pt.seed =
+                      SplitMix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (pt.index + 1))).next();
+                  out.push_back(pt);
+                }
   return out;
 }
 
@@ -205,6 +213,9 @@ SweepSpec parse_sweep(const std::string& text) {
       } else if (key == "fault_rate" || key == "faults") {
         spec.fault_rates.clear();
         for (const auto& s : items) spec.fault_rates.push_back(parse_axis_double(s, "fault_rate"));
+      } else if (key == "fault_schedule" || key == "fault_events") {
+        spec.fault_schedules.clear();
+        for (const auto& s : items) spec.fault_schedules.push_back(s);
       } else if (key == "design") {
         spec.designs.clear();
         for (const auto& s : items) spec.designs.push_back(parse_design(s));

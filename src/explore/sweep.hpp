@@ -56,6 +56,11 @@ struct RunPoint {
                              ///< multiplier (app workloads)
   Workload workload;
   double fault_rate = 0.0;   ///< probability a mesh link (pair) has failed
+  /// Online fault schedule in the compact token grammar of
+  /// noc/fault_engine.hpp ("none" = no timed events). Events fire against
+  /// the *live* network mid-run (kill/glitch/stall), unlike fault_rate's
+  /// static construction-time pattern.
+  std::string fault_schedule = "none";
   Design design = Design::Smart;
   std::uint64_t seed = 0;    ///< derived per-point; feeds traffic and faults
 };
@@ -69,6 +74,10 @@ struct SweepSpec {
   std::vector<double> injections = {0.05};
   std::vector<Workload> workloads = {Workload::synthetic(noc::SyntheticPattern::UniformRandom)};
   std::vector<double> fault_rates = {0.0};
+  /// Fault-schedule axis: one compact token per value ("none", or events
+  /// joined by '+', e.g. "kill@2000:5:E+stall@3000:7@3200" - comma-free by
+  /// construction, since commas separate axis values).
+  std::vector<std::string> fault_schedules = {"none"};
   std::vector<Design> designs = {Design::Smart};
 
   std::uint64_t base_seed = 1;
@@ -113,6 +122,7 @@ struct SweepSpec {
 ///   app       = vopd                     # SoC-app workloads (appended)
 ///   design    = mesh, smart
 ///   fault_rate = 0.0
+///   fault_schedule = none, kill@2000:5:E   # online fault events (token grammar)
 ///   seed      = 1
 ///   warmup = 2000
 ///   measure = 20000

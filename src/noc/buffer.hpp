@@ -49,9 +49,13 @@ class VcBuffer {
 
   // --- Per-packet VC state (virtual cut-through) ---------------------------
 
-  /// Head flit decoded: the output port this packet requests.
-  void set_request(Dir out) {
+  /// Head flit decoded: the output port this packet requests. `owner`
+  /// records which packet holds the VC, so the fault engine can identify a
+  /// mid-stream VC (momentarily empty while its body is still upstream)
+  /// when purging a dying packet.
+  void set_request(Dir out, PacketSlot owner = kInvalidSlot) {
     requested_out_ = out;
+    owner_ = owner;
     has_request_ = true;
   }
   bool has_request() const { return has_request_; }
@@ -59,9 +63,14 @@ class VcBuffer {
     SMARTNOC_CHECK(has_request_, "no decoded request on this VC");
     return requested_out_;
   }
+  /// The packet currently holding this VC (kInvalidSlot when none).
+  PacketSlot owner() const { return has_request_ ? owner_ : kInvalidSlot; }
   /// Called when the packet's tail leaves: the VC is free for the next
   /// packet (whose head will set a new request at Buffer Write).
-  void clear_request() { has_request_ = false; }
+  void clear_request() {
+    has_request_ = false;
+    owner_ = kInvalidSlot;
+  }
 
  private:
   std::vector<FlitRef> slots_;
@@ -69,6 +78,7 @@ class VcBuffer {
   int head_ = 0;
   int count_ = 0;
   Dir requested_out_ = Dir::Core;
+  PacketSlot owner_ = kInvalidSlot;
   bool has_request_ = false;
 };
 

@@ -1,0 +1,142 @@
+// Runtime fault engine: deterministic, seeded schedules of timed fault
+// events (permanent link kill, transient glitch with a repair cycle, router
+// stall) applied to a *live* network mid-phase - no drain, no rebuild.
+//
+// The paper sells SMART's reconfigurability as a resilience feature; the
+// static story (a FaultSet baked in at construction, rerouting only at era
+// boundaries) cannot exercise it. A FaultSchedule is declared in a
+// ScenarioSpec (`fault_event cycle=N kind=... link=...`), expanded into
+// primitive actions (kill / repair / stall) sorted by fire cycle, and
+// drained by sim::Session between ticks; MeshNetwork applies each action
+// online (preset surgery, in-flight flit purge, online reroute).
+//
+// StallReport is the liveness watchdog's structured diagnosis: when a run
+// makes no forward progress over a configured window, the report names the
+// stuck components (occupied VCs, oldest in-flight packet, live fault set)
+// instead of timing out silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace smartnoc::noc {
+
+/// Fault kinds as declared in scenarios.
+enum class FaultKind : std::uint8_t {
+  LinkKill,     ///< permanent bidirectional link death
+  LinkGlitch,   ///< transient: killed at `cycle`, repaired at `until`
+  RouterStall,  ///< switch allocation frozen until `until`
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One declared fault event. `cycle` counts whole-session cycles (across
+/// phase boundaries), so a schedule is independent of phase layout.
+struct FaultEventSpec {
+  Cycle cycle = 0;
+  FaultKind kind = FaultKind::LinkKill;
+  NodeId node = 0;          ///< link origin (kill/glitch) or stalled router
+  Dir dir = Dir::East;      ///< link direction (ignored for stalls)
+  Cycle until = 0;          ///< glitch repair cycle / stall release cycle
+
+  /// Throws ConfigError when the event is inconsistent for `dims` (link off
+  /// the mesh, repair not after the kill, ...).
+  void validate(const MeshDims& dims) const;
+
+  std::string str() const;  ///< e.g. "kill@2000 link=5:E"
+
+  friend bool operator==(const FaultEventSpec&, const FaultEventSpec&) = default;
+};
+
+/// A primitive action the network applies: glitches expand to kill+repair.
+struct FaultAction {
+  enum class Kind : std::uint8_t { Kill, Repair, Stall };
+  Cycle cycle = 0;
+  Kind kind = Kind::Kill;
+  NodeId node = 0;
+  Dir dir = Dir::East;
+  Cycle until = 0;  ///< stall release cycle
+};
+
+/// A deterministic timeline of fault actions with a fire cursor. Built from
+/// declared events (stable-sorted by cycle) or drawn from a seeded MTBF
+/// process for fault campaigns.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(const std::vector<FaultEventSpec>& events);
+
+  /// Seeded random campaign: East/North links glitch with a mean time
+  /// between failures of `mtbf` cycles until `horizon`; each glitch heals
+  /// after `repair_after` cycles (0 = permanent kills). Deterministic in
+  /// (dims, mtbf, horizon, seed).
+  static FaultSchedule random(const MeshDims& dims, Cycle mtbf, Cycle horizon,
+                              std::uint64_t seed, Cycle repair_after);
+
+  /// The declared-event form of the same draw (what random() expands), so
+  /// MTBF campaigns can embed a seeded schedule into a ScenarioSpec.
+  static std::vector<FaultEventSpec> random_events(const MeshDims& dims, Cycle mtbf,
+                                                   Cycle horizon, std::uint64_t seed,
+                                                   Cycle repair_after);
+
+  bool empty() const { return actions_.empty(); }
+  std::size_t size() const { return actions_.size(); }
+
+  /// Cycle of the next unfired action; kNever when exhausted.
+  static constexpr Cycle kNever = ~static_cast<Cycle>(0);
+  Cycle next_cycle() const { return next_ < actions_.size() ? actions_[next_].cycle : kNever; }
+
+  /// The next action due at or before `now` (nullptr when none), advancing
+  /// the cursor. Call in a loop: several actions may share a cycle.
+  const FaultAction* pop_due(Cycle now) {
+    if (next_ >= actions_.size() || actions_[next_].cycle > now) return nullptr;
+    return &actions_[next_++];
+  }
+
+  void rewind() { next_ = 0; }
+  const std::vector<FaultAction>& actions() const { return actions_; }
+
+ private:
+  std::vector<FaultAction> actions_;  ///< sorted by (cycle, declaration order)
+  std::size_t next_ = 0;
+};
+
+/// The watchdog's structured diagnosis of a stuck network.
+struct StallReport {
+  Cycle cycle = 0;               ///< network-local cycle of the snapshot
+  std::uint64_t live_packets = 0;     ///< PacketPool slots still referenced
+  std::uint64_t queued_packets = 0;   ///< packets waiting in NIC source queues
+  std::uint64_t retry_waiting = 0;    ///< of those, held back by retry backoff
+  int occupied_vcs = 0;               ///< input VCs holding flits
+  std::vector<NodeId> stuck_routers;  ///< routers still reporting traffic
+  int degraded_flows = 0;             ///< flows failed as unreachable
+  std::vector<std::pair<NodeId, int>> live_faults;  ///< failed (node, dir index) links
+  bool have_oldest = false;
+  std::uint32_t oldest_packet_id = 0;
+  FlowId oldest_packet_flow = kInvalidFlow;
+  Cycle oldest_packet_created = 0;
+
+  /// One-line human summary for error messages and logs.
+  std::string summary() const;
+};
+
+// --- Compact sweep-axis grammar ----------------------------------------------
+//
+// The explorer's fault-schedule axis uses a comma-free token per schedule
+// (commas separate axis values): events joined by '+'.
+//
+//   none                          empty schedule
+//   kill@2000:5:E                 kill link 5->East at cycle 2000
+//   glitch@2000:5:E@2500          glitch, repaired at 2500
+//   stall@3000:7@3200             stall router 7 until 3200
+//
+/// Throws ConfigError on malformed tokens.
+std::vector<FaultEventSpec> parse_fault_schedule_token(const std::string& token);
+std::string format_fault_schedule_token(const std::vector<FaultEventSpec>& events);
+
+}  // namespace smartnoc::noc

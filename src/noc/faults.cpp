@@ -15,6 +15,15 @@ void FaultSet::fail_link(const MeshDims& dims, NodeId node, Dir out, bool both_d
   }
 }
 
+void FaultSet::repair_link(const MeshDims& dims, NodeId node, Dir out, bool both_directions) {
+  SMARTNOC_CHECK(is_mesh_dir(out), "only mesh links can repair");
+  SMARTNOC_CHECK(dims.has_neighbor(node, out), "no such link");
+  failed_.erase({node, dir_index(out)});
+  if (both_directions) {
+    failed_.erase({dims.neighbor(node, out), dir_index(opposite(out))});
+  }
+}
+
 bool FaultSet::path_alive(const MeshDims& dims, const RoutePath& path) const {
   NodeId cur = path.src;
   for (Dir d : path.links) {

@@ -32,11 +32,19 @@ class FaultSet {
   /// kills the credit path too).
   void fail_link(const MeshDims& dims, NodeId node, Dir out, bool both_directions = true);
 
+  /// Un-fails the directed link (and its reverse, mirroring fail_link):
+  /// transient glitches repair. No-op for links that were never failed.
+  void repair_link(const MeshDims& dims, NodeId node, Dir out, bool both_directions = true);
+
   bool is_failed(NodeId node, Dir out) const {
     return failed_.count({node, dir_index(out)}) > 0;
   }
   int count() const { return static_cast<int>(failed_.size()); }
   bool empty() const { return failed_.empty(); }
+
+  /// The failed directed links as (node, dir index) pairs, in set order
+  /// (deterministic). Feeds StallReport and fault-set merging.
+  const std::set<std::pair<NodeId, int>>& links() const { return failed_; }
 
   /// True if every link of the path is alive.
   bool path_alive(const MeshDims& dims, const RoutePath& path) const;

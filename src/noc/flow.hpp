@@ -53,6 +53,16 @@ class FlowSet {
     return flows_.back().id;
   }
 
+  /// Re-points an existing flow at a new path (the fault engine's online
+  /// reroute), re-encoding the header form. Endpoints must be unchanged.
+  void update_route(FlowId id, RoutePath path) {
+    Flow& f = flows_.at(static_cast<std::size_t>(id));
+    SMARTNOC_CHECK(path.src == f.src && path.dst == f.dst,
+                   "update_route must keep the flow endpoints");
+    f.route = SourceRoute::encode(path);
+    f.path = std::move(path);
+  }
+
   int size() const { return static_cast<int>(flows_.size()); }
   bool empty() const { return flows_.empty(); }
   const Flow& at(FlowId id) const { return flows_.at(static_cast<std::size_t>(id)); }

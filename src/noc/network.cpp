@@ -7,6 +7,23 @@
 
 namespace smartnoc::noc {
 
+namespace {
+
+std::size_t idx(Dir d) { return static_cast<std::size_t>(dir_index(d)); }
+
+/// Does `path` traverse any directed link in `links`?
+bool path_crosses(const RoutePath& path, const MeshDims& dims,
+                  const std::set<std::pair<NodeId, int>>& links) {
+  NodeId cur = path.src;
+  for (Dir d : path.links) {
+    if (links.count({cur, dir_index(d)}) > 0) return true;
+    cur = dims.neighbor(cur, d);
+  }
+  return false;
+}
+
+}  // namespace
+
 MeshNetwork::MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable presets, Options opt)
     : cfg_(cfg),
       opt_(opt),
@@ -46,6 +63,7 @@ MeshNetwork::MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable preset
   }
 
   flow_info_.resize(static_cast<std::size_t>(flows_.size()));
+  flow_degraded_.assign(static_cast<std::size_t>(flows_.size()), 0);
   for (const Flow& f : flows_) {
     nics_[static_cast<std::size_t>(f.src)]->register_flow(f);
     validate_and_index_flow(f);
@@ -212,7 +230,15 @@ void MeshNetwork::tick_reference() {
 
 void MeshNetwork::offer_packet(FlowId flow, Cycle created) {
   const Flow& f = flows_.at(flow);
+  stats_.faults().packets_offered += 1;
   if (observer_ != nullptr) observer_->packet_offered(flow, f.src, created);
+  if (flow_degraded(flow)) {
+    // Unreachable destination: the offer is accounted (offered + dropped)
+    // without ever entering the network - graceful degradation, not a hang.
+    stats_.record_drop(flow);
+    if (observer_ != nullptr) observer_->packet_dropped(flow, f.src, created);
+    return;
+  }
   const PacketSlot slot = pool_.alloc();
   PacketPayload& pkt = pool_.at(slot);
   pkt.id = next_packet_id_++;
@@ -310,6 +336,445 @@ void MeshNetwork::credit_from_nic(NodeId nic_node, VcId vc, Cycle now) {
   const Cycle due = now + 1 + (opt_.extra_link_cycle ? 1 : 0);
   schedule_credit(*target, vc, due, segments_.credit_mm_nic(nic_node),
                   segments_.credit_xbar_hops_nic(nic_node));
+}
+
+// --- Online fault injection --------------------------------------------------
+//
+// All surgery happens between ticks and is shared verbatim by both cycle
+// kernels, so fault runs stay bit-identical (pinned by the golden matrix).
+// The sequence for a structural change is always: preset surgery -> purge
+// the flows whose latch structure changed -> rebuild the segment table and
+// re-derive every credit queue from actual endpoint occupancy.
+
+void MeshNetwork::apply_fault_action(const FaultAction& action) {
+  switch (action.kind) {
+    case FaultAction::Kind::Kill:
+      apply_link_kill(action.node, action.dir);
+      break;
+    case FaultAction::Kind::Repair:
+      apply_link_repair(action.node, action.dir);
+      break;
+    case FaultAction::Kind::Stall:
+      // A stalled router keeps latching and streaming; only new switch
+      // grants freeze. No activation needed: a router holding traffic is
+      // already in the active set by invariant.
+      routers_[static_cast<std::size_t>(action.node)]->stall_until(action.until);
+      stats_.faults().router_stalls += 1;
+      break;
+  }
+}
+
+bool MeshNetwork::truncate_chain(NodeId start, Dir entry, LinkSet& changed) {
+  const MeshDims dims = cfg_.dims();
+  NodeId cur = start;
+  Dir in_dir = entry;
+  bool flipped = false;
+  for (int guard = 0; guard <= dims.nodes() + 1; ++guard) {
+    RouterPreset& p = presets_.at(cur);
+    if (p.input_mux[idx(in_dir)] != InputMux::Bypass) break;
+    // The unique crosspoint forwarding this input (uniqueness is validated
+    // by the segment walk that built the live table).
+    std::optional<Dir> exit;
+    for (Dir o : kAllDirs) {
+      const XbarSel& sel = p.xbar[idx(o)];
+      if (sel.kind == XbarSel::Kind::FromLink && sel.link == in_dir) {
+        exit = o;
+        break;
+      }
+    }
+    SMARTNOC_CHECK(exit.has_value(), "bypass input with no crosspoint during fault surgery");
+    // Flipping this router shortens the upstream segment: its feeder link
+    // now ends at a new latch point, so flows over it must purge too.
+    if (in_dir != Dir::Core && dims.has_neighbor(cur, in_dir)) {
+      changed.insert({dims.neighbor(cur, in_dir), dir_index(opposite(in_dir))});
+    }
+    p.input_mux[idx(in_dir)] = InputMux::Buffer;
+    p.in_clocked[idx(in_dir)] = true;
+    p.credit_xbar[idx(in_dir)] = XbarSel{XbarSel::Kind::Off, Dir::Core};
+    p.xbar[idx(*exit)] = XbarSel{XbarSel::Kind::FromRouter, Dir::Core};
+    p.out_clocked[idx(*exit)] = true;
+    routers_[static_cast<std::size_t>(cur)]->set_output_enabled(*exit, true);
+    flipped = true;
+    if (*exit == Dir::Core) break;  // was bypassing straight into this tile's NIC
+    changed.insert({cur, dir_index(*exit)});
+    cur = dims.neighbor(cur, *exit);
+    in_dir = opposite(*exit);
+  }
+  if (flipped) stats_.faults().chains_truncated += 1;
+  return flipped;
+}
+
+void MeshNetwork::truncate_covering_chain(NodeId node, Dir entry, LinkSet& changed) {
+  // Walk the presets backward to the chain's first bypassed input, then
+  // truncate forward from there. The presets are authoritative here - the
+  // segment table is stale mid-surgery.
+  const MeshDims dims = cfg_.dims();
+  NodeId cur = node;
+  Dir in_dir = entry;
+  for (int guard = 0; guard <= dims.nodes() + 1; ++guard) {
+    if (in_dir == Dir::Core) break;  // fed by this tile's NIC: chain head reached
+    if (!dims.has_neighbor(cur, in_dir)) break;
+    const NodeId prev = dims.neighbor(cur, in_dir);
+    const XbarSel& sel = presets_.at(prev).xbar[idx(opposite(in_dir))];
+    if (sel.kind != XbarSel::Kind::FromLink) break;  // prev is the chain's origin router
+    cur = prev;
+    in_dir = sel.link;
+  }
+  truncate_chain(cur, in_dir, changed);
+}
+
+FaultSet MeshNetwork::structural_faults() const {
+  // Live faults plus every link embedded in bypass structure: a link out of
+  // a preset crosspoint, or into a bypassed input, cannot carry buffered
+  // hop-by-hop traffic without truncating someone's chain. The first
+  // reroute pass treats those as failed, preferring detours that leave
+  // other flows' chains intact.
+  const MeshDims dims = cfg_.dims();
+  FaultSet eff = live_faults_;
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    const RouterPreset& p = presets_.at(n);
+    for (Dir d : kMeshDirs) {
+      if (!dims.has_neighbor(n, d)) continue;
+      if (p.xbar[idx(d)].kind == XbarSel::Kind::FromLink) {
+        eff.fail_link(dims, n, d, /*both_directions=*/false);
+      }
+      if (p.input_mux[idx(d)] == InputMux::Bypass) {
+        eff.fail_link(dims, dims.neighbor(n, d), opposite(d), /*both_directions=*/false);
+      }
+    }
+  }
+  return eff;
+}
+
+void MeshNetwork::arm_path(const RoutePath& path, LinkSet& changed) {
+  const MeshDims dims = cfg_.dims();
+  NodeId cur = path.src;
+  Dir arrived = Dir::Core;  // the source router is entered from its NIC
+  for (Dir d : path.links) {
+    // The flow stops at every router of the path: un-bypass any chain
+    // running through its arrival port, free its output toward `d`, and
+    // make sure the far end latches. truncate_covering_chain mutates
+    // presets_, so selections are re-read after each call.
+    if (presets_.at(cur).input_mux[idx(arrived)] == InputMux::Bypass) {
+      truncate_covering_chain(cur, arrived, changed);
+    }
+    if (presets_.at(cur).xbar[idx(d)].kind == XbarSel::Kind::FromLink) {
+      truncate_covering_chain(cur, presets_.at(cur).xbar[idx(d)].link, changed);
+    }
+    if (presets_.at(cur).xbar[idx(d)].kind == XbarSel::Kind::Off) {
+      presets_.at(cur).xbar[idx(d)] = XbarSel{XbarSel::Kind::FromRouter, Dir::Core};
+    }
+    presets_.at(cur).out_clocked[idx(d)] = true;
+    routers_[static_cast<std::size_t>(cur)]->set_output_enabled(d, true);
+    const NodeId nxt = dims.neighbor(cur, d);
+    const Dir far = opposite(d);
+    if (presets_.at(nxt).input_mux[idx(far)] == InputMux::Bypass) {
+      truncate_covering_chain(nxt, far, changed);
+    }
+    presets_.at(nxt).in_clocked[idx(far)] = true;
+    cur = nxt;
+    arrived = far;
+  }
+  // Ejection at the destination router.
+  if (presets_.at(cur).xbar[idx(Dir::Core)].kind == XbarSel::Kind::FromLink) {
+    truncate_covering_chain(cur, presets_.at(cur).xbar[idx(Dir::Core)].link, changed);
+  }
+  if (presets_.at(cur).xbar[idx(Dir::Core)].kind == XbarSel::Kind::Off) {
+    presets_.at(cur).xbar[idx(Dir::Core)] = XbarSel{XbarSel::Kind::FromRouter, Dir::Core};
+  }
+  presets_.at(cur).out_clocked[idx(Dir::Core)] = true;
+  routers_[static_cast<std::size_t>(cur)]->set_output_enabled(Dir::Core, true);
+}
+
+bool MeshNetwork::reroute_flow(FlowId id, LinkSet& changed) {
+  const NodeId src = flows_.at(id).src;
+  const NodeId dst = flows_.at(id).dst;
+  // The source's injection chain (if any) is preset toward the old route;
+  // truncating it hands route control back to the source router.
+  truncate_chain(src, Dir::Core, changed);
+  auto try_route = [&](const FaultSet& faults) {
+    std::optional<RoutePath> path =
+        route_around_faults(cfg_.dims(), src, dst, TurnModel::XY, faults);
+    if (!path.has_value()) return false;
+    try {
+      flows_.update_route(id, std::move(*path));
+    } catch (const ConfigError&) {
+      return false;  // detour too long for the 31-entry route header
+    }
+    return true;
+  };
+  // Pass 1 also routes around other flows' live bypass structure; pass 2
+  // sacrifices chains when that is the only way through.
+  if (!try_route(structural_faults()) && !try_route(live_faults_)) return false;
+  arm_path(flows_.at(id).path, changed);
+  nics_[static_cast<std::size_t>(src)]->rewrite_queued_routes(id, flows_.at(id).route);
+  stats_.faults().flows_rerouted += 1;
+  return true;
+}
+
+void MeshNetwork::purge_and_requeue(const std::vector<std::uint8_t>& affected) {
+  if (std::none_of(affected.begin(), affected.end(), [](std::uint8_t b) { return b != 0; })) {
+    return;
+  }
+  // Sweep routers then NICs in node order (deterministic across kernels).
+  // The first reference encountered per packet is *kept* as a pin so the
+  // slot survives the sweep; all later references release.
+  std::vector<std::uint8_t> pinned(pool_.capacity(), 0);
+  std::vector<PacketSlot> candidates;
+  auto keep_or_release = [&](PacketSlot s) {
+    if (pinned[s] == 0) {
+      pinned[s] = 1;
+      candidates.push_back(s);
+    } else {
+      pool_.release(s);
+    }
+  };
+  const NodeId nodes = cfg_.dims().nodes();
+  for (NodeId n = 0; n < nodes; ++n) {
+    routers_[static_cast<std::size_t>(n)]->purge_flows(affected, [&](const FlitRef& f) {
+      stats_.faults().flits_purged += 1;
+      keep_or_release(f.slot);
+    });
+  }
+  for (NodeId n = 0; n < nodes; ++n) {
+    // An affected active transmission cancels; its transmit reference
+    // becomes the pin (or folds into an existing one).
+    nics_[static_cast<std::size_t>(n)]->purge_flows(affected, keep_or_release);
+  }
+  // Every recovered packet is dropped (flow degraded / retry budget spent)
+  // or re-queued at the front of its source queue with exponential backoff.
+  // Descending id order + push_front leaves each queue oldest-first.
+  std::sort(candidates.begin(), candidates.end(), [&](PacketSlot a, PacketSlot b) {
+    return pool_.at(a).id > pool_.at(b).id;
+  });
+  for (PacketSlot s : candidates) {
+    PacketPayload& pkt = pool_.at(s);
+    const FlowId fl = pkt.flow;
+    const NodeId src = pkt.src;
+    if (flow_degraded(fl) || static_cast<int>(pkt.attempts) + 1 > cfg_.retry_limit) {
+      stats_.record_drop(fl);
+      if (observer_ != nullptr) observer_->packet_dropped(fl, src, now_);
+      pool_.release(s);  // drops the pin; the slot recycles
+    } else {
+      pkt.attempts += 1;
+      pkt.injected = 0;
+      pkt.route = flows_.at(fl).route;  // pick up any online reroute
+      const int shift = std::min(static_cast<int>(pkt.attempts) - 1, 10);
+      nics_[static_cast<std::size_t>(src)]->requeue_front(
+          s, now_ + (cfg_.retry_backoff_cycles << shift));
+      stats_.record_retransmit(fl);
+      if (observer_ != nullptr) observer_->packet_retransmitted(fl, src, now_);
+    }
+  }
+}
+
+void MeshNetwork::rebuild_after_surgery() {
+  const MeshDims dims = cfg_.dims();
+  // Fresh segment table: its constructor re-validates the post-surgery
+  // presets wholesale (no dangling bypass, credit mirror intact).
+  segments_ = SegmentTable(dims, cfg_, presets_, opt_.hpc_max);
+  // Every surviving flow must still statically reach its destination under
+  // the new presets (degraded flows hold stale routes until revived).
+  for (const Flow& f : flows_) {
+    if (flow_degraded(f.id)) continue;
+    validate_and_index_flow(f);
+  }
+  // Global credit recompute: every origin's free-VC queue is re-derived
+  // from what actually occupies its (possibly new) endpoint. In-flight
+  // credits are discarded - their VCs are simply not busy anymore.
+  for (auto& bucket : credit_wheel_) bucket.clear();
+  credits_in_flight_ = 0;
+  ref_credits_.clear();
+  const int vcs = cfg_.vcs_per_port;
+  auto mark_endpoint = [&](const Endpoint& ep, std::array<bool, 16>& busy) {
+    if (ep.is_nic) {
+      nics_[static_cast<std::size_t>(ep.node)]->mark_busy_receive_vcs(busy);
+    } else {
+      routers_[static_cast<std::size_t>(ep.node)]->mark_busy_input_vcs(ep.in, busy);
+    }
+  };
+  clocked_in_total_ = 0;
+  clocked_out_total_ = 0;
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    Router& router = *routers_[static_cast<std::size_t>(n)];
+    std::array<bool, 16> nic_busy{};
+    mark_endpoint(segments_.injection(n).ep, nic_busy);
+    if (const auto v = nics_[static_cast<std::size_t>(n)]->active_tx_vc()) {
+      nic_busy[static_cast<std::size_t>(*v)] = true;
+    }
+    nics_[static_cast<std::size_t>(n)]->reset_source_credits(vcs, nic_busy);
+    const RouterPreset& p = presets_.at(n);
+    for (Dir o : kAllDirs) {
+      const bool armed = p.xbar[idx(o)].kind == XbarSel::Kind::FromRouter;
+      router.set_output_enabled(o, armed);
+      std::array<bool, 16> busy{};
+      if (armed) {
+        const auto& seg = segments_.output(n, o);
+        SMARTNOC_CHECK(seg.has_value(), "armed output lost its segment in fault surgery");
+        mark_endpoint(seg->ep, busy);
+        if (const auto held = router.hold_out_vc(o)) {
+          busy[static_cast<std::size_t>(*held)] = true;
+        }
+      } else {
+        SMARTNOC_CHECK(!router.hold_out_vc(o).has_value(),
+                       "disarmed output still streaming a switch hold");
+      }
+      router.reset_output_credits(o, vcs, busy);
+      clocked_in_total_ += p.in_clocked[idx(o)] ? 1 : 0;
+      clocked_out_total_ += p.out_clocked[idx(o)] ? 1 : 0;
+    }
+  }
+  // Active sets rebuilt from scratch in node order. The reference kernel
+  // ignores them; node order makes the rebuilt lists independent of the
+  // activation history, so post-fault cycles stay kernel-identical.
+  std::fill(router_in_set_.begin(), router_in_set_.end(), 0);
+  std::fill(nic_in_set_.begin(), nic_in_set_.end(), 0);
+  active_routers_.clear();
+  active_nics_.clear();
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    if (routers_[static_cast<std::size_t>(n)]->has_traffic()) activate_router(n);
+    if (!nics_[static_cast<std::size_t>(n)]->idle()) activate_nic(n);
+  }
+}
+
+void MeshNetwork::apply_link_kill(NodeId node, Dir dir) {
+  const MeshDims dims = cfg_.dims();
+  SMARTNOC_CHECK(dir != Dir::Core && dims.has_neighbor(node, dir),
+                 "fault injected on a link off the mesh");
+  if (live_faults_.is_failed(node, dir)) return;  // double kill: no-op
+  live_faults_.fail_link(dims, node, dir, /*both_directions=*/true);
+  stats_.faults().link_kills += 1;
+
+  const NodeId peer = dims.neighbor(node, dir);
+  const std::array<std::pair<NodeId, Dir>, 2> dead = {
+      std::pair<NodeId, Dir>{node, dir}, {peer, opposite(dir)}};
+
+  LinkSet changed;
+  // 1) Any bypass chain crossing either direction of the dead wire
+  //    truncates to hop-by-hop around it.
+  for (const auto& [x, dx] : dead) {
+    const NodeId y = dims.neighbor(x, dx);
+    const Dir ey = opposite(dx);
+    if (presets_.at(y).input_mux[idx(ey)] == InputMux::Bypass) {
+      truncate_covering_chain(y, ey, changed);
+    } else if (presets_.at(x).xbar[idx(dx)].kind == XbarSel::Kind::FromLink) {
+      truncate_covering_chain(x, presets_.at(x).xbar[idx(dx)].link, changed);
+    }
+  }
+  // 2) Disarm the dead wire itself: no crosspoint drives it, no latch
+  //    listens, switch allocation never grants it.
+  for (const auto& [x, dx] : dead) {
+    const NodeId y = dims.neighbor(x, dx);
+    RouterPreset& px = presets_.at(x);
+    px.xbar[idx(dx)] = XbarSel{XbarSel::Kind::Off, Dir::Core};
+    px.out_clocked[idx(dx)] = false;
+    routers_[static_cast<std::size_t>(x)]->set_output_enabled(dx, false);
+    presets_.at(y).in_clocked[idx(opposite(dx))] = false;
+    changed.insert({x, dir_index(dx)});
+  }
+  // 3) Flows routed over the dead wire recompute their source routes
+  //    online; unreachable destinations degrade gracefully.
+  LinkSet dead_links;
+  for (const auto& [x, dx] : dead) dead_links.insert({x, dir_index(dx)});
+  std::vector<std::uint8_t> affected(static_cast<std::size_t>(flows_.size()), 0);
+  std::vector<FlowId> newly_degraded;
+  for (const Flow& f : flows_) {
+    if (flow_degraded(f.id)) continue;
+    if (!path_crosses(f.path, dims, dead_links)) continue;
+    affected[static_cast<std::size_t>(f.id)] = 1;
+    if (!reroute_flow(f.id, changed)) {
+      flow_degraded_[static_cast<std::size_t>(f.id)] = 1;
+      stats_.faults().flows_failed += 1;
+      newly_degraded.push_back(f.id);
+    }
+  }
+  // 4) Innocent flows crossing a re-segmented link face a changed latch
+  //    structure mid-packet: purge and retransmit them too.
+  for (const Flow& f : flows_) {
+    if (affected[static_cast<std::size_t>(f.id)] != 0 || flow_degraded(f.id)) continue;
+    if (path_crosses(f.path, dims, changed)) affected[static_cast<std::size_t>(f.id)] = 1;
+  }
+  purge_and_requeue(affected);
+  // Degraded flows also flush their source queues (dropped, not stuck).
+  for (FlowId id : newly_degraded) {
+    const NodeId src = flows_.at(id).src;
+    nics_[static_cast<std::size_t>(src)]->drop_flow_queue(id, [&](PacketSlot s) {
+      stats_.record_drop(id);
+      if (observer_ != nullptr) observer_->packet_dropped(id, src, now_);
+      pool_.release(s);
+    });
+  }
+  rebuild_after_surgery();
+}
+
+void MeshNetwork::apply_link_repair(NodeId node, Dir dir) {
+  const MeshDims dims = cfg_.dims();
+  if (!live_faults_.is_failed(node, dir)) return;
+  live_faults_.repair_link(dims, node, dir, /*both_directions=*/true);
+  stats_.faults().link_repairs += 1;
+
+  LinkSet changed;
+  const NodeId peer = dims.neighbor(node, dir);
+  const std::array<std::pair<NodeId, Dir>, 2> wires = {
+      std::pair<NodeId, Dir>{node, dir}, {peer, opposite(dir)}};
+  // Restore the wire as a plain buffered hop-by-hop link. Chains that were
+  // truncated around the fault stay truncated, and rerouted flows keep
+  // their detours: repair restores capacity, not the original presets.
+  for (const auto& [x, dx] : wires) {
+    const NodeId y = dims.neighbor(x, dx);
+    const Dir ey = opposite(dx);
+    if (presets_.at(y).input_mux[idx(ey)] == InputMux::Bypass) {
+      truncate_covering_chain(y, ey, changed);  // orphaned chain tail, if any
+    }
+    presets_.at(x).xbar[idx(dx)] = XbarSel{XbarSel::Kind::FromRouter, Dir::Core};
+    presets_.at(x).out_clocked[idx(dx)] = true;
+    routers_[static_cast<std::size_t>(x)]->set_output_enabled(dx, true);
+    presets_.at(y).in_clocked[idx(ey)] = true;
+  }
+  // Degraded flows whose destination is reachable again revive.
+  for (const Flow& f : flows_) {
+    if (!flow_degraded(f.id)) continue;
+    if (reroute_flow(f.id, changed)) {
+      flow_degraded_[static_cast<std::size_t>(f.id)] = 0;
+      stats_.faults().flows_revived += 1;
+    }
+  }
+  // Re-arming may have truncated chains under innocent flows.
+  std::vector<std::uint8_t> affected(static_cast<std::size_t>(flows_.size()), 0);
+  for (const Flow& f : flows_) {
+    if (flow_degraded(f.id)) continue;
+    if (path_crosses(f.path, dims, changed)) affected[static_cast<std::size_t>(f.id)] = 1;
+  }
+  purge_and_requeue(affected);
+  rebuild_after_surgery();
+}
+
+StallReport MeshNetwork::stall_report() const {
+  StallReport r;
+  r.cycle = now_;
+  r.live_packets = pool_.live();
+  const NodeId nodes = cfg_.dims().nodes();
+  for (NodeId n = 0; n < nodes; ++n) {
+    r.queued_packets +=
+        static_cast<std::uint64_t>(nics_[static_cast<std::size_t>(n)]->queued_packets());
+    r.retry_waiting +=
+        static_cast<std::uint64_t>(nics_[static_cast<std::size_t>(n)]->retry_waiting(now_));
+    r.occupied_vcs += routers_[static_cast<std::size_t>(n)]->occupied_vcs();
+    if (routers_[static_cast<std::size_t>(n)]->has_traffic()) r.stuck_routers.push_back(n);
+  }
+  for (const std::uint8_t d : flow_degraded_) r.degraded_flows += d != 0 ? 1 : 0;
+  for (const auto& link : live_faults_.links()) r.live_faults.push_back(link);
+  for (PacketSlot s = 0; s < static_cast<PacketSlot>(pool_.capacity()); ++s) {
+    if (pool_.refs(s) == 0) continue;
+    const PacketPayload& pkt = pool_.at(s);
+    if (!r.have_oldest || pkt.created < r.oldest_packet_created) {
+      r.have_oldest = true;
+      r.oldest_packet_id = pkt.id;
+      r.oldest_packet_flow = pkt.flow;
+      r.oldest_packet_created = pkt.created;
+    }
+  }
+  return r;
 }
 
 std::unique_ptr<MeshNetwork> make_baseline_mesh(const NocConfig& cfg, FlowSet flows) {

@@ -26,10 +26,14 @@
 
 #include <array>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
 #include "noc/fabric.hpp"
+#include "noc/fault_engine.hpp"
+#include "noc/faults.hpp"
 #include "noc/flow.hpp"
 #include "noc/network_iface.hpp"
 #include "noc/nic.hpp"
@@ -109,6 +113,27 @@ class MeshNetwork final : public Network, private Fabric {
     observer_wants_deltas_ = obs != nullptr && obs->wants_activity_deltas();
   }
 
+  // --- Online fault injection (between ticks; no drain, no rebuild) -----------
+  /// Applies one primitive fault action to the live network: preset surgery,
+  /// in-flight purge with full refcount accounting, online reroute of the
+  /// affected flows, bounded retransmission, and a global credit recompute.
+  /// Shared by both cycle kernels, so fault runs stay bit-identical.
+  void apply_fault_action(const FaultAction& action);
+
+  /// Links currently failed (kills not yet repaired).
+  const FaultSet& live_faults() const { return live_faults_; }
+
+  /// True when the flow's destination became unreachable under the live
+  /// faults: its packets are counted offered and dropped without entering
+  /// the network until a repair revives it.
+  bool flow_degraded(FlowId id) const {
+    return !flow_degraded_.empty() && flow_degraded_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  /// Full watchdog diagnosis: packet-pool census, occupied VCs, stuck
+  /// routers, retry backlog, degraded flows and the live fault set.
+  StallReport stall_report() const override;
+
  private:
   // --- Fabric interface -------------------------------------------------------
   void deliver_from_router(NodeId router, Dir out, FlitRef flit, Cycle now) override;
@@ -123,6 +148,35 @@ class MeshNetwork final : public Network, private Fabric {
 
   void tick_active_set();
   void tick_reference();
+
+  // --- Fault surgery (cold paths) ---------------------------------------------
+  using LinkSet = std::set<std::pair<NodeId, int>>;  ///< directed (node, dir index)
+  void apply_link_kill(NodeId node, Dir dir);
+  void apply_link_repair(NodeId node, Dir dir);
+  /// Converts the bypass chain starting at input (start, entry) to
+  /// hop-by-hop presets, recording the un-bypassed links in `changed`.
+  /// Returns true if any input actually flipped.
+  bool truncate_chain(NodeId start, Dir entry, LinkSet& changed);
+  /// Finds the chain covering input (node, entry) by walking the presets
+  /// backward to its origin, then truncates the whole chain.
+  void truncate_covering_chain(NodeId node, Dir entry, LinkSet& changed);
+  /// Faults plus every link embedded in live bypass structure - the first
+  /// reroute pass avoids disturbing other flows' chains.
+  FaultSet structural_faults() const;
+  /// Attempts an online reroute of `id` around the live faults; arms the
+  /// new path (possibly truncating chains it crosses into `changed`).
+  /// Returns false when the destination is unreachable.
+  bool reroute_flow(FlowId id, LinkSet& changed);
+  /// Makes every link of `path` usable for buffered hop-by-hop traffic.
+  void arm_path(const RoutePath& path, LinkSet& changed);
+  /// Purges in-flight flits of the affected flows (deterministic sweep),
+  /// then drops or re-queues each recovered packet (bounded retransmission
+  /// with exponential backoff).
+  void purge_and_requeue(const std::vector<std::uint8_t>& affected);
+  /// Rebuilds the segment table from the post-surgery presets, re-derives
+  /// every origin's free-VC queue from actual endpoint occupancy, recounts
+  /// clocked ports and rebuilds the active sets in node order.
+  void rebuild_after_surgery();
 
   // Active-set membership. Flags are the O(1) membership test; the lists
   // give deterministic (insertion-ordered) iteration. Components are added
@@ -172,6 +226,8 @@ class MeshNetwork final : public Network, private Fabric {
   std::vector<std::uint8_t> router_in_set_;
   std::vector<std::uint8_t> nic_in_set_;
   std::vector<FlowPathInfo> flow_info_;
+  FaultSet live_faults_;                     ///< links currently dead
+  std::vector<std::uint8_t> flow_degraded_;  ///< flows with unreachable dst
   std::uint32_t next_packet_id_ = 1;
   int clocked_in_total_ = 0;
   int clocked_out_total_ = 0;

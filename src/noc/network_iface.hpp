@@ -5,6 +5,7 @@
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "noc/fault_engine.hpp"
 #include "noc/flow.hpp"
 #include "noc/stats.hpp"
 
@@ -34,6 +35,12 @@ class Network {
   /// Network implementations (test sinks) need not care; Mesh, SMART and
   /// Dedicated all override.
   virtual void set_observer(TraceObserver* obs) { (void)obs; }
+
+  /// Snapshot of what still occupies the network - the liveness watchdog's
+  /// diagnosis when a run stops making progress. The default is an empty
+  /// report (minimal implementations have nothing to say); MeshNetwork
+  /// fills every field, DedicatedNetwork the packet-level ones.
+  virtual StallReport stall_report() const { return StallReport{}; }
 };
 
 }  // namespace smartnoc::noc

@@ -37,7 +37,21 @@ void Nic::offer_packet(PacketSlot pkt_slot) {
   if (lf.queue.empty()) {
     nonempty_.insert(std::lower_bound(nonempty_.begin(), nonempty_.end(), slot), slot);
   }
-  lf.queue.push_back(pkt_slot);
+  lf.queue.push_back(QueuedPacket{pkt_slot, 0});
+  queued_total_ += 1;
+}
+
+void Nic::requeue_front(PacketSlot pkt_slot, Cycle not_before) {
+  const PacketPayload& pkt = pool_->at(pkt_slot);
+  const auto idx = static_cast<std::size_t>(pkt.flow);
+  SMARTNOC_CHECK(idx < slot_of_flow_.size() && slot_of_flow_[idx] >= 0,
+                 "retransmission re-queued at the wrong NIC");
+  const auto slot = static_cast<std::size_t>(slot_of_flow_[idx]);
+  LocalFlow& lf = local_flows_[slot];
+  if (lf.queue.empty()) {
+    nonempty_.insert(std::lower_bound(nonempty_.begin(), nonempty_.end(), slot), slot);
+  }
+  lf.queue.push_front(QueuedPacket{pkt_slot, not_before});
   queued_total_ += 1;
 }
 
@@ -55,20 +69,32 @@ void Nic::inject(Cycle now, ActivityCounters& act) {
     if (reference_scan_) {
       for (std::size_t k = 0; k < local_flows_.size(); ++k) {
         const std::size_t i = (rr_next_ + k) % local_flows_.size();
-        if (!local_flows_[i].queue.empty()) {
+        const LocalFlow& cand = local_flows_[i];
+        if (!cand.queue.empty() && cand.queue.front().not_before <= now) {
           chosen = i;
           break;
         }
       }
     } else {
-      // queued_total_ > 0 guarantees a nonempty slot; the cyclic
-      // lower_bound lands on the same slot the linear scan would.
-      chosen = next_nonempty(rr_next_);
+      // queued_total_ > 0 guarantees a nonempty slot; the cyclic walk from
+      // the round-robin cursor visits nonempty flows in exactly the order
+      // the linear scan would, skipping packets still in retransmission
+      // backoff. Fault-free runs exit on the first probe (one compare).
+      const std::size_t n = nonempty_.size();
+      const auto it = std::lower_bound(nonempty_.begin(), nonempty_.end(), rr_next_);
+      const auto start = static_cast<std::size_t>(it - nonempty_.begin());
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = nonempty_[(start + k) % n];
+        if (local_flows_[i].queue.front().not_before <= now) {
+          chosen = i;
+          break;
+        }
+      }
     }
     if (chosen == local_flows_.size()) return;
     LocalFlow& lf = local_flows_[chosen];
     ActiveTx tx;
-    tx.slot = lf.queue.front();
+    tx.slot = lf.queue.front().slot;
     lf.queue.pop_front();
     queued_total_ -= 1;
     if (lf.queue.empty()) {
@@ -121,7 +147,7 @@ void Nic::accept_flit(const FlitRef& flit, Cycle now) {
     }
   }
   if (a == nullptr) {
-    assembling_.push_back(Assembly{flit.slot, 0, 0});
+    assembling_.push_back(Assembly{flit.slot, 0, 0, flit.vc});
     a = &assembling_.back();
   }
   if (is_head(flit.type)) a->head_arrival = now;
@@ -142,6 +168,78 @@ void Nic::accept_flit(const FlitRef& flit, Cycle now) {
 void Nic::credit_arrived(VcId vc) {
   SMARTNOC_CHECK(free_vcs_.size() < cfg_->vcs_per_port, "NIC credit overflow");
   free_vcs_.push_back(vc);
+}
+
+int Nic::drop_flow_queue(FlowId flow, const std::function<void(PacketSlot)>& on_dropped) {
+  const auto idx = static_cast<std::size_t>(flow);
+  if (idx >= slot_of_flow_.size() || slot_of_flow_[idx] < 0) return 0;
+  const auto slot = static_cast<std::size_t>(slot_of_flow_[idx]);
+  LocalFlow& lf = local_flows_[slot];
+  if (lf.queue.empty()) return 0;
+  const int dropped = static_cast<int>(lf.queue.size());
+  for (const QueuedPacket& q : lf.queue) on_dropped(q.slot);
+  lf.queue.clear();
+  queued_total_ -= dropped;
+  nonempty_.erase(std::lower_bound(nonempty_.begin(), nonempty_.end(), slot));
+  return dropped;
+}
+
+void Nic::rewrite_queued_routes(FlowId flow, const SourceRoute& route) {
+  const auto idx = static_cast<std::size_t>(flow);
+  if (idx >= slot_of_flow_.size() || slot_of_flow_[idx] < 0) return;
+  LocalFlow& lf = local_flows_[static_cast<std::size_t>(slot_of_flow_[idx])];
+  for (const QueuedPacket& q : lf.queue) pool_->at(q.slot).route = route;
+}
+
+void Nic::purge_flows(const std::vector<std::uint8_t>& affected,
+                      const std::function<void(PacketSlot)>& on_cancelled) {
+  auto hit = [&](FlowId fl) {
+    return fl >= 0 && static_cast<std::size_t>(fl) < affected.size() &&
+           affected[static_cast<std::size_t>(fl)] != 0;
+  };
+  // Cancel the active transmission first: its transmit reference keeps the
+  // slot alive and transfers to the caller. The already-sent flits of this
+  // packet are purged router-side; the endpoint VC frees in the global
+  // credit recompute.
+  if (active_.has_value() && hit(pool_->at(active_->slot).flow)) {
+    on_cancelled(active_->slot);
+    active_.reset();
+  }
+  // Erase affected reassemblies: the packet's remaining flits upstream are
+  // being purged, so the assembly can never complete. Assembly flits hold
+  // no pool references (released on arrival) - nothing to release here.
+  for (std::size_t i = 0; i < assembling_.size();) {
+    if (hit(pool_->at(assembling_[i].slot).flow)) {
+      assembling_[i] = assembling_.back();
+      assembling_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Nic::reset_source_credits(int vcs, const std::array<bool, 16>& busy) {
+  free_vcs_ = VcQueue{};
+  for (VcId v = 0; v < vcs; ++v) {
+    if (!busy[static_cast<std::size_t>(v)]) free_vcs_.push_back(v);
+  }
+}
+
+void Nic::mark_busy_receive_vcs(std::array<bool, 16>& busy) const {
+  for (const Assembly& a : assembling_) {
+    if (a.vc != kInvalidVc) busy[static_cast<std::size_t>(a.vc)] = true;
+  }
+}
+
+int Nic::retry_waiting(Cycle now) const {
+  const LocalFlow* flows = local_flows_.data();
+  int waiting = 0;
+  for (std::size_t i = 0; i < local_flows_.size(); ++i) {
+    for (const QueuedPacket& q : flows[i].queue) {
+      if (q.not_before > now) waiting += 1;
+    }
+  }
+  return waiting;
 }
 
 }  // namespace smartnoc::noc

@@ -23,7 +23,9 @@
 // network's active-set scheduler and drain check.
 #pragma once
 
+#include <array>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -81,10 +83,55 @@ class Nic {
   void use_reference_scan(bool ref) { reference_scan_ = ref; }
   bool reference_scan() const { return reference_scan_; }
 
+  // --- Fault engine (cold paths, shared by both cycle kernels) ---------------
+  /// Re-queues a packet recovered from a fault at the *front* of its flow's
+  /// queue for another transmission attempt, held back until `not_before`
+  /// (exponential backoff). The caller has already refreshed the payload
+  /// (attempts, route) and hands the slot's transmit reference back.
+  void requeue_front(PacketSlot slot, Cycle not_before);
+
+  /// Drops every queued packet of `flow` (a degraded, unreachable flow).
+  /// `on_dropped` runs once per packet with its slot - the caller releases
+  /// the transmit reference and records the drop. Returns the count.
+  int drop_flow_queue(FlowId flow, const std::function<void(PacketSlot)>& on_dropped);
+
+  /// Rewrites the pool route of every queued packet of `flow` after an
+  /// online reroute (queued payloads hold the route captured at offer time).
+  void rewrite_queued_routes(FlowId flow, const SourceRoute& route);
+
+  /// Cancels an affected active transmission (handing its transmit
+  /// reference to the caller via `on_cancelled`) and erases affected
+  /// reassemblies (their flits hold no pool references - the remaining
+  /// flits upstream can never arrive). Queued packets are left alone.
+  void purge_flows(const std::vector<std::uint8_t>& affected,
+                   const std::function<void(PacketSlot)>& on_cancelled);
+
+  /// Replaces the source free-VC queue with every VC in [0,vcs) whose
+  /// `busy` bit is clear, ascending (the global credit recompute).
+  void reset_source_credits(int vcs, const std::array<bool, 16>& busy);
+
+  /// ORs into `busy` the receive VCs held by in-progress reassemblies
+  /// (credit returns at tail; until then the VC is occupied).
+  void mark_busy_receive_vcs(std::array<bool, 16>& busy) const;
+
+  /// The endpoint VC of the active transmission, if one is streaming.
+  std::optional<VcId> active_tx_vc() const {
+    if (!active_.has_value()) return std::nullopt;
+    return active_->vc;
+  }
+
+  /// Queued packets still serving their retransmission backoff at `now`
+  /// (the watchdog must not mistake a backoff window for a deadlock).
+  int retry_waiting(Cycle now) const;
+
  private:
+  struct QueuedPacket {
+    PacketSlot slot = kInvalidSlot;
+    Cycle not_before = 0;  ///< retransmission backoff gate (0 = immediate)
+  };
   struct LocalFlow {
     FlowId id = kInvalidFlow;
-    std::deque<PacketSlot> queue;  ///< queued packets, payload in the pool
+    std::deque<QueuedPacket> queue;  ///< queued packets, payload in the pool
   };
   struct ActiveTx {
     PacketSlot slot = kInvalidSlot;
@@ -96,6 +143,7 @@ class Nic {
     PacketSlot slot = kInvalidSlot;  ///< unique while any flit is unconsumed
     int flits = 0;
     Cycle head_arrival = 0;
+    VcId vc = kInvalidVc;  ///< receive VC (busy until tail; fault recompute)
   };
 
   NodeId node_;

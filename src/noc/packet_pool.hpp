@@ -39,6 +39,7 @@ struct PacketPayload {
   SourceRoute route;           ///< 2-bit-per-router source route (Sec. IV)
   Cycle created = 0;           ///< packet creation (traffic engine)
   Cycle injected = 0;          ///< head flit placed on the injection link
+  std::uint8_t attempts = 0;   ///< transmissions so far (fault retries)
 };
 
 class PacketPool {

@@ -65,7 +65,7 @@ void Router::buffer_write(Cycle now, ActivityCounters& act) {
                        "head flit arriving into a busy VC: upstream flow control broke");
         // Decode this router's 2-bit route entry relative to the arrival
         // port - the one cold-payload read of the whole pipeline.
-        vc.set_request(pool_->at(f.slot).route.output_at(f.hop_index, d));
+        vc.set_request(pool_->at(f.slot).route.output_at(f.hop_index, d), f.slot);
       } else {
         SMARTNOC_CHECK(vc.has_request(), "body flit with no open packet on its VC");
       }
@@ -105,6 +105,7 @@ void Router::switch_traversal(Cycle now, ActivityCounters& act) {
 
 void Router::switch_allocation(Cycle now, ActivityCounters& act) {
   if (buffered_total_ == 0) return;
+  if (stall_until_ != 0 && now <= stall_until_) return;  // RouterStall fault
   // One gather pass builds every output's request mask (the VC state the
   // conditions read cannot change during SA); the per-output loop then only
   // arbitrates. `locked` is the one mutating input: a grant at an earlier
@@ -150,6 +151,96 @@ void Router::switch_allocation(Cycle now, ActivityCounters& act) {
       masked_inputs.set(static_cast<std::size_t>(base + v));
     }
   }
+}
+
+void Router::reset_output_credits(Dir o, int vcs, const std::array<bool, 16>& busy) {
+  OutputPort& op = out(o);
+  op.free_vcs = VcQueue{};
+  if (!op.enabled) return;
+  for (VcId v = 0; v < vcs; ++v) {
+    if (!busy[static_cast<std::size_t>(v)]) op.free_vcs.push_back(v);
+  }
+}
+
+void Router::mark_busy_input_vcs(Dir in_dir, std::array<bool, 16>& busy) const {
+  const InputPort& ip = in(in_dir);
+  for (int v = 0; v < vcs_per_port_; ++v) {
+    const VcBuffer& vc = ip.vcs[static_cast<std::size_t>(v)];
+    if (!vc.empty() || vc.has_request()) busy[static_cast<std::size_t>(v)] = true;
+  }
+  // Staged flits already carry their endpoint VC id (assigned at SA by the
+  // upstream origin) but have not reached the VC yet.
+  for (int k = 0; k < ip.staging_count; ++k) {
+    const StagedFlit& sf = ip.staging[static_cast<std::size_t>((ip.staging_head + k) % 2)];
+    busy[static_cast<std::size_t>(sf.flit.vc)] = true;
+  }
+}
+
+int Router::purge_flows(const std::vector<std::uint8_t>& affected,
+                        const std::function<void(const FlitRef&)>& on_removed) {
+  int removed = 0;
+  auto hit = [&](PacketSlot s) {
+    const FlowId fl = pool_->at(s).flow;
+    return fl >= 0 && static_cast<std::size_t>(fl) < affected.size() &&
+           affected[static_cast<std::size_t>(fl)] != 0;
+  };
+  // 1) Switch holds whose granted packet dies: release the hold and the
+  //    input lock (the VC contents go in pass 2). A hold's packet is
+  //    identified through its input VC's owner - valid until clear_request.
+  for (Dir o : kAllDirs) {
+    OutputPort& op = out(o);
+    if (!op.hold.has_value()) continue;
+    InputPort& ip = in(op.hold->in);
+    const PacketSlot owner = ip.vcs[static_cast<std::size_t>(op.hold->in_vc)].owner();
+    if (owner == kInvalidSlot || !hit(owner)) continue;
+    ip.locked = false;
+    op.hold.reset();
+    holds_total_ -= 1;
+  }
+  // 2) VC contents and open requests. The owner field identifies mid-stream
+  //    VCs (momentarily empty, body still upstream) as well as full ones.
+  for (Dir i : kAllDirs) {
+    InputPort& ip = in(i);
+    for (auto& vc : ip.vcs) {
+      const PacketSlot owner = vc.owner();
+      if (owner == kInvalidSlot || !hit(owner)) continue;
+      while (!vc.empty()) {
+        on_removed(vc.pop());
+        buffered_total_ -= 1;
+        ++removed;
+      }
+      vc.clear_request();
+    }
+  }
+  // 3) Staging rings, rebuilt keeping the survivors in FIFO order.
+  for (Dir i : kAllDirs) {
+    InputPort& ip = in(i);
+    std::array<StagedFlit, 2> keep{};
+    int kept = 0;
+    const int n = ip.staging_count;
+    for (int k = 0; k < n; ++k) {
+      const StagedFlit sf = ip.staging[static_cast<std::size_t>((ip.staging_head + k) % 2)];
+      if (hit(sf.flit.slot)) {
+        on_removed(sf.flit);
+        staged_total_ -= 1;
+        ++removed;
+      } else {
+        keep[static_cast<std::size_t>(kept++)] = sf;
+      }
+    }
+    ip.staging = keep;
+    ip.staging_head = 0;
+    ip.staging_count = kept;
+  }
+  return removed;
+}
+
+int Router::occupied_vcs() const {
+  int n = 0;
+  for (const auto& ip : inputs_) {
+    for (const auto& vc : ip.vcs) n += vc.empty() ? 0 : 1;
+  }
+  return n;
 }
 
 }  // namespace smartnoc::noc

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <optional>
 
 #include "common/config.hpp"
@@ -67,6 +68,46 @@ class Router {
   bool has_traffic() const { return staged_total_ + buffered_total_ + holds_total_ > 0; }
   int free_vcs(Dir o) const { return out(o).free_vcs.size(); }
   int buffered_flits() const { return buffered_total_; }
+
+  // --- Fault engine (cold paths, shared by both cycle kernels) ---------------
+  /// Freezes switch allocation through cycle `until` (a RouterStall fault).
+  /// BW and ST keep running, so granted streams finish and staging drains -
+  /// traffic backs up behind the router instead of overflowing it.
+  void stall_until(Cycle until) { stall_until_ = until; }
+  Cycle stalled_until() const { return stall_until_; }
+
+  /// Flips an output's switch-allocatability without touching its free-VC
+  /// queue (the fault engine recomputes credits globally after surgery).
+  /// Unlike enable_output, idempotent - made for repeated preset surgery.
+  void set_output_enabled(Dir o, bool on) { out(o).enabled = on; }
+  bool output_enabled(Dir o) const { return out(o).enabled; }
+
+  /// Replaces output `o`'s free-VC queue with every VC in [0,vcs) whose
+  /// `busy` bit is clear, ascending (the global credit recompute).
+  void reset_output_credits(Dir o, int vcs, const std::array<bool, 16>& busy);
+
+  /// ORs into `busy` the VCs of input `in_dir` occupied at this endpoint:
+  /// VC contents, open packet requests, and staged flits still carrying
+  /// their endpoint VC id.
+  void mark_busy_input_vcs(Dir in_dir, std::array<bool, 16>& busy) const;
+
+  /// The downstream VC a live switch hold on `o` is streaming into.
+  std::optional<VcId> hold_out_vc(Dir o) const {
+    const OutputPort& op = out(o);
+    if (!op.hold.has_value()) return std::nullopt;
+    return op.hold->out_vc;
+  }
+
+  /// Removes every staged flit, buffered flit and switch hold belonging to
+  /// an affected flow (affected[flow] != 0), releasing VC requests and
+  /// input locks. `on_removed` runs once per removed flit (the network
+  /// drops the pool reference and counts). Deterministic kAllDirs order.
+  /// Returns the number of flits removed.
+  int purge_flows(const std::vector<std::uint8_t>& affected,
+                  const std::function<void(const FlitRef&)>& on_removed);
+
+  /// Input VCs currently holding at least one flit (StallReport).
+  int occupied_vcs() const;
 
  private:
   struct StagedFlit {
@@ -110,6 +151,7 @@ class Router {
   int staged_total_ = 0;
   int buffered_total_ = 0;
   int holds_total_ = 0;
+  Cycle stall_until_ = 0;  ///< switch allocation frozen through this cycle
 };
 
 }  // namespace smartnoc::noc

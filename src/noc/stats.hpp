@@ -30,6 +30,9 @@ struct FlowStats {
   std::uint64_t sum_total_latency = 0;
   std::uint64_t sum_queue_latency = 0;
   Cycle max_network_latency = 0;
+  // Fault-engine degradation accounting (per flow).
+  std::uint64_t dropped = 0;      ///< packets lost for good (retry budget spent)
+  std::uint64_t retransmits = 0;  ///< packets re-queued at the source NIC
 
   double avg_network_latency() const {
     return packets ? static_cast<double>(sum_network_latency) / static_cast<double>(packets) : 0.0;
@@ -94,6 +97,26 @@ inline ActivityCounters activity_diff(const ActivityCounters& a, const ActivityC
   d.clocked_outport_cycles = a.clocked_outport_cycles - b.clocked_outport_cycles;
   return d;
 }
+
+/// Degradation counters maintained by the runtime fault engine. Offered /
+/// dropped / retransmitted obey packet-fate conservation: every packet a
+/// workload offers is eventually delivered, dropped, or sitting in a retry
+/// queue (pinned by tests together with PacketPool::live() == 0 at drain).
+struct FaultCounters {
+  std::uint64_t packets_offered = 0;        ///< offer_packet calls (incl. degraded flows)
+  std::uint64_t packets_dropped = 0;        ///< lost for good (budget spent / flow failed)
+  std::uint64_t packets_retransmitted = 0;  ///< re-queued with backoff after a fault
+  std::uint64_t flits_purged = 0;           ///< in-flight flits invalidated by a kill
+  std::uint64_t flows_rerouted = 0;         ///< routes recomputed online around faults
+  std::uint64_t flows_failed = 0;           ///< destinations unreachable (degraded)
+  std::uint64_t flows_revived = 0;          ///< degraded flows restored by a repair
+  std::uint64_t chains_truncated = 0;       ///< SMART bypass chains cut to hop-by-hop
+  std::uint64_t link_kills = 0;
+  std::uint64_t link_repairs = 0;
+  std::uint64_t router_stalls = 0;
+
+  void reset() { *this = FaultCounters{}; }
+};
 
 class NetworkStats {
  public:
@@ -161,8 +184,28 @@ class NetworkStats {
     return n ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
   }
 
+  /// A packet permanently lost (fault with no retry budget left, or a
+  /// degraded flow's offer). Counted per flow and in the FaultCounters.
+  void record_drop(FlowId flow) {
+    const auto idx = static_cast<std::size_t>(flow);
+    if (idx >= flows_.size()) flows_.resize(idx + 1);
+    flows_[idx].dropped += 1;
+    faults_.packets_dropped += 1;
+  }
+
+  /// A packet re-queued at its source NIC after a fault purged its flits.
+  void record_retransmit(FlowId flow) {
+    const auto idx = static_cast<std::size_t>(flow);
+    if (idx >= flows_.size()) flows_.resize(idx + 1);
+    flows_[idx].retransmits += 1;
+    faults_.packets_retransmitted += 1;
+  }
+
   ActivityCounters& activity() { return activity_; }
   const ActivityCounters& activity() const { return activity_; }
+
+  FaultCounters& faults() { return faults_; }
+  const FaultCounters& faults() const { return faults_; }
 
   Cycle measured_cycles = 0;  ///< length of the measurement window
 
@@ -172,6 +215,7 @@ class NetworkStats {
     histogram_.clear();
     total_packets_ = 0;
     activity_.reset();
+    faults_.reset();
     measured_cycles = 0;
   }
 
@@ -180,6 +224,7 @@ class NetworkStats {
   std::vector<std::uint64_t> histogram_;
   std::uint64_t total_packets_ = 0;
   ActivityCounters activity_;
+  FaultCounters faults_;
 };
 
 }  // namespace smartnoc::noc

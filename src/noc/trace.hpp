@@ -60,6 +60,22 @@ class TraceObserver {
     (void)created;
   }
 
+  /// A packet was permanently dropped (fault with the retry budget spent,
+  /// or an offer on a degraded flow). Default no-op.
+  virtual void packet_dropped(FlowId flow, NodeId src, Cycle cycle) {
+    (void)flow;
+    (void)src;
+    (void)cycle;
+  }
+
+  /// A packet lost to a fault was re-queued at its source NIC for another
+  /// transmission attempt (exponential backoff applies). Default no-op.
+  virtual void packet_retransmitted(FlowId flow, NodeId src, Cycle cycle) {
+    (void)flow;
+    (void)src;
+    (void)cycle;
+  }
+
   /// Per-tick activity delta: the field-wise change of the network's
   /// ActivityCounters over the tick that ended at `cycle`. Emitted only
   /// when wants_activity_deltas() returns true (the network caches the

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "sim/workload.hpp"
+#include "telemetry/trace_workload.hpp"
 
 namespace smartnoc::sim {
 
@@ -72,6 +73,11 @@ void ScenarioSpec::validate() const {
   check_path(telemetry.power_csv, "telemetry_power_csv");
   check_path(telemetry.heatmap, "telemetry_heatmap");
   check_path(telemetry.chrome, "telemetry_chrome");
+  for (const noc::FaultEventSpec& ev : fault_events) ev.validate(config.dims());
+  if (!fault_events.empty() && design == Design::Dedicated) {
+    throw ConfigError("fault events target mesh links and routers; the dedicated design "
+                      "has neither (remove fault_event lines or pick mesh/smart)");
+  }
   std::string wl;
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseSpec& ph = phases[i];
@@ -97,6 +103,21 @@ void ScenarioSpec::validate() const {
     }
     if (wl.empty()) {
       throw ConfigError(ctx + ": no workload named yet (the first phase must name one)");
+    }
+    // Trace replay runs a recorded injection log on the recorded routes and
+    // presets; any fault interference voids the bit-identical-replay
+    // contract. Reject at declaration time, not mid-run from switch_era.
+    if (telemetry::is_trace_workload_key(wl)) {
+      const double eff_fault = ph.fault_rate >= 0.0 ? ph.fault_rate : fault_rate;
+      if (eff_fault > 0.0) {
+        throw ConfigError(ctx + ": trace replay cannot run under link faults (effective "
+                          "fault rate " + std::to_string(eff_fault) + "); set fault = 0 for '" +
+                          wl + "'");
+      }
+      if (!fault_events.empty()) {
+        throw ConfigError(ctx + ": trace replay cannot run with online fault events ('" +
+                          wl + "' replays a capture; remove the fault_event lines)");
+      }
     }
   }
 }
@@ -168,6 +189,10 @@ void apply_scalar(ScenarioSpec& spec, const std::string& key, const std::string&
   else if (key == "drain_timeout") cfg.drain_timeout = parse_u64_token(value, "drain_timeout");
   else if (key == "bandwidth_scale") cfg.bandwidth_scale = parse_double_token(value, "bandwidth_scale");
   else if (key == "fault_rate") spec.fault_rate = parse_double_token(value, "fault_rate");
+  else if (key == "watchdog") cfg.watchdog_window = parse_u64_token(value, "watchdog");
+  else if (key == "retry_limit") cfg.retry_limit = parse_int_token(value, "retry_limit");
+  else if (key == "retry_backoff")
+    cfg.retry_backoff_cycles = parse_u64_token(value, "retry_backoff");
   else if (key == "single_config_core")
     spec.single_config_core = parse_bool_token(value, "single_config_core");
   else if (key == "store_issue") spec.store_issue_cycles = parse_u64_token(value, "store_issue");
@@ -215,6 +240,17 @@ std::string serialize_scenario_text(const ScenarioSpec& spec) {
   out << "store_issue = " << spec.store_issue_cycles << "\n";
   out << "traffic_mode = " << bernoulli_mode_name(spec.traffic_mode) << "\n";
   out << "reference_kernel = " << (spec.use_reference_kernel ? "true" : "false") << "\n";
+  // Fault-robustness knobs serialize only when set, so pre-fault scenario
+  // files round-trip byte-for-byte.
+  if (cfg.watchdog_window != NocConfig{}.watchdog_window) {
+    out << "watchdog = " << cfg.watchdog_window << "\n";
+  }
+  if (cfg.retry_limit != NocConfig{}.retry_limit) {
+    out << "retry_limit = " << cfg.retry_limit << "\n";
+  }
+  if (cfg.retry_backoff_cycles != NocConfig{}.retry_backoff_cycles) {
+    out << "retry_backoff = " << cfg.retry_backoff_cycles << "\n";
+  }
   // The telemetry block serializes only when configured, so pre-telemetry
   // scenario files round-trip byte-for-byte.
   const TelemetrySpec& tel = spec.telemetry;
@@ -226,6 +262,9 @@ std::string serialize_scenario_text(const ScenarioSpec& spec) {
   if (!tel.chrome.empty()) out << "telemetry_chrome = " << tel.chrome << "\n";
   if (tel.chrome_events != TelemetrySpec{}.chrome_events) {
     out << "telemetry_chrome_events = " << tel.chrome_events << "\n";
+  }
+  for (const noc::FaultEventSpec& ev : spec.fault_events) {
+    out << "fault_event " << noc::format_fault_schedule_token({ev}) << "\n";
   }
   for (const PhaseSpec& ph : spec.phases) {
     out << "phase " << ph.name;
@@ -295,6 +334,16 @@ ScenarioSpec parse_scenario_text(const std::string& text) {
     if (line.rfind("phase", 0) == 0 &&
         (line.size() == 5 || std::isspace(static_cast<unsigned char>(line[5])))) {
       spec.phases.push_back(parse_phase_line(line.substr(5), line_no));
+      continue;
+    }
+    if (line.rfind("fault_event", 0) == 0 &&
+        (line.size() == 11 || std::isspace(static_cast<unsigned char>(line[11])))) {
+      try {
+        const auto evs = noc::parse_fault_schedule_token(trim_token(line.substr(11)));
+        spec.fault_events.insert(spec.fault_events.end(), evs.begin(), evs.end());
+      } catch (const ConfigError& e) {
+        throw ConfigError("line " + std::to_string(line_no) + ": " + e.what());
+      }
       continue;
     }
     const auto eq = line.find('=');
@@ -555,6 +604,19 @@ ScenarioSpec parse_scenario_json(const std::string& text) {
       }
       continue;
     }
+    if (key == "fault_events") {
+      if (v.kind != JsonValue::Kind::Array) {
+        throw ConfigError("scenario JSON: 'fault_events' must be an array of schedule tokens");
+      }
+      for (const JsonValue& t : v.arr) {
+        if (t.kind != JsonValue::Kind::String) {
+          throw ConfigError("scenario JSON: each fault event must be a token string");
+        }
+        const auto evs = noc::parse_fault_schedule_token(t.text);
+        spec.fault_events.insert(spec.fault_events.end(), evs.begin(), evs.end());
+      }
+      continue;
+    }
     apply_scalar(spec, key, scalar_token(v, key));
   }
   spec.config.fit_derived();
@@ -589,6 +651,15 @@ std::string serialize_scenario_json(const ScenarioSpec& spec) {
   out << "  \"store_issue\": " << spec.store_issue_cycles << ",\n";
   out << "  \"traffic_mode\": \"" << bernoulli_mode_name(spec.traffic_mode) << "\",\n";
   out << "  \"reference_kernel\": " << (spec.use_reference_kernel ? "true" : "false") << ",\n";
+  if (cfg.watchdog_window != NocConfig{}.watchdog_window) {
+    out << "  \"watchdog\": " << cfg.watchdog_window << ",\n";
+  }
+  if (cfg.retry_limit != NocConfig{}.retry_limit) {
+    out << "  \"retry_limit\": " << cfg.retry_limit << ",\n";
+  }
+  if (cfg.retry_backoff_cycles != NocConfig{}.retry_backoff_cycles) {
+    out << "  \"retry_backoff\": " << cfg.retry_backoff_cycles << ",\n";
+  }
   const TelemetrySpec& tel = spec.telemetry;
   if (tel.epoch_cycles > 0) out << "  \"telemetry_epoch\": " << tel.epoch_cycles << ",\n";
   if (!tel.record_trace.empty()) {
@@ -606,6 +677,14 @@ std::string serialize_scenario_json(const ScenarioSpec& spec) {
   }
   if (tel.chrome_events != TelemetrySpec{}.chrome_events) {
     out << "  \"telemetry_chrome_events\": " << tel.chrome_events << ",\n";
+  }
+  if (!spec.fault_events.empty()) {
+    out << "  \"fault_events\": [";
+    for (std::size_t i = 0; i < spec.fault_events.size(); ++i) {
+      out << (i > 0 ? ", " : "") << "\""
+          << noc::format_fault_schedule_token({spec.fault_events[i]}) << "\"";
+    }
+    out << "],\n";
   }
   out << "  \"phases\": [\n";
   for (std::size_t i = 0; i < spec.phases.size(); ++i) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "noc/fault_engine.hpp"
 #include "noc/traffic.hpp"
 
 namespace smartnoc::sim {
@@ -86,6 +87,12 @@ struct ScenarioSpec {
   noc::BernoulliMode traffic_mode = noc::kDefaultBernoulliMode;
   bool use_reference_kernel = false;  ///< seed full-scan kernel (golden runs)
   TelemetrySpec telemetry;            ///< observability block (off by default)
+  /// Online fault injection: timed events (kill/glitch/stall) applied to
+  /// the *live* network mid-phase, no drain, no rebuild. Cycles count
+  /// whole-session time, so a schedule is independent of phase layout.
+  /// Text form: one `fault_event <token>` line per event; JSON: an array
+  /// of schedule tokens (the grammar in noc/fault_engine.hpp).
+  std::vector<noc::FaultEventSpec> fault_events;
   std::vector<PhaseSpec> phases;
 
   /// The classic warmup/measure/drain protocol as a 3-phase scenario - the

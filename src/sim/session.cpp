@@ -64,6 +64,8 @@ noc::FlowSet reroute_around_faults(const MeshDims& dims, const noc::FlowSet& flo
 Session::Session(ScenarioSpec spec) : spec_(std::move(spec)), owning_(true) {
   spec_.validate();
   resolve_phases();
+  fault_schedule_ = noc::FaultSchedule(spec_.fault_events);
+  fault_next_ = fault_schedule_.next_cycle();
   if (spec_.telemetry.enabled()) {
     telemetry::Probe::Config pc;
     pc.epoch_cycles = spec_.telemetry.epoch_cycles;
@@ -141,8 +143,9 @@ void Session::switch_era(const Resolved& rv) {
     Cycle drained_after = 0;
     while (!net_->drained()) {
       if (drained_after >= era_cfg_.drain_timeout) {
-        throw SimError(drain_timeout_error(era_cfg_.drain_timeout) +
-                       " - cannot reconfigure a busy network");
+        throw SimError(
+            drain_timeout_error(era_cfg_.drain_timeout, net_->stall_report().summary()) +
+            " - cannot reconfigure a busy network");
       }
       net_->tick();
       drained_after += 1;
@@ -249,6 +252,32 @@ void Session::switch_era(const Resolved& rv) {
     net_->set_observer(probe_.get());
   }
   era_cfg_ = cfg;
+  // Permanent kills and unexpired stalls from the fault schedule outlive a
+  // reconfiguration: the fresh network is built fault-free, then each
+  // surviving fault is re-applied through the same online-surgery path
+  // (idempotent, so both directed halves of a cut link are harmless).
+  if (!session_dead_links_.links().empty() || !session_stalls_.empty()) {
+    auto* mesh = dynamic_cast<noc::MeshNetwork*>(net_);
+    SMARTNOC_CHECK(mesh != nullptr, "fault events require a mesh-based network");
+    for (const auto& [node, diridx] : session_dead_links_.links()) {
+      noc::FaultAction a;
+      a.kind = noc::FaultAction::Kind::Kill;
+      a.node = node;
+      a.dir = dir_from_index(diridx);
+      mesh->apply_fault_action(a);
+    }
+    std::vector<std::pair<NodeId, Cycle>> still;
+    for (const auto& [node, until] : session_stalls_) {
+      if (until <= session_cycles_) continue;  // released before the switch
+      noc::FaultAction a;
+      a.kind = noc::FaultAction::Kind::Stall;
+      a.node = node;
+      a.until = net_->now() + (until - session_cycles_);
+      mesh->apply_fault_action(a);
+      still.emplace_back(node, until);
+    }
+    session_stalls_ = std::move(still);
+  }
   // A new era opens a new capture section: its own config + (possibly
   // rerouted) flow table, records timestamped by the new era-local clock.
   if (trace_writer_ != nullptr) trace_writer_->begin_era(era_cfg_, net_->flows());
@@ -360,7 +389,7 @@ void Session::finalize_phase(const PhaseSpec& ph, const Resolved& rv) {
       // explorer all report this same way).
       const Cycle bound = ph.cycles > 0 ? ph.cycles : spec_.config.drain_timeout;
       r.ok = false;
-      r.error = drain_timeout_error(bound);
+      r.error = drain_timeout_error(bound, net_->stall_report().summary());
       failed_ = true;
       if (error_.empty()) error_ = r.error;
     }
@@ -369,6 +398,60 @@ void Session::finalize_phase(const PhaseSpec& ph, const Resolved& rv) {
   results_.push_back(std::move(r));
   phase_index_ += 1;
   phase_started_ = false;
+}
+
+void Session::fire_due_faults() {
+  if (fault_next_ == noc::FaultSchedule::kNever || session_cycles_ < fault_next_) return;
+  auto* mesh = dynamic_cast<noc::MeshNetwork*>(net_);
+  SMARTNOC_CHECK(mesh != nullptr, "fault events require a mesh-based network");
+  while (const noc::FaultAction* act = fault_schedule_.pop_due(session_cycles_)) {
+    noc::FaultAction local = *act;
+    if (local.kind == noc::FaultAction::Kind::Stall) {
+      // Event cycles count whole-session time; the router compares against
+      // the era-local clock. Translate the release cycle at fire time.
+      local.until = local.until > session_cycles_
+                        ? net_->now() + (local.until - session_cycles_)
+                        : net_->now();
+      session_stalls_.emplace_back(local.node, act->until);
+    } else if (local.kind == noc::FaultAction::Kind::Kill) {
+      session_dead_links_.fail_link(era_cfg_.dims(), local.node, local.dir);
+    } else {
+      session_dead_links_.repair_link(era_cfg_.dims(), local.node, local.dir);
+    }
+    mesh->apply_fault_action(local);
+  }
+  fault_next_ = fault_schedule_.next_cycle();
+}
+
+bool Session::watchdog_tripped(std::string& why) {
+  const Cycle window = era_cfg_.watchdog_window;
+  if (window == 0) return false;
+  // Forward progress = any flit movement, delivery, drop or retransmission.
+  // Stats resets (measure phases) perturb the fingerprint, which harmlessly
+  // counts as progress and restarts the window.
+  const noc::NetworkStats& st = net_->stats();
+  const noc::ActivityCounters& act = st.activity();
+  const std::uint64_t fp = act.buffer_writes + act.buffer_reads + act.alloc_grants +
+                           act.pipeline_latches + st.total_packets() +
+                           st.faults().packets_dropped + st.faults().packets_retransmitted;
+  if (fp != wd_progress_ || net_->drained()) {
+    // A drained network is idle, not stuck: quiet traffic phases (very low
+    // injection, or every flow degraded) must not trip the watchdog.
+    wd_progress_ = fp;
+    wd_last_progress_ = session_cycles_;
+    return false;
+  }
+  if (session_cycles_ - wd_last_progress_ < window) return false;
+  const noc::StallReport report = net_->stall_report();
+  if (report.retry_waiting > 0) {
+    // Retry backoff is latency, not deadlock: sources are deliberately
+    // holding packets back. Restart the window instead of tripping.
+    wd_last_progress_ = session_cycles_;
+    return false;
+  }
+  why = "liveness watchdog: no forward progress for " + std::to_string(window) + " cycles [" +
+        report.summary() + "]";
+  return true;
 }
 
 void Session::report_progress(const PhaseSpec& ph) {
@@ -396,6 +479,8 @@ Cycle Session::step(Cycle n) {
   }
 
   Cycle advanced = 0;
+  std::string wd_why;
+  bool wd_tripped = false;
   const auto t0 = ProfClock::now();
   if (ph.drain) {
     const Cycle bound = ph.cycles > 0 ? ph.cycles : spec_.config.drain_timeout;
@@ -404,13 +489,19 @@ Cycle Session::step(Cycle n) {
       phase_cycles_ += 1;
       session_cycles_ += 1;
       advanced += 1;
+      fire_due_faults();
+      if (watchdog_tripped(wd_why)) {
+        wd_tripped = true;
+        break;
+      }
       if (progress_every_ && phase_cycles_ % progress_every_ == 0) report_progress(ph);
     }
     const double dt = seconds_since(t0);
     profile_.drain_seconds += dt;
     profile_.drain_cycles += advanced;
     phase_wall_seconds_ += dt;
-    if (net_->drained() || phase_cycles_ >= bound) finalize_phase(ph, rv);
+    if (wd_tripped) fail_phase(ph, rv, wd_why);
+    else if (net_->drained() || phase_cycles_ >= bound) finalize_phase(ph, rv);
   } else {
     while (advanced < n && phase_cycles_ < ph.cycles) {
       net_->tick();
@@ -418,13 +509,19 @@ Cycle Session::step(Cycle n) {
       phase_cycles_ += 1;
       session_cycles_ += 1;
       advanced += 1;
+      fire_due_faults();
+      if (watchdog_tripped(wd_why)) {
+        wd_tripped = true;
+        break;
+      }
       if (progress_every_ && phase_cycles_ % progress_every_ == 0) report_progress(ph);
     }
     const double dt = seconds_since(t0);
     profile_.traffic_seconds += dt;
     profile_.traffic_cycles += advanced;
     phase_wall_seconds_ += dt;
-    if (phase_cycles_ >= ph.cycles) finalize_phase(ph, rv);
+    if (wd_tripped) fail_phase(ph, rv, wd_why);
+    else if (phase_cycles_ >= ph.cycles) finalize_phase(ph, rv);
   }
   // Publish simulated time so log lines carry "cycle N" context.
   Log::sim_cycle() = static_cast<long long>(session_cycles_);
@@ -450,6 +547,7 @@ SessionResult Session::run() {
   out.error = error_;
   out.phases = results_;
   out.profile = profile_;
+  if (net_ != nullptr) out.faults = net_->stats().faults();
   return out;
 }
 
@@ -538,6 +636,25 @@ std::string summarize(const SessionResult& result) {
   std::string out = table.str();
   out += strf("total reconfiguration latency: %llu cycles\n",
               static_cast<unsigned long long>(result.total_reconfig_cycles()));
+  const noc::FaultCounters& fc = result.faults;
+  if (fc.link_kills + fc.link_repairs + fc.router_stalls + fc.packets_dropped +
+          fc.packets_retransmitted !=
+      0) {
+    out += strf(
+        "fault recovery: %llu kills / %llu repairs / %llu stalls; %llu flits purged, "
+        "%llu retransmits, %llu drops; %llu flows rerouted, %llu failed, %llu revived, "
+        "%llu chains truncated\n",
+        static_cast<unsigned long long>(fc.link_kills),
+        static_cast<unsigned long long>(fc.link_repairs),
+        static_cast<unsigned long long>(fc.router_stalls),
+        static_cast<unsigned long long>(fc.flits_purged),
+        static_cast<unsigned long long>(fc.packets_retransmitted),
+        static_cast<unsigned long long>(fc.packets_dropped),
+        static_cast<unsigned long long>(fc.flows_rerouted),
+        static_cast<unsigned long long>(fc.flows_failed),
+        static_cast<unsigned long long>(fc.flows_revived),
+        static_cast<unsigned long long>(fc.chains_truncated));
+  }
   const RunProfile& prof = result.profile;
   if (prof.cycles() != 0 || prof.reconfig_seconds > 0.0) {
     out += strf(
@@ -565,6 +682,23 @@ std::string to_json(const SessionResult& result) {
       prof.traffic_seconds, static_cast<unsigned long long>(prof.traffic_cycles),
       prof.drain_seconds, static_cast<unsigned long long>(prof.drain_cycles),
       prof.reconfig_seconds, prof.ns_per_cycle());
+  const noc::FaultCounters& fc = result.faults;
+  out += strf(
+      "  \"faults\": {\"packets_offered\": %llu, \"packets_dropped\": %llu, "
+      "\"packets_retransmitted\": %llu, \"flits_purged\": %llu, \"flows_rerouted\": %llu, "
+      "\"flows_failed\": %llu, \"flows_revived\": %llu, \"chains_truncated\": %llu, "
+      "\"link_kills\": %llu, \"link_repairs\": %llu, \"router_stalls\": %llu},\n",
+      static_cast<unsigned long long>(fc.packets_offered),
+      static_cast<unsigned long long>(fc.packets_dropped),
+      static_cast<unsigned long long>(fc.packets_retransmitted),
+      static_cast<unsigned long long>(fc.flits_purged),
+      static_cast<unsigned long long>(fc.flows_rerouted),
+      static_cast<unsigned long long>(fc.flows_failed),
+      static_cast<unsigned long long>(fc.flows_revived),
+      static_cast<unsigned long long>(fc.chains_truncated),
+      static_cast<unsigned long long>(fc.link_kills),
+      static_cast<unsigned long long>(fc.link_repairs),
+      static_cast<unsigned long long>(fc.router_stalls));
   out += "  \"phases\": [\n";
   for (std::size_t i = 0; i < result.phases.size(); ++i) {
     const PhaseResult& p = result.phases[i];

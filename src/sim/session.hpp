@@ -107,6 +107,8 @@ struct SessionResult {
   std::string error;               ///< first failure (phase errors repeat it)
   std::vector<PhaseResult> phases;
   RunProfile profile;              ///< wall-clock self-profile of the run
+  noc::FaultCounters faults;       ///< final-era degradation counters (all zero
+                                   ///< when no fault events fired)
 
   /// Sum of every *switch*'s reconfiguration latency (the Fig. 1 number;
   /// the scenario's initial configuration is not a runtime switch).
@@ -227,6 +229,12 @@ class Session {
   void fail_phase(const PhaseSpec& ph, const Resolved& rv, const std::string& why);
   void switch_era(const Resolved& rv);
   void report_progress(const PhaseSpec& ph);
+  /// Applies every scheduled fault action due at the current session cycle
+  /// to the live network (online surgery; no drain, no rebuild).
+  void fire_due_faults();
+  /// True when the liveness watchdog window elapsed with no forward
+  /// progress; `why` carries the structured StallReport summary.
+  bool watchdog_tripped(std::string& why);
 
   ScenarioSpec spec_;
   std::vector<Resolved> resolved_;  ///< per-phase workload/injection/era
@@ -248,6 +256,18 @@ class Session {
   int hpc_max_ = 0;
   ReconfigEvent pending_reconfig_;
   int pending_dropped_ = 0;
+
+  // Online fault injection. Event cycles count whole-session time; the
+  // network clock restarts per era, so release cycles are translated at
+  // fire time. Permanent kills and unexpired stalls outlive era switches
+  // (re-applied to each freshly built network).
+  noc::FaultSchedule fault_schedule_;
+  Cycle fault_next_ = noc::FaultSchedule::kNever;
+  noc::FaultSet session_dead_links_;
+  std::vector<std::pair<NodeId, Cycle>> session_stalls_;  ///< (router, session release)
+  // Liveness watchdog: last observed forward-progress fingerprint.
+  std::uint64_t wd_progress_ = 0;
+  Cycle wd_last_progress_ = 0;
 
   // Phase state.
   std::size_t phase_index_ = 0;

@@ -36,7 +36,7 @@ std::string csv_field(const std::string& s) {
 std::string export_time_series_csv(const Probe& probe) {
   std::ostringstream out;
   out << "epoch,start_cycle,link_flits,router_latches,injected_packets,ejected_flits,"
-         "occupancy_flits,phase\n";
+         "occupancy_flits,dropped_packets,retransmitted_packets,phase\n";
   const std::size_t epochs = probe.epochs();
   const Cycle ep = probe.epoch_cycles();
   const auto occupancy = probe.occupancy_series();
@@ -57,7 +57,8 @@ std::string export_time_series_csv(const Probe& probe) {
       }
     }
     out << e << "," << e * ep << "," << link << "," << latch << "," << inj << "," << ej << ","
-        << occupancy[e] << "," << csv_field(phase) << "\n";
+        << occupancy[e] << "," << probe.drop_series()[e] << "," << probe.retransmit_series()[e]
+        << "," << csv_field(phase) << "\n";
   }
   return out.str();
 }

@@ -28,6 +28,8 @@ void Probe::ensure_epoch(std::size_t epoch) {
     router_series_.resize(cap * nodes_);
     inject_series_.resize(cap * nodes_);
     eject_series_.resize(cap * nodes_);
+    drop_series_.resize(cap);
+    retransmit_series_.resize(cap);
     if (cfg_.power_series) activity_series_.resize(cap);
     epochs_reserved_ = cap;
   }
@@ -120,6 +122,28 @@ void Probe::packet_offered(FlowId flow, NodeId src, Cycle created) {
   }
 }
 
+void Probe::packet_dropped(FlowId flow, NodeId src, Cycle cycle) {
+  (void)flow;
+  (void)src;
+  if (cfg_.epoch_cycles != 0) {
+    epoch_of(cycle);
+    drop_series_[win_epoch_] += 1;
+  } else {
+    drop_total_ += 1;
+  }
+}
+
+void Probe::packet_retransmitted(FlowId flow, NodeId src, Cycle cycle) {
+  (void)flow;
+  (void)src;
+  if (cfg_.epoch_cycles != 0) {
+    epoch_of(cycle);
+    retransmit_series_[win_epoch_] += 1;
+  } else {
+    retransmit_total_ += 1;
+  }
+}
+
 void Probe::activity_delta(const noc::ActivityCounters& delta, Cycle cycle) {
   // Reached only when wants_activity_deltas() opted in, except through a
   // TeeObserver whose *other* children wanted the stream - bail then.
@@ -195,6 +219,14 @@ std::uint64_t Probe::packets_offered_total() const {
 
 std::uint64_t Probe::flits_ejected_total() const {
   return cfg_.epoch_cycles != 0 ? series_sum(eject_series_) : eject_total_;
+}
+
+std::uint64_t Probe::packets_dropped_total() const {
+  return cfg_.epoch_cycles != 0 ? series_sum(drop_series_) : drop_total_;
+}
+
+std::uint64_t Probe::packets_retransmitted_total() const {
+  return cfg_.epoch_cycles != 0 ? series_sum(retransmit_series_) : retransmit_total_;
 }
 
 }  // namespace smartnoc::telemetry

@@ -91,6 +91,8 @@ class Probe final : public noc::TraceObserver {
   void segment_traversed(const noc::Segment& seg, const noc::FlitRef& flit,
                          const noc::PacketPool& pool, Cycle now, Cycle arrival) override;
   void packet_offered(FlowId flow, NodeId src, Cycle created) override;
+  void packet_dropped(FlowId flow, NodeId src, Cycle cycle) override;
+  void packet_retransmitted(FlowId flow, NodeId src, Cycle cycle) override;
   /// Per-tick activity deltas (only emitted when Config::power_series).
   void activity_delta(const noc::ActivityCounters& delta, Cycle cycle) override;
   bool wants_activity_deltas() const override { return cfg_.power_series; }
@@ -124,6 +126,12 @@ class Probe final : public noc::TraceObserver {
   const std::vector<std::uint64_t>& inject_series() const { return inject_series_; }
   /// epochs() x nodes(): flits consumed by each destination NIC.
   const std::vector<std::uint64_t>& eject_series() const { return eject_series_; }
+  /// Per-epoch degradation series (aggregate, not per node): packets
+  /// permanently dropped / re-queued for retransmission. Time-resolves the
+  /// NetworkStats fault counters - a link kill shows up as a drop/retry
+  /// spike in exactly the epoch it fired, a recovery as its decay.
+  const std::vector<std::uint64_t>& drop_series() const { return drop_series_; }
+  const std::vector<std::uint64_t>& retransmit_series() const { return retransmit_series_; }
 
   /// In-flight flit occupancy at the end of each epoch: cumulative injected
   /// flits (packets * flits/packet) minus cumulative ejected flits.
@@ -163,6 +171,8 @@ class Probe final : public noc::TraceObserver {
   std::uint64_t router_latches_total() const;
   std::uint64_t packets_offered_total() const;
   std::uint64_t flits_ejected_total() const;
+  std::uint64_t packets_dropped_total() const;
+  std::uint64_t packets_retransmitted_total() const;
   /// Per-directed-link totals across all epochs (size links()).
   std::vector<std::uint64_t> link_totals() const;
 
@@ -220,6 +230,8 @@ class Probe final : public noc::TraceObserver {
   std::vector<std::uint64_t> router_series_;
   std::vector<std::uint64_t> inject_series_;
   std::vector<std::uint64_t> eject_series_;
+  std::vector<std::uint64_t> drop_series_;        ///< per epoch (aggregate)
+  std::vector<std::uint64_t> retransmit_series_;  ///< per epoch (aggregate)
   std::vector<noc::ActivityCounters> activity_series_;  ///< power_series only
   noc::ActivityCounters activity_total_;
   noc::ActivityCounters window_base_;
@@ -228,6 +240,8 @@ class Probe final : public noc::TraceObserver {
   std::uint64_t router_total_ = 0;
   std::uint64_t inject_total_ = 0;
   std::uint64_t eject_total_ = 0;
+  std::uint64_t drop_total_ = 0;
+  std::uint64_t retransmit_total_ = 0;
 
   std::vector<Mark> marks_;
   std::vector<LinkEvent> events_;
@@ -259,6 +273,12 @@ class TeeObserver final : public noc::TraceObserver {
   }
   void packet_offered(FlowId flow, NodeId src, Cycle created) override {
     for (auto* o : obs_) o->packet_offered(flow, src, created);
+  }
+  void packet_dropped(FlowId flow, NodeId src, Cycle cycle) override {
+    for (auto* o : obs_) o->packet_dropped(flow, src, cycle);
+  }
+  void packet_retransmitted(FlowId flow, NodeId src, Cycle cycle) override {
+    for (auto* o : obs_) o->packet_retransmitted(flow, src, cycle);
   }
   void activity_delta(const noc::ActivityCounters& delta, Cycle cycle) override {
     for (auto* o : obs_) o->activity_delta(delta, cycle);

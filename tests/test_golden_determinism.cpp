@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "helpers.hpp"
 #include "mapping/nmap.hpp"
+#include "noc/fault_engine.hpp"
 #include "noc/faults.hpp"
 #include "noc/network.hpp"
 #include "noc/traffic.hpp"
@@ -188,6 +189,71 @@ INSTANTIATE_TEST_SUITE_P(Matrix, GoldenMatrix, ::testing::ValuesIn(golden_matrix
                            }
                            return n;
                          });
+
+// --- Online fault schedules --------------------------------------------------
+// The runtime fault surgery (preset truncation, in-flight purge, online
+// reroute, retransmission) is one code path shared by both cycle kernels;
+// these points pin that claim end to end by running the same mid-phase
+// fault scenario through Session under each kernel and comparing every
+// result field, flow statistic and degradation counter exactly.
+
+struct FaultSchedulePoint {
+  Design design;
+  int hpc_max;
+  const char* schedule;
+};
+
+sim::RunResult run_fault_scenario(const FaultSchedulePoint& pt, bool reference_kernel,
+                                  noc::NetworkStats* final_stats) {
+  NocConfig cfg = matrix_config();
+  cfg.hpc_max_override = pt.design == Design::Smart ? pt.hpc_max : 0;
+  sim::ScenarioSpec spec = sim::ScenarioSpec::classic(pt.design, "uniform", 0.05, cfg);
+  spec.fault_events = noc::parse_fault_schedule_token(pt.schedule);
+  spec.use_reference_kernel = reference_kernel;
+  sim::Session session(std::move(spec));
+  const sim::SessionResult sr = session.run();
+  if (final_stats != nullptr) *final_stats = session.network().stats();
+  return sim::session_to_run_result(sr);
+}
+
+void expect_identical_fault_counters(const noc::FaultCounters& a, const noc::FaultCounters& b,
+                                     const std::string& what) {
+  EXPECT_EQ(a.packets_offered, b.packets_offered) << what;
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped) << what;
+  EXPECT_EQ(a.packets_retransmitted, b.packets_retransmitted) << what;
+  EXPECT_EQ(a.flits_purged, b.flits_purged) << what;
+  EXPECT_EQ(a.flows_rerouted, b.flows_rerouted) << what;
+  EXPECT_EQ(a.flows_failed, b.flows_failed) << what;
+  EXPECT_EQ(a.flows_revived, b.flows_revived) << what;
+  EXPECT_EQ(a.chains_truncated, b.chains_truncated) << what;
+  EXPECT_EQ(a.link_kills, b.link_kills) << what;
+  EXPECT_EQ(a.link_repairs, b.link_repairs) << what;
+  EXPECT_EQ(a.router_stalls, b.router_stalls) << what;
+}
+
+TEST(GoldenFaults, FaultSchedulesMatchAcrossKernels) {
+  const FaultSchedulePoint points[] = {
+      {Design::Smart, 8, "kill@2700:5:E"},
+      {Design::Smart, 1, "glitch@2700:6:N@3300"},
+      {Design::Mesh, 1, "kill@2700:5:E+stall@3000:9@3400"},
+      {Design::Smart, 8, "kill@2700:5:E+kill@2700:9:E+glitch@3100:1:N@3600"},
+  };
+  for (const FaultSchedulePoint& pt : points) {
+    const std::string what =
+        std::string(design_name(pt.design)) + "/hpc" + std::to_string(pt.hpc_max) + "/" +
+        pt.schedule;
+    noc::NetworkStats stats_active, stats_reference;
+    const sim::RunResult active = run_fault_scenario(pt, false, &stats_active);
+    const sim::RunResult reference = run_fault_scenario(pt, true, &stats_reference);
+    ASSERT_TRUE(reference.ok) << what << ": " << reference.error;
+    EXPECT_GT(reference.packets_delivered, 0u) << what;
+    expect_identical_results(active, reference, what);
+    expect_identical_flow_stats(stats_active, stats_reference, what);
+    expect_identical_fault_counters(stats_active.faults(), stats_reference.faults(),
+                                    what + " [faults]");
+    EXPECT_GE(stats_reference.faults().link_kills, 1u) << what << ": schedule must have fired";
+  }
+}
 
 // The O(1) drain check must agree with a from-scratch component scan at
 // every step of a drain, not just at the end (the invariant the active-set

@@ -277,7 +277,8 @@ TEST(TraceWorkload, RegistryResolvesTraceKeys) {
 
 // Faults would reroute the recorded flows (even without dropping any),
 // replaying the capture on different presets than the recording - the
-// Session rejects the combination instead of silently diverging.
+// scenario rejects the combination at validate time (Session construction),
+// before any cycle runs, instead of silently diverging or failing mid-run.
 TEST(TraceWorkload, ReplayUnderFaultsFails) {
   const std::string path = temp_path("faulty_replay.sntr");
   const NocConfig cfg = small_cfg();
@@ -288,9 +289,23 @@ TEST(TraceWorkload, ReplayUnderFaultsFails) {
   sim::ScenarioSpec replay =
       sim::ScenarioSpec::classic(Design::Smart, "trace:" + path, 1.0, cfg);
   replay.fault_rate = 0.05;
-  const sim::SessionResult sr = sim::Session(replay).run();
-  EXPECT_FALSE(sr.ok);
-  EXPECT_NE(sr.error.find("fault"), std::string::npos) << sr.error;
+  try {
+    sim::Session session(replay);
+    FAIL() << "expected ConfigError at construction";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("fault"), std::string::npos) << e.what();
+  }
+
+  // Online fault events are rejected the same way (and with the same
+  // validate-time timing): replay means no fault interference of any kind.
+  replay.fault_rate = 0.0;
+  replay.fault_events = noc::parse_fault_schedule_token("kill@100:0:E");
+  try {
+    sim::Session session(replay);
+    FAIL() << "expected ConfigError at construction";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("fault"), std::string::npos) << e.what();
+  }
   std::remove(path.c_str());
 }
 
