@@ -1,0 +1,47 @@
+// Round-trip-stable text I/O for doubles.
+//
+// Every durable artifact that re-reads floating-point values (the explorer
+// CSV/JSON tables, the serving cache, job checkpoints) must recover the
+// exact bit pattern it wrote: a 1-ULP drift would make a cached sweep point
+// compare unequal to a computed one and silently break the cache's
+// hit == miss contract. format_double_rt emits the *shortest* decimal string
+// that parses back to the same double (std::to_chars), and parse_double_rt
+// is its strict inverse. Shortest beats a fixed %.17g both in size and in
+// readability ("0.05", not "0.050000000000000003") while keeping the same
+// exact-recovery guarantee; parse accepts both forms, so artifacts written
+// before this header existed still load bit-identically.
+#pragma once
+
+#include <charconv>
+#include <cstring>
+#include <string>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace smartnoc {
+
+/// Shortest decimal string that round-trips to the same double. Infinities
+/// and NaNs render as "inf"/"-inf"/"nan" (what to_chars produces), which
+/// parse_double_rt reads back.
+inline std::string format_double_rt(double v) {
+  char buf[32];  // shortest round-trip of any double fits well inside 32
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+/// Exact inverse of format_double_rt; also accepts any other decimal or
+/// hex-free strtod-style rendering ("%.17g" legacy artifacts included).
+/// Throws ConfigError on garbage or trailing characters.
+inline double parse_double_rt(const std::string& s, const char* what = "number") {
+  double v = 0.0;
+  const char* first = s.c_str();
+  const char* last = first + s.size();
+  const auto res = std::from_chars(first, last, v);
+  if (res.ec != std::errc() || res.ptr != last) {
+    throw ConfigError(std::string("malformed ") + what + ": '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace smartnoc

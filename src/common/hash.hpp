@@ -1,0 +1,114 @@
+// Content hashing for the sweep-serving subsystem: FNV-1a (64- and
+// 128-bit-by-two-lanes) plus a typed canonical byte encoder.
+//
+// The serving cache keys durable on-disk state by these hashes, so they are
+// part of the persisted format: the algorithm, the lane seeds and the
+// encoder's byte layout are all pinned by golden-vector tests
+// (tests/test_serve.cpp) and must never change silently. Evolve the format
+// by bumping the version tag the encoder users fold into their bytes, which
+// cleanly invalidates old entries instead of aliasing them.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace smartnoc {
+
+/// Incremental FNV-1a over bytes. Standard offset basis / prime; a nonzero
+/// `salt` derives an independent lane from the same byte stream.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  explicit Fnv1a64(std::uint64_t salt = 0) : state_(kOffset ^ salt) {}
+
+  void update(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+    state_ = h;
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+inline std::uint64_t fnv1a64(const std::string& bytes, std::uint64_t salt = 0) {
+  Fnv1a64 h(salt);
+  h.update(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+/// A 128-bit content hash: two independently salted FNV-1a lanes over the
+/// same bytes. Collision odds for a cache of N entries are ~N^2/2^129 -
+/// negligible at any sweep scale this project will see.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex characters, hi lane first (the on-disk key form).
+  std::string hex() const {
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+  }
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// Salt of the second lane. An arbitrary odd constant (the golden-ratio
+/// mixer); pinned by the golden vectors like everything else here.
+inline constexpr std::uint64_t kHash128LoSalt = 0x9e3779b97f4a7c15ULL;
+
+inline Hash128 hash128(const std::string& bytes) {
+  return Hash128{fnv1a64(bytes, 0), fnv1a64(bytes, kHash128LoSalt)};
+}
+
+/// Appends typed values to a byte string in a fixed, platform-independent
+/// layout: integers little-endian at fixed widths, doubles as their IEEE-754
+/// bit pattern, strings length-prefixed. Every value is preceded by nothing -
+/// framing is the writer's responsibility (the canonical encodings tag a
+/// version up front) - so identical field sequences produce identical bytes.
+class CanonicalEncoder {
+ public:
+  void u8(std::uint8_t v) { buf_ += static_cast<char>(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_ += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_ += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+
+  /// Signed values two's-complement through the unsigned path (bit-exact on
+  /// every platform this project targets).
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// The bit pattern, not a decimal rendering: two doubles encode equal iff
+  /// they are bit-identical (so -0.0 != +0.0 and every NaN payload is
+  /// distinct - exactly what a content key wants).
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_ += s;
+  }
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace smartnoc

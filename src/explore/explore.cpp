@@ -4,7 +4,8 @@
 
 namespace smartnoc::explore {
 
-ResultTable run_sweep(const SweepSpec& spec, int threads, const ProgressFn& progress) {
+ResultTable run_sweep(const SweepSpec& spec, int threads, const ProgressFn& progress,
+                      const SweepHooks& hooks) {
   const std::vector<RunPoint> points = spec.expand();
   ResultTable table(points.size());
   std::atomic<std::size_t> completed{0};
@@ -13,7 +14,14 @@ ResultTable run_sweep(const SweepSpec& spec, int threads, const ProgressFn& prog
   exec.for_each(points.size(), [&](std::size_t i) {
     // Each slot is written by exactly one job; the join in for_each
     // publishes all writes before the table is read.
-    table.set(i, run_point(spec, points[i]));
+    RunRecord rec;
+    if (hooks.lookup && hooks.lookup(spec, points[i], rec)) {
+      table.set(i, std::move(rec));
+    } else {
+      rec = run_point(spec, points[i]);
+      if (hooks.store) hooks.store(spec, points[i], rec);
+      table.set(i, std::move(rec));
+    }
     const std::size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
     if (progress) progress(done, points.size());
   });

@@ -23,6 +23,22 @@ namespace smartnoc::explore {
 /// Optional progress callback fires after each completed run (from worker
 /// threads; must be thread-safe) with (completed_so_far, total).
 using ProgressFn = std::function<void(std::size_t, std::size_t)>;
-ResultTable run_sweep(const SweepSpec& spec, int threads = 0, const ProgressFn& progress = {});
+
+/// Executor-level result hooks - how the serving cache plugs into a sweep
+/// without the explore layer depending on it. Both run on worker threads
+/// and must be thread-safe.
+struct SweepHooks {
+  /// Consulted before a point is simulated. Return true and fill `rec`
+  /// (including rec.index = pt.index) to serve the point without running
+  /// it. The hook must preserve the determinism contract: a served record
+  /// must be byte-identical to what run_point would have produced.
+  std::function<bool(const SweepSpec&, const RunPoint&, RunRecord&)> lookup;
+  /// Called with every record the executor actually computed (not with
+  /// served ones), e.g. to populate the cache.
+  std::function<void(const SweepSpec&, const RunPoint&, const RunRecord&)> store;
+};
+
+ResultTable run_sweep(const SweepSpec& spec, int threads = 0, const ProgressFn& progress = {},
+                      const SweepHooks& hooks = {});
 
 }  // namespace smartnoc::explore

@@ -1,5 +1,7 @@
 #include "explore/job.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/table.hpp"
@@ -10,6 +12,51 @@
 
 namespace smartnoc::explore {
 
+namespace {
+
+void apply_point_telemetry(const SweepSpec& spec, const RunPoint& pt,
+                           sim::ScenarioSpec& scenario) {
+  // Per-point observability (every design: Mesh/Smart via MeshNetwork's
+  // observer, Dedicated via its own packet/activity hooks).
+  const std::string tag = "_p" + std::to_string(pt.index);
+  if (!spec.telemetry_prefix.empty()) {
+    scenario.telemetry.epoch_cycles = spec.telemetry_epoch;
+    scenario.telemetry.csv = spec.telemetry_prefix + tag + ".csv";
+    scenario.telemetry.power_csv = spec.telemetry_prefix + tag + "_power.csv";
+    scenario.telemetry.heatmap = spec.telemetry_prefix + tag + "_heatmap.csv";
+  }
+  if (!spec.trace_prefix.empty()) {
+    scenario.telemetry.record_trace = spec.trace_prefix + tag + ".sntr";
+  }
+}
+
+}  // namespace
+
+sim::ScenarioSpec make_point_scenario(const SweepSpec& spec, const RunPoint& pt) {
+  sim::ScenarioSpec scenario;
+  if (!pt.scenario_file.empty()) {
+    std::ifstream f(pt.scenario_file);
+    if (!f) throw ConfigError("cannot open scenario file '" + pt.scenario_file + "'");
+    std::stringstream buf;
+    buf << f.rdbuf();
+    scenario = sim::parse_scenario(buf.str());
+    scenario.validate();
+  } else {
+    // One exploration point is exactly the classic 3-phase scenario: the
+    // Session owns the flow build (with fault rerouting), the network and
+    // the traffic engine, replicating the sequence this file hand-wired
+    // before the Scenario API existed (bit-identical, pinned by tests).
+    scenario = sim::ScenarioSpec::classic(pt.design, pt.workload.name(), pt.injection,
+                                          spec.config_for(pt));
+    scenario.fault_rate = pt.fault_rate;
+    if (!pt.fault_schedule.empty() && pt.fault_schedule != "none") {
+      scenario.fault_events = noc::parse_fault_schedule_token(pt.fault_schedule);
+    }
+  }
+  apply_point_telemetry(spec, pt, scenario);
+  return scenario;
+}
+
 RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
   RunRecord rec;
   rec.index = pt.index;
@@ -18,35 +65,33 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
   rec.flit_bits = pt.flit_bits;
   rec.hpc_max = pt.hpc_max;
   rec.injection = pt.injection;
-  rec.workload = pt.workload.name();
+  rec.workload = pt.scenario_file.empty() ? pt.workload.name() : "scenario:" + pt.scenario_file;
   rec.fault_rate = pt.fault_rate;
   rec.fault_schedule = pt.fault_schedule;
   rec.design = design_name(pt.design);
   rec.seed = pt.seed;
 
   try {
-    // One exploration point is exactly the classic 3-phase scenario: the
-    // Session owns the flow build (with fault rerouting), the network and
-    // the traffic engine, replicating the sequence this file hand-wired
-    // before the Scenario API existed (bit-identical, pinned by tests).
-    sim::ScenarioSpec scenario = sim::ScenarioSpec::classic(
-        pt.design, pt.workload.name(), pt.injection, spec.config_for(pt));
-    scenario.fault_rate = pt.fault_rate;
-    if (!pt.fault_schedule.empty() && pt.fault_schedule != "none") {
-      scenario.fault_events = noc::parse_fault_schedule_token(pt.fault_schedule);
-    }
-
-    // Per-point observability (every design: Mesh/Smart via MeshNetwork's
-    // observer, Dedicated via its own packet/activity hooks).
-    const std::string tag = "_p" + std::to_string(pt.index);
-    if (!spec.telemetry_prefix.empty()) {
-      scenario.telemetry.epoch_cycles = spec.telemetry_epoch;
-      scenario.telemetry.csv = spec.telemetry_prefix + tag + ".csv";
-      scenario.telemetry.power_csv = spec.telemetry_prefix + tag + "_power.csv";
-      scenario.telemetry.heatmap = spec.telemetry_prefix + tag + "_heatmap.csv";
-    }
-    if (!spec.trace_prefix.empty()) {
-      scenario.telemetry.record_trace = spec.trace_prefix + tag + ".sntr";
+    sim::ScenarioSpec scenario = make_point_scenario(spec, pt);
+    if (!pt.scenario_file.empty()) {
+      // Echo what the scenario file resolved to, so the row is
+      // self-describing like any grid point's.
+      rec.width = scenario.config.width;
+      rec.height = scenario.config.height;
+      rec.flit_bits = scenario.config.flit_bits;
+      rec.hpc_max = scenario.config.hpc_max_override;
+      rec.fault_rate = scenario.fault_rate;
+      rec.fault_schedule = scenario.fault_events.empty()
+                               ? "none"
+                               : noc::format_fault_schedule_token(scenario.fault_events);
+      rec.design = design_name(scenario.design);
+      rec.seed = scenario.config.seed;
+      for (const sim::PhaseSpec& ph : scenario.phases) {
+        if (ph.injection > 0.0) {
+          rec.injection = ph.injection;
+          break;
+        }
+      }
     }
 
     sim::Session session(std::move(scenario));
@@ -54,7 +99,8 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
     const sim::RunResult run = sim::session_to_run_result(sr);
 
     if (!sr.phases.empty()) rec.dropped_flows = sr.phases.front().dropped_flows;
-    if (pt.design == Design::Smart && session.hpc_max() > 0) rec.hpc_max = session.hpc_max();
+    const Design design = pt.scenario_file.empty() ? pt.design : session.spec().design;
+    if (design == Design::Smart && session.hpc_max() > 0) rec.hpc_max = session.hpc_max();
     try {
       rec.flows = session.network().flows().size();
       // Degradation columns: how much the fault campaign actually cost.

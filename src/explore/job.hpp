@@ -8,8 +8,18 @@
 
 #include "explore/result_sink.hpp"
 #include "explore/sweep.hpp"
+#include "sim/scenario.hpp"
 
 namespace smartnoc::explore {
+
+/// The fully-resolved ScenarioSpec one point executes: the classic 3-phase
+/// protocol built from the point's axes, or - for a scenario point - the
+/// parsed .scn/.json file (throws ConfigError if unreadable). Telemetry
+/// prefixes from the spec are applied either way. This is the single
+/// canonical description of a point's computation: the serving cache keys
+/// points by hashing exactly this structure (src/serve/point_key.hpp), so
+/// any input that can change a result must flow through here.
+sim::ScenarioSpec make_point_scenario(const SweepSpec& spec, const RunPoint& pt);
 
 /// Runs one point of the matrix to completion. Never throws: configuration
 /// errors, simulation errors and drain timeouts all come back as a record

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/float_io.hpp"
 #include "common/parse.hpp"
 #include "common/table.hpp"
 
@@ -11,8 +12,12 @@ namespace smartnoc::explore {
 
 namespace {
 
-// %.17g: shortest printf format that round-trips every finite double.
-std::string fmt_double(double v) { return strf("%.17g", v); }
+// Shortest decimal that recovers the exact bit pattern on re-read: the
+// serving cache and job checkpoints store these strings and must hand back
+// records bit-identical to freshly computed ones.
+std::string fmt_double(double v) { return format_double_rt(v); }
+
+double parse_double(const std::string& s) { return parse_double_rt(s, "ResultTable number"); }
 
 std::string fmt_u64(std::uint64_t v) {
   return strf("%llu", static_cast<unsigned long long>(v));
@@ -207,9 +212,9 @@ ResultTable ResultTable::from_csv(const std::string& text) {
     r.height = std::atoi(f[i++].c_str());
     r.flit_bits = std::atoi(f[i++].c_str());
     r.hpc_max = std::atoi(f[i++].c_str());
-    r.injection = std::strtod(f[i++].c_str(), nullptr);
+    r.injection = parse_double(f[i++]);
     r.workload = f[i++];
-    r.fault_rate = std::strtod(f[i++].c_str(), nullptr);
+    r.fault_rate = parse_double(f[i++]);
     r.fault_schedule = f[i++];
     r.design = f[i++];
     r.seed = parse_u64(f[i++]);
@@ -218,14 +223,14 @@ ResultTable ResultTable::from_csv(const std::string& text) {
     r.flows = std::atoi(f[i++].c_str());
     r.dropped_flows = std::atoi(f[i++].c_str());
     r.packets = parse_u64(f[i++]);
-    r.avg_net_latency = std::strtod(f[i++].c_str(), nullptr);
-    r.avg_total_latency = std::strtod(f[i++].c_str(), nullptr);
-    r.p50_latency = std::strtod(f[i++].c_str(), nullptr);
-    r.p99_latency = std::strtod(f[i++].c_str(), nullptr);
-    r.max_latency = std::strtod(f[i++].c_str(), nullptr);
-    r.throughput_ppc = std::strtod(f[i++].c_str(), nullptr);
-    r.power_mw = std::strtod(f[i++].c_str(), nullptr);
-    r.area_mm2 = std::strtod(f[i++].c_str(), nullptr);
+    r.avg_net_latency = parse_double(f[i++]);
+    r.avg_total_latency = parse_double(f[i++]);
+    r.p50_latency = parse_double(f[i++]);
+    r.p99_latency = parse_double(f[i++]);
+    r.max_latency = parse_double(f[i++]);
+    r.throughput_ppc = parse_double(f[i++]);
+    r.power_mw = parse_double(f[i++]);
+    r.area_mm2 = parse_double(f[i++]);
     r.packets_offered = parse_u64(f[i++]);
     r.packets_dropped = parse_u64(f[i++]);
     r.packets_retransmitted = parse_u64(f[i++]);
@@ -236,11 +241,10 @@ ResultTable ResultTable::from_csv(const std::string& text) {
   return out;
 }
 
-std::string ResultTable::to_json() const {
-  std::string out = "[\n";
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    const RunRecord& r = rows_[i];
-    out += "  {";
+std::string record_to_json(const RunRecord& r) {
+  std::string out;
+  {
+    out += '{';
     out += "\"index\": " + fmt_u64(r.index);
     out += strf(", \"width\": %d, \"height\": %d, \"flit_bits\": %d, \"hpc_max\": %d", r.width,
                 r.height, r.flit_bits, r.hpc_max);
@@ -268,6 +272,14 @@ std::string ResultTable::to_json() const {
     out += ", \"flows_rerouted\": " + fmt_u64(r.flows_rerouted);
     out += ", \"flows_failed\": " + fmt_u64(r.flows_failed);
     out += '}';
+  }
+  return out;
+}
+
+std::string ResultTable::to_json() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += "  " + record_to_json(rows_[i]);
     if (i + 1 < rows_.size()) out += ',';
     out += '\n';
   }
@@ -275,15 +287,12 @@ std::string ResultTable::to_json() const {
   return out;
 }
 
-ResultTable ResultTable::from_json(const std::string& text) {
-  ResultTable out;
-  JsonReader rd(text);
-  rd.expect('[');
-  if (rd.consume(']')) return out;
-  do {
-    rd.expect('{');
-    RunRecord r;
-    if (!rd.consume('}')) {
+namespace {
+
+RunRecord read_record_object(JsonReader& rd) {
+  rd.expect('{');
+  RunRecord r;
+  if (!rd.consume('}')) {
       do {
         const std::string key = rd.read_string();
         rd.expect(':');
@@ -302,22 +311,22 @@ ResultTable ResultTable::from_json(const std::string& text) {
           else if (key == "height") r.height = std::atoi(tok.c_str());
           else if (key == "flit_bits") r.flit_bits = std::atoi(tok.c_str());
           else if (key == "hpc_max") r.hpc_max = std::atoi(tok.c_str());
-          else if (key == "injection") r.injection = std::strtod(tok.c_str(), nullptr);
-          else if (key == "fault_rate") r.fault_rate = std::strtod(tok.c_str(), nullptr);
+          else if (key == "injection") r.injection = parse_double(tok);
+          else if (key == "fault_rate") r.fault_rate = parse_double(tok);
           else if (key == "seed") r.seed = parse_u64(tok);
           else if (key == "ok") r.ok = tok == "true";
           else if (key == "flows") r.flows = std::atoi(tok.c_str());
           else if (key == "dropped_flows") r.dropped_flows = std::atoi(tok.c_str());
           else if (key == "packets") r.packets = parse_u64(tok);
-          else if (key == "avg_net_latency") r.avg_net_latency = std::strtod(tok.c_str(), nullptr);
+          else if (key == "avg_net_latency") r.avg_net_latency = parse_double(tok);
           else if (key == "avg_total_latency")
-            r.avg_total_latency = std::strtod(tok.c_str(), nullptr);
-          else if (key == "p50_latency") r.p50_latency = std::strtod(tok.c_str(), nullptr);
-          else if (key == "p99_latency") r.p99_latency = std::strtod(tok.c_str(), nullptr);
-          else if (key == "max_latency") r.max_latency = std::strtod(tok.c_str(), nullptr);
-          else if (key == "throughput_ppc") r.throughput_ppc = std::strtod(tok.c_str(), nullptr);
-          else if (key == "power_mw") r.power_mw = std::strtod(tok.c_str(), nullptr);
-          else if (key == "area_mm2") r.area_mm2 = std::strtod(tok.c_str(), nullptr);
+            r.avg_total_latency = parse_double(tok);
+          else if (key == "p50_latency") r.p50_latency = parse_double(tok);
+          else if (key == "p99_latency") r.p99_latency = parse_double(tok);
+          else if (key == "max_latency") r.max_latency = parse_double(tok);
+          else if (key == "throughput_ppc") r.throughput_ppc = parse_double(tok);
+          else if (key == "power_mw") r.power_mw = parse_double(tok);
+          else if (key == "area_mm2") r.area_mm2 = parse_double(tok);
           else if (key == "packets_offered") r.packets_offered = parse_u64(tok);
           else if (key == "packets_dropped") r.packets_dropped = parse_u64(tok);
           else if (key == "packets_retransmitted") r.packets_retransmitted = parse_u64(tok);
@@ -327,8 +336,24 @@ ResultTable ResultTable::from_json(const std::string& text) {
         }
       } while (rd.consume(','));
       rd.expect('}');
-    }
-    out.add(std::move(r));
+  }
+  return r;
+}
+
+}  // namespace
+
+RunRecord record_from_json(const std::string& json) {
+  JsonReader rd(json);
+  return read_record_object(rd);
+}
+
+ResultTable ResultTable::from_json(const std::string& text) {
+  ResultTable out;
+  JsonReader rd(text);
+  rd.expect('[');
+  if (rd.consume(']')) return out;
+  do {
+    out.add(read_record_object(rd));
   } while (rd.consume(','));
   rd.expect(']');
   return out;

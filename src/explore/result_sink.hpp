@@ -79,8 +79,9 @@ class ResultTable {
   std::size_t ok_count() const;
   std::size_t failed_count() const { return size() - ok_count(); }
 
-  /// CSV with a fixed header row. Doubles use %.17g so parsing recovers
-  /// them exactly; strings are quoted and escaped.
+  /// CSV with a fixed header row. Doubles use the shortest round-trip
+  /// rendering (common/float_io.hpp) so parsing recovers them bit-exactly;
+  /// strings are quoted and escaped.
   std::string to_csv() const;
   static ResultTable from_csv(const std::string& text);
 
@@ -100,5 +101,12 @@ class ResultTable {
  private:
   std::vector<RunRecord> rows_;
 };
+
+/// One record as a single-line JSON object - the unit the serving cache and
+/// job checkpoints persist (ResultTable::to_json/from_json are built on the
+/// same functions, so the formats cannot drift apart). Round-trip is
+/// bit-exact for every field, doubles included.
+std::string record_to_json(const RunRecord& rec);
+RunRecord record_from_json(const std::string& json);
 
 }  // namespace smartnoc::explore

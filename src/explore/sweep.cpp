@@ -17,44 +17,55 @@ std::string Workload::name() const {
 }
 
 std::size_t SweepSpec::size() const {
-  return meshes.size() * flit_bits.size() * hpc_max.size() * injections.size() *
-         workloads.size() * fault_rates.size() * fault_schedules.size() * designs.size();
+  const std::size_t grid = meshes.size() * flit_bits.size() * hpc_max.size() *
+                           injections.size() * workloads.size() * fault_rates.size() *
+                           fault_schedules.size() * designs.size();
+  return (config_points ? grid : 0) + scenario_files.size();
 }
 
 void SweepSpec::validate() const {
   auto nonempty = [](bool ok, const char* axis) {
     if (!ok) throw ConfigError(std::string("sweep axis '") + axis + "' is empty");
   };
-  nonempty(!meshes.empty(), "mesh");
-  nonempty(!flit_bits.empty(), "flit_bits");
-  nonempty(!hpc_max.empty(), "hpc_max");
-  nonempty(!injections.empty(), "injection");
-  nonempty(!workloads.empty(), "workload");
-  nonempty(!fault_rates.empty(), "fault_rate");
-  nonempty(!fault_schedules.empty(), "fault_schedule");
-  nonempty(!designs.empty(), "design");
-  for (int f : flit_bits) {
-    if (f <= 0) throw ConfigError("flit_bits axis value must be positive");
+  if (!config_points && scenario_files.empty()) {
+    throw ConfigError("sweep declares no points (no config axes, no scenario_files)");
   }
-  for (int h : hpc_max) {
-    if (h < 0) throw ConfigError("hpc_max axis value must be >= 0 (0 = derive)");
+  for (const std::string& f : scenario_files) {
+    if (f.empty()) throw ConfigError("scenario_files entry is empty");
   }
-  for (double i : injections) {
-    if (i <= 0.0) throw ConfigError("injection axis value must be positive");
+  if (config_points) {
+    nonempty(!meshes.empty(), "mesh");
+    nonempty(!flit_bits.empty(), "flit_bits");
+    nonempty(!hpc_max.empty(), "hpc_max");
+    nonempty(!injections.empty(), "injection");
+    nonempty(!workloads.empty(), "workload");
+    nonempty(!fault_rates.empty(), "fault_rate");
+    nonempty(!fault_schedules.empty(), "fault_schedule");
+    nonempty(!designs.empty(), "design");
+    for (int f : flit_bits) {
+      if (f <= 0) throw ConfigError("flit_bits axis value must be positive");
+    }
+    for (int h : hpc_max) {
+      if (h < 0) throw ConfigError("hpc_max axis value must be >= 0 (0 = derive)");
+    }
+    for (double i : injections) {
+      if (i <= 0.0) throw ConfigError("injection axis value must be positive");
+    }
+    for (double r : fault_rates) {
+      if (r < 0.0 || r >= 1.0) throw ConfigError("fault_rate axis value must be in [0,1)");
+    }
+    // Grammar check only: link bounds depend on the mesh axis and are
+    // validated per point when the scenario resolves.
+    for (const std::string& s : fault_schedules) noc::parse_fault_schedule_token(s);
+    if (measure_cycles == 0) throw ConfigError("measure_cycles must be positive");
   }
-  for (double r : fault_rates) {
-    if (r < 0.0 || r >= 1.0) throw ConfigError("fault_rate axis value must be in [0,1)");
-  }
-  // Grammar check only: link bounds depend on the mesh axis and are
-  // validated per point when the scenario resolves.
-  for (const std::string& s : fault_schedules) noc::parse_fault_schedule_token(s);
-  if (measure_cycles == 0) throw ConfigError("measure_cycles must be positive");
 }
 
 std::vector<RunPoint> SweepSpec::expand() const {
   validate();
   std::vector<RunPoint> out;
   out.reserve(size());
+  if (config_points)
   for (const MeshDims& mesh : meshes)
     for (int flits : flit_bits)
       for (int hpc : hpc_max)
@@ -79,6 +90,16 @@ std::vector<RunPoint> SweepSpec::expand() const {
                       SplitMix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (pt.index + 1))).next();
                   out.push_back(pt);
                 }
+  // Scenario points ride after the grid. They deliberately keep the
+  // scenario's own seed (pt.seed stays 0 here; the record echoes the
+  // file's config.seed): the point's identity is the file's content, which
+  // is what makes the same scenario cache-hit across different sweeps.
+  for (const std::string& file : scenario_files) {
+    RunPoint pt;
+    pt.index = out.size();
+    pt.scenario_file = file;
+    out.push_back(pt);
+  }
   return out;
 }
 
@@ -173,6 +194,9 @@ SweepSpec parse_sweep(const std::string& text) {
   // Axes named in the file replace the defaults; `pattern` and `app` both
   // append to the workload axis so a sweep can mix the two kinds.
   bool saw_workload = false;
+  // A file that names scenario_files and no config axis sweeps only those
+  // scenarios - the default 1-point grid would otherwise always ride along.
+  bool saw_config_axis = false;
   std::vector<Workload> workloads;
 
   std::stringstream ss(text);
@@ -195,6 +219,10 @@ SweepSpec parse_sweep(const std::string& text) {
       throw ConfigError("sweep line " + std::to_string(lineno) + ": no values for '" + key + "'");
     }
     try {
+      if (key != "seed" && key != "warmup" && key != "measure" && key != "drain_timeout" &&
+          key != "drain" && key != "scenario_files" && key != "scenario") {
+        saw_config_axis = true;
+      }
       if (key == "mesh") {
         spec.meshes.clear();
         for (const auto& s : items) spec.meshes.push_back(parse_mesh(s));
@@ -219,6 +247,8 @@ SweepSpec parse_sweep(const std::string& text) {
       } else if (key == "design") {
         spec.designs.clear();
         for (const auto& s : items) spec.designs.push_back(parse_design(s));
+      } else if (key == "scenario_files" || key == "scenario") {
+        for (const auto& s : items) spec.scenario_files.push_back(s);
       } else if (key == "seed") {
         spec.base_seed = parse_axis_u64(items.at(0), "seed");
       } else if (key == "warmup") {
@@ -235,6 +265,7 @@ SweepSpec parse_sweep(const std::string& text) {
     }
   }
   if (saw_workload) spec.workloads = std::move(workloads);
+  if (!spec.scenario_files.empty() && !saw_config_axis) spec.config_points = false;
   spec.validate();
   return spec;
 }

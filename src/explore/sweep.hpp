@@ -63,6 +63,11 @@ struct RunPoint {
   std::string fault_schedule = "none";
   Design design = Design::Smart;
   std::uint64_t seed = 0;    ///< derived per-point; feeds traffic and faults
+  /// Non-empty = a scenario point: the run is the multi-phase Session
+  /// declared in this .scn/.json file, which carries its own design,
+  /// config, seed and phases. The fields above are ignored; the record
+  /// echoes the values the scenario resolves to.
+  std::string scenario_file;
 };
 
 /// The declared axes of a sweep plus the shared simulation window. Empty
@@ -79,6 +84,14 @@ struct SweepSpec {
   /// construction, since commas separate axis values).
   std::vector<std::string> fault_schedules = {"none"};
   std::vector<Design> designs = {Design::Smart};
+  /// Scenario axis: each file expands to one extra point running that
+  /// multi-phase scenario as-is (own design/config/seed; the cross-product
+  /// axes do not multiply into it). A sweep file containing only
+  /// `scenario_files = ...` sweeps exactly those scenarios.
+  std::vector<std::string> scenario_files;
+  /// False = emit no cross-product points, only the scenario_files ones.
+  /// parse_sweep clears it for scenario-only files (no config axis named).
+  bool config_points = true;
 
   std::uint64_t base_seed = 1;
   // Sweep-scale windows (shorter than the paper's single-run defaults;
@@ -123,6 +136,7 @@ struct SweepSpec {
 ///   design    = mesh, smart
 ///   fault_rate = 0.0
 ///   fault_schedule = none, kill@2000:5:E   # online fault events (token grammar)
+///   scenario_files = a.scn, b.scn        # one point per scenario file
 ///   seed      = 1
 ///   warmup = 2000
 ///   measure = 20000

@@ -1,0 +1,94 @@
+// The durable line format shared by the result cache and job checkpoints:
+// a one-line header naming format + version, then one record per line as
+//
+//   <tag> <16-hex fnv1a64(payload)> <payload>
+//
+// where tag is caller-defined (cache key / point index) and payload is a
+// single-line JSON object. Every line carries its own checksum, so a file
+// chopped mid-write by a crash (or a flipped byte on disk) loses exactly
+// the damaged lines: the reader drops them, counts them, and the caller
+// recomputes - corrupt state is never trusted, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/table.hpp"
+
+namespace smartnoc::serve {
+
+struct CheckedLine {
+  std::string tag;
+  std::string payload;
+};
+
+inline std::string format_checked_line(const std::string& tag, const std::string& payload) {
+  return tag + ' ' + strf("%016llx", static_cast<unsigned long long>(fnv1a64(payload))) + ' ' +
+         payload + '\n';
+}
+
+struct CheckedFile {
+  bool header_ok = false;        ///< first line matched the expected header
+  std::uint64_t dropped = 0;     ///< malformed / checksum-failed lines
+  std::vector<CheckedLine> lines;
+};
+
+/// Reads a checked-line file. A missing file yields header_ok=false and no
+/// lines; a wrong header drops the whole content (callers rewrite). The
+/// payload may contain any byte but '\n'.
+inline CheckedFile read_checked_lines(const std::string& path, const std::string& header) {
+  CheckedFile out;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return out;
+  std::string line;
+  if (!std::getline(f, line) || line != header) return out;
+  out.header_ok = true;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos || sp2 - sp1 != 17) {
+      ++out.dropped;
+      continue;
+    }
+    const std::string sum_hex = line.substr(sp1 + 1, 16);
+    const std::string payload = line.substr(sp2 + 1);
+    char* end = nullptr;
+    const std::uint64_t sum = std::strtoull(sum_hex.c_str(), &end, 16);
+    if (end != sum_hex.c_str() + 16 || sum != fnv1a64(payload)) {
+      ++out.dropped;
+      continue;
+    }
+    out.lines.push_back(CheckedLine{line.substr(0, sp1), payload});
+  }
+  return out;
+}
+
+/// Opens `path` for checked-line appends. A crash can leave a partial line
+/// at EOF; appending onto it would merge the next record into a corrupt
+/// line, so any unterminated tail is newline-terminated first (the partial
+/// line itself still fails its checksum and is dropped on the next load).
+inline std::ofstream open_checked_append(const std::string& path) {
+  bool dangling = false;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (f) {
+      f.seekg(0, std::ios::end);
+      if (f.tellg() > 0) {
+        f.seekg(-1, std::ios::end);
+        char last = '\n';
+        f.get(last);
+        dangling = last != '\n';
+      }
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (out && dangling) out << '\n' << std::flush;
+  return out;
+}
+
+}  // namespace smartnoc::serve

@@ -1,0 +1,90 @@
+// Filesystem-backed job queue for the sweep server. Every job is one
+// directory under <root>/jobs/:
+//
+//   jobs/j001-smoke/
+//     spec.sweep      the submitted sweep file (written atomically:
+//                     tmp + rename, so the server never sees a half file)
+//     progress.srcl   per-point checkpoint (checked-line format, one
+//                     record appended + flushed per completed point)
+//     results.csv     final table (written on completion, tmp + rename)
+//     results.json
+//     DONE            completion marker (its presence = job finished)
+//     FAILED          written instead when the spec itself is invalid;
+//                     contains the error text
+//
+// The queue is plain files on purpose: submit/status/results work from any
+// process (no server running, no sockets, no dependencies), a `kill -9`'d
+// server loses at most the checkpoint line it was writing, and restarting
+// it resumes every unfinished job from progress.srcl - only points missing
+// from the checkpoint run again.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "explore/result_sink.hpp"
+
+namespace smartnoc::serve {
+
+struct JobInfo {
+  enum class State : std::uint8_t { Pending, Partial, Done, Failed };
+
+  std::string id;
+  std::string dir;
+  State state = State::Pending;
+  std::size_t total = 0;  ///< points in the expanded matrix (0 if spec unparsable)
+  std::size_t done = 0;   ///< points present in the checkpoint (== total when Done)
+  std::string error;      ///< FAILED contents when state == Failed
+};
+
+const char* job_state_name(JobInfo::State s);
+
+class JobStore {
+ public:
+  static constexpr const char* kProgressHeader = "smartnoc-job-progress v1";
+
+  /// Opens (creating as needed) the queue rooted at `root`.
+  explicit JobStore(const std::string& root);
+
+  const std::string& root() const { return root_; }
+  /// Where the server keeps the shared result cache: <root>/cache.
+  std::string cache_dir() const;
+
+  /// Enqueues a sweep file's text as a new job and returns its id
+  /// (j<seq>[-<sanitized name_hint>], unique by construction).
+  std::string submit(const std::string& sweep_text, const std::string& name_hint);
+
+  /// All job ids, sorted (submission order, since ids embed the sequence).
+  std::vector<std::string> job_ids() const;
+  bool has_job(const std::string& id) const;
+  std::string job_dir(const std::string& id) const;
+
+  /// The submitted sweep text. Throws ConfigError for an unknown job.
+  std::string sweep_text(const std::string& id) const;
+
+  /// State + progress of one job. `total` expands the spec; a spec that no
+  /// longer parses reports total = 0 (and Failed once the server tried it).
+  JobInfo info(const std::string& id) const;
+
+  /// The checkpointed records, keyed by point index. Corrupt or truncated
+  /// checkpoint lines are dropped (counted into *dropped) - the points they
+  /// covered simply run again.
+  std::map<std::size_t, explore::RunRecord> load_checkpoint(const std::string& id,
+                                                            std::uint64_t* dropped = nullptr) const;
+
+  std::string progress_file(const std::string& id) const;
+
+  /// Marks a job failed (atomic write of the FAILED file).
+  void mark_failed(const std::string& id, const std::string& why) const;
+
+  /// Writes results.csv / results.json and the DONE marker (all atomic).
+  void finalize(const std::string& id, const explore::ResultTable& table) const;
+
+ private:
+  std::string root_;
+  std::string jobs_dir_;
+};
+
+}  // namespace smartnoc::serve

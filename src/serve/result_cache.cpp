@@ -1,0 +1,82 @@
+#include "serve/result_cache.hpp"
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "serve/checked_lines.hpp"
+
+namespace smartnoc::serve {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw ConfigError("cannot create cache directory '" + dir + "': " + ec.message());
+  file_ = (fs::path(dir) / "results.srcl").string();
+
+  const CheckedFile loaded = read_checked_lines(file_, kHeader);
+  counters_.corrupt_dropped = loaded.dropped;
+  for (const CheckedLine& line : loaded.lines) {
+    if (line.tag.size() != 32) {
+      ++counters_.corrupt_dropped;
+      continue;
+    }
+    try {
+      entries_[line.tag] = explore::record_from_json(line.payload);  // last wins
+    } catch (const std::exception&) {
+      ++counters_.corrupt_dropped;
+    }
+  }
+
+  if (loaded.header_ok && counters_.corrupt_dropped == 0) {
+    out_ = open_checked_append(file_);
+  } else {
+    // Missing file, retired format version, or damage found: rewrite the
+    // file from the entries that survived (empty for a version mismatch),
+    // scrubbing corrupt lines instead of carrying them forever.
+    if (!loaded.header_ok) entries_.clear();
+    out_.open(file_, std::ios::binary | std::ios::trunc);
+    if (out_) {
+      out_ << kHeader << '\n';
+      for (const auto& [key, rec] : entries_) {
+        out_ << format_checked_line(key, explore::record_to_json(rec));
+      }
+      out_ << std::flush;
+    }
+  }
+  if (!out_) throw ConfigError("cannot open cache file '" + file_ + "' for writing");
+}
+
+std::optional<explore::RunRecord> ResultCache::lookup(const Hash128& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key.hex());
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  return it->second;
+}
+
+void ResultCache::insert(const Hash128& key, const explore::RunRecord& rec) {
+  explore::RunRecord stored = rec;
+  stored.index = 0;  // the key is position-independent; so is the stored row
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, fresh] = entries_.emplace(key.hex(), std::move(stored));
+  if (!fresh) return;
+  ++counters_.inserts;
+  out_ << format_checked_line(it->first, explore::record_to_json(it->second)) << std::flush;
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace smartnoc::serve

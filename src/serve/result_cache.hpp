@@ -1,0 +1,68 @@
+// Content-addressed, durable store of RunRecords keyed by point_key.
+//
+// On disk the cache is a single append-only checked-line file
+// (results.srcl) under the cache directory:
+//
+//   smartnoc-result-cache v1
+//   <32-hex point key> <16-hex fnv1a64(json)> <single-line record JSON>
+//
+// Appends are flushed per insert, so a crash loses at most the line being
+// written - and a half-written line fails its checksum and is dropped (and
+// recomputed) on the next load, never served. A header from a different
+// format version retires the whole file: the cache starts empty and
+// rewrites it. Duplicate keys are last-wins on load and suppressed on
+// insert.
+//
+// Thread-safe: lookup/insert take an internal mutex (the sweep executor
+// calls from worker threads).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+#include "explore/result_sink.hpp"
+
+namespace smartnoc::serve {
+
+class ResultCache {
+ public:
+  static constexpr const char* kHeader = "smartnoc-result-cache v1";
+
+  /// Opens (creating directory and file as needed) the cache rooted at
+  /// `dir`. Corrupt lines in an existing file are dropped and counted.
+  explicit ResultCache(const std::string& dir);
+
+  /// The record stored under `key`, with rec.index zeroed (the caller
+  /// re-stamps it for the sweep being served). Counts a hit or a miss.
+  std::optional<explore::RunRecord> lookup(const Hash128& key);
+
+  /// Stores `rec` under `key` and appends it to disk. A key already present
+  /// is ignored (first write wins; identical by construction - the key
+  /// covers everything that determines the record).
+  void insert(const Hash128& key, const explore::RunRecord& rec);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t corrupt_dropped = 0;  ///< lines rejected at load time
+  };
+  Counters counters() const;
+
+  std::size_t size() const;
+  const std::string& file() const { return file_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::string file_;
+  std::unordered_map<std::string, explore::RunRecord> entries_;  // key hex -> record
+  std::ofstream out_;
+  Counters counters_;
+};
+
+}  // namespace smartnoc::serve

@@ -1,0 +1,227 @@
+#include "serve/serve.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "noc/fault_engine.hpp"
+#include "serve/checked_lines.hpp"
+#include "serve/point_key.hpp"
+
+namespace smartnoc::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Re-stamps the point echo on a cached record, mirroring run_point line
+/// for line, so a hit is byte-identical to the computed record no matter
+/// which sweep originally inserted it (the cache key covers the resolved
+/// scenario, not the spelling of the point that produced it). hpc_max is
+/// deliberately kept from the cached record: its effective value comes out
+/// of the session and is determined by the key.
+void stamp_point_echo(const explore::RunPoint& pt, const sim::ScenarioSpec& scenario,
+                      explore::RunRecord& rec) {
+  rec.index = pt.index;
+  if (pt.scenario_file.empty()) {
+    rec.width = pt.mesh.width();
+    rec.height = pt.mesh.height();
+    rec.flit_bits = pt.flit_bits;
+    rec.injection = pt.injection;
+    rec.workload = pt.workload.name();
+    rec.fault_rate = pt.fault_rate;
+    rec.fault_schedule = pt.fault_schedule;
+    rec.design = design_name(pt.design);
+    rec.seed = pt.seed;
+  } else {
+    rec.width = scenario.config.width;
+    rec.height = scenario.config.height;
+    rec.flit_bits = scenario.config.flit_bits;
+    rec.workload = "scenario:" + pt.scenario_file;
+    rec.fault_rate = scenario.fault_rate;
+    rec.fault_schedule = scenario.fault_events.empty()
+                             ? "none"
+                             : noc::format_fault_schedule_token(scenario.fault_events);
+    rec.design = design_name(scenario.design);
+    rec.seed = scenario.config.seed;
+    rec.injection = pt.injection;
+    for (const sim::PhaseSpec& ph : scenario.phases) {
+      if (ph.injection > 0.0) {
+        rec.injection = ph.injection;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+explore::SweepHooks cache_hooks(ResultCache& cache) {
+  // The executor calls lookup(pt) and - on a miss - store(pt) for the same
+  // point. Both need the point's key, and deriving it (resolve the scenario,
+  // hash the canonical bytes) is the whole per-point cost of a cold cache,
+  // so the lookup's key is kept for the store instead of being recomputed.
+  // The map is per-hooks-object state: one SweepHooks must serve at most one
+  // run_sweep at a time (indices are only unique within a matrix).
+  struct KeyMemo {
+    std::mutex mu;
+    std::map<std::size_t, Hash128> keys;
+  };
+  auto memo = std::make_shared<KeyMemo>();
+
+  explore::SweepHooks hooks;
+  hooks.lookup = [&cache, memo](const explore::SweepSpec& spec, const explore::RunPoint& pt,
+                                explore::RunRecord& rec) {
+    sim::ScenarioSpec scenario;
+    try {
+      scenario = explore::make_point_scenario(spec, pt);
+    } catch (const std::exception&) {
+      return false;  // e.g. unreadable scenario file: let run_point report it
+    }
+    const Hash128 key = point_key(scenario);
+    {
+      std::lock_guard<std::mutex> lock(memo->mu);
+      memo->keys[pt.index] = key;
+    }
+    // Telemetry/trace sidecar files only exist if the point actually runs,
+    // so serving from the cache would silently skip them. The key is still
+    // memoized above: the computed record is stored for future plain runs.
+    if (!spec.telemetry_prefix.empty() || !spec.trace_prefix.empty()) return false;
+    auto hit = cache.lookup(key);
+    if (!hit) return false;
+    rec = std::move(*hit);
+    stamp_point_echo(pt, scenario, rec);
+    return true;
+  };
+  hooks.store = [&cache, memo](const explore::SweepSpec& spec, const explore::RunPoint& pt,
+                               const explore::RunRecord& rec) {
+    Hash128 key;
+    {
+      std::lock_guard<std::mutex> lock(memo->mu);
+      const auto it = memo->keys.find(pt.index);
+      if (it == memo->keys.end()) return;  // lookup found no key: uncacheable
+      key = it->second;
+      memo->keys.erase(it);
+    }
+    cache.insert(key, rec);
+  };
+  return hooks;
+}
+
+explore::ResultTable run_job(JobStore& store, const std::string& id, ResultCache* cache,
+                             const ServeOptions& opt) {
+  const JobInfo before = store.info(id);
+  if (before.state == JobInfo::State::Done) {
+    std::ifstream f(fs::path(before.dir) / "results.csv", std::ios::binary);
+    std::string csv((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    return explore::ResultTable::from_csv(csv);
+  }
+
+  explore::SweepSpec spec;
+  std::vector<explore::RunPoint> points;
+  try {
+    spec = explore::parse_sweep(store.sweep_text(id));
+    spec.validate();
+    points = spec.expand();
+  } catch (const std::exception& e) {
+    store.mark_failed(id, e.what());
+    if (!opt.quiet) std::fprintf(stderr, "[serve] job %s FAILED: %s\n", id.c_str(), e.what());
+    return explore::ResultTable();
+  }
+
+  std::uint64_t corrupt = 0;
+  std::map<std::size_t, explore::RunRecord> checkpoint = store.load_checkpoint(id, &corrupt);
+  explore::ResultTable table(points.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto it = checkpoint.find(i);
+    if (it != checkpoint.end()) {
+      table.set(i, it->second);
+    } else {
+      missing.push_back(i);
+    }
+  }
+
+  if (!opt.quiet) {
+    if (missing.size() < points.size()) {
+      std::fprintf(stderr, "[serve] job %s: resuming, %zu/%zu points checkpointed, running %zu",
+                   id.c_str(), points.size() - missing.size(), points.size(), missing.size());
+      if (corrupt > 0) std::fprintf(stderr, " (%llu corrupt checkpoint lines dropped)",
+                                    static_cast<unsigned long long>(corrupt));
+      std::fputc('\n', stderr);
+    } else {
+      std::fprintf(stderr, "[serve] job %s: %zu points\n", id.c_str(), points.size());
+    }
+  }
+
+  if (!missing.empty()) {
+    const std::string progress_path = store.progress_file(id);
+    const bool fresh = !fs::exists(progress_path);
+    std::ofstream progress = open_checked_append(progress_path);
+    if (!progress) throw ConfigError("cannot open checkpoint '" + progress_path + "'");
+    if (fresh) progress << JobStore::kProgressHeader << '\n' << std::flush;
+
+    const explore::SweepHooks hooks = cache ? cache_hooks(*cache) : explore::SweepHooks{};
+    std::mutex mu;
+    std::size_t completed = 0;
+    explore::Executor exec(opt.threads);
+    exec.for_each(missing.size(), [&](std::size_t k) {
+      const std::size_t i = missing[k];
+      explore::RunRecord rec;
+      if (!(hooks.lookup && hooks.lookup(spec, points[i], rec))) {
+        rec = explore::run_point(spec, points[i]);
+        if (hooks.store) hooks.store(spec, points[i], rec);
+      }
+      {
+        // Checkpoint before publishing: flushed per record, so a crash
+        // after this line never re-runs the point.
+        std::lock_guard<std::mutex> lock(mu);
+        progress << format_checked_line(std::to_string(i), explore::record_to_json(rec))
+                 << std::flush;
+        ++completed;
+        if (!opt.quiet) {
+          std::fprintf(stderr, "\r[serve] job %s: %zu/%zu", id.c_str(),
+                       points.size() - missing.size() + completed, points.size());
+        }
+      }
+      table.set(i, std::move(rec));
+    });
+    if (!opt.quiet) std::fputc('\n', stderr);
+  }
+
+  store.finalize(id, table);
+  if (!opt.quiet) std::fprintf(stderr, "[serve] job %s: done\n", id.c_str());
+  return table;
+}
+
+int serve_loop(JobStore& store, ResultCache& cache, const ServeOptions& opt) {
+  int failed = 0;
+  if (!opt.quiet) {
+    std::fprintf(stderr, "[serve] queue %s (cache: %zu entries)%s\n", store.root().c_str(),
+                 cache.size(), opt.once ? ", single pass" : "");
+  }
+  for (;;) {
+    bool worked = false;
+    for (const std::string& id : store.job_ids()) {
+      const JobInfo info = store.info(id);
+      if (info.state == JobInfo::State::Done || info.state == JobInfo::State::Failed) continue;
+      run_job(store, id, &cache, opt);
+      if (store.info(id).state == JobInfo::State::Failed) ++failed;
+      worked = true;
+    }
+    if (opt.once) break;
+    if (!worked) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(opt.poll_seconds * 1000)));
+    }
+  }
+  return failed;
+}
+
+}  // namespace smartnoc::serve

@@ -20,16 +20,26 @@
 // phase; see examples/appswitch.scn. The per-phase table (including the
 // reconfiguration latency of every workload switch) prints to stdout;
 // --json captures it as JSON.
+//
+// Serving mode (subcommands): `explorer submit QUEUE sweep.txt` enqueues a
+// sweep into a filesystem job queue, `explorer serve QUEUE` executes it
+// with per-point checkpointing (kill/restart resumes; only missing points
+// rerun) through the shared content-addressed result cache, and
+// status/results/pareto answer queries about any job - running or done.
+// `--cache DIR` gives a plain sweep the same cache without the queue.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "explore/explore.hpp"
+#include "serve/serve.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -73,8 +83,18 @@ int usage(const char* argv0, int code) {
                "scenario mode (multi-phase Session run instead of a sweep):\n"
                "  --scenario FILE       run a scenario file (text or JSON); prints\n"
                "                        per-phase stats + reconfiguration latency;\n"
-               "                        --json/--quiet/--telemetry/--record-trace apply\n",
-               argv0);
+               "                        --json/--quiet/--telemetry/--record-trace apply\n"
+               "\n"
+               "serving (content-addressed result cache + resumable job queue):\n"
+               "  %s sweep.txt --cache DIR      reuse cached point results\n"
+               "  %s submit QUEUE sweep.txt...  enqueue sweeps (prints job ids)\n"
+               "  %s serve QUEUE [--once] [--threads N] [--poll SEC] [--quiet]\n"
+               "                        run queued sweeps; checkpointed per point, a\n"
+               "                        killed server resumes where it stopped\n"
+               "  %s status QUEUE [JOB]         queue / per-job progress\n"
+               "  %s results QUEUE JOB [--json] completed rows (CSV by default)\n"
+               "  %s pareto QUEUE JOB           the job's Pareto frontier\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return code;
 }
 
@@ -162,12 +182,158 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(f);
 }
 
+std::string read_file_or_throw(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ConfigError("cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+/// A job's result rows: the final table when Done, otherwise whatever the
+/// checkpoint holds so far (in matrix order).
+explore::ResultTable load_job_table(const serve::JobStore& store, const std::string& id) {
+  if (store.info(id).state == serve::JobInfo::State::Done) {
+    return explore::ResultTable::from_csv(
+        read_file_or_throw(store.job_dir(id) + "/results.csv"));
+  }
+  explore::ResultTable table;
+  for (const auto& [index, rec] : store.load_checkpoint(id)) table.add(rec);
+  return table;
+}
+
+void print_cache_report(const serve::ResultCache& cache) {
+  const serve::ResultCache::Counters c = cache.counters();
+  std::fprintf(stderr, "cache: %llu hits, %llu misses, %llu inserts (%zu entries in %s)\n",
+               static_cast<unsigned long long>(c.hits), static_cast<unsigned long long>(c.misses),
+               static_cast<unsigned long long>(c.inserts), cache.size(), cache.file().c_str());
+  if (c.corrupt_dropped > 0) {
+    std::fprintf(stderr, "cache: dropped %llu corrupt entries (recomputed)\n",
+                 static_cast<unsigned long long>(c.corrupt_dropped));
+  }
+}
+
+/// The serve/submit/status/results/pareto subcommands. `cmd` is argv[1];
+/// positional args after it are the queue directory and (where needed) a
+/// job id or sweep files.
+int serve_cli(const std::string& cmd, int argc, char** argv) {
+  std::vector<std::string> pos;
+  serve::ServeOptions opt;
+  bool json_out = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError(a + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--threads") opt.threads = explore::parse_axis_int(next(), "threads");
+    else if (a == "--once") opt.once = true;
+    else if (a == "--poll") opt.poll_seconds = explore::parse_axis_double(next(), "poll");
+    else if (a == "--quiet") opt.quiet = true;
+    else if (a == "--json") json_out = true;
+    else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s' for '%s'\n", a.c_str(), cmd.c_str());
+      return 2;
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (pos.empty()) {
+    std::fprintf(stderr, "%s needs a queue directory (see --help)\n", cmd.c_str());
+    return 2;
+  }
+  serve::JobStore store(pos[0]);
+
+  if (cmd == "submit") {
+    if (pos.size() < 2) {
+      std::fprintf(stderr, "submit needs at least one sweep file\n");
+      return 2;
+    }
+    for (std::size_t k = 1; k < pos.size(); ++k) {
+      const std::string text = read_file_or_throw(pos[k]);
+      // Reject malformed sweeps at the door, with line numbers, instead of
+      // letting the server mark the job FAILED later.
+      explore::SweepSpec spec = explore::parse_sweep(text);
+      spec.validate();
+      const std::string id =
+          store.submit(text, std::filesystem::path(pos[k]).stem().string());
+      std::printf("%s\n", id.c_str());  // ids on stdout, one per line, for scripting
+      if (!opt.quiet) {
+        std::fprintf(stderr, "submitted '%s' as %s (%zu points)\n", pos[k].c_str(), id.c_str(),
+                     spec.size());
+      }
+    }
+    return 0;
+  }
+
+  if (cmd == "serve") {
+    serve::ResultCache cache(store.cache_dir());
+    const int failed = serve::serve_loop(store, cache, opt);
+    if (!opt.quiet) print_cache_report(cache);
+    return failed > 0 ? 1 : 0;
+  }
+
+  if (cmd == "status") {
+    if (pos.size() >= 2) {
+      if (!store.has_job(pos[1])) {
+        std::fprintf(stderr, "unknown job '%s'\n", pos[1].c_str());
+        return 2;
+      }
+      const serve::JobInfo info = store.info(pos[1]);
+      std::printf("job:    %s\ndir:    %s\nstate:  %s\npoints: %zu/%zu\n", info.id.c_str(),
+                  info.dir.c_str(), serve::job_state_name(info.state), info.done, info.total);
+      if (!info.error.empty()) std::printf("error:  %s\n", info.error.c_str());
+      return 0;
+    }
+    std::printf("%-28s %-8s %s\n", "JOB", "STATE", "POINTS");
+    for (const std::string& id : store.job_ids()) {
+      const serve::JobInfo info = store.info(id);
+      std::printf("%-28s %-8s %zu/%zu\n", id.c_str(), serve::job_state_name(info.state),
+                  info.done, info.total);
+    }
+    return 0;
+  }
+
+  // results / pareto
+  if (pos.size() < 2) {
+    std::fprintf(stderr, "%s needs a job id\n", cmd.c_str());
+    return 2;
+  }
+  const std::string& id = pos[1];
+  if (!store.has_job(id)) {
+    std::fprintf(stderr, "unknown job '%s'\n", id.c_str());
+    return 2;
+  }
+  const explore::ResultTable table = load_job_table(store, id);
+  if (cmd == "results") {
+    std::fputs((json_out ? table.to_json() : table.to_csv()).c_str(), stdout);
+    return 0;
+  }
+  explore::ResultTable frontier;
+  for (const std::size_t i : table.pareto_frontier()) frontier.add(table.at(i));
+  std::fputs(frontier.summary().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    if (cmd == "serve" || cmd == "submit" || cmd == "status" || cmd == "results" ||
+        cmd == "pareto") {
+      try {
+        return serve_cli(cmd, argc, argv);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    }
+  }
+
   explore::SweepSpec spec;
   int threads = 0;
-  std::string csv_path, json_path, scenario_path;
+  std::string csv_path, json_path, scenario_path, cache_dir;
   TelemetryArgs telemetry;
   bool quiet = false;
   bool workloads_cleared = false;
@@ -179,6 +345,7 @@ int main(int argc, char** argv) {
       spec.workloads.clear();
       workloads_cleared = true;
     }
+    spec.config_points = true;
     for (const auto& s : split_csv_arg(arg)) {
       spec.workloads.push_back(explore::parse_workload(s));
     }
@@ -190,7 +357,8 @@ int main(int argc, char** argv) {
              a == "--flits" || a == "--hpc" || a == "--inj" || a == "--pattern" ||
              a == "--app" || a == "--faults" || a == "--design" || a == "--seed" ||
              a == "--warmup" || a == "--measure" || a == "--drain" || a == "--scenario" ||
-             a == "--telemetry" || a == "--telemetry-epoch" || a == "--record-trace";
+             a == "--telemetry" || a == "--telemetry-epoch" || a == "--record-trace" ||
+             a == "--cache";
     };
 
     // Pass 1: load the sweep file (the positional argument) first, so axis
@@ -235,6 +403,7 @@ int main(int argc, char** argv) {
       if (a == "--threads") threads = explore::parse_axis_int(next_arg("--threads"), "threads");
       else if (a == "--csv") csv_path = next_arg("--csv");
       else if (a == "--json") json_path = next_arg("--json");
+      else if (a == "--cache") cache_dir = next_arg("--cache");
       else if (a == "--scenario") scenario_path = next_arg("--scenario");
       else if (a == "--telemetry") telemetry.prefix = next_arg("--telemetry");
       else if (a == "--telemetry-epoch") {
@@ -244,28 +413,34 @@ int main(int argc, char** argv) {
       else if (a == "--quiet") quiet = true;
       else if (a == "--mesh") {
         spec.meshes.clear();
+        spec.config_points = true;
         for (const auto& s : split_csv_arg(next_arg("--mesh")))
           spec.meshes.push_back(explore::parse_mesh(s));
       } else if (a == "--flits") {
         spec.flit_bits.clear();
+        spec.config_points = true;
         for (const auto& s : split_csv_arg(next_arg("--flits")))
           spec.flit_bits.push_back(explore::parse_axis_int(s, "flits"));
       } else if (a == "--hpc") {
         spec.hpc_max.clear();
+        spec.config_points = true;
         for (const auto& s : split_csv_arg(next_arg("--hpc")))
           spec.hpc_max.push_back(explore::parse_axis_int(s, "hpc"));
       } else if (a == "--inj") {
         spec.injections.clear();
+        spec.config_points = true;
         for (const auto& s : split_csv_arg(next_arg("--inj")))
           spec.injections.push_back(explore::parse_axis_double(s, "inj"));
       } else if (a == "--pattern" || a == "--app") {
         add_workloads(next_arg(a.c_str()));
       } else if (a == "--faults") {
         spec.fault_rates.clear();
+        spec.config_points = true;
         for (const auto& s : split_csv_arg(next_arg("--faults")))
           spec.fault_rates.push_back(explore::parse_axis_double(s, "faults"));
       } else if (a == "--design") {
         spec.designs.clear();
+        spec.config_points = true;
         for (const auto& s : split_csv_arg(next_arg("--design")))
           spec.designs.push_back(explore::parse_design(s));
       } else if (a == "--seed") {
@@ -301,8 +476,20 @@ int main(int argc, char** argv) {
                  exec.threads());
   }
 
+  std::optional<serve::ResultCache> cache;
+  explore::SweepHooks hooks;
+  if (!cache_dir.empty()) {
+    try {
+      cache.emplace(cache_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    hooks = serve::cache_hooks(*cache);
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  const explore::ResultTable table = explore::run_sweep(spec, threads);
+  const explore::ResultTable table = explore::run_sweep(spec, threads, {}, hooks);
   const double sweep_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   if (!quiet) std::fputs(table.summary().c_str(), stdout);
@@ -312,6 +499,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "swept %zu configurations in %.2f s (%.1f points/s)\n", total, sweep_s,
                  sweep_s > 0.0 ? static_cast<double>(total) / sweep_s : 0.0);
   }
+  if (cache) print_cache_report(*cache);
 
   if (!csv_path.empty() && !write_file(csv_path, table.to_csv())) {
     std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());

@@ -1,0 +1,430 @@
+// Serving subsystem: golden hash vectors (the on-disk key format), point-key
+// sensitivity, shortest-round-trip float serialization, cache hit/miss
+// bit-identity across thread counts, corruption recovery, and job-queue
+// resume semantics (only missing points rerun).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/float_io.hpp"
+#include "common/hash.hpp"
+#include "explore/explore.hpp"
+#include "serve/checked_lines.hpp"
+#include "serve/job_store.hpp"
+#include "serve/point_key.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/serve.hpp"
+
+namespace smartnoc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using explore::ResultTable;
+using explore::RunRecord;
+using explore::SweepSpec;
+using explore::Workload;
+
+/// Fresh (pre-wiped) scratch directory for one test.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("smartnoc_serve_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+/// 4 fast points: 2x2 mesh, two injections, both shared-fabric designs.
+SweepSpec serve_spec() {
+  SweepSpec spec;
+  spec.meshes = {MeshDims(2, 2)};
+  spec.injections = {0.02, 0.05};
+  spec.designs = {Design::Mesh, Design::Smart};
+  spec.warmup_cycles = 200;
+  spec.measure_cycles = 2000;
+  spec.drain_timeout = 20000;
+  return spec;
+}
+
+std::string sweep_text() {
+  return "mesh = 2x2\n"
+         "injection = 0.02, 0.05\n"
+         "design = mesh, smart\n"
+         "warmup = 200\n"
+         "measure = 2000\n"
+         "drain_timeout = 20000\n";
+}
+
+// --- Golden vectors ----------------------------------------------------------
+// These constants pin the persisted key format. If one of these fails, the
+// hash or the canonical layout changed: old caches would silently alias or
+// miss. Bump serve::kPointKeyVersion with any intentional change.
+
+TEST(ServeHash, Fnv1a64GoldenVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);  // the FNV offset basis
+  EXPECT_EQ(fnv1a64("hello"), 0xa430d84680aabd0bULL);  // published FNV-1a vector
+  EXPECT_EQ(fnv1a64("hello", kHash128LoSalt), 0xd80e69ef89515aa8ULL);
+}
+
+TEST(ServeHash, Hash128GoldenVector) {
+  EXPECT_EQ(hash128("smartnoc").hex(), "73922481cad5bfe6b1dbad0a24c585cf");
+  const Hash128 lanes{fnv1a64(""), fnv1a64("", kHash128LoSalt)};
+  EXPECT_EQ(hash128("").hex(), lanes.hex());
+  EXPECT_NE(hash128("a").hi, hash128("a").lo) << "lanes must be independent";
+}
+
+TEST(ServeHash, CanonicalEncoderLayout) {
+  CanonicalEncoder e;
+  e.u8(0xab);
+  e.u32(0x01020304);
+  e.u64(1);
+  e.i64(-1);
+  e.f64(-0.0);
+  e.str("hi");
+  const std::string b = e.bytes();
+  ASSERT_EQ(b.size(), 1u + 4u + 8u + 8u + 8u + 4u + 2u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xab);
+  EXPECT_EQ(static_cast<unsigned char>(b[1]), 0x04);  // little-endian
+  EXPECT_EQ(static_cast<unsigned char>(b[4]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(b[5]), 0x01);  // u64(1)
+  EXPECT_EQ(static_cast<unsigned char>(b[13]), 0xff);  // i64(-1) two's complement
+  EXPECT_EQ(static_cast<unsigned char>(b[28]), 0x80);  // -0.0 sign bit, top byte
+  EXPECT_EQ(b.substr(33), "hi");
+}
+
+TEST(ServePointKey, GoldenVector) {
+  SweepSpec spec;
+  spec.meshes = {MeshDims(4, 4)};
+  spec.injections = {0.05};
+  spec.designs = {Design::Smart};
+  spec.warmup_cycles = 200;
+  spec.measure_cycles = 2000;
+  spec.drain_timeout = 20000;
+  spec.base_seed = 7;
+  const auto pts = spec.expand();
+  const sim::ScenarioSpec sc = explore::make_point_scenario(spec, pts.at(0));
+  EXPECT_EQ(serve::canonical_point_bytes(sc).size(), 313u);
+  EXPECT_EQ(serve::point_key(sc).hex(), "2b9b7b84b21d7913a4be3b27f9b39e54");
+}
+
+TEST(ServePointKey, SensitiveToResultRelevantFieldsOnly) {
+  const auto key_of = [](const SweepSpec& spec) {
+    const auto pts = spec.expand();
+    return serve::point_key(explore::make_point_scenario(spec, pts.at(0))).hex();
+  };
+  const SweepSpec base = serve_spec();
+  const std::string k0 = key_of(base);
+
+  SweepSpec changed = base;
+  changed.base_seed = 99;
+  EXPECT_NE(key_of(changed), k0) << "seed must change the key";
+
+  changed = base;
+  changed.designs = {Design::Smart};
+  EXPECT_NE(key_of(changed), k0) << "design must change the key";
+
+  changed = base;
+  changed.injections = {0.07};
+  EXPECT_NE(key_of(changed), k0) << "injection must change the key";
+
+  changed = base;
+  changed.workloads = {Workload::synthetic(noc::SyntheticPattern::Transpose)};
+  EXPECT_NE(key_of(changed), k0) << "workload must change the key";
+
+  changed = base;
+  changed.fault_schedules = {"kill@500:1:E"};
+  EXPECT_NE(key_of(changed), k0) << "fault schedule must change the key";
+
+  changed = base;
+  changed.measure_cycles = 4000;
+  EXPECT_NE(key_of(changed), k0) << "measurement window must change the key";
+
+  // Telemetry sidecars cannot change a RunRecord (the probe is gated
+  // non-intrusive), so they share the cache entry.
+  changed = base;
+  changed.telemetry_prefix = "somewhere/probe";
+  changed.trace_prefix = "somewhere/trace";
+  EXPECT_EQ(key_of(changed), k0) << "telemetry must not change the key";
+}
+
+// --- Shortest-round-trip floats ---------------------------------------------
+
+TEST(ServeFloatIo, FormatParseIsBitExact) {
+  const double values[] = {0.0,     -0.0,   0.1,       1.0 / 3.0, 1e-300, 5e-324,
+                           1e308,   -2.5e9, 123456789.123456789,  3.0,    0.30000000000000004};
+  for (const double v : values) {
+    const std::string s = format_double_rt(v);
+    const double back = parse_double_rt(s, "test");
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back), std::bit_cast<std::uint64_t>(v))
+        << "value " << s << " did not round-trip bit-exactly";
+  }
+  EXPECT_EQ(format_double_rt(-0.0), "-0");  // sign survives
+  EXPECT_EQ(format_double_rt(0.25), "0.25");
+}
+
+TEST(ServeFloatIo, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_double_rt("", "t"), ConfigError);
+  EXPECT_THROW(parse_double_rt("abc", "t"), ConfigError);
+  EXPECT_THROW(parse_double_rt("1.5x", "t"), ConfigError);  // trailing junk
+  EXPECT_THROW(parse_double_rt("1.2.3", "t"), ConfigError);
+}
+
+TEST(ServeFloatIo, RecordJsonRoundTripIsExact) {
+  RunRecord rec;
+  rec.index = 42;
+  rec.width = 4;
+  rec.height = 4;
+  rec.flit_bits = 32;
+  rec.hpc_max = 8;
+  rec.injection = 0.1;  // not exactly representable
+  rec.workload = "scenario:a \"quoted\" path";
+  rec.fault_schedule = "kill@2000:5:E";
+  rec.design = "SMART";
+  rec.seed = 0xdeadbeefcafef00dULL;
+  rec.ok = true;
+  rec.flows = 12;
+  rec.packets = 1234;
+  rec.avg_net_latency = 1.0 / 3.0;
+  rec.p99_latency = 17.000000000000004;
+  rec.throughput_ppc = 5e-324;  // smallest denormal
+  rec.power_mw = 3.842384;
+  rec.packets_retransmitted = 7;
+  const RunRecord back = explore::record_from_json(explore::record_to_json(rec));
+  EXPECT_EQ(back, rec);
+}
+
+// --- Result cache ------------------------------------------------------------
+
+TEST(ServeCache, ColdThenWarmIsBitIdenticalAcrossThreadCounts) {
+  const fs::path dir = scratch_dir("cache_warm");
+  const SweepSpec spec = serve_spec();
+
+  serve::ResultCache cold(dir.string());
+  const ResultTable a = explore::run_sweep(spec, 1, {}, serve::cache_hooks(cold));
+  EXPECT_EQ(cold.counters().hits, 0u);
+  EXPECT_EQ(cold.counters().inserts, spec.size());
+
+  for (const int threads : {1, 4}) {
+    serve::ResultCache warm(dir.string());  // re-open: exercises the load path
+    const ResultTable b = explore::run_sweep(spec, threads, {}, serve::cache_hooks(warm));
+    EXPECT_EQ(warm.counters().hits, spec.size()) << "threads=" << threads;
+    EXPECT_EQ(warm.counters().misses, 0u);
+    EXPECT_EQ(b.to_csv(), a.to_csv()) << "served table must be byte-identical";
+    EXPECT_EQ(b.to_json(), a.to_json());
+  }
+}
+
+TEST(ServeCache, UncachedAndCachedSweepsAgree) {
+  const fs::path dir = scratch_dir("cache_agree");
+  const SweepSpec spec = serve_spec();
+  const ResultTable plain = explore::run_sweep(spec, 2);
+  serve::ResultCache cache(dir.string());
+  const ResultTable cached = explore::run_sweep(spec, 2, {}, serve::cache_hooks(cache));
+  const ResultTable served = explore::run_sweep(spec, 2, {}, serve::cache_hooks(cache));
+  EXPECT_EQ(cached.to_csv(), plain.to_csv());
+  EXPECT_EQ(served.to_csv(), plain.to_csv());
+}
+
+TEST(ServeCache, CorruptAndTruncatedEntriesAreDroppedAndRecomputed) {
+  const fs::path dir = scratch_dir("cache_corrupt");
+  const SweepSpec spec = serve_spec();
+  {
+    serve::ResultCache cache(dir.string());
+    explore::run_sweep(spec, 2, {}, serve::cache_hooks(cache));
+  }
+  const fs::path file = dir / "results.srcl";
+  std::string bytes = slurp(file);
+
+  // Flip one byte inside the payload of the second entry and chop the last
+  // line mid-record (a crash mid-append).
+  std::vector<std::size_t> starts;
+  for (std::size_t pos = bytes.find('\n'); pos != std::string::npos; pos = bytes.find('\n', pos + 1)) {
+    if (pos + 1 < bytes.size()) starts.push_back(pos + 1);
+  }
+  ASSERT_GE(starts.size(), 4u);
+  bytes[starts[1] + 60] ^= 0x20;
+  bytes.resize(starts.back() + 25);
+  {
+    std::ofstream f(file, std::ios::binary | std::ios::trunc);
+    f << bytes;
+  }
+
+  serve::ResultCache cache(dir.string());
+  EXPECT_EQ(cache.counters().corrupt_dropped, 2u);
+  EXPECT_EQ(cache.size(), spec.size() - 2);
+
+  // The damaged points miss, recompute, and the table is still exact.
+  const ResultTable again = explore::run_sweep(spec, 2, {}, serve::cache_hooks(cache));
+  EXPECT_EQ(cache.counters().hits, spec.size() - 2);
+  EXPECT_EQ(cache.counters().misses, 2u);
+  EXPECT_EQ(cache.counters().inserts, 2u);
+  EXPECT_EQ(again.to_csv(), explore::run_sweep(spec, 1).to_csv());
+
+  // And the repaired file serves everything on the next open.
+  serve::ResultCache repaired(dir.string());
+  EXPECT_EQ(repaired.size(), spec.size());
+  EXPECT_EQ(repaired.counters().corrupt_dropped, 0u);
+}
+
+TEST(ServeCache, UnknownHeaderRetiresTheFile) {
+  const fs::path dir = scratch_dir("cache_version");
+  {
+    std::ofstream f(dir / "results.srcl", std::ios::binary);
+    f << "smartnoc-result-cache v999\nsome future entry\n";
+  }
+  serve::ResultCache cache(dir.string());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(slurp(dir / "results.srcl"), std::string(serve::ResultCache::kHeader) + "\n");
+}
+
+// --- Job queue ---------------------------------------------------------------
+
+TEST(ServeQueue, SubmitStatusAndSpecRoundTrip) {
+  const fs::path dir = scratch_dir("queue_submit");
+  serve::JobStore store(dir.string());
+  const std::string id = store.submit(sweep_text(), "My Sweep.sweep");
+  EXPECT_EQ(id, "j001-my-sweep-sweep");
+  EXPECT_TRUE(store.has_job(id));
+  EXPECT_EQ(store.sweep_text(id), sweep_text());
+  const serve::JobInfo info = store.info(id);
+  EXPECT_EQ(info.state, serve::JobInfo::State::Pending);
+  EXPECT_EQ(info.total, 4u);
+  EXPECT_EQ(info.done, 0u);
+  EXPECT_EQ(store.submit(sweep_text(), "other"), "j002-other");
+  EXPECT_EQ(store.job_ids().size(), 2u);
+}
+
+TEST(ServeQueue, RunJobCompletesAndFinalizes) {
+  const fs::path dir = scratch_dir("queue_run");
+  serve::JobStore store(dir.string());
+  const std::string id = store.submit(sweep_text(), "run");
+  serve::ServeOptions opt;
+  opt.threads = 2;
+  opt.quiet = true;
+  const ResultTable table = serve::run_job(store, id, nullptr, opt);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(store.info(id).state, serve::JobInfo::State::Done);
+  EXPECT_EQ(slurp(fs::path(store.job_dir(id)) / "results.csv"), table.to_csv());
+  EXPECT_EQ(table.to_csv(), explore::run_sweep(serve_spec(), 1).to_csv())
+      << "queue path must match a plain sweep of the same spec";
+  // Running a Done job again just loads the results.
+  const ResultTable again = serve::run_job(store, id, nullptr, opt);
+  EXPECT_EQ(again.to_csv(), table.to_csv());
+}
+
+TEST(ServeQueue, ResumeRunsOnlyMissingPoints) {
+  const SweepSpec spec = serve_spec();
+  const ResultTable full = explore::run_sweep(spec, 1);
+
+  const fs::path dir = scratch_dir("queue_resume");
+  serve::JobStore store(dir.string());
+  const std::string id = store.submit(sweep_text(), "resume");
+
+  // Hand-write a partial checkpoint: points 0 and 2 done, plus one corrupt
+  // line (as if the server was killed mid-append on point 3).
+  {
+    std::ofstream p(store.progress_file(id), std::ios::binary);
+    p << serve::JobStore::kProgressHeader << '\n';
+    p << serve::format_checked_line("0", explore::record_to_json(full.at(0)));
+    p << serve::format_checked_line("2", explore::record_to_json(full.at(2)));
+    const std::string partial = serve::format_checked_line("3", explore::record_to_json(full.at(3)));
+    p << partial.substr(0, partial.size() / 2);
+  }
+  EXPECT_EQ(store.info(id).state, serve::JobInfo::State::Partial);
+  EXPECT_EQ(store.info(id).done, 2u);
+
+  // Count what actually executes via the cache: only computed points insert.
+  serve::ResultCache cache((dir / "cache").string());
+  serve::ServeOptions opt;
+  opt.threads = 2;
+  opt.quiet = true;
+  const ResultTable resumed = serve::run_job(store, id, &cache, opt);
+  EXPECT_EQ(cache.counters().inserts, 2u) << "only points 1 and 3 may run";
+  EXPECT_EQ(cache.counters().hits, 0u);
+  EXPECT_EQ(resumed.to_csv(), full.to_csv()) << "resumed table must be byte-identical";
+  EXPECT_EQ(store.info(id).state, serve::JobInfo::State::Done);
+}
+
+TEST(ServeQueue, InvalidSpecIsMarkedFailed) {
+  const fs::path dir = scratch_dir("queue_failed");
+  serve::JobStore store(dir.string());
+  const std::string id = store.submit("mesh = banana\n", "bad");
+  serve::ServeOptions opt;
+  opt.quiet = true;
+  const ResultTable table = serve::run_job(store, id, nullptr, opt);
+  EXPECT_TRUE(table.empty());
+  const serve::JobInfo info = store.info(id);
+  EXPECT_EQ(info.state, serve::JobInfo::State::Failed);
+  EXPECT_FALSE(info.error.empty());
+}
+
+// --- scenario_files sweep axis -----------------------------------------------
+
+TEST(ServeScenario, ScenarioFilesExpandAndCache) {
+  const fs::path dir = scratch_dir("scenario_axis");
+  const fs::path scn = dir / "mini.scn";
+  {
+    std::ofstream f(scn);
+    f << "name = mini\n"
+         "design = smart\n"
+         "mesh = 3x3\n"
+         "seed = 42\n"
+         "warmup = 200\n"
+         "phase main workload=uniform injection=0.04 cycles=1500 measure\n"
+         "phase drain drain\n";
+  }
+
+  // A sweep file with only scenario_files is scenario-only: no grid points.
+  SweepSpec only = explore::parse_sweep("scenario_files = " + scn.string() + "\n");
+  EXPECT_FALSE(only.config_points);
+  EXPECT_EQ(only.size(), 1u);
+  const auto pts = only.expand();
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].scenario_file, scn.string());
+
+  // Naming a config axis keeps the grid and appends the scenario points.
+  SweepSpec mixed = explore::parse_sweep("mesh = 2x2\ninjection = 0.05\n"
+                                         "warmup = 200\nmeasure = 2000\n"
+                                         "scenario_files = " + scn.string() + "\n");
+  EXPECT_TRUE(mixed.config_points);
+  EXPECT_EQ(mixed.size(), 2u);
+
+  // The scenario point runs, echoes the file's resolved values, and its
+  // cache entry is shared across different sweeps containing it.
+  serve::ResultCache cache((dir / "cache").string());
+  const ResultTable t1 = explore::run_sweep(only, 1, {}, serve::cache_hooks(cache));
+  ASSERT_EQ(t1.size(), 1u);
+  EXPECT_TRUE(t1.at(0).ok) << t1.at(0).error;
+  EXPECT_EQ(t1.at(0).workload, "scenario:" + scn.string());
+  EXPECT_EQ(t1.at(0).width, 3);
+  EXPECT_EQ(t1.at(0).seed, 42u);
+  EXPECT_EQ(cache.counters().inserts, 1u);
+
+  const ResultTable t2 = explore::run_sweep(mixed, 2, {}, serve::cache_hooks(cache));
+  EXPECT_EQ(cache.counters().hits, 1u) << "scenario point must hit across sweeps";
+  EXPECT_EQ(t2.at(1).workload, "scenario:" + scn.string());
+  RunRecord served = t2.at(1);
+  RunRecord computed = t1.at(0);
+  served.index = computed.index = 0;
+  EXPECT_EQ(served, computed) << "served scenario row must equal the computed one";
+}
+
+TEST(ServeScenario, MissingScenarioFileFailsTheRowNotTheSweep) {
+  SweepSpec only = explore::parse_sweep("scenario_files = /nonexistent/x.scn\n");
+  const ResultTable t = explore::run_sweep(only, 1);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.at(0).ok);
+  EXPECT_NE(t.at(0).error.find("cannot open scenario file"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartnoc
