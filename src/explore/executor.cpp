@@ -1,10 +1,16 @@
 #include "explore/executor.hpp"
 
+#include <chrono>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace smartnoc::explore {
 
@@ -44,6 +50,60 @@ class WorkDeque {
   std::deque<std::size_t> jobs_;
 };
 
+thread_local int t_current_worker = -1;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// The per-worker instrument set, resolved once per run on the main thread
+/// (so the families land in the registry in a deterministic order, not in
+/// whatever order the workers happen to start).
+struct WorkerInstruments {
+  obs::Counter* tasks = nullptr;
+  obs::Counter* steals = nullptr;
+  obs::Counter* busy = nullptr;
+  obs::Counter* idle = nullptr;
+  obs::Gauge* depth = nullptr;
+};
+
+std::vector<WorkerInstruments> register_worker_instruments(int workers) {
+  auto& reg = obs::MetricsRegistry::global();
+  std::vector<WorkerInstruments> out(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    const std::string label = strf("worker=\"%d\"", w);
+    WorkerInstruments& wi = out[static_cast<std::size_t>(w)];
+    wi.tasks = &reg.counter("smartnoc_executor_tasks_total",
+                            "Jobs executed by each executor worker", label);
+    wi.steals = &reg.counter("smartnoc_executor_steals_total",
+                             "Jobs stolen from another worker's deque", label);
+    wi.busy = &reg.counter("smartnoc_executor_busy_seconds_total",
+                           "Wall time spent inside jobs, per worker", label);
+    wi.idle = &reg.counter("smartnoc_executor_idle_seconds_total",
+                           "Wall time spent scanning/stealing, per worker", label);
+    wi.depth = &reg.gauge("smartnoc_executor_queue_depth",
+                          "Jobs remaining in each worker's own deque", label);
+  }
+  return out;
+}
+
+/// Local accumulators flushed once at worker exit: the hot path stays at one
+/// clock read per job instead of four atomic RMWs.
+struct WorkerTally {
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;
+  double busy_seconds = 0.0;
+
+  void flush(const WorkerInstruments& wi, double loop_seconds) const {
+    if (tasks > 0) wi.tasks->inc(static_cast<double>(tasks));
+    if (steals > 0) wi.steals->inc(static_cast<double>(steals));
+    wi.busy->inc(busy_seconds);
+    const double idle = loop_seconds - busy_seconds;
+    wi.idle->inc(idle > 0.0 ? idle : 0.0);
+    wi.depth->set(0.0);
+  }
+};
+
 }  // namespace
 
 Executor::Executor(int threads) : threads_(threads) {
@@ -53,15 +113,63 @@ Executor::Executor(int threads) : threads_(threads) {
   }
 }
 
+void Executor::set_tracer(obs::SpanTracer* tracer, std::string span_category) {
+  tracer_ = tracer;
+  span_category_ = std::move(span_category);
+}
+
+int Executor::current_worker() { return t_current_worker; }
+
+std::atomic<bool>& Executor::instrumentation_enabled() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
 void Executor::for_each(std::size_t n, const std::function<void(std::size_t)>& job) const {
   if (n == 0) return;
   const int workers = threads_ < static_cast<int>(n) ? threads_ : static_cast<int>(n);
+
+  const bool instr = instrumentation_enabled().load(std::memory_order_relaxed);
+  obs::SpanTracer* const tracer = instr ? tracer_ : nullptr;
+  if (tracer) tracer->ensure_lanes(workers);
+  std::vector<WorkerInstruments> instruments;
+  if (instr) {
+    instruments = register_worker_instruments(workers);
+    obs::MetricsRegistry::global()
+        .counter("smartnoc_executor_runs_total", "for_each batches executed")
+        .inc();
+  }
 
   if (workers == 1) {
     // Degenerate case runs inline: no threads, identical results by the
     // determinism contract, and the bench's 1-thread baseline has zero
     // scheduling overhead.
-    for (std::size_t i = 0; i < n; ++i) job(i);
+    if (!instr) {
+      for (std::size_t i = 0; i < n; ++i) job(i);
+      return;
+    }
+    t_current_worker = 0;
+    const auto loop_start = std::chrono::steady_clock::now();
+    WorkerTally tally;
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t t0 = tracer ? tracer->now_us() : 0;
+        const auto b0 = std::chrono::steady_clock::now();
+        job(i);
+        tally.busy_seconds += seconds_since(b0);
+        ++tally.tasks;
+        if (tracer) {
+          tracer->span(0, span_category_, strf("%s %zu", span_category_.c_str(), i), t0,
+                       tracer->now_us());
+        }
+      }
+    } catch (...) {
+      tally.flush(instruments[0], seconds_since(loop_start));
+      t_current_worker = -1;
+      throw;
+    }
+    tally.flush(instruments[0], seconds_since(loop_start));
+    t_current_worker = -1;
     return;
   }
 
@@ -76,11 +184,30 @@ void Executor::for_each(std::size_t n, const std::function<void(std::size_t)>& j
   std::once_flag error_once;
 
   auto worker_loop = [&](int w) {
+    t_current_worker = w;
+    const auto loop_start = std::chrono::steady_clock::now();
+    WorkerTally tally;
+    WorkDeque& own = deques[static_cast<std::size_t>(w)];
+
+    auto run_one = [&](std::size_t i) {
+      const std::uint64_t t0 = tracer ? tracer->now_us() : 0;
+      const auto b0 = std::chrono::steady_clock::now();
+      job(i);
+      tally.busy_seconds += seconds_since(b0);
+      ++tally.tasks;
+      if (tracer) {
+        tracer->span(w, span_category_, strf("%s %zu", span_category_.c_str(), i), t0,
+                     tracer->now_us());
+      }
+    };
+
     try {
       std::size_t i;
       while (true) {
-        if (deques[static_cast<std::size_t>(w)].pop_front(i)) {
-          job(i);
+        if (own.pop_front(i)) {
+          if (instr) instruments[static_cast<std::size_t>(w)].depth->set(
+              static_cast<double>(own.size()));
+          run_one(i);
           continue;
         }
         // Own deque empty: steal from the victim with the most work left.
@@ -96,14 +223,18 @@ void Executor::for_each(std::size_t n, const std::function<void(std::size_t)>& j
           }
         }
         if (victim < 0 || !deques[static_cast<std::size_t>(victim)].steal_back(i)) {
-          if (victim < 0) return;  // everything empty: done
-          continue;                // lost the race; rescan
+          if (victim < 0) break;  // everything empty: done
+          continue;               // lost the race; rescan
         }
-        job(i);
+        ++tally.steals;
+        if (tracer) tracer->instant(w, "steal", strf("steal from w%d", victim));
+        run_one(i);
       }
     } catch (...) {
       std::call_once(error_once, [&] { first_error = std::current_exception(); });
     }
+    if (instr) tally.flush(instruments[static_cast<std::size_t>(w)], seconds_since(loop_start));
+    t_current_worker = -1;
   };
 
   std::vector<std::thread> pool;

@@ -12,10 +12,23 @@
 // their identity (matrix index) and derive everything - config, RNG
 // streams, output slot - from it, so any thread interleaving produces the
 // same result table.
+//
+// Observability: each run updates the per-worker families in
+// obs::MetricsRegistry::global() (tasks, steals, busy/idle seconds, queue
+// depth) and, when a SpanTracer is attached, records one span per job on the
+// worker's lane plus an instant per successful steal. Both are wall-clock
+// side channels - they never feed back into job results. The whole layer
+// can be switched off via instrumentation_enabled() (the bench's A/B knob).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <string>
+
+namespace smartnoc::obs {
+class SpanTracer;
+}
 
 namespace smartnoc::explore {
 
@@ -26,14 +39,31 @@ class Executor {
 
   int threads() const { return threads_; }
 
+  /// Attaches a span tracer for subsequent for_each runs (nullptr detaches).
+  /// `span_category` labels the spans ("point" for sweep jobs). Not
+  /// thread-safe against a concurrent for_each; set it before running.
+  void set_tracer(obs::SpanTracer* tracer, std::string span_category = "task");
+
   /// Runs job(i) for every i in [0, n) across the workers and returns when
   /// all are done. Worker threads are spawned per call (their cost is noise
   /// next to one simulation). If any job throws, the first exception is
   /// rethrown here after all workers finish.
   void for_each(std::size_t n, const std::function<void(std::size_t)>& job) const;
 
+  /// Lane of the calling thread inside a for_each (0-based), or -1 outside.
+  /// The single-worker inline path reports lane 0, so callers attributing
+  /// work per worker (spans, serve metrics) behave identically at any width.
+  static int current_worker();
+
+  /// Process-wide switch for the executor's metrics + span recording.
+  /// Defaults to on; bench_obs_overhead flips it to measure the armed
+  /// machinery against a clean baseline.
+  static std::atomic<bool>& instrumentation_enabled();
+
  private:
   int threads_;
+  obs::SpanTracer* tracer_ = nullptr;
+  std::string span_category_ = "task";
 };
 
 }  // namespace smartnoc::explore

@@ -11,6 +11,7 @@ ResultTable run_sweep(const SweepSpec& spec, int threads, const ProgressFn& prog
   std::atomic<std::size_t> completed{0};
 
   Executor exec(threads);
+  if (hooks.tracer) exec.set_tracer(hooks.tracer, "point");
   exec.for_each(points.size(), [&](std::size_t i) {
     // Each slot is written by exactly one job; the join in for_each
     // publishes all writes before the table is read.

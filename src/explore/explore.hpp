@@ -36,6 +36,9 @@ struct SweepHooks {
   /// Called with every record the executor actually computed (not with
   /// served ones), e.g. to populate the cache.
   std::function<void(const SweepSpec&, const RunPoint&, const RunRecord&)> store;
+  /// When set, the executor records one span per point (plus steal markers)
+  /// into this tracer. Pure side channel: never influences the table.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 ResultTable run_sweep(const SweepSpec& spec, int threads = 0, const ProgressFn& progress = {},

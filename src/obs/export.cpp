@@ -1,0 +1,250 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/float_io.hpp"
+#include "common/table.hpp"
+
+namespace smartnoc::obs {
+
+namespace fs = std::filesystem;
+
+std::string format_metric_value(double v) {
+  // Counts are doubles internally (see obs/metrics.hpp) but must read as the
+  // integers they are; 2^53 bounds the range where that rendering is exact.
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 9007199254740992.0) {
+    return strf("%.0f", v);
+  }
+  return format_double_rt(v);
+}
+
+namespace {
+
+std::string prom_sample_name(const MetricSnapshot& s, const char* suffix,
+                             const std::string& extra_label) {
+  std::string out = s.name + suffix;
+  std::string labels = s.label;
+  if (!extra_label.empty()) labels += (labels.empty() ? "" : ",") + extra_label;
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
+std::string le_string(double bound) { return format_double_rt(bound); }
+
+void emit_family_header(std::string& out, const MetricSnapshot& s) {
+  if (!s.help.empty()) out += "# HELP " + s.name + " " + s.help + "\n";
+  out += "# TYPE " + s.name + " " + std::string(metric_kind_name(s.kind)) + "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& reg) {
+  const std::vector<MetricSnapshot> snap = reg.snapshot();
+  // Prometheus requires all samples of a family in one group; labeled
+  // instruments may have been registered interleaved with other families, so
+  // group by name while keeping first-appearance order.
+  std::vector<std::size_t> order;  // indices into snap, grouped by family
+  {
+    std::vector<std::string> seen;
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      bool done = false;
+      for (const std::string& name : seen) done = done || name == snap[i].name;
+      if (done) continue;
+      seen.push_back(snap[i].name);
+      for (std::size_t j = i; j < snap.size(); ++j) {
+        if (snap[j].name == snap[i].name) order.push_back(j);
+      }
+    }
+  }
+  std::string out;
+  std::string last_family;
+  for (const std::size_t i : order) {
+    const MetricSnapshot& s = snap[i];
+    if (s.name != last_family) {
+      emit_family_header(out, s);
+      last_family = s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::Counter:
+      case MetricKind::Gauge:
+        out += prom_sample_name(s, "", "") + " " + format_metric_value(s.value) + "\n";
+        break;
+      case MetricKind::Histogram: {
+        for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+          out += prom_sample_name(s, "_bucket", "le=\"" + le_string(s.bounds[b]) + "\"") + " " +
+                 strf("%llu", static_cast<unsigned long long>(s.cumulative[b])) + "\n";
+        }
+        out += prom_sample_name(s, "_bucket", "le=\"+Inf\"") + " " +
+               strf("%llu", static_cast<unsigned long long>(s.cumulative.back())) + "\n";
+        out += prom_sample_name(s, "_sum", "") + " " + format_metric_value(s.sum) + "\n";
+        out += prom_sample_name(s, "_count", "") + " " +
+               strf("%llu", static_cast<unsigned long long>(s.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const MetricsRegistry& reg) {
+  std::string out = "{\"metrics\": [\n";
+  const std::vector<MetricSnapshot> snap = reg.snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const MetricSnapshot& s = snap[i];
+    out += "  {\"name\": \"" + s.name + "\"";
+    if (!s.label.empty()) {
+      // Label values exclude quotes/backslashes (validated at registration),
+      // so escaping the embedded quotes of key="value" is all JSON needs.
+      std::string esc;
+      for (const char c : s.label) {
+        if (c == '"') esc += "\\\"";
+        else esc += c;
+      }
+      out += ", \"label\": \"" + esc + "\"";
+    }
+    out += std::string(", \"type\": \"") + metric_kind_name(s.kind) + "\"";
+    if (s.kind == MetricKind::Histogram) {
+      out += ", \"buckets\": [";
+      for (std::size_t b = 0; b <= s.bounds.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += "{\"le\": ";
+        out += b < s.bounds.size() ? format_double_rt(s.bounds[b]) : std::string("\"+Inf\"");
+        out += strf(", \"cumulative\": %llu}", static_cast<unsigned long long>(s.cumulative[b]));
+      }
+      out += "], \"sum\": " + format_metric_value(s.sum) +
+             strf(", \"count\": %llu", static_cast<unsigned long long>(s.count));
+    } else {
+      out += ", \"value\": " + format_metric_value(s.value);
+    }
+    out += "}";
+    if (i + 1 < snap.size()) out += ",";
+    out += "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw ConfigError("cannot write '" + tmp + "'");
+    f << content << std::flush;
+    if (!f) throw ConfigError("write failed for '" + tmp + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) throw ConfigError("cannot rename '" + tmp + "': " + ec.message());
+}
+
+std::string to_json(const Heartbeat& hb) {
+  std::string out = "{";
+  out += strf("\"pid\": %lld", hb.pid);
+  out += ", \"uptime_seconds\": " + format_double_rt(hb.uptime_seconds);
+  std::string esc;
+  for (const char c : hb.job) {
+    if (c == '"' || c == '\\') esc += '\\';
+    esc += c;
+  }
+  out += ", \"job\": \"" + esc + "\"";
+  out += strf(", \"points_done\": %llu", static_cast<unsigned long long>(hb.points_done));
+  out += strf(", \"points_total\": %llu", static_cast<unsigned long long>(hb.points_total));
+  out += ", \"points_per_sec\": " + format_double_rt(hb.points_per_sec);
+  out += ", \"eta_seconds\": " + format_double_rt(hb.eta_seconds);
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal reader for the flat object to_json(Heartbeat) emits.
+class FlatJson {
+ public:
+  explicit FlatJson(const std::string& s) : s_(s) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      throw ConfigError(strf("heartbeat JSON: expected '%c' at byte %zu", c, pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) c = s_[pos_++];
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string read_scalar() {
+    skip_ws();
+    std::string out;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                                s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      out += s_[pos_++];
+    }
+    if (out.empty()) throw ConfigError(strf("heartbeat JSON: expected number at byte %zu", pos_));
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Heartbeat heartbeat_from_json(const std::string& json) {
+  FlatJson rd(json);
+  Heartbeat hb;
+  rd.expect('{');
+  if (!rd.consume('}')) {
+    do {
+      const std::string key = rd.read_string();
+      rd.expect(':');
+      if (key == "job") {
+        hb.job = rd.read_string();
+      } else {
+        const std::string tok = rd.read_scalar();
+        if (key == "pid") hb.pid = std::strtoll(tok.c_str(), nullptr, 10);
+        else if (key == "uptime_seconds") hb.uptime_seconds = parse_double_rt(tok, "uptime");
+        else if (key == "points_done") hb.points_done = std::strtoull(tok.c_str(), nullptr, 10);
+        else if (key == "points_total") hb.points_total = std::strtoull(tok.c_str(), nullptr, 10);
+        else if (key == "points_per_sec") hb.points_per_sec = parse_double_rt(tok, "rate");
+        else if (key == "eta_seconds") hb.eta_seconds = parse_double_rt(tok, "eta");
+        else throw ConfigError("heartbeat JSON: unknown key '" + key + "'");
+      }
+    } while (rd.consume(','));
+    rd.expect('}');
+  }
+  return hb;
+}
+
+}  // namespace smartnoc::obs

@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace smartnoc::obs {
+
+namespace {
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw ConfigError("histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw ConfigError("histogram bucket bounds must be strictly increasing");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_seconds_buckets() {
+  static const std::vector<double> kBuckets = {0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+                                               0.005,  0.01,    0.025,  0.05,  0.1,
+                                               0.25,   0.5,     1.0,    2.5,   5.0,
+                                               10.0,   25.0,    100.0};
+  return kBuckets;
+}
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+void validate_metric_name(const std::string& name, MetricKind kind, const std::string& label) {
+  const char* prefix = "smartnoc_";
+  if (name.compare(0, 9, prefix) != 0 || name.size() <= 9) {
+    throw ConfigError("metric name '" + name + "' must start with 'smartnoc_'");
+  }
+  for (const char c : name) {
+    if (!is_name_char(c)) {
+      throw ConfigError("metric name '" + name + "' has invalid character '" +
+                        std::string(1, c) + "' (want [a-z0-9_])");
+    }
+  }
+  if (kind == MetricKind::Counter && !ends_with(name, "_total")) {
+    throw ConfigError("counter '" + name + "' must end in '_total'");
+  }
+  if (kind == MetricKind::Histogram && !ends_with(name, "_seconds")) {
+    throw ConfigError("histogram '" + name + "' must end in '_seconds'");
+  }
+  if (label.empty()) return;
+  // Exactly one key="value" pair; the value may hold anything but '"', '\n'.
+  const std::size_t eq = label.find('=');
+  if (eq == 0 || eq == std::string::npos || eq + 1 >= label.size() || label[eq + 1] != '"' ||
+      label.back() != '"' || label.size() < eq + 3) {
+    throw ConfigError("metric label '" + label + "' must be key=\"value\"");
+  }
+  for (std::size_t i = 0; i < eq; ++i) {
+    if (!is_name_char(label[i])) {
+      throw ConfigError("metric label key in '" + label + "' must match [a-z0-9_]+");
+    }
+  }
+  for (std::size_t i = eq + 2; i + 1 < label.size(); ++i) {
+    if (label[i] == '"' || label[i] == '\n' || label[i] == '\\') {
+      throw ConfigError("metric label value in '" + label + "' may not contain quotes, "
+                        "backslashes or newlines");
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(MetricKind kind, const std::string& name,
+                                                        const std::string& help,
+                                                        const std::string& label,
+                                                        std::vector<double> bounds) {
+  validate_metric_name(name, kind, label);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(name, label);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& e = *entries_[it->second];
+    if (e.kind != kind) {
+      throw ConfigError("metric '" + name + "' already registered as " +
+                        metric_kind_name(e.kind) + ", not " + metric_kind_name(kind));
+    }
+    return e;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->label = label;
+  entry->help = help;
+  switch (kind) {
+    case MetricKind::Counter: entry->c = std::make_unique<Counter>(); break;
+    case MetricKind::Gauge: entry->g = std::make_unique<Gauge>(); break;
+    case MetricKind::Histogram:
+      entry->h = std::make_unique<Histogram>(bounds.empty() ? default_seconds_buckets()
+                                                            : std::move(bounds));
+      break;
+  }
+  index_.emplace(key, entries_.size());
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const std::string& label) {
+  return *find_or_create(MetricKind::Counter, name, help, label, {}).c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& label) {
+  return *find_or_create(MetricKind::Gauge, name, help, label, {}).g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      std::vector<double> bounds, const std::string& label) {
+  return *find_or_create(MetricKind::Histogram, name, help, label, std::move(bounds)).h;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSnapshot s;
+    s.kind = e->kind;
+    s.name = e->name;
+    s.label = e->label;
+    s.help = e->help;
+    switch (e->kind) {
+      case MetricKind::Counter: s.value = e->c->value(); break;
+      case MetricKind::Gauge: s.value = e->g->value(); break;
+      case MetricKind::Histogram: {
+        const Histogram& h = *e->h;
+        s.bounds = h.bounds();
+        s.cumulative.resize(s.bounds.size() + 1);
+        std::uint64_t running = 0;
+        for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+          running += h.bucket_count(i);
+          s.cumulative[i] = running;
+        }
+        s.sum = h.sum();
+        s.count = h.count();
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace smartnoc::obs

@@ -1,0 +1,157 @@
+// Process-wide metrics for the serving stack: named counters, gauges and
+// fixed-bucket histograms in one registry, exported as Prometheus text or a
+// JSON snapshot (obs/export.hpp).
+//
+// Division of labor with the existing observability layers: noc::NetworkStats
+// and telemetry::Probe describe *simulated* time inside one network;
+// sim::RunProfile times one Session. This registry describes the *process* -
+// the executor's workers, the serving loop, the result cache - where numbers
+// accumulate across many sessions and must be scrapable while the server
+// runs.
+//
+// Hot-path contract: after registration (mutex-guarded, done once per
+// instrument), updates are single relaxed atomic operations - safe from any
+// worker thread, never observable in simulation results. Instruments are
+// never unregistered and their addresses are stable for the process
+// lifetime, so callers cache references.
+//
+// Naming is enforced at registration, so the exporter cannot emit a
+// non-conforming family: every name matches ^smartnoc_[a-z0-9_]+$, counters
+// end in `_total` (or `_bytes_total`), histograms in `_seconds` (Prometheus
+// unit conventions; gauges carry their unit suffix where one applies, e.g.
+// `_bytes`). An optional label is a single `key="value"` pair - the registry
+// keeps one instrument per (name, label) and renders labeled families
+// grouped, in registration order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smartnoc::obs {
+
+/// Monotonically increasing value. Double-valued (like every mainstream
+/// Prometheus client) so second-counters accumulate fractions exactly where
+/// they matter; integral counts stay exact far beyond any realistic total.
+class Counter {
+ public:
+  void inc(double n = 1.0) { v_.fetch_add(n, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Instantaneous value: set or adjusted, may go down.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing inclusive upper
+/// bounds; an implicit +Inf bucket catches the rest. observe() is a linear
+/// scan (bucket counts are small) plus two relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` alone (not cumulative); i == bounds().size() is the
+  /// +Inf bucket. The exporters accumulate into Prometheus' cumulative form.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default buckets for wall-time histograms: 100 us to 100 s, roughly one
+/// bucket per 1-2.5-5 decade step (simulation points span ms to minutes).
+const std::vector<double>& default_seconds_buckets();
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+const char* metric_kind_name(MetricKind k);
+
+/// One instrument's state at snapshot time (the exporters' and tests' view).
+struct MetricSnapshot {
+  MetricKind kind = MetricKind::Counter;
+  std::string name;
+  std::string label;  ///< `key="value"` or empty
+  std::string help;
+  double value = 0.0;  ///< counter / gauge
+  // Histogram only: per-bound cumulative counts, then sum / total count.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> cumulative;  ///< bounds.size() + 1, last = +Inf
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Throws ConfigError unless `name` conforms for `kind` (see header comment);
+/// `label` must be empty or a single key="value" pair.
+void validate_metric_name(const std::string& name, MetricKind kind, const std::string& label);
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented subsystem registers into.
+  /// Tests may construct private registries; instrumented production code
+  /// always uses this one.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) an instrument. The same (name, label) always
+  /// returns the same object; registering it again under a different kind
+  /// throws ConfigError. `help` is kept from the first registration.
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& label = "");
+  Gauge& gauge(const std::string& name, const std::string& help, const std::string& label = "");
+  /// `bounds` empty selects default_seconds_buckets(). Bounds are fixed at
+  /// first registration (a later conflicting set is ignored, not an error:
+  /// the first registration owns the family's shape).
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds = {}, const std::string& label = "");
+
+  /// Every instrument's current state, in registration order.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string name, label, help;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Entry& find_or_create(MetricKind kind, const std::string& name, const std::string& help,
+                        const std::string& label, std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+  std::map<std::pair<std::string, std::string>, std::size_t> index_;  ///< (name,label) -> entry
+};
+
+}  // namespace smartnoc::obs

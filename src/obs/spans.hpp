@@ -1,0 +1,73 @@
+// Span tracing for the explore/serve stack: a timeline of what each executor
+// worker was doing, exported in chrome://tracing format (load the file at
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// This is the serving-side analogue of viz::TraceRecorder's link tracks: that
+// one draws *simulated* cycles inside a network, this one draws *wall-clock*
+// work across executor workers - one lane per worker plus a lane for the
+// serving loop itself, complete spans for points, instant markers for steals.
+//
+// Recording is bounded (max_events, oldest-first, drops the tail and flags
+// truncated()) and cheap: one mutex-guarded vector push per span, done at
+// span *end* on paths that already take locks (checkpoint flush) or touch the
+// filesystem, never inside the simulation itself. Like metrics, span data
+// carries wall-clock and must never feed back into result tables.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smartnoc::obs {
+
+/// One recorded event. Lanes: -1 is the coordinating thread ("server"),
+/// 0..N-1 are executor workers. Instants have end_us == start_us.
+struct SpanEvent {
+  int lane = -1;
+  bool instant = false;
+  std::string category;  ///< chrome "cat" field, e.g. "point", "steal"
+  std::string name;      ///< human label, e.g. "p 17"
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(std::size_t max_events = 1 << 20);
+
+  /// Microseconds since this tracer was constructed (steady clock).
+  std::uint64_t now_us() const;
+
+  /// Records a complete span [start_us, end_us] on `lane`.
+  void span(int lane, std::string category, std::string name, std::uint64_t start_us,
+            std::uint64_t end_us);
+  /// Records an instant marker at now_us() on `lane`.
+  void instant(int lane, std::string category, std::string name);
+
+  /// Pre-declares lanes 0..workers-1 so the export names every worker even
+  /// if one recorded no events (work-stealing can drain a short run before
+  /// every thread pops a task). The executor calls this when attached.
+  void ensure_lanes(int workers);
+
+  /// True once events were dropped because max_events was hit.
+  bool truncated() const;
+  /// Largest lane recorded so far (-1 if only server events, or none).
+  int max_lane() const;
+  std::vector<SpanEvent> events() const;
+
+  /// chrome://tracing JSON (array-of-events form): per-lane thread_name
+  /// metadata ("server", "worker 0", ...), "X" complete events, "i" instants.
+  std::string to_chrome_json(const std::string& process_name = "explorer") const;
+
+ private:
+  const std::size_t max_events_;
+
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  bool truncated_ = false;
+  int max_lane_ = -1;
+  std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction
+};
+
+}  // namespace smartnoc::obs

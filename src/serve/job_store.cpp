@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "explore/explore.hpp"
+#include "obs/export.hpp"
 #include "serve/checked_lines.hpp"
 
 namespace smartnoc::serve {
@@ -17,19 +18,10 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Atomic file write: the target either keeps its old content or has all of
-/// the new one, never a prefix (rename within one directory is atomic).
+/// Atomic file write (tmp + rename): the target either keeps its old content
+/// or has all of the new one, never a prefix.
 void write_file_atomic(const fs::path& target, const std::string& content) {
-  const fs::path tmp = target.string() + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw ConfigError("cannot write '" + tmp.string() + "'");
-    f << content << std::flush;
-    if (!f) throw ConfigError("write failed for '" + tmp.string() + "'");
-  }
-  std::error_code ec;
-  fs::rename(tmp, target, ec);
-  if (ec) throw ConfigError("cannot rename '" + tmp.string() + "': " + ec.message());
+  obs::write_file_atomic(target.string(), content);
 }
 
 std::string read_file(const fs::path& path) {

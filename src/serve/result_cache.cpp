@@ -3,11 +3,47 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "serve/checked_lines.hpp"
 
 namespace smartnoc::serve {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Registry-side mirrors of the per-instance Counters. Every increment below
+/// updates both, at the same statement, so the printed cache report and the
+/// scraped metrics cannot drift apart.
+struct CacheInstruments {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& inserts;
+  obs::Counter& corrupt_dropped;
+  obs::Counter& load_scrubs;
+  obs::Gauge& entries;
+  obs::Gauge& bytes;
+
+  static CacheInstruments& get() {
+    static CacheInstruments ci = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return CacheInstruments{
+          reg.counter("smartnoc_cache_hits_total", "Result cache lookups served"),
+          reg.counter("smartnoc_cache_misses_total", "Result cache lookups that missed"),
+          reg.counter("smartnoc_cache_inserts_total", "Records appended to the cache file"),
+          reg.counter("smartnoc_cache_corrupt_dropped_total",
+                      "Cache lines rejected by checksum or parse at load"),
+          reg.counter("smartnoc_cache_load_scrubs_total",
+                      "Cache loads that rewrote the file to scrub damage"),
+          reg.gauge("smartnoc_cache_entries", "Records resident in the result cache"),
+          reg.gauge("smartnoc_cache_bytes", "Bytes in the cache file (results.srcl)"),
+      };
+    }();
+    return ci;
+  }
+};
+
+}  // namespace
 
 ResultCache::ResultCache(const std::string& dir) {
   std::error_code ec;
@@ -36,6 +72,7 @@ ResultCache::ResultCache(const std::string& dir) {
     // file from the entries that survived (empty for a version mismatch),
     // scrubbing corrupt lines instead of carrying them forever.
     if (!loaded.header_ok) entries_.clear();
+    CacheInstruments::get().load_scrubs.inc();
     out_.open(file_, std::ios::binary | std::ios::trunc);
     if (out_) {
       out_ << kHeader << '\n';
@@ -46,6 +83,13 @@ ResultCache::ResultCache(const std::string& dir) {
     }
   }
   if (!out_) throw ConfigError("cannot open cache file '" + file_ + "' for writing");
+
+  CacheInstruments& ci = CacheInstruments::get();
+  ci.corrupt_dropped.inc(static_cast<double>(counters_.corrupt_dropped));
+  ci.entries.set(static_cast<double>(entries_.size()));
+  std::error_code size_ec;
+  const auto file_bytes = fs::file_size(file_, size_ec);
+  if (!size_ec) ci.bytes.set(static_cast<double>(file_bytes));
 }
 
 std::optional<explore::RunRecord> ResultCache::lookup(const Hash128& key) {
@@ -53,9 +97,11 @@ std::optional<explore::RunRecord> ResultCache::lookup(const Hash128& key) {
   const auto it = entries_.find(key.hex());
   if (it == entries_.end()) {
     ++counters_.misses;
+    CacheInstruments::get().misses.inc();
     return std::nullopt;
   }
   ++counters_.hits;
+  CacheInstruments::get().hits.inc();
   return it->second;
 }
 
@@ -66,7 +112,12 @@ void ResultCache::insert(const Hash128& key, const explore::RunRecord& rec) {
   const auto [it, fresh] = entries_.emplace(key.hex(), std::move(stored));
   if (!fresh) return;
   ++counters_.inserts;
-  out_ << format_checked_line(it->first, explore::record_to_json(it->second)) << std::flush;
+  const std::string line = format_checked_line(it->first, explore::record_to_json(it->second));
+  out_ << line << std::flush;
+  CacheInstruments& ci = CacheInstruments::get();
+  ci.inserts.inc();
+  ci.entries.set(static_cast<double>(entries_.size()));
+  ci.bytes.add(static_cast<double>(line.size()));
 }
 
 ResultCache::Counters ResultCache::counters() const {

@@ -32,6 +32,11 @@ struct ServeOptions {
   bool once = false;        ///< drain the queue and exit instead of polling
   double poll_seconds = 0.5;
   bool quiet = false;       ///< suppress per-job progress on stderr
+  /// Min interval between live-status writes (metrics.prom + heartbeat.json
+  /// in the queue root, tmp+rename). <= 0 writes on every progress tick.
+  double heartbeat_seconds = 1.0;
+  bool telemetry_files = true;  ///< write metrics.prom/metrics.json/heartbeat.json
+  bool trace_spans = false;     ///< write jobs/<id>/spans.json (chrome://tracing)
 };
 
 /// Runs (or resumes) one job to completion: points already in the

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "dedicated/dedicated_network.hpp"
+#include "obs/metrics.hpp"
 #include "smart/preset_computer.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/trace_file.hpp"
@@ -548,6 +549,23 @@ SessionResult Session::run() {
   out.phases = results_;
   out.profile = profile_;
   if (net_ != nullptr) out.faults = net_->stats().faults();
+
+  // Process-level aggregates over every session this process ran. The
+  // ns/cycle gauge is the most recent session's rate (a scrape-time health
+  // signal, not an average). Instruments resolve once; updates are relaxed
+  // atomics and never reach SessionResult.
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& runs =
+        reg.counter("smartnoc_session_runs_total", "Sessions completed by this process");
+    static obs::Counter& cycles =
+        reg.counter("smartnoc_session_cycles_total", "Simulated cycles across all sessions");
+    static obs::Gauge& ns_per_cycle =
+        reg.gauge("smartnoc_session_ns_per_cycle", "Wall ns per simulated cycle, last session");
+    runs.inc();
+    cycles.inc(static_cast<double>(profile_.cycles()));
+    if (profile_.cycles() != 0) ns_per_cycle.set(profile_.ns_per_cycle());
+  }
   return out;
 }
 

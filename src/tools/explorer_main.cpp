@@ -35,10 +35,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/table.hpp"
 #include "explore/explore.hpp"
+#include "obs/export.hpp"
+#include "obs/spans.hpp"
 #include "serve/serve.hpp"
 #include "sim/runner.hpp"
 
@@ -85,16 +89,26 @@ int usage(const char* argv0, int code) {
                "                        per-phase stats + reconfiguration latency;\n"
                "                        --json/--quiet/--telemetry/--record-trace apply\n"
                "\n"
+               "observability (process metrics and timelines; see README):\n"
+               "  --metrics-out FILE    after the sweep, write the metrics registry\n"
+               "                        in Prometheus text format (executor, cache,\n"
+               "                        session families)\n"
+               "  --trace-spans FILE    chrome://tracing timeline of the executor\n"
+               "                        (one lane per worker, point spans, steals)\n"
+               "\n"
                "serving (content-addressed result cache + resumable job queue):\n"
                "  %s sweep.txt --cache DIR      reuse cached point results\n"
                "  %s submit QUEUE sweep.txt...  enqueue sweeps (prints job ids)\n"
                "  %s serve QUEUE [--once] [--threads N] [--poll SEC] [--quiet]\n"
+               "            [--heartbeat SEC] [--trace-spans]\n"
                "                        run queued sweeps; checkpointed per point, a\n"
-               "                        killed server resumes where it stopped\n"
-               "  %s status QUEUE [JOB]         queue / per-job progress\n"
+               "                        killed server resumes where it stopped; writes\n"
+               "                        metrics.prom + heartbeat.json into QUEUE\n"
+               "  %s status QUEUE [JOB] [--watch]  queue / per-job progress\n"
+               "  %s metrics QUEUE [--json]     last scraped metrics snapshot\n"
                "  %s results QUEUE JOB [--json] completed rows (CSV by default)\n"
                "  %s pareto QUEUE JOB           the job's Pareto frontier\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return code;
 }
 
@@ -220,6 +234,7 @@ int serve_cli(const std::string& cmd, int argc, char** argv) {
   std::vector<std::string> pos;
   serve::ServeOptions opt;
   bool json_out = false;
+  bool watch = false;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
@@ -231,6 +246,10 @@ int serve_cli(const std::string& cmd, int argc, char** argv) {
     else if (a == "--poll") opt.poll_seconds = explore::parse_axis_double(next(), "poll");
     else if (a == "--quiet") opt.quiet = true;
     else if (a == "--json") json_out = true;
+    else if (a == "--watch") watch = true;
+    else if (a == "--heartbeat") {
+      opt.heartbeat_seconds = explore::parse_axis_double(next(), "heartbeat");
+    } else if (a == "--trace-spans") opt.trace_spans = true;
     else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown option '%s' for '%s'\n", a.c_str(), cmd.c_str());
       return 2;
@@ -242,6 +261,22 @@ int serve_cli(const std::string& cmd, int argc, char** argv) {
     std::fprintf(stderr, "%s needs a queue directory (see --help)\n", cmd.c_str());
     return 2;
   }
+
+  if (cmd == "metrics") {
+    // Reads the snapshot the server last dropped into the queue dir; no
+    // server process needs to be up (the point of the textfile pattern).
+    const std::string path =
+        (std::filesystem::path(pos[0]) / (json_out ? "metrics.json" : "metrics.prom")).string();
+    try {
+      std::fputs(read_file_or_throw(path).c_str(), stdout);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "no metrics snapshot at '%s' (has a server run here?)\n",
+                   path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   serve::JobStore store(pos[0]);
 
   if (cmd == "submit") {
@@ -274,22 +309,71 @@ int serve_cli(const std::string& cmd, int argc, char** argv) {
   }
 
   if (cmd == "status") {
+    if (watch) {
+      // Live view off heartbeat.json: poll until no job is left runnable.
+      // Reading files (not talking to the server) means this works even if
+      // the watcher outlives the server or starts before it.
+      for (;;) {
+        bool active = false;
+        std::size_t jobs = 0, done_jobs = 0;
+        for (const std::string& id : store.job_ids()) {
+          const serve::JobInfo info = store.info(id);
+          ++jobs;
+          if (info.state == serve::JobInfo::State::Done ||
+              info.state == serve::JobInfo::State::Failed) {
+            ++done_jobs;
+          } else {
+            active = true;
+          }
+        }
+        std::string line = strf("[watch] %zu/%zu jobs finished", done_jobs, jobs);
+        try {
+          const obs::Heartbeat hb = obs::heartbeat_from_json(
+              read_file_or_throw(store.root() + "/heartbeat.json"));
+          if (!hb.job.empty() && hb.points_total > 0) {
+            line += strf(" | %s: %llu/%llu (%d%%) %.1f points/s eta %.0fs", hb.job.c_str(),
+                         static_cast<unsigned long long>(hb.points_done),
+                         static_cast<unsigned long long>(hb.points_total),
+                         static_cast<int>(100.0 * static_cast<double>(hb.points_done) /
+                                          static_cast<double>(hb.points_total)),
+                         hb.points_per_sec, hb.eta_seconds);
+          } else {
+            line += strf(" | server pid %lld idle (up %.0fs)", hb.pid, hb.uptime_seconds);
+          }
+        } catch (const std::exception&) {
+          line += " | no heartbeat yet";
+        }
+        std::fprintf(stderr, "\r%-78.78s", line.c_str());
+        std::fflush(stderr);
+        if (!active) break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<long>(opt.poll_seconds * 1000)));
+      }
+      std::fputc('\n', stderr);
+      // Fall through to the final table below.
+    }
+    auto percent = [](const serve::JobInfo& info) {
+      return info.total > 0 ? static_cast<int>(100.0 * static_cast<double>(info.done) /
+                                               static_cast<double>(info.total))
+                            : 0;
+    };
     if (pos.size() >= 2) {
       if (!store.has_job(pos[1])) {
         std::fprintf(stderr, "unknown job '%s'\n", pos[1].c_str());
         return 2;
       }
       const serve::JobInfo info = store.info(pos[1]);
-      std::printf("job:    %s\ndir:    %s\nstate:  %s\npoints: %zu/%zu\n", info.id.c_str(),
-                  info.dir.c_str(), serve::job_state_name(info.state), info.done, info.total);
+      std::printf("job:    %s\ndir:    %s\nstate:  %s\npoints: %zu/%zu (%d%%)\n", info.id.c_str(),
+                  info.dir.c_str(), serve::job_state_name(info.state), info.done, info.total,
+                  percent(info));
       if (!info.error.empty()) std::printf("error:  %s\n", info.error.c_str());
       return 0;
     }
     std::printf("%-28s %-8s %s\n", "JOB", "STATE", "POINTS");
     for (const std::string& id : store.job_ids()) {
       const serve::JobInfo info = store.info(id);
-      std::printf("%-28s %-8s %zu/%zu\n", id.c_str(), serve::job_state_name(info.state),
-                  info.done, info.total);
+      std::printf("%-28s %-8s %zu/%zu (%d%%)\n", id.c_str(), serve::job_state_name(info.state),
+                  info.done, info.total, percent(info));
     }
     return 0;
   }
@@ -321,7 +405,7 @@ int main(int argc, char** argv) {
   if (argc >= 2) {
     const std::string cmd = argv[1];
     if (cmd == "serve" || cmd == "submit" || cmd == "status" || cmd == "results" ||
-        cmd == "pareto") {
+        cmd == "pareto" || cmd == "metrics") {
       try {
         return serve_cli(cmd, argc, argv);
       } catch (const std::exception& e) {
@@ -334,6 +418,7 @@ int main(int argc, char** argv) {
   explore::SweepSpec spec;
   int threads = 0;
   std::string csv_path, json_path, scenario_path, cache_dir;
+  std::string metrics_out, spans_out;
   TelemetryArgs telemetry;
   bool quiet = false;
   bool workloads_cleared = false;
@@ -358,7 +443,7 @@ int main(int argc, char** argv) {
              a == "--app" || a == "--faults" || a == "--design" || a == "--seed" ||
              a == "--warmup" || a == "--measure" || a == "--drain" || a == "--scenario" ||
              a == "--telemetry" || a == "--telemetry-epoch" || a == "--record-trace" ||
-             a == "--cache";
+             a == "--cache" || a == "--metrics-out" || a == "--trace-spans";
     };
 
     // Pass 1: load the sweep file (the positional argument) first, so axis
@@ -404,6 +489,8 @@ int main(int argc, char** argv) {
       else if (a == "--csv") csv_path = next_arg("--csv");
       else if (a == "--json") json_path = next_arg("--json");
       else if (a == "--cache") cache_dir = next_arg("--cache");
+      else if (a == "--metrics-out") metrics_out = next_arg("--metrics-out");
+      else if (a == "--trace-spans") spans_out = next_arg("--trace-spans");
       else if (a == "--scenario") scenario_path = next_arg("--scenario");
       else if (a == "--telemetry") telemetry.prefix = next_arg("--telemetry");
       else if (a == "--telemetry-epoch") {
@@ -487,6 +574,11 @@ int main(int argc, char** argv) {
     }
     hooks = serve::cache_hooks(*cache);
   }
+  std::optional<obs::SpanTracer> tracer;
+  if (!spans_out.empty()) {
+    tracer.emplace();
+    hooks.tracer = &*tracer;
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const explore::ResultTable table = explore::run_sweep(spec, threads, {}, hooks);
@@ -500,6 +592,24 @@ int main(int argc, char** argv) {
                  sweep_s > 0.0 ? static_cast<double>(total) / sweep_s : 0.0);
   }
   if (cache) print_cache_report(*cache);
+
+  // Observability artifacts land after the table is complete; both are
+  // wall-clock side channels and never feed the result files above.
+  try {
+    if (tracer) {
+      if (tracer->truncated()) {
+        std::fprintf(stderr, "warning: span capture truncated at %zu events\n",
+                     tracer->events().size());
+      }
+      obs::write_file_atomic(spans_out, tracer->to_chrome_json("explorer sweep"));
+    }
+    if (!metrics_out.empty()) {
+      obs::write_file_atomic(metrics_out, obs::to_prometheus(obs::MetricsRegistry::global()));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   if (!csv_path.empty() && !write_file(csv_path, table.to_csv())) {
     std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
