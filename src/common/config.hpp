@@ -65,6 +65,11 @@ struct NocConfig {
   Cycle drain_timeout = 100'000;
   RoutingPolicy routing = RoutingPolicy::WestFirst;
   double bandwidth_scale = 1.0;  ///< multiplies all task-graph bandwidths
+  /// Threads for the sharded parallel cycle kernel: the mesh is split into
+  /// this many column slices, one thread each (clamped to the mesh width).
+  /// Results are bit-identical at any value - like the explorer's sweep
+  /// thread count, this is purely a wall-clock knob. 1 = single-threaded.
+  int shard_threads = 1;
 
   // ---- Fault tolerance -----------------------------------------------------
   /// Liveness watchdog: a Session fails the phase with a StallReport when no
@@ -114,6 +119,7 @@ struct NocConfig {
     require(bandwidth_scale > 0.0, "bandwidth_scale must be positive");
     require(retry_limit >= 0, "retry_limit must be >= 0");
     require(retry_backoff_cycles > 0, "retry_backoff_cycles must be positive");
+    require(shard_threads >= 1 && shard_threads <= 256, "shard_threads must be in [1,256]");
   }
 
   /// Grows the dependent fields to fit the primary ones: vc_depth_flits to

@@ -1,6 +1,10 @@
 #include "explore/explore.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <thread>
+
+#include "common/log.hpp"
 
 namespace smartnoc::explore {
 
@@ -11,6 +15,19 @@ ResultTable run_sweep(const SweepSpec& spec, int threads, const ProgressFn& prog
   std::atomic<std::size_t> completed{0};
 
   Executor exec(threads);
+  // Two thread axes multiply here: executor workers x per-point shard
+  // threads. Cap the product at the hardware concurrency - oversubscribed
+  // shard threads spin at the per-cycle barrier and make every point
+  // slower, not faster. The cap never changes a record (bit-identity at
+  // any shard count); scenario-file points are capped too in run_point.
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int workers = std::max(1, exec.threads());
+  const int shard_cap = std::max(1, hw / workers);
+  if (spec.shard_threads > 1) {
+    SMARTNOC_LOG_INFO("sweep plan: %d workers x %d shard threads per point "
+                      "(requested %d, %d hardware threads)",
+                      workers, std::min(spec.shard_threads, shard_cap), spec.shard_threads, hw);
+  }
   if (hooks.tracer) exec.set_tracer(hooks.tracer, "point");
   exec.for_each(points.size(), [&](std::size_t i) {
     // Each slot is written by exactly one job; the join in for_each
@@ -19,7 +36,7 @@ ResultTable run_sweep(const SweepSpec& spec, int threads, const ProgressFn& prog
     if (hooks.lookup && hooks.lookup(spec, points[i], rec)) {
       table.set(i, std::move(rec));
     } else {
-      rec = run_point(spec, points[i]);
+      rec = run_point(spec, points[i], shard_cap);
       if (hooks.store) hooks.store(spec, points[i], rec);
       table.set(i, std::move(rec));
     }

@@ -57,7 +57,7 @@ sim::ScenarioSpec make_point_scenario(const SweepSpec& spec, const RunPoint& pt)
   return scenario;
 }
 
-RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
+RunRecord run_point(const SweepSpec& spec, const RunPoint& pt, int shard_cap) {
   RunRecord rec;
   rec.index = pt.index;
   rec.width = pt.mesh.width();
@@ -73,6 +73,9 @@ RunRecord run_point(const SweepSpec& spec, const RunPoint& pt) {
 
   try {
     sim::ScenarioSpec scenario = make_point_scenario(spec, pt);
+    if (shard_cap > 0 && scenario.config.shard_threads > shard_cap) {
+      scenario.config.shard_threads = shard_cap;
+    }
     if (!pt.scenario_file.empty()) {
       // Echo what the scenario file resolved to, so the row is
       // self-describing like any grid point's.

@@ -24,6 +24,12 @@ sim::ScenarioSpec make_point_scenario(const SweepSpec& spec, const RunPoint& pt)
 /// Runs one point of the matrix to completion. Never throws: configuration
 /// errors, simulation errors and drain timeouts all come back as a record
 /// with ok=false and the cause in `error`.
-RunRecord run_point(const SweepSpec& spec, const RunPoint& pt);
+///
+/// `shard_cap` > 0 caps the point's NocConfig::shard_threads (scenario
+/// files included) - run_sweep passes hardware_concurrency / workers so a
+/// parallel sweep of sharded points cannot oversubscribe the machine.
+/// Records are unaffected by construction (bit-identity at any shard
+/// count), so served/cached results stay comparable. 0 = no cap.
+RunRecord run_point(const SweepSpec& spec, const RunPoint& pt, int shard_cap = 0);
 
 }  // namespace smartnoc::explore

@@ -59,6 +59,9 @@ void SweepSpec::validate() const {
     for (const std::string& s : fault_schedules) noc::parse_fault_schedule_token(s);
     if (measure_cycles == 0) throw ConfigError("measure_cycles must be positive");
   }
+  if (shard_threads < 1 || shard_threads > 256) {
+    throw ConfigError("shard_threads must be in [1,256]");
+  }
 }
 
 std::vector<RunPoint> SweepSpec::expand() const {
@@ -113,6 +116,7 @@ NocConfig SweepSpec::config_for(const RunPoint& pt) const {
   cfg.warmup_cycles = warmup_cycles;
   cfg.measure_cycles = measure_cycles;
   cfg.drain_timeout = drain_timeout;
+  cfg.shard_threads = shard_threads;
   cfg.fit_derived();
   cfg.validate();
   return cfg;
@@ -220,7 +224,8 @@ SweepSpec parse_sweep(const std::string& text) {
     }
     try {
       if (key != "seed" && key != "warmup" && key != "measure" && key != "drain_timeout" &&
-          key != "drain" && key != "scenario_files" && key != "scenario") {
+          key != "drain" && key != "scenario_files" && key != "scenario" &&
+          key != "shard_threads") {
         saw_config_axis = true;
       }
       if (key == "mesh") {
@@ -257,6 +262,8 @@ SweepSpec parse_sweep(const std::string& text) {
         spec.measure_cycles = parse_axis_u64(items.at(0), "measure");
       } else if (key == "drain_timeout" || key == "drain") {
         spec.drain_timeout = parse_axis_u64(items.at(0), "drain_timeout");
+      } else if (key == "shard_threads") {
+        spec.shard_threads = parse_axis_int(items.at(0), "shard_threads");
       } else {
         throw ConfigError("unknown key '" + key + "'");
       }

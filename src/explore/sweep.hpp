@@ -99,6 +99,12 @@ struct SweepSpec {
   Cycle warmup_cycles = 2'000;
   Cycle measure_cycles = 20'000;
   Cycle drain_timeout = 50'000;
+  /// Shard threads for every point's cycle kernel (NocConfig::shard_threads).
+  /// A single value, not an axis: like the executor's thread count it cannot
+  /// change a record, only wall-clock. run_sweep clamps workers x shards to
+  /// the hardware concurrency so a parallel sweep of sharded points does not
+  /// oversubscribe the machine.
+  int shard_threads = 1;
 
   // Per-point telemetry outputs (explorer --telemetry / --record-trace):
   // non-empty prefixes make every point (all three designs) write
@@ -141,6 +147,7 @@ struct SweepSpec {
 ///   warmup = 2000
 ///   measure = 20000
 ///   drain_timeout = 50000
+///   shard_threads = 4                    # per-point kernel threads (not an axis)
 ///
 /// One `key = values` assignment per line. Unknown keys and malformed
 /// values throw ConfigError with the line number.

@@ -4,12 +4,24 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/spans.hpp"
 
 namespace smartnoc::noc {
 
 namespace {
 
 std::size_t idx(Dir d) { return static_cast<std::size_t>(dir_index(d)); }
+
+/// The shard whose pass this thread is currently executing (null outside a
+/// sharded pass, including the whole single-shard hot path). Routes flit
+/// deliveries and credit schedules local-vs-boundary and selects the
+/// activity-delta target. Thread-local, not per-network: one OS thread works
+/// on one shard of one network at a time (executor workers run independent
+/// networks; shard workers run one shard each).
+thread_local ShardState* tl_shard = nullptr;
+
+/// Shard-thread span lanes batch this many ticks per recorded span.
+constexpr std::uint64_t kSpanChunkTicks = 4096;
 
 /// Does `path` traverse any directed link in `links`?
 bool path_crosses(const RoutePath& path, const MeshDims& dims,
@@ -41,8 +53,8 @@ MeshNetwork::MeshNetwork(const NocConfig& cfg, FlowSet flows, PresetTable preset
   }
   router_in_set_.assign(static_cast<std::size_t>(dims.nodes()), 0);
   nic_in_set_.assign(static_cast<std::size_t>(dims.nodes()), 0);
-  active_routers_.reserve(static_cast<std::size_t>(dims.nodes()));
-  active_nics_.reserve(static_cast<std::size_t>(dims.nodes()));
+  configured_shards_ = std::clamp(cfg_.shard_threads, 1, dims.width());
+  configure_shards(configured_shards_);
 
   // Arm switch-allocatable outputs: exactly the FromRouter crosspoints, each
   // with one downstream VC pool (its segment endpoint's input buffers).
@@ -74,10 +86,57 @@ void MeshNetwork::use_reference_kernel(bool ref) {
   SMARTNOC_CHECK(now_ == 0 && drained(),
                  "kernel switch requires a pristine network (no ticks, no traffic)");
   reference_kernel_ = ref;
+  // The seed kernel predates sharding and has no epilogue: it runs
+  // single-shard (the cross-pin against shards goes through the active-set
+  // kernel, which is itself pinned against the reference).
+  force_sharded_ = false;
+  configure_shards(ref ? 1 : configured_shards_);
   // The seed kernel also selects flows by linear scan in the NICs; keeping
   // the two toggles paired lets the golden matrix cross-pin the batched
   // injector against the scan.
   for (auto& nic : nics_) nic->use_reference_scan(ref);
+}
+
+void MeshNetwork::force_sharded_path(bool on) {
+  SMARTNOC_CHECK(now_ == 0 && drained(),
+                 "force_sharded_path requires a pristine network (no ticks, no traffic)");
+  SMARTNOC_CHECK(!reference_kernel_, "force_sharded_path conflicts with the reference kernel");
+  force_sharded_ = on;
+  configure_shards(configured_shards_);  // rewires the NIC sinks
+}
+
+void MeshNetwork::configure_shards(int count) {
+  runtime_.reset();
+  const MeshDims dims = cfg_.dims();
+  const auto nodes = static_cast<std::size_t>(dims.nodes());
+  shards_.clear();
+  shards_.resize(static_cast<std::size_t>(count));
+  shard_of_.assign(nodes, 0);
+  const std::size_t per_shard = nodes / static_cast<std::size_t>(count) + 1;
+  for (int s = 0; s < count; ++s) {
+    ShardState& sh = shards_[static_cast<std::size_t>(s)];
+    sh.id = s;
+    sh.outbox.resize(static_cast<std::size_t>(count));
+    sh.active_routers.reserve(per_shard);
+    sh.active_nics.reserve(per_shard);
+  }
+  // Column-block partition: shard s owns columns [s*W/count, (s+1)*W/count).
+  // Columns keep each shard's slice contiguous in x, so only the two edge
+  // columns of a shard ever ship boundary flits under dimension-ordered
+  // routes.
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    shard_of_[static_cast<std::size_t>(n)] = dims.coord(n).x * count / dims.width();
+  }
+  // NICs defer pool/stats side effects only when the sharded protocol runs
+  // (count > 1, or one shard armed for the overhead bench); the plain
+  // kernel keeps direct calls on its hot path.
+  const bool sharded = count > 1 || force_sharded_;
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    Nic& nic = *nics_[static_cast<std::size_t>(n)];
+    nic.set_shard_sink(
+        sharded ? &shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(n)])].sink
+                : nullptr);
+  }
 }
 
 void MeshNetwork::validate_and_index_flow(const Flow& flow) {
@@ -118,9 +177,16 @@ void MeshNetwork::tick() {
     // Snapshot/diff around the kernel: every ActivityCounters mutation
     // happens inside the tick phases and stats resets happen between
     // ticks, so the field-wise difference is exactly this tick's activity.
+    // (Sharded ticks fold their per-shard deltas into the global counters
+    // in the epilogue, inside the tick - the diff stays exact.)
     const ActivityCounters before = stats_.activity();
     if (reference_kernel_) {
       tick_reference();
+    } else if (shards_.size() > 1 || force_sharded_) {
+      // Observer callbacks must arrive on one thread: run the same sharded
+      // protocol, shard by shard, on the caller. Bit-identical to the
+      // parallel path (pass order across shards is immaterial by design).
+      tick_sharded(/*parallel=*/false);
     } else {
       tick_active_set();
     }
@@ -129,6 +195,8 @@ void MeshNetwork::tick() {
   }
   if (reference_kernel_) {
     tick_reference();
+  } else if (shards_.size() > 1 || force_sharded_) {
+    tick_sharded(/*parallel=*/observer_ == nullptr && shards_.size() > 1);
   } else {
     tick_active_set();
   }
@@ -136,17 +204,19 @@ void MeshNetwork::tick() {
 
 void MeshNetwork::tick_active_set() {
   now_ += 1;
+  ShardState& s = shards_.front();
+  s.ticks += 1;
 
   // Phase 1: deliver due credits into free-VC queues (usable by SA below).
   // One wheel bucket holds exactly the credits due this cycle; credits due
   // the same cycle always target distinct free-VC queues (at most one tail
   // departs per input port / NIC per cycle), so bucket order is immaterial.
   {
-    auto& bucket = credit_wheel_[now_ % kWheelSize];
+    auto& bucket = s.wheel[now_ % kWheelSize];
     for (const InFlightCredit& c : bucket) {
       deliver_credit(c.target, c.vc);
     }
-    credits_in_flight_ -= bucket.size();
+    s.credits_in_flight -= bucket.size();
     bucket.clear();  // keeps its capacity: no steady-state allocation
   }
 
@@ -156,50 +226,240 @@ void MeshNetwork::tick_active_set() {
   // then see the remaining phases this cycle - a no-op for them, since a
   // flit latched at cycle t is only buffer-written at t+1.
   // Phase 2: Buffer Write (drains staging filled in earlier cycles).
-  for (std::size_t i = 0; i < active_routers_.size(); ++i) {
-    routers_[static_cast<std::size_t>(active_routers_[i])]->buffer_write(now_, act);
+  for (std::size_t i = 0; i < s.active_routers.size(); ++i) {
+    routers_[static_cast<std::size_t>(s.active_routers[i])]->buffer_write(now_, act);
   }
   // Phase 3: Switch Traversal on grants from previous cycles.
-  for (std::size_t i = 0; i < active_routers_.size(); ++i) {
-    routers_[static_cast<std::size_t>(active_routers_[i])]->switch_traversal(now_, act);
+  for (std::size_t i = 0; i < s.active_routers.size(); ++i) {
+    routers_[static_cast<std::size_t>(s.active_routers[i])]->switch_traversal(now_, act);
   }
   // Phase 4: Switch Allocation (grants fire ST next cycle).
-  for (std::size_t i = 0; i < active_routers_.size(); ++i) {
-    routers_[static_cast<std::size_t>(active_routers_[i])]->switch_allocation(now_, act);
+  for (std::size_t i = 0; i < s.active_routers.size(); ++i) {
+    routers_[static_cast<std::size_t>(s.active_routers[i])]->switch_allocation(now_, act);
   }
   // Phase 5: NIC injection (one flit per NIC per cycle).
-  for (std::size_t i = 0; i < active_nics_.size(); ++i) {
-    nics_[static_cast<std::size_t>(active_nics_[i])]->inject(now_, act);
+  for (std::size_t i = 0; i < s.active_nics.size(); ++i) {
+    nics_[static_cast<std::size_t>(s.active_nics[i])]->inject(now_, act);
   }
 
   // Compaction: drop components that went quiescent, preserving insertion
   // order of the survivors. Between ticks the lists are exact.
   {
     std::size_t w = 0;
-    for (std::size_t r = 0; r < active_routers_.size(); ++r) {
-      const NodeId n = active_routers_[r];
+    for (std::size_t r = 0; r < s.active_routers.size(); ++r) {
+      const NodeId n = s.active_routers[r];
       if (routers_[static_cast<std::size_t>(n)]->has_traffic()) {
-        active_routers_[w++] = n;
+        s.active_routers[w++] = n;
       } else {
         router_in_set_[static_cast<std::size_t>(n)] = 0;
       }
     }
-    active_routers_.resize(w);
+    s.active_routers.resize(w);
     w = 0;
-    for (std::size_t r = 0; r < active_nics_.size(); ++r) {
-      const NodeId n = active_nics_[r];
+    for (std::size_t r = 0; r < s.active_nics.size(); ++r) {
+      const NodeId n = s.active_nics[r];
       if (!nics_[static_cast<std::size_t>(n)]->idle()) {
-        active_nics_[w++] = n;
+        s.active_nics[w++] = n;
       } else {
         nic_in_set_[static_cast<std::size_t>(n)] = 0;
       }
     }
-    active_nics_.resize(w);
+    s.active_nics.resize(w);
   }
 
   // Idle-clock accounting for the power model.
   act.clocked_inport_cycles += static_cast<std::uint64_t>(clocked_in_total_);
   act.clocked_outport_cycles += static_cast<std::uint64_t>(clocked_out_total_);
+}
+
+void MeshNetwork::tick_sharded(bool parallel) {
+  now_ += 1;
+  if (parallel) {
+    if (runtime_ == nullptr) {
+      runtime_ = std::make_unique<ShardRuntime>(
+          static_cast<int>(shards_.size()), [this](int shard, int pass) {
+            ShardState& s = shards_[static_cast<std::size_t>(shard)];
+            if (pass == 0) {
+              shard_pass_a(s);
+            } else {
+              shard_pass_b(s);
+            }
+          });
+    }
+    runtime_->run_tick();
+  } else {
+    // Sequential variant: same passes, shard order on one thread. Used
+    // under observers (callbacks on the caller), for the armed-overhead
+    // bench at one shard, and as the determinism cross-check in tests.
+    for (ShardState& s : shards_) shard_pass_a(s);
+    for (ShardState& s : shards_) shard_pass_b(s);
+  }
+  shard_epilogue();
+}
+
+void MeshNetwork::shard_pass_a(ShardState& s) {
+  // Identical phase structure to tick_active_set (kept separate so the
+  // single-shard hot path stays free of sink/epilogue machinery), but
+  // activity lands in the shard's delta and deliveries/credits that leave
+  // the slice are deferred to mailboxes via tl_shard (see deliver()).
+  tl_shard = &s;
+  s.ticks += 1;
+  if (span_tracer_ != nullptr && s.span_chunk_ticks == 0) {
+    s.span_chunk_start_us = span_tracer_->now_us();
+  }
+
+  {
+    auto& bucket = s.wheel[now_ % kWheelSize];
+    for (const InFlightCredit& c : bucket) {
+      deliver_credit(c.target, c.vc);  // wheel credits always target this slice
+    }
+    s.credits_in_flight -= bucket.size();
+    bucket.clear();
+  }
+
+  ActivityCounters& act = s.act;
+  for (std::size_t i = 0; i < s.active_routers.size(); ++i) {
+    routers_[static_cast<std::size_t>(s.active_routers[i])]->buffer_write(now_, act);
+  }
+  for (std::size_t i = 0; i < s.active_routers.size(); ++i) {
+    routers_[static_cast<std::size_t>(s.active_routers[i])]->switch_traversal(now_, act);
+  }
+  for (std::size_t i = 0; i < s.active_routers.size(); ++i) {
+    routers_[static_cast<std::size_t>(s.active_routers[i])]->switch_allocation(now_, act);
+  }
+  for (std::size_t i = 0; i < s.active_nics.size(); ++i) {
+    nics_[static_cast<std::size_t>(s.active_nics[i])]->inject(now_, act);
+  }
+
+  {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < s.active_routers.size(); ++r) {
+      const NodeId n = s.active_routers[r];
+      if (routers_[static_cast<std::size_t>(n)]->has_traffic()) {
+        s.active_routers[w++] = n;
+      } else {
+        router_in_set_[static_cast<std::size_t>(n)] = 0;
+      }
+    }
+    s.active_routers.resize(w);
+    w = 0;
+    for (std::size_t r = 0; r < s.active_nics.size(); ++r) {
+      const NodeId n = s.active_nics[r];
+      if (!nics_[static_cast<std::size_t>(n)]->idle()) {
+        s.active_nics[w++] = n;
+      } else {
+        nic_in_set_[static_cast<std::size_t>(n)] = 0;
+      }
+    }
+    s.active_nics.resize(w);
+  }
+  tl_shard = nullptr;
+}
+
+void MeshNetwork::shard_pass_b(ShardState& s) {
+  // Drain the inboxes addressed to this shard in source-shard order:
+  // deterministic regardless of thread timing, and order-free in substance
+  // (distinct events touch distinct input ports / receive VCs - at most one
+  // flit reaches any port per cycle). Applying a boundary flit here leaves
+  // exactly the state a local mid-phase delivery would have: the staged
+  // flit's arrival stamp blocks same-cycle pickup, so the skipped phases
+  // were no-ops for it.
+  tl_shard = &s;
+  for (ShardState& src : shards_) {
+    auto& inbox = src.outbox[static_cast<std::size_t>(s.id)];
+    for (const ShardFlitEvent& ev : inbox) {
+      if (ev.ep.is_nic) {
+        Nic& nic = *nics_[static_cast<std::size_t>(ev.ep.node)];
+        nic.accept_flit(ev.flit, ev.arrival);
+        // A tail consumed on arrival leaves the NIC idle: activating it
+        // would keep it (and drained()) alive one tick longer than the
+        // single-threaded kernel - activate only when work remains.
+        if (!nic.idle()) activate_nic(ev.ep.node);
+      } else {
+        routers_[static_cast<std::size_t>(ev.ep.node)]->accept_flit(ev.ep.in, ev.flit,
+                                                                    ev.arrival);
+        activate_router(ev.ep.node);  // staged flit: has_traffic() by definition
+      }
+    }
+    inbox.clear();  // reader-cleared; the source is not touching it in pass B
+  }
+  tl_shard = nullptr;
+
+  if (span_tracer_ != nullptr) {
+    s.span_chunk_ticks += 1;
+    if (s.span_chunk_ticks >= kSpanChunkTicks) {
+      span_tracer_->span(span_base_lane_ + s.id, "shard", "ticks", s.span_chunk_start_us,
+                         span_tracer_->now_us());
+      s.span_chunk_ticks = 0;
+    }
+  }
+}
+
+void MeshNetwork::shard_epilogue() {
+  // Serial tail of a sharded tick (coordinating thread, after the second
+  // barrier). Everything here is commutative or replayed in fixed shard
+  // order, so global state between ticks is canonical - byte-identical to
+  // the single-threaded kernel's.
+  ActivityCounters& act = stats_.activity();
+  for (ShardState& s : shards_) {
+    // Boundary credits into their owners' wheels. Credits are due >= now+1
+    // and the owner pops its bucket at the top of the next tick, so routing
+    // them here costs no cycles of latency.
+    for (const ShardRemoteCredit& rc : s.remote_credits) {
+      ShardState& owner = shards_[static_cast<std::size_t>(rc.owner)];
+      owner.wheel[rc.credit.due % kWheelSize].push_back(rc.credit);
+      owner.credits_in_flight += 1;
+    }
+    s.remote_credits.clear();
+  }
+  // Refcount replay: every shard's adds before any release, so a slot whose
+  // flits are still in flight never transiently reads free.
+  for (ShardState& s : shards_) {
+    for (const PacketSlot slot : s.sink.pool_add_refs) pool_.add_ref(slot);
+  }
+  for (ShardState& s : shards_) {
+    for (const ShardSink::Delivery& d : s.sink.deliveries) {
+      stats_.record_packet(d.flow, d.flits, d.created, d.injected, d.head_arrival,
+                           d.tail_arrival);
+    }
+    for (const PacketSlot slot : s.sink.pool_releases) pool_.release(slot);
+    s.sink.clear();
+    act.add(s.act);
+    s.act.reset();
+  }
+  act.clocked_inport_cycles += static_cast<std::uint64_t>(clocked_in_total_);
+  act.clocked_outport_cycles += static_cast<std::uint64_t>(clocked_out_total_);
+}
+
+std::vector<MeshNetwork::ShardTelemetry> MeshNetwork::shard_telemetry() const {
+  std::vector<ShardTelemetry> out(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    out[k].ticks = shards_[k].ticks;
+    out[k].boundary_flits = shards_[k].boundary_flits;
+    out[k].barrier_wait_seconds =
+        runtime_ != nullptr ? runtime_->barrier_wait_seconds(static_cast<int>(k)) : 0.0;
+  }
+  return out;
+}
+
+void MeshNetwork::set_span_tracer(obs::SpanTracer* tracer, int base_lane) {
+  if (span_tracer_ != nullptr) {
+    // Flush partial tick batches so a detach (or tracer swap) loses nothing.
+    for (ShardState& s : shards_) {
+      if (s.span_chunk_ticks > 0) {
+        span_tracer_->span(span_base_lane_ + s.id, "shard", "ticks", s.span_chunk_start_us,
+                           span_tracer_->now_us());
+        s.span_chunk_ticks = 0;
+      }
+    }
+  }
+  span_tracer_ = tracer;
+  span_base_lane_ = base_lane;
+  if (tracer != nullptr) {
+    for (const ShardState& s : shards_) {
+      tracer->set_lane_name(base_lane + s.id, "shard " + std::to_string(s.id));
+    }
+  }
 }
 
 void MeshNetwork::tick_reference() {
@@ -266,12 +526,19 @@ bool MeshNetwork::drained() const {
     return true;
   }
   // Active-set invariant (post-compaction): the lists hold exactly the
-  // routers with traffic and the non-idle NICs.
-  return credits_in_flight_ == 0 && active_routers_.empty() && active_nics_.empty();
+  // routers with traffic and the non-idle NICs. Mailboxes and sinks are
+  // always drained by the end of a tick, so shards add no extra terms.
+  for (const ShardState& s : shards_) {
+    if (s.credits_in_flight != 0 || !s.active_routers.empty() || !s.active_nics.empty()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void MeshNetwork::deliver(const Segment& seg, FlitRef flit, Cycle now, bool from_router) {
-  ActivityCounters& act = stats_.activity();
+  ShardState* const sh = tl_shard;
+  ActivityCounters& act = sh != nullptr ? sh->act : stats_.activity();
   act.xbar_flit_traversals += static_cast<std::uint64_t>(seg.bypassed + (from_router ? 1 : 0));
   act.link_flit_mm += static_cast<std::uint64_t>(seg.mm);
   act.pipeline_latches += 1;
@@ -281,6 +548,18 @@ void MeshNetwork::deliver(const Segment& seg, FlitRef flit, Cycle now, bool from
   // into the ST cycle. NIC injection stubs are 1-cycle in both designs.
   const Cycle arrival = now + ((from_router && opt_.extra_link_cycle) ? 1 : 0);
   if (observer_ != nullptr) observer_->segment_traversed(seg, flit, pool_, now, arrival);
+  if (sh != nullptr) {
+    // Sharded pass: the endpoint may belong to another slice. The whole
+    // segment is already resolved (activity charged, hop_index advanced,
+    // arrival stamped) - a SMART bypass chain crossing several shards is
+    // one mailbox event, not a per-shard arbitration exchange.
+    const int owner = shard_of_[static_cast<std::size_t>(seg.ep.node)];
+    if (owner != sh->id) {
+      sh->outbox[static_cast<std::size_t>(owner)].push_back(ShardFlitEvent{seg.ep, flit, arrival});
+      sh->boundary_flits += 1;
+      return;
+    }
+  }
   if (seg.ep.is_nic) {
     nics_[static_cast<std::size_t>(seg.ep.node)]->accept_flit(flit, arrival);
     activate_nic(seg.ep.node);
@@ -302,7 +581,8 @@ void MeshNetwork::deliver_from_nic(NodeId nic_node, FlitRef flit, Cycle now) {
 
 void MeshNetwork::schedule_credit(const SegOrigin& target, VcId vc, Cycle due, int mm,
                                   int xbar_hops) {
-  ActivityCounters& act = stats_.activity();
+  ShardState* const sh = tl_shard;
+  ActivityCounters& act = sh != nullptr ? sh->act : stats_.activity();
   act.link_credit_mm += static_cast<std::uint64_t>(mm);
   act.xbar_credit_traversals += static_cast<std::uint64_t>(xbar_hops);
   if (reference_kernel_) {
@@ -310,8 +590,22 @@ void MeshNetwork::schedule_credit(const SegOrigin& target, VcId vc, Cycle due, i
     return;
   }
   SMARTNOC_CHECK(due > now_ && due - now_ < kWheelSize, "credit due beyond the wheel horizon");
-  credit_wheel_[due % kWheelSize].push_back(InFlightCredit{due, target, vc});
-  credits_in_flight_ += 1;
+  if (sh != nullptr) {
+    // A credit for an origin outside this slice is parked on the shard and
+    // routed into the owner's wheel by the serial epilogue (due >= now+1,
+    // so the detour costs nothing). Wheels are single-writer this way.
+    const int owner = shard_of_[static_cast<std::size_t>(target.node)];
+    if (owner != sh->id) {
+      sh->remote_credits.push_back(ShardRemoteCredit{InFlightCredit{due, target, vc}, owner});
+      return;
+    }
+    sh->wheel[due % kWheelSize].push_back(InFlightCredit{due, target, vc});
+    sh->credits_in_flight += 1;
+    return;
+  }
+  ShardState& s0 = shards_.front();
+  s0.wheel[due % kWheelSize].push_back(InFlightCredit{due, target, vc});
+  s0.credits_in_flight += 1;
 }
 
 void MeshNetwork::deliver_credit(const SegOrigin& target, VcId vc) {
@@ -582,8 +876,11 @@ void MeshNetwork::rebuild_after_surgery() {
   // Global credit recompute: every origin's free-VC queue is re-derived
   // from what actually occupies its (possibly new) endpoint. In-flight
   // credits are discarded - their VCs are simply not busy anymore.
-  for (auto& bucket : credit_wheel_) bucket.clear();
-  credits_in_flight_ = 0;
+  for (ShardState& s : shards_) {
+    for (auto& bucket : s.wheel) bucket.clear();
+    s.credits_in_flight = 0;
+    s.remote_credits.clear();
+  }
   ref_credits_.clear();
   const int vcs = cfg_.vcs_per_port;
   auto mark_endpoint = [&](const Endpoint& ep, std::array<bool, 16>& busy) {
@@ -626,11 +923,14 @@ void MeshNetwork::rebuild_after_surgery() {
   }
   // Active sets rebuilt from scratch in node order. The reference kernel
   // ignores them; node order makes the rebuilt lists independent of the
-  // activation history, so post-fault cycles stay kernel-identical.
+  // activation history, so post-fault cycles stay kernel- and
+  // shard-count-identical (each shard's list comes out in node order too).
   std::fill(router_in_set_.begin(), router_in_set_.end(), 0);
   std::fill(nic_in_set_.begin(), nic_in_set_.end(), 0);
-  active_routers_.clear();
-  active_nics_.clear();
+  for (ShardState& s : shards_) {
+    s.active_routers.clear();
+    s.active_nics.clear();
+  }
   for (NodeId n = 0; n < dims.nodes(); ++n) {
     if (routers_[static_cast<std::size_t>(n)]->has_traffic()) activate_router(n);
     if (!nics_[static_cast<std::size_t>(n)]->idle()) activate_nic(n);

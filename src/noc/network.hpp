@@ -22,6 +22,13 @@
 // bit-identical to the seed's full-scan loop, which survives as the
 // reference kernel (use_reference_kernel) pinned against the active-set
 // core by the golden determinism test.
+//
+// Parallelism: with cfg.shard_threads > 1 the mesh is partitioned into
+// column slices, one thread each, every shard owning its slice of the
+// active sets and its own credit wheel; boundary flits and credits cross
+// via mailboxes with a deterministic per-cycle barrier (see shard.hpp for
+// the protocol and the bit-identity argument). shard_threads = 1 runs the
+// plain single-threaded kernel unchanged.
 #pragma once
 
 #include <array>
@@ -41,8 +48,13 @@
 #include "noc/preset.hpp"
 #include "noc/router.hpp"
 #include "noc/segment.hpp"
+#include "noc/shard.hpp"
 #include "noc/stats.hpp"
 #include "noc/trace.hpp"
+
+namespace smartnoc::obs {
+class SpanTracer;
+}  // namespace smartnoc::obs
 
 namespace smartnoc::noc {
 
@@ -106,6 +118,32 @@ class MeshNetwork final : public Network, private Fabric {
   int clocked_input_ports() const { return clocked_in_total_; }
   int clocked_output_ports() const { return clocked_out_total_; }
 
+  // --- Sharded parallel kernel -------------------------------------------------
+  /// Number of shards the mesh is partitioned into: cfg.shard_threads
+  /// clamped to the mesh width (column slices). 1 = single-threaded kernel.
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// The shard owning node `n`'s router and NIC.
+  int shard_of(NodeId n) const { return shard_of_[static_cast<std::size_t>(n)]; }
+
+  /// Per-shard observability snapshot (feeds the smartnoc_shard_* metrics).
+  struct ShardTelemetry {
+    std::uint64_t ticks = 0;            ///< tick passes this shard executed
+    std::uint64_t boundary_flits = 0;   ///< flits shipped across its boundary
+    double barrier_wait_seconds = 0.0;  ///< wall-clock barrier residency
+  };
+  std::vector<ShardTelemetry> shard_telemetry() const;
+
+  /// Benches/tests: run the full sharded protocol (sinks, mailboxes,
+  /// epilogue) even with one shard, to measure the armed machinery against
+  /// the plain kernel. Requires a pristine network, like the kernel switch.
+  void force_sharded_path(bool on);
+
+  /// Attaches a wall-clock span tracer: each shard thread records its tick
+  /// batches on lane `base_lane + shard`. Pass nullptr to detach (flushes
+  /// the partial batch). The tracer must outlive the network or be
+  /// detached first, like the trace observer.
+  void set_span_tracer(obs::SpanTracer* tracer, int base_lane = 0);
+
   /// Installs a trace observer (e.g. sim::VcdTracer). Pass nullptr to
   /// detach. The observer must outlive the network or be detached first.
   void set_observer(TraceObserver* obs) override {
@@ -149,6 +187,19 @@ class MeshNetwork final : public Network, private Fabric {
   void tick_active_set();
   void tick_reference();
 
+  // --- Sharded kernel (shard.hpp documents the protocol) -----------------------
+  /// (Re)partitions the mesh into `count` column-slice shards and rewires
+  /// the NIC sinks. Requires a quiescent network (constructor, kernel
+  /// switches, bench arming).
+  void configure_shards(int count);
+  /// One sharded tick: pass A / barrier / pass B / barrier on every shard
+  /// (worker threads when `parallel`, in shard order on the caller when an
+  /// observer needs callbacks on one thread), then the serial epilogue.
+  void tick_sharded(bool parallel);
+  void shard_pass_a(ShardState& s);  ///< the five phases over s's components
+  void shard_pass_b(ShardState& s);  ///< drain inboxes addressed to s
+  void shard_epilogue();             ///< serial: credits, refcounts, stats merge
+
   // --- Fault surgery (cold paths) ---------------------------------------------
   using LinkSet = std::set<std::pair<NodeId, int>>;  ///< directed (node, dir index)
   void apply_link_kill(NodeId node, Dir dir);
@@ -178,36 +229,31 @@ class MeshNetwork final : public Network, private Fabric {
   /// clocked ports and rebuilds the active sets in node order.
   void rebuild_after_surgery();
 
-  // Active-set membership. Flags are the O(1) membership test; the lists
-  // give deterministic (insertion-ordered) iteration. Components are added
-  // when traffic reaches them and compacted away at end of tick once
-  // quiescent, so between ticks the lists hold exactly the non-quiescent
-  // components - which is what makes drained() a counter check.
+  // Active-set membership. Flags are the O(1) membership test; the
+  // per-shard lists give deterministic (insertion-ordered) iteration.
+  // Components are added when traffic reaches them and compacted away at
+  // end of tick once quiescent, so between ticks the lists hold exactly the
+  // non-quiescent components - which is what makes drained() a counter
+  // check. Activation is always shard-local: boundary deliveries go through
+  // a mailbox and are activated by the owner in pass B.
   void activate_router(NodeId n) {
     auto& flag = router_in_set_[static_cast<std::size_t>(n)];
     if (!flag) {
       flag = 1;
-      active_routers_.push_back(n);
+      shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(n)])]
+          .active_routers.push_back(n);
     }
   }
   void activate_nic(NodeId n) {
     auto& flag = nic_in_set_[static_cast<std::size_t>(n)];
     if (!flag) {
       flag = 1;
-      active_nics_.push_back(n);
+      shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(n)])]
+          .active_nics.push_back(n);
     }
   }
 
-  struct InFlightCredit {
-    Cycle due;
-    SegOrigin target;
-    VcId vc;
-  };
-
-  /// Credit time wheel: bucket b holds credits due at cycles == b mod
-  /// kWheelSize. Credit latency is 1 or 2 cycles (now + 1 + link cycle),
-  /// comfortably under the wheel horizon; schedule_credit asserts it.
-  static constexpr std::size_t kWheelSize = 8;
+  static constexpr std::size_t kWheelSize = kCreditWheelSize;
 
   NocConfig cfg_;
   Options opt_;
@@ -218,11 +264,13 @@ class MeshNetwork final : public Network, private Fabric {
   PacketPool pool_;  ///< cold payload store; routers/NICs hold pointers
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Nic>> nics_;
-  std::array<std::vector<InFlightCredit>, kWheelSize> credit_wheel_;
-  std::size_t credits_in_flight_ = 0;
+  /// The kernel state always lives in shards (size >= 1): shard 0 holds
+  /// everything in single-shard mode, so both kernels run one algorithm.
+  std::vector<ShardState> shards_;
+  std::vector<int> shard_of_;  ///< NodeId -> owning shard (column slices)
+  int configured_shards_ = 1;  ///< cfg.shard_threads clamped to the width
+  bool force_sharded_ = false;
   std::vector<InFlightCredit> ref_credits_;  ///< reference kernel's linear store
-  std::vector<NodeId> active_routers_;
-  std::vector<NodeId> active_nics_;
   std::vector<std::uint8_t> router_in_set_;
   std::vector<std::uint8_t> nic_in_set_;
   std::vector<FlowPathInfo> flow_info_;
@@ -234,7 +282,11 @@ class MeshNetwork final : public Network, private Fabric {
   bool reference_kernel_ = false;
   TraceObserver* observer_ = nullptr;
   bool observer_wants_deltas_ = false;  ///< cached obs->wants_activity_deltas()
+  obs::SpanTracer* span_tracer_ = nullptr;
+  int span_base_lane_ = 0;
   Cycle now_ = 0;
+  /// Declared last so workers stop and join before any kernel state dies.
+  std::unique_ptr<ShardRuntime> runtime_;
 };
 
 /// The paper's baseline: a state-of-the-art mesh NoC with no reconfiguration

@@ -120,7 +120,14 @@ void Nic::inject(Cycle now, ActivityCounters& act) {
   f.seq = static_cast<std::uint8_t>(tx.next_seq);
   f.vc = tx.vc;
   f.hop_index = 0;
-  pool_->add_ref(tx.slot);  // the in-flight flit's reference
+  // The in-flight flit's reference. Under shards the refcount op is logged
+  // for the epilogue; the slot stays alive meanwhile because the transmit
+  // reference below is deferred the same way (adds replay before releases).
+  if (sink_ != nullptr) {
+    sink_->pool_add_refs.push_back(tx.slot);
+  } else {
+    pool_->add_ref(tx.slot);
+  }
   tx.next_seq += 1;
   const bool done = tx.next_seq == tx.flits;
   fabric_->deliver_from_nic(node_, f, now);
@@ -128,7 +135,11 @@ void Nic::inject(Cycle now, ActivityCounters& act) {
     // Tail left: drop the transmit reference. Under full bypass the tail
     // may already have been consumed at the destination within this very
     // call, so this can recycle the slot - nothing reads it afterwards.
-    pool_->release(tx.slot);
+    if (sink_ != nullptr) {
+      sink_->pool_releases.push_back(tx.slot);
+    } else {
+      pool_->release(tx.slot);
+    }
     active_.reset();
   }
   (void)act;  // injection energy is counted by the fabric's segment delivery
@@ -155,14 +166,25 @@ void Nic::accept_flit(const FlitRef& flit, Cycle now) {
   SMARTNOC_CHECK(static_cast<int>(assembling_.size()) <= cfg_->vcs_per_port,
                  "more packets in reassembly than receive VCs");
   if (is_tail(flit.type)) {
-    stats_->record_packet(pkt.flow, a->flits, pkt.created, pkt.injected, a->head_arrival, now);
+    // Completed packet: under shards the stats write is deferred with every
+    // argument captured now (the payload may recycle before the epilogue).
+    if (sink_ != nullptr) {
+      sink_->deliveries.push_back(ShardSink::Delivery{pkt.flow, a->flits, pkt.created,
+                                                      pkt.injected, a->head_arrival, now});
+    } else {
+      stats_->record_packet(pkt.flow, a->flits, pkt.created, pkt.injected, a->head_arrival, now);
+    }
     *a = assembling_.back();
     assembling_.pop_back();
     // The receive VC is free again: return its credit to the feeder.
     fabric_->credit_from_nic(node_, flit.vc, now);
   }
   // Consumed: drop the flit's pool reference (after the last payload read).
-  pool_->release(flit.slot);
+  if (sink_ != nullptr) {
+    sink_->pool_releases.push_back(flit.slot);
+  } else {
+    pool_->release(flit.slot);
+  }
 }
 
 void Nic::credit_arrived(VcId vc) {

@@ -37,6 +37,7 @@
 #include "noc/flit.hpp"
 #include "noc/flow.hpp"
 #include "noc/packet_pool.hpp"
+#include "noc/shard.hpp"
 #include "noc/stats.hpp"
 
 namespace smartnoc::noc {
@@ -82,6 +83,12 @@ class Nic {
   /// the reference path for golden cross-checks and before/after benches.
   void use_reference_scan(bool ref) { reference_scan_ = ref; }
   bool reference_scan() const { return reference_scan_; }
+
+  /// Sharded kernel: PacketPool refcounts and record_packet are process-wide
+  /// and non-atomic, so during a parallel pass the NIC logs them into its
+  /// shard's sink for serial replay in the tick epilogue. Null (the
+  /// default) applies every op directly - the single-shard hot path.
+  void set_shard_sink(ShardSink* sink) { sink_ = sink; }
 
   // --- Fault engine (cold paths, shared by both cycle kernels) ---------------
   /// Re-queues a packet recovered from a fault at the *front* of its flow's
@@ -151,6 +158,7 @@ class Nic {
   Fabric* fabric_;
   NetworkStats* stats_;
   PacketPool* pool_;
+  ShardSink* sink_ = nullptr;  ///< non-null only under the sharded protocol
 
   /// First slot in `nonempty_` at or cyclically after `from` (the batched
   /// injector's round-robin step; nonempty_ must not be empty).

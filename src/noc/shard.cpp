@@ -1,0 +1,60 @@
+#include "noc/shard.hpp"
+
+#include <chrono>
+
+namespace smartnoc::noc {
+
+ShardRuntime::ShardRuntime(int shards, PassFn pass_fn)
+    : shards_(shards),
+      pass_fn_(std::move(pass_fn)),
+      barrier_(shards),
+      waits_(static_cast<std::size_t>(shards)) {
+  threads_.reserve(static_cast<std::size_t>(shards - 1));
+  for (int k = 1; k < shards_; ++k) {
+    threads_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ShardRuntime::~ShardRuntime() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);  // wake the spin-waiters
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardRuntime::run_tick() {
+  // The release increment publishes every between-tick mutation (epilogue
+  // replay, offer_packet, fault surgery) to the workers' acquire loads.
+  epoch_.fetch_add(1, std::memory_order_release);
+  member_tick(0);
+}
+
+void ShardRuntime::member_tick(int shard) {
+  pass_fn_(shard, 0);
+  timed_barrier(shard);
+  pass_fn_(shard, 1);
+  timed_barrier(shard);
+}
+
+void ShardRuntime::timed_barrier(int shard) {
+  const auto t0 = std::chrono::steady_clock::now();
+  barrier_.arrive_and_wait();
+  const auto t1 = std::chrono::steady_clock::now();
+  std::atomic<double>& w = waits_[static_cast<std::size_t>(shard)].v;
+  w.store(w.load(std::memory_order_relaxed) + std::chrono::duration<double>(t1 - t0).count(),
+          std::memory_order_relaxed);
+}
+
+void ShardRuntime::worker_loop(int shard) {
+  std::uint64_t seen = 0;
+  while (true) {
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (++spins >= (1 << 14)) std::this_thread::yield();
+    }
+    seen += 1;
+    if (stop_.load(std::memory_order_relaxed)) return;
+    member_tick(shard);
+  }
+}
+
+}  // namespace smartnoc::noc

@@ -89,6 +89,26 @@ void SpanTracer::ensure_lanes(int workers) {
   if (workers - 1 > max_lane_) max_lane_ = workers - 1;
 }
 
+void SpanTracer::set_lane_name(int lane, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lane > max_lane_) max_lane_ = lane;
+  for (auto& [l, n] : lane_names_) {
+    if (l == lane) {
+      n = std::move(name);
+      return;
+    }
+  }
+  lane_names_.emplace_back(lane, std::move(name));
+}
+
+std::string SpanTracer::lane_label(int lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [l, n] : lane_names_) {
+    if (l == lane) return n;
+  }
+  return "";
+}
+
 bool SpanTracer::truncated() const {
   std::lock_guard<std::mutex> lock(mu_);
   return truncated_;
@@ -106,12 +126,20 @@ std::vector<SpanEvent> SpanTracer::events() const {
 
 std::string SpanTracer::to_chrome_json(const std::string& process_name) const {
   std::vector<SpanEvent> evs;
+  std::vector<std::pair<int, std::string>> names;
   int top_lane = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     evs = events_;
+    names = lane_names_;
     top_lane = max_lane_;
   }
+  auto label = [&](int lane) -> std::string {
+    for (const auto& [l, n] : names) {
+      if (l == lane) return n;
+    }
+    return lane_name(lane);
+  };
   std::string out = "[\n";
   out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
          "\"args\": {\"name\": \"" + json_escape(process_name) + "\"}}";
@@ -120,7 +148,7 @@ std::string SpanTracer::to_chrome_json(const std::string& process_name) const {
   for (int lane = -1; lane <= top_lane; ++lane) {
     out += strf(",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \"thread_name\", "
                 "\"args\": {\"name\": \"%s\"}}",
-                lane_tid(lane), lane_name(lane).c_str());
+                lane_tid(lane), json_escape(label(lane)).c_str());
   }
   for (const SpanEvent& ev : evs) {
     if (ev.instant) {

@@ -50,6 +50,13 @@ class SpanTracer {
   /// every thread pops a task). The executor calls this when attached.
   void ensure_lanes(int workers);
 
+  /// Names a lane in the chrome export ("shard 0" instead of "worker 0");
+  /// also declares the lane, like ensure_lanes. The sharded cycle kernel
+  /// claims one named lane per shard thread.
+  void set_lane_name(int lane, std::string name);
+  /// The custom name for `lane`, or "" if it uses the default.
+  std::string lane_label(int lane) const;
+
   /// True once events were dropped because max_events was hit.
   bool truncated() const;
   /// Largest lane recorded so far (-1 if only server events, or none).
@@ -65,6 +72,7 @@ class SpanTracer {
 
   mutable std::mutex mu_;
   std::vector<SpanEvent> events_;
+  std::vector<std::pair<int, std::string>> lane_names_;  ///< custom lane labels
   bool truncated_ = false;
   int max_lane_ = -1;
   std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction

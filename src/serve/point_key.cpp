@@ -8,13 +8,13 @@ namespace smartnoc::serve {
 // adds the field to extend encode_* AND bump kPointKeyVersion. (Sizes are
 // for the LP64 ABI every supported target uses; adjust alongside the
 // encoding if that ever changes.)
-static_assert(sizeof(NocConfig) == 136,
+static_assert(sizeof(NocConfig) == 144,
               "NocConfig changed: extend canonical_point_bytes and bump kPointKeyVersion");
 static_assert(sizeof(sim::PhaseSpec) == 96,
               "PhaseSpec changed: extend canonical_point_bytes and bump kPointKeyVersion");
 static_assert(sizeof(noc::FaultEventSpec) == 32,
               "FaultEventSpec changed: extend canonical_point_bytes and bump kPointKeyVersion");
-static_assert(sizeof(sim::ScenarioSpec) == 432,
+static_assert(sizeof(sim::ScenarioSpec) == 440,
               "ScenarioSpec changed: extend canonical_point_bytes and bump kPointKeyVersion");
 
 namespace {
@@ -43,6 +43,11 @@ void encode_config(CanonicalEncoder& e, const NocConfig& c) {
   e.u64(c.watchdog_window);
   e.i64(c.retry_limit);
   e.u64(c.retry_backoff_cycles);
+  // c.shard_threads is excluded on purpose: like the executor's sweep thread
+  // count, it cannot change a RunRecord (bit-identity at any shard count is
+  // pinned by the GoldenShards matrix), so cached results stay valid across
+  // shard settings and the encoded bytes - hence kPointKeyVersion - are
+  // unchanged by the knob's introduction.
 }
 
 void encode_phase(CanonicalEncoder& e, const sim::PhaseSpec& p) {

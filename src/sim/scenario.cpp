@@ -193,6 +193,7 @@ void apply_scalar(ScenarioSpec& spec, const std::string& key, const std::string&
   else if (key == "retry_limit") cfg.retry_limit = parse_int_token(value, "retry_limit");
   else if (key == "retry_backoff")
     cfg.retry_backoff_cycles = parse_u64_token(value, "retry_backoff");
+  else if (key == "shard_threads") cfg.shard_threads = parse_int_token(value, "shard_threads");
   else if (key == "single_config_core")
     spec.single_config_core = parse_bool_token(value, "single_config_core");
   else if (key == "store_issue") spec.store_issue_cycles = parse_u64_token(value, "store_issue");
@@ -250,6 +251,10 @@ std::string serialize_scenario_text(const ScenarioSpec& spec) {
   }
   if (cfg.retry_backoff_cycles != NocConfig{}.retry_backoff_cycles) {
     out << "retry_backoff = " << cfg.retry_backoff_cycles << "\n";
+  }
+  // Like the fault knobs: only when set, so pre-sharding files round-trip.
+  if (cfg.shard_threads != NocConfig{}.shard_threads) {
+    out << "shard_threads = " << cfg.shard_threads << "\n";
   }
   // The telemetry block serializes only when configured, so pre-telemetry
   // scenario files round-trip byte-for-byte.
@@ -659,6 +664,9 @@ std::string serialize_scenario_json(const ScenarioSpec& spec) {
   }
   if (cfg.retry_backoff_cycles != NocConfig{}.retry_backoff_cycles) {
     out << "  \"retry_backoff\": " << cfg.retry_backoff_cycles << ",\n";
+  }
+  if (cfg.shard_threads != NocConfig{}.shard_threads) {
+    out << "  \"shard_threads\": " << cfg.shard_threads << ",\n";
   }
   const TelemetrySpec& tel = spec.telemetry;
   if (tel.epoch_cycles > 0) out << "  \"telemetry_epoch\": " << tel.epoch_cycles << ",\n";

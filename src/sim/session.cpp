@@ -191,6 +191,7 @@ void Session::switch_era(const Resolved& rv) {
   //    store program is diffed against the bank left by the previous era,
   //    which is what makes mid-scenario reconfiguration cost the paper's
   //    "just the amount of time to execute these instructions".
+  fold_shard_metrics();  // the outgoing network's counters die with it
   owned_source_.reset();
   owned_net_.reset();
   net_ = nullptr;
@@ -566,7 +567,29 @@ SessionResult Session::run() {
     cycles.inc(static_cast<double>(profile_.cycles()));
     if (profile_.cycles() != 0) ns_per_cycle.set(profile_.ns_per_cycle());
   }
+  fold_shard_metrics();  // final era (earlier eras folded at each switch)
   return out;
+}
+
+void Session::fold_shard_metrics() {
+  auto* mesh = dynamic_cast<noc::MeshNetwork*>(net_);
+  if (mesh == nullptr || mesh->shard_count() <= 1) return;
+  auto& reg = obs::MetricsRegistry::global();
+  const std::vector<noc::MeshNetwork::ShardTelemetry> tel = mesh->shard_telemetry();
+  // Labeled per shard index, so registration is per (name, label) rather
+  // than the static-reference pattern the unlabeled session counters use.
+  for (std::size_t k = 0; k < tel.size(); ++k) {
+    const std::string label = "shard=\"" + std::to_string(k) + "\"";
+    reg.counter("smartnoc_shard_ticks_total",
+                "Tick passes executed by each shard of the parallel cycle kernel", label)
+        .inc(static_cast<double>(tel[k].ticks));
+    reg.counter("smartnoc_shard_boundary_flits_total",
+                "Flits shipped across shard boundaries through the mailboxes", label)
+        .inc(static_cast<double>(tel[k].boundary_flits));
+    reg.counter("smartnoc_shard_barrier_wait_seconds_total",
+                "Wall-clock barrier residency accumulated by each shard thread", label)
+        .inc(tel[k].barrier_wait_seconds);
+  }
 }
 
 void Session::flush_telemetry() {

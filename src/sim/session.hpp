@@ -229,6 +229,11 @@ class Session {
   void fail_phase(const PhaseSpec& ph, const Resolved& rv, const std::string& why);
   void switch_era(const Resolved& rv);
   void report_progress(const PhaseSpec& ph);
+  /// Adds the live network's per-shard telemetry (ticks, boundary flits,
+  /// barrier residency) to the process-wide smartnoc_shard_* counters.
+  /// Called before an era's network is torn down and at end of run(), so
+  /// each network's zero-based counters fold in exactly once.
+  void fold_shard_metrics();
   /// Applies every scheduled fault action due at the current session cycle
   /// to the live network (online surgery; no drain, no rebuild).
   void fire_due_faults();

@@ -255,6 +255,90 @@ TEST(GoldenFaults, FaultSchedulesMatchAcrossKernels) {
   }
 }
 
+// --- Sharded parallel kernel -------------------------------------------------
+// The column-sharded kernel (cfg.shard_threads > 1) must be bit-identical
+// to the single-threaded active-set kernel at ANY shard count: shard.hpp
+// argues why (order-free cycles + deterministic mailbox drain + serial
+// epilogue), this matrix pins it. Every point runs through Session so the
+// comparison covers the full protocol including online fault surgery, and
+// checks RunResult, activity counters, per-flow statistics and all eleven
+// fault counters exactly.
+
+struct ShardPoint {
+  Design design;          // Mesh or Smart
+  int hpc_max;            // SMART single-cycle reach (ignored for Mesh)
+  const char* workload;   // "uniform" | "transpose" | "vopd"
+  const char* schedule;   // fault schedule token, or nullptr for fault-free
+};
+
+std::string shard_point_name(const ShardPoint& pt) {
+  return std::string(design_name(pt.design)) + "/hpc" + std::to_string(pt.hpc_max) + "/" +
+         pt.workload + (pt.schedule != nullptr ? "/faulted" : "/clean");
+}
+
+sim::RunResult run_with_shards(const ShardPoint& pt, int shards,
+                               noc::NetworkStats* final_stats) {
+  NocConfig cfg = matrix_config();
+  cfg.hpc_max_override = pt.design == Design::Smart ? pt.hpc_max : 0;
+  cfg.shard_threads = shards;
+  const double injection = std::string(pt.workload) == "vopd" ? 1.0 : 0.05;
+  sim::ScenarioSpec spec = sim::ScenarioSpec::classic(pt.design, pt.workload, injection, cfg);
+  if (pt.schedule != nullptr) {
+    spec.fault_events = noc::parse_fault_schedule_token(pt.schedule);
+  }
+  sim::Session session(std::move(spec));
+  const sim::SessionResult sr = session.run();
+  if (final_stats != nullptr) *final_stats = session.network().stats();
+  return sim::session_to_run_result(sr);
+}
+
+class GoldenShards : public ::testing::TestWithParam<ShardPoint> {};
+
+TEST_P(GoldenShards, ShardCountsAreBitIdentical) {
+  const ShardPoint pt = GetParam();
+  const std::string base = shard_point_name(pt);
+  noc::NetworkStats stats_one;
+  const sim::RunResult one = run_with_shards(pt, 1, &stats_one);
+  ASSERT_TRUE(one.ok) << base << ": " << one.error;
+  EXPECT_GT(one.packets_delivered, 0u) << base << ": matrix point carries no traffic";
+  if (pt.schedule != nullptr) {
+    EXPECT_GE(stats_one.faults().link_kills, 1u) << base << ": schedule must have fired";
+  }
+  for (const int shards : {2, 4}) {
+    noc::NetworkStats stats_n;
+    const sim::RunResult sharded = run_with_shards(pt, shards, &stats_n);
+    const std::string what = base + "/shards" + std::to_string(shards);
+    ASSERT_TRUE(sharded.ok) << what << ": " << sharded.error;
+    expect_identical_results(sharded, one, what);
+    expect_identical_flow_stats(stats_n, stats_one, what);
+    expect_identical_fault_counters(stats_n.faults(), stats_one.faults(), what + " [faults]");
+  }
+}
+
+std::vector<ShardPoint> shard_matrix() {
+  // Fires mid-measure (warmup 500 + measure 4000): a kill that forces an
+  // online reroute plus a glitch that repairs, so the sharded runs cover
+  // purge, retransmission and the post-surgery active-set rebuild.
+  constexpr const char* kSchedule = "kill@2700:5:E+glitch@3000:6:N@3400";
+  std::vector<ShardPoint> pts;
+  for (const char* wl : {"uniform", "transpose", "vopd"}) {
+    for (const char* sched : {static_cast<const char*>(nullptr), kSchedule}) {
+      pts.push_back({Design::Mesh, 1, wl, sched});
+      pts.push_back({Design::Smart, 8, wl, sched});
+    }
+  }
+  return pts;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, GoldenShards, ::testing::ValuesIn(shard_matrix()),
+                         [](const ::testing::TestParamInfo<ShardPoint>& info) {
+                           std::string n = shard_point_name(info.param);
+                           for (char& c : n) {
+                             if (c == '/' || c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
 // The O(1) drain check must agree with a from-scratch component scan at
 // every step of a drain, not just at the end (the invariant the active-set
 // compaction maintains).

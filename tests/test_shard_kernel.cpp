@@ -1,0 +1,202 @@
+// Unit tests for the sharded parallel cycle kernel: column partitioning,
+// cross-shard SMART bypass chains (the hard case - a single-cycle multi-hop
+// traversal spanning several shards), the armed-at-one-shard bench path,
+// parallel-vs-serial bit identity under load, per-shard telemetry and the
+// span-tracer lanes. The broad bit-identity matrix lives in
+// test_golden_determinism.cpp (GoldenShards); this file covers the kernel's
+// edges directly. Also the TSan target: ParallelMatchesSingleShard drives
+// the worker threads, the spin barrier and the mailbox protocol under load.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "obs/spans.hpp"
+#include "sim/runner.hpp"
+#include "smart/smart_network.hpp"
+
+namespace smartnoc {
+namespace {
+
+/// An 8-wide mesh so four column shards each own two columns.
+NocConfig mesh8_config() {
+  NocConfig cfg;
+  cfg.width = 8;
+  cfg.height = 8;
+  cfg.fit_derived();
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 2000;
+  cfg.drain_timeout = 20000;
+  return cfg;
+}
+
+void expect_same_run(const sim::RunResult& a, const sim::RunResult& b, const std::string& what) {
+  EXPECT_EQ(a.packets_generated, b.packets_generated) << what;
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered) << what;
+  EXPECT_EQ(a.drained, b.drained) << what;
+  EXPECT_EQ(a.drain_cycles, b.drain_cycles) << what;
+  EXPECT_EQ(a.avg_network_latency, b.avg_network_latency) << what;
+  EXPECT_EQ(a.avg_total_latency, b.avg_total_latency) << what;
+  EXPECT_EQ(a.p99_network_latency, b.p99_network_latency) << what;
+  EXPECT_EQ(a.activity.buffer_writes, b.activity.buffer_writes) << what;
+  EXPECT_EQ(a.activity.xbar_flit_traversals, b.activity.xbar_flit_traversals) << what;
+  EXPECT_EQ(a.activity.link_flit_mm, b.activity.link_flit_mm) << what;
+  EXPECT_EQ(a.activity.link_credit_mm, b.activity.link_credit_mm) << what;
+  EXPECT_EQ(a.activity.clocked_inport_cycles, b.activity.clocked_inport_cycles) << what;
+}
+
+void expect_same_flows(const noc::NetworkStats& a, const noc::NetworkStats& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.per_flow().size(), b.per_flow().size()) << what;
+  for (std::size_t i = 0; i < a.per_flow().size(); ++i) {
+    const std::string ctx = what + " [flow " + std::to_string(i) + "]";
+    EXPECT_EQ(a.per_flow()[i].packets, b.per_flow()[i].packets) << ctx;
+    EXPECT_EQ(a.per_flow()[i].sum_network_latency, b.per_flow()[i].sum_network_latency) << ctx;
+    EXPECT_EQ(a.per_flow()[i].max_network_latency, b.per_flow()[i].max_network_latency) << ctx;
+  }
+}
+
+TEST(ShardPartition, ColumnBlocksAndWidthClamp) {
+  NocConfig cfg = mesh8_config();
+  cfg.shard_threads = 4;
+  auto net = noc::make_baseline_mesh(cfg, testing::one_flow(cfg, 0, 7));
+  ASSERT_EQ(net->shard_count(), 4);
+  const MeshDims dims = cfg.dims();
+  for (NodeId n = 0; n < dims.nodes(); ++n) {
+    // Two columns per shard, whole columns only, monotone west-to-east.
+    EXPECT_EQ(net->shard_of(n), dims.coord(n).x / 2) << "node " << n;
+  }
+  // The knob clamps to the mesh width: a 4-wide mesh caps at 4 shards.
+  NocConfig narrow = testing::test_config();
+  narrow.shard_threads = 256;
+  auto clamped = noc::make_baseline_mesh(narrow, testing::one_flow(narrow, 0, 15));
+  EXPECT_EQ(clamped->shard_count(), 4);
+}
+
+TEST(ShardPartition, ReferenceKernelRevertsToOneShard) {
+  NocConfig cfg = mesh8_config();
+  cfg.shard_threads = 4;
+  auto net = noc::make_baseline_mesh(cfg, testing::one_flow(cfg, 0, 7));
+  ASSERT_EQ(net->shard_count(), 4);
+  net->use_reference_kernel(true);
+  EXPECT_EQ(net->shard_count(), 1);  // tick_reference has no sharded protocol
+  net->use_reference_kernel(false);
+  EXPECT_EQ(net->shard_count(), 4);  // switching back restores the config
+}
+
+// The hard case from the issue: a SMART bypass chain that crosses shard
+// boundaries. Presets are static within an era, so the whole multi-hop
+// traversal resolves sender-side into ONE mailbox event - the zero-load
+// single-cycle latency must survive sharding exactly.
+TEST(ShardKernel, BypassChainAcrossShardBoundaries) {
+  NocConfig cfg = mesh8_config();
+  cfg.hpc_max_override = 8;  // reach covers the whole 7-hop row
+  cfg.shard_threads = 4;
+  auto made = smart::make_smart_network(cfg, testing::one_flow(cfg, 0, 7));
+  noc::MeshNetwork& net = *made.net;
+  ASSERT_EQ(net.shard_count(), 4);
+  ASSERT_EQ(net.shard_of(0), 0);
+  ASSERT_EQ(net.shard_of(7), 3);
+  const double latency = testing::single_packet_latency(net, 0);
+  const double stops = static_cast<double>(net.flow_info(0).stops.size());
+  EXPECT_EQ(latency, 1.0 + 3.0 * stops);  // zero-load SMART law, unchanged
+  std::uint64_t boundary = 0;
+  for (const auto& t : net.shard_telemetry()) boundary += t.boundary_flits;
+  EXPECT_GT(boundary, 0u) << "a 0->7 traversal must ship flits across shards";
+  EXPECT_TRUE(testing::run_to_drain(net));
+}
+
+// force_sharded_path arms the full protocol (NIC sinks, mailboxes, serial
+// epilogue) at one shard - the configuration the overhead bench measures.
+// It must be invisible in the results.
+TEST(ShardKernel, ArmedSingleShardIsBitIdentical) {
+  auto run = [](bool armed, noc::NetworkStats* stats) {
+    NocConfig cfg = testing::test_config();
+    cfg.warmup_cycles = 300;
+    cfg.measure_cycles = 2500;
+    auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::UniformRandom, 0.05,
+                                           noc::TurnModel::XY);
+    auto net = noc::make_baseline_mesh(cfg, std::move(flows));
+    if (armed) net->force_sharded_path(true);
+    noc::TrafficEngine traffic(cfg, net->flows(), cfg.seed);
+    const sim::RunResult res = sim::run_simulation(*net, traffic, cfg);
+    *stats = net->stats();
+    return res;
+  };
+  noc::NetworkStats plain_stats, armed_stats;
+  const sim::RunResult plain = run(false, &plain_stats);
+  const sim::RunResult armed = run(true, &armed_stats);
+  ASSERT_GT(plain.packets_delivered, 0u);
+  expect_same_run(armed, plain, "armed@1shard");
+  expect_same_flows(armed_stats, plain_stats, "armed@1shard");
+}
+
+// The TSan target: real worker threads, spin barrier, mailboxes and the
+// epilogue under sustained SMART load on a 16x16, against the serial kernel.
+TEST(ShardKernel, ParallelMatchesSingleShard) {
+  auto run = [](int shards, noc::NetworkStats* stats) {
+    NocConfig cfg;
+    cfg.width = 16;
+    cfg.height = 16;
+    cfg.fit_derived();
+    cfg.warmup_cycles = 200;
+    cfg.measure_cycles = 1500;
+    cfg.drain_timeout = 20000;
+    cfg.hpc_max_override = 8;
+    cfg.shard_threads = shards;
+    auto flows = noc::make_synthetic_flows(cfg, noc::SyntheticPattern::UniformRandom, 0.04,
+                                           noc::TurnModel::XY);
+    auto made = smart::make_smart_network(cfg, std::move(flows));
+    noc::TrafficEngine traffic(cfg, made.net->flows(), cfg.seed);
+    const sim::RunResult res = sim::run_simulation(*made.net, traffic, cfg);
+    *stats = made.net->stats();
+    return res;
+  };
+  noc::NetworkStats serial_stats, parallel_stats;
+  const sim::RunResult serial = run(1, &serial_stats);
+  const sim::RunResult parallel = run(4, &parallel_stats);
+  ASSERT_GT(serial.packets_delivered, 0u);
+  expect_same_run(parallel, serial, "16x16@4shards");
+  expect_same_flows(parallel_stats, serial_stats, "16x16@4shards");
+}
+
+TEST(ShardKernel, TelemetryCountsTicks) {
+  NocConfig cfg = mesh8_config();
+  cfg.shard_threads = 2;
+  auto net = noc::make_baseline_mesh(cfg, testing::one_flow(cfg, 0, 63));
+  constexpr Cycle kTicks = 257;
+  for (Cycle c = 0; c < kTicks; ++c) net->tick();
+  const auto telemetry = net->shard_telemetry();
+  ASSERT_EQ(telemetry.size(), 2u);
+  for (std::size_t k = 0; k < telemetry.size(); ++k) {
+    EXPECT_EQ(telemetry[k].ticks, kTicks) << "shard " << k;
+    EXPECT_GE(telemetry[k].barrier_wait_seconds, 0.0) << "shard " << k;
+  }
+}
+
+TEST(ShardKernel, SpanTracerGetsOneNamedLanePerShard) {
+  NocConfig cfg = mesh8_config();
+  cfg.shard_threads = 4;
+  auto net = noc::make_baseline_mesh(cfg, testing::one_flow(cfg, 0, 7));
+  obs::SpanTracer tracer;
+  net->set_span_tracer(&tracer, /*base_lane=*/2);
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(tracer.lane_label(2 + lane), "shard " + std::to_string(lane));
+  }
+  for (Cycle c = 0; c < 64; ++c) net->tick();
+  net->set_span_tracer(nullptr);  // detach flushes the partial tick batches
+  const auto events = tracer.events();
+  ASSERT_FALSE(events.empty());
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.lane, 2);
+    EXPECT_LE(ev.lane, 5);
+    EXPECT_EQ(ev.category, "shard");
+  }
+}
+
+}  // namespace
+}  // namespace smartnoc
